@@ -1,0 +1,612 @@
+package fpinterop
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation. Each benchmark prints its artifact once (so `go test
+// -bench=.` output contains the same rows/series the paper reports) and
+// then times the analysis computation.
+//
+// The shared dataset is built once per process at paper scale — 494
+// subjects, 120,855 DMI and 483,420 DDMI comparisons (~660k matches) —
+// which takes a couple of minutes on one core. Set FPINTEROP_BENCH_SUBJECTS
+// (and optionally FPINTEROP_BENCH_DMI / FPINTEROP_BENCH_DDMI) to shrink it
+// for quick runs.
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"fpinterop/internal/calib"
+	"fpinterop/internal/match"
+	"fpinterop/internal/nfiq"
+	"fpinterop/internal/population"
+	"fpinterop/internal/sensor"
+	"fpinterop/internal/stats"
+	"fpinterop/internal/study"
+)
+
+var (
+	benchOnce sync.Once
+	benchDS   *study.Dataset
+	benchSets *study.ScoreSets
+	benchErr  error
+
+	printOnce = map[string]*sync.Once{}
+	printMu   sync.Mutex
+)
+
+func envInt(name string, def int) int {
+	if v := os.Getenv(name); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
+
+func benchStudy(b *testing.B) (*study.Dataset, *study.ScoreSets) {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := study.Config{
+			Seed:     2013,
+			Subjects: envInt("FPINTEROP_BENCH_SUBJECTS", 494),
+			MaxDMI:   envInt("FPINTEROP_BENCH_DMI", 120855),
+			MaxDDMI:  envInt("FPINTEROP_BENCH_DDMI", 483420),
+		}
+		fmt.Printf("[bench] building study: %d subjects, %d DMI, %d DDMI...\n",
+			cfg.Subjects, cfg.MaxDMI, cfg.MaxDDMI)
+		benchDS, benchErr = study.BuildDataset(cfg)
+		if benchErr != nil {
+			return
+		}
+		benchSets, benchErr = study.GenerateScores(benchDS)
+		if benchErr == nil {
+			fmt.Printf("[bench] study ready.\n")
+		}
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchDS, benchSets
+}
+
+// printArtifact prints a rendered table/figure exactly once per process.
+func printArtifact(key, text string) {
+	printMu.Lock()
+	once, ok := printOnce[key]
+	if !ok {
+		once = &sync.Once{}
+		printOnce[key] = once
+	}
+	printMu.Unlock()
+	once.Do(func() { fmt.Println(text) })
+}
+
+// BenchmarkTable1DeviceProfiles regenerates Table 1 (device metadata).
+func BenchmarkTable1DeviceProfiles(b *testing.B) {
+	ds, _ := benchStudy(b)
+	printArtifact("table1", study.RenderTable1(ds))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = study.RenderTable1(ds)
+	}
+}
+
+// BenchmarkFigure1Demographics regenerates Figure 1 (cohort demographics).
+func BenchmarkFigure1Demographics(b *testing.B) {
+	ds, _ := benchStudy(b)
+	printArtifact("figure1", study.RenderFigure1(study.Figure1(ds)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = study.Figure1(ds)
+	}
+}
+
+// BenchmarkTable3ScoreCounts regenerates Table 3 (score-set sizes: DMG
+// 1,976; DDMG 9,880; DMI 120,855; DDMI 483,420 at paper scale).
+func BenchmarkTable3ScoreCounts(b *testing.B) {
+	_, sets := benchStudy(b)
+	printArtifact("table3", study.RenderTable3(study.Table3(sets)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = study.Table3(sets)
+	}
+}
+
+// BenchmarkFigure2OrderedGenuine regenerates Figure 2 (ordered DDMG
+// curves per probe device against the Seek II gallery).
+func BenchmarkFigure2OrderedGenuine(b *testing.B) {
+	ds, sets := benchStudy(b)
+	f, err := study.Figure2(ds, sets, "D3")
+	if err != nil {
+		b.Fatal(err)
+	}
+	printArtifact("figure2", study.RenderFigure2(f))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := study.Figure2(ds, sets, "D3"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3SameDeviceHistogram regenerates Figure 3 (DMG vs DMI
+// histograms on the Cross Match Guardian R2).
+func BenchmarkFigure3SameDeviceHistogram(b *testing.B) {
+	ds, sets := benchStudy(b)
+	f, err := study.Figure3(ds, sets, "D0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	printArtifact("figure3", study.RenderFigureHist("Figure 3: DMG and DMI histograms", f))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := study.Figure3(ds, sets, "D0"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure4CrossDeviceHistogram regenerates Figure 4 (DDMG vs DDMI
+// histograms, Guardian R2 gallery vs digID Mini probes).
+func BenchmarkFigure4CrossDeviceHistogram(b *testing.B) {
+	ds, sets := benchStudy(b)
+	f, err := study.Figure4(ds, sets, "D0", "D1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	printArtifact("figure4", study.RenderFigureHist("Figure 4: DDMG and DDMI histograms", f))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := study.Figure4(ds, sets, "D0", "D1"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4KendallMatrix regenerates Table 4 (Kendall rank
+// correlation p-values; diagonal ≈ e-242 at paper scale).
+func BenchmarkTable4KendallMatrix(b *testing.B) {
+	ds, sets := benchStudy(b)
+	t4, err := study.Table4(ds, sets)
+	if err != nil {
+		b.Fatal(err)
+	}
+	printArtifact("table4", study.RenderTable4(t4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := study.Table4(ds, sets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable5FNMRMatrix regenerates Table 5 (interoperability FNMR
+// matrix at FMR 0.01%).
+func BenchmarkTable5FNMRMatrix(b *testing.B) {
+	ds, sets := benchStudy(b)
+	m, err := study.FNMRMatrix(ds, sets, study.FNMRMatrixOptions{TargetFMR: 0.0001})
+	if err != nil {
+		b.Fatal(err)
+	}
+	printArtifact("table5", study.RenderFNMRMatrix("Table 5: Interoperability FNMR matrix", m))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := study.FNMRMatrix(ds, sets, study.FNMRMatrixOptions{TargetFMR: 0.0001}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable6QualityFNMR regenerates Table 6 (FNMR matrix at FMR 0.1%
+// restricted to NFIQ quality better than 3).
+func BenchmarkTable6QualityFNMR(b *testing.B) {
+	ds, sets := benchStudy(b)
+	opts := study.FNMRMatrixOptions{TargetFMR: 0.001, MaxQuality: nfiq.Good}
+	m, err := study.FNMRMatrix(ds, sets, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	printArtifact("table6", study.RenderFNMRMatrix("Table 6: FNMR matrix, NFIQ quality < 3", m))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := study.FNMRMatrix(ds, sets, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5QualitySurface regenerates Figure 5 (low genuine scores
+// by quality pair, same-device vs diverse-device surfaces).
+func BenchmarkFigure5QualitySurface(b *testing.B) {
+	_, sets := benchStudy(b)
+	printArtifact("figure5", study.RenderFigure5(study.Figure5(sets)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = study.Figure5(sets)
+	}
+}
+
+// BenchmarkDatasetBuild measures the simulated data collection itself at
+// a reduced cohort size (the paper-scale build is timed once by the
+// shared setup).
+func BenchmarkDatasetBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := study.BuildDataset(study.Config{Seed: 1, Subjects: 10, MaxDMI: 1, MaxDDMI: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScoreGeneration measures match throughput on a small study.
+func BenchmarkScoreGeneration(b *testing.B) {
+	ds, err := study.BuildDataset(study.Config{Seed: 1, Subjects: 10, MaxDMI: 100, MaxDDMI: 100})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := study.GenerateScores(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationMatcherDiversity contrasts the primary matcher with
+// the simpler baseline on the same cross-device genuine pairs — the
+// "diverse matchers" axis of the paper's further work.
+func BenchmarkAblationMatcherDiversity(b *testing.B) {
+	ds, _ := benchStudy(b)
+	n := ds.NumSubjects()
+	if n > 60 {
+		n = 60
+	}
+	hough := &match.HoughMatcher{}
+	greedy := &match.GreedyMatcher{}
+	var hs, gs []float64
+	for s := 0; s < n; s++ {
+		g := ds.Impression(s, 0, 0).Template
+		p := ds.Impression(s, 1, 0).Template
+		hr, err := hough.Match(g, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gr, err := greedy.Match(g, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hs = append(hs, hr.Score)
+		gs = append(gs, gr.Score)
+	}
+	printArtifact("ablation-matcher", fmt.Sprintf(
+		"Ablation: matcher diversity on D0->D1 genuine pairs (n=%d)\n"+
+			"  Hough (BioEngine-like): mean %.2f, FNMR@7 %.3f\n"+
+			"  Greedy baseline:        mean %.2f, FNMR@7 %.3f",
+		n, stats.Mean(hs), stats.FNMRAt(hs, 7), stats.Mean(gs), stats.FNMRAt(gs, 7)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := ds.Impression(i%n, 0, 0).Template
+		p := ds.Impression(i%n, 1, 0).Template
+		if _, err := hough.Match(g, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationCalibration measures how much the Ross–Nadgir TPS
+// calibration recovers on cross-device genuine scores.
+func BenchmarkAblationCalibration(b *testing.B) {
+	ds, _ := benchStudy(b)
+	n := ds.NumSubjects()
+	if n > 80 {
+		n = 80
+	}
+	train := n / 2
+	base := &match.HoughMatcher{}
+	var pairs []calib.TemplatePair
+	for s := 0; s < train; s++ {
+		pairs = append(pairs, calib.TemplatePair{
+			Gallery: ds.Impression(s, 0, 0).Template,
+			Probe:   ds.Impression(s, 1, 0).Template,
+		})
+	}
+	cal, err := calib.FitCalibration(base, pairs, calib.CalibrationOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cm := &calib.CalibratedMatcher{Base: base, Cal: cal}
+	var plain, fixed []float64
+	for s := train; s < n; s++ {
+		g := ds.Impression(s, 0, 0).Template
+		p := ds.Impression(s, 1, 0).Template
+		r1, err := base.Match(g, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r2, err := cm.Match(g, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plain = append(plain, r1.Score)
+		fixed = append(fixed, r2.Score)
+	}
+	printArtifact("ablation-calibration", fmt.Sprintf(
+		"Ablation: Ross-Nadgir calibration on D0->D1 (train %d, eval %d)\n"+
+			"  plain:      mean %.2f, FNMR@7 %.3f\n"+
+			"  calibrated: mean %.2f, FNMR@7 %.3f",
+		train, n-train, stats.Mean(plain), stats.FNMRAt(plain, 7),
+		stats.Mean(fixed), stats.FNMRAt(fixed, 7)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := train + i%(n-train)
+		if _, err := cm.Match(ds.Impression(s, 0, 0).Template, ds.Impression(s, 1, 0).Template); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationHabituation quantifies the habituation future-work
+// bullet: quality and genuine scores of first vs second samples.
+func BenchmarkAblationHabituation(b *testing.B) {
+	ds, sets := benchStudy(b)
+	var q0, q1, n0, n1 int
+	for s := 0; s < ds.NumSubjects(); s++ {
+		for d := 0; d < 4; d++ {
+			q0 += int(ds.Impression(s, d, 0).Quality)
+			n0++
+			q1 += int(ds.Impression(s, d, 1).Quality)
+			n1++
+		}
+	}
+	printArtifact("ablation-habituation", fmt.Sprintf(
+		"Ablation: habituation (live-scan samples)\n"+
+			"  mean NFIQ sample 0: %.3f\n  mean NFIQ sample 1: %.3f (lower is better)",
+		float64(q0)/float64(n0), float64(q1)/float64(n1)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = study.Figure5(sets)
+	}
+}
+
+// BenchmarkAblationQualityNorm measures Poh-style quality-conditioned
+// score normalization against raw thresholds.
+func BenchmarkAblationQualityNorm(b *testing.B) {
+	_, sets := benchStudy(b)
+	var training []calib.ScoredComparison
+	for _, s := range sets.DMI {
+		training = append(training, calib.ScoredComparison{
+			Score: s.Value, QualityG: s.QualityG, QualityP: s.QualityP,
+		})
+	}
+	for _, s := range sets.DDMI {
+		training = append(training, calib.ScoredComparison{
+			Score: s.Value, QualityG: s.QualityG, QualityP: s.QualityP,
+		})
+	}
+	qn, err := calib.FitQualityNorm(training, 30)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Normalized genuine/impostor separation vs raw.
+	var rawG, rawI, normG, normI []float64
+	for _, s := range sets.DDMG {
+		rawG = append(rawG, s.Value)
+		normG = append(normG, qn.Normalize(s.Value, s.QualityG, s.QualityP))
+	}
+	for _, s := range sets.DDMI {
+		rawI = append(rawI, s.Value)
+		normI = append(normI, qn.Normalize(s.Value, s.QualityG, s.QualityP))
+	}
+	d := func(g, i []float64) float64 {
+		sg, si := stats.StdDev(g), stats.StdDev(i)
+		return (stats.Mean(g) - stats.Mean(i)) / (sg + si + 1e-9)
+	}
+	printArtifact("ablation-qualitynorm", fmt.Sprintf(
+		"Ablation: quality-conditioned score normalization (cross-device)\n"+
+			"  raw separation (d'):        %.3f\n"+
+			"  normalized separation (d'): %.3f",
+		d(rawG, rawI), d(normG, normI)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = qn.Normalize(5, nfiq.Good, nfiq.Fair)
+	}
+}
+
+// BenchmarkHoughMatch measures single-comparison latency on study
+// templates (the number that bounds full-study runtime).
+func BenchmarkHoughMatch(b *testing.B) {
+	ds, _ := benchStudy(b)
+	m := &match.HoughMatcher{}
+	g := ds.Impression(0, 0, 0).Template
+	p := ds.Impression(0, 1, 0).Template
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Match(g, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCaptureTemplatePath measures template-level capture throughput.
+func BenchmarkCaptureTemplatePath(b *testing.B) {
+	ds, _ := benchStudy(b)
+	subj := ds.Cohort.Subjects[0]
+	d0, _ := sensor.ProfileByID("D0")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d0.CaptureSubject(subj, i%2, sensor.CaptureOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationDistortionSweep sweeps the device-characteristic
+// distortion amplitude — the design knob DESIGN.md identifies as the
+// mechanism behind interoperability loss — and reports how cross-device
+// genuine scores respond. At zero relative warp the cross-device penalty
+// should largely vanish; it should grow monotonically with amplitude.
+func BenchmarkAblationDistortionSweep(b *testing.B) {
+	ds, _ := benchStudy(b)
+	n := ds.NumSubjects()
+	if n > 40 {
+		n = 40
+	}
+	base, _ := sensor.ProfileByID("D1")
+	matcher := &match.HoughMatcher{}
+	var lines []string
+	for _, scale := range []float64{0, 0.5, 1, 2} {
+		// Copy the probe device and rescale its systematic warp.
+		dev := *base
+		dev.DistortAmp = base.DistortAmp * scale
+		var scores []float64
+		for s := 0; s < n; s++ {
+			subj := ds.Cohort.Subjects[s]
+			imp, err := dev.CaptureSubject(subj, 0, sensor.CaptureOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			g := ds.Impression(s, 0, 0) // D0 gallery
+			res, err := matcher.Match(g.Template, imp.Template)
+			if err != nil {
+				b.Fatal(err)
+			}
+			scores = append(scores, res.Score)
+		}
+		lines = append(lines, fmt.Sprintf("  amp x%.1f: mean %.2f, FNMR@7 %.3f",
+			scale, stats.Mean(scores), stats.FNMRAt(scores, 7)))
+	}
+	printArtifact("ablation-distortion", "Ablation: D1 distortion amplitude vs D0-gallery genuine scores\n"+
+		strings.Join(lines, "\n"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		subj := ds.Cohort.Subjects[i%n]
+		if _, err := base.CaptureSubject(subj, 0, sensor.CaptureOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionTwoFingerFusion quantifies the paper's final
+// further-work bullet: using more than one finger per participant to
+// improve the error rates. Cross-device verification (D0 gallery, D1
+// probes) with right index + right middle, fused with the sum rule.
+func BenchmarkExtensionTwoFingerFusion(b *testing.B) {
+	ds, _ := benchStudy(b)
+	n := ds.NumSubjects()
+	if n > 50 {
+		n = 50
+	}
+	d0, _ := sensor.ProfileByID("D0")
+	d1, _ := sensor.ProfileByID("D1")
+	matcher := &match.HoughMatcher{}
+	fingers := []population.Finger{population.RightIndex, population.RightMiddle}
+	var single, fused []float64
+	for s := 0; s < n; s++ {
+		subj := ds.Cohort.Subjects[s]
+		var scores []float64
+		for _, f := range fingers {
+			g, err := d0.CaptureFinger(subj, f, 0, sensor.CaptureOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, err := d1.CaptureFinger(subj, f, 1, sensor.CaptureOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := matcher.Match(g.Template, p.Template)
+			if err != nil {
+				b.Fatal(err)
+			}
+			scores = append(scores, res.Score)
+		}
+		single = append(single, scores[0])
+		fused = append(fused, calib.FuseSum(scores))
+	}
+	printArtifact("extension-twofinger", fmt.Sprintf(
+		"Extension: two-finger sum-rule fusion, D0 gallery -> D1 probes (n=%d)\n"+
+			"  single finger: mean %.2f, FNMR@7 %.3f\n"+
+			"  two fingers:   mean %.2f, FNMR@7 %.3f",
+		n, stats.Mean(single), stats.FNMRAt(single, 7),
+		stats.Mean(fused), stats.FNMRAt(fused, 7)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		subj := ds.Cohort.Subjects[i%n]
+		if _, err := d1.CaptureFinger(subj, population.RightMiddle, 0, sensor.CaptureOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionIdentificationCMC measures closed-set identification
+// across device pairs — the US-VISIT 1:N workload (O(n²) matches, so it
+// runs on a sub-cohort).
+func BenchmarkExtensionIdentificationCMC(b *testing.B) {
+	ds, _ := benchStudy(b)
+	n := ds.NumSubjects()
+	if n > 60 {
+		n = 60
+	}
+	var results []study.IdentificationResult
+	for _, probeID := range []string{"D0", "D1", "D4"} {
+		r, err := study.Identification(ds, "D0", probeID, n, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		results = append(results, r)
+	}
+	printArtifact("extension-cmc", study.RenderIdentification(results))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := study.Identification(ds, "D0", "D1", 10, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionShift prints the Mann-Whitney distribution-shift test
+// of DMG vs DDMG per gallery device.
+func BenchmarkExtensionShift(b *testing.B) {
+	ds, sets := benchStudy(b)
+	a, err := study.Shift(ds, sets)
+	if err != nil {
+		b.Fatal(err)
+	}
+	printArtifact("extension-shift", study.RenderShift(a))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := study.Shift(ds, sets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionEERMatrix prints the per-device-pair equal error
+// rates, mirroring the Ross & Jain cross-sensor EER comparison.
+func BenchmarkExtensionEERMatrix(b *testing.B) {
+	ds, sets := benchStudy(b)
+	m, err := study.EERMatrix(ds, sets)
+	if err != nil {
+		b.Fatal(err)
+	}
+	printArtifact("extension-eer", study.RenderEERMatrix(m))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := study.EERMatrix(ds, sets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionQualityByDevice prints the per-device NFIQ
+// distribution.
+func BenchmarkExtensionQualityByDevice(b *testing.B) {
+	ds, _ := benchStudy(b)
+	printArtifact("extension-qualitydist", study.RenderQualityByDevice(study.QualityByDevice(ds)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = study.QualityByDevice(ds)
+	}
+}

@@ -1,0 +1,67 @@
+// Command fpclassify assigns the Henry pattern class (arch, tented arch,
+// left/right loop, whorl) to fingerprint images by detecting singular
+// points with the Poincaré index.
+//
+// Usage:
+//
+//	fpclassify print.pgm [more.pgm ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fpinterop/internal/classify"
+	"fpinterop/internal/imgproc"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fpclassify:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fpclassify", flag.ContinueOnError)
+	minCoherence := fs.Float64("min-coherence", 0.3, "minimum ring coherence for singular point detection")
+	showPoints := fs.Bool("points", false, "list detected singular points")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("need at least one PGM file")
+	}
+	for _, path := range fs.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		img, err := imgproc.ReadPGM(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		class, pts := classify.ClassifyImage(img, *minCoherence)
+		cores, deltas := 0, 0
+		for _, p := range pts {
+			if p.IsCore() {
+				cores++
+			} else {
+				deltas++
+			}
+		}
+		fmt.Printf("%s: %s (%d cores, %d deltas)\n", path, class, cores, deltas)
+		if *showPoints {
+			for _, p := range pts {
+				kind := "delta"
+				if p.IsCore() {
+					kind = "core"
+				}
+				fmt.Printf("  %-5s at (%d, %d)\n", kind, p.X, p.Y)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fpinterop/internal/imgproc"
+	"fpinterop/internal/ridge"
+	"fpinterop/internal/rng"
+)
+
+func writePrint(t *testing.T, class ridge.Class) string {
+	t.Helper()
+	m := ridge.Generate("cli", rng.New(9).Child("m"),
+		ridge.GenOptions{ForceClass: class, MeanMinutiae: 10})
+	img, err := ridge.Synthesize(m, m.Pad, 250, ridge.SynthOptions{Iterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "p.pgm")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := imgproc.WritePGM(f, img); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunClassifies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("synthesis is slow")
+	}
+	path := writePrint(t, ridge.Whorl)
+	if err := run([]string{"-points", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("expected no-args error")
+	}
+	if err := run([]string{"/no/such.pgm"}); err == nil {
+		t.Fatal("expected missing-file error")
+	}
+}

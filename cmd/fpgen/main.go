@@ -1,0 +1,89 @@
+// Command fpgen synthesizes fingerprint data: a master print captured
+// through a chosen device's full image pipeline, written as a PGM image,
+// optionally alongside the minutiae template.
+//
+// Usage:
+//
+//	fpgen -out print.pgm [-seed N] [-subject N] [-device D0] [-sample N]
+//	      [-template print.fmr]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fpinterop/internal/imgproc"
+	"fpinterop/internal/minutiae"
+	"fpinterop/internal/population"
+	"fpinterop/internal/rng"
+	"fpinterop/internal/sensor"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fpgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fpgen", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 2013, "study seed")
+	subject := fs.Int("subject", 0, "subject index within the cohort")
+	deviceID := fs.String("device", "D0", "capture device (D0..D4)")
+	sample := fs.Int("sample", 0, "sample index")
+	out := fs.String("out", "", "output PGM path (required)")
+	tplOut := fs.String("template", "", "optional output path for the minutiae template")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("-out is required")
+	}
+	dev, ok := sensor.ProfileByID(*deviceID)
+	if !ok {
+		return fmt.Errorf("unknown device %q (want D0..D4)", *deviceID)
+	}
+	if *subject < 0 {
+		return fmt.Errorf("subject index must be non-negative")
+	}
+
+	cohort := population.NewCohort(rng.New(*seed).Child("cohort"), population.CohortOptions{
+		Size: *subject + 1,
+	})
+	subj := cohort.Subjects[*subject]
+
+	img, _, err := dev.CaptureImage(subj.Master(), subj.Traits,
+		subj.CaptureSource(dev.ID+"/image", *sample),
+		sensor.CaptureOptions{SampleIndex: *sample})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return fmt.Errorf("create output: %w", err)
+	}
+	defer f.Close()
+	if err := imgproc.WritePGM(f, img); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: subject %d on %s (%s), %dx%d px\n",
+		*out, *subject, dev.ID, dev.Model, img.W, img.H)
+
+	if *tplOut != "" {
+		imp, err := dev.CaptureSubject(subj, *sample, sensor.CaptureOptions{})
+		if err != nil {
+			return err
+		}
+		data, err := minutiae.Marshal(imp.Template)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*tplOut, data, 0o644); err != nil {
+			return fmt.Errorf("write template: %w", err)
+		}
+		fmt.Printf("wrote %s: %d minutiae, quality %s\n", *tplOut, imp.Template.Count(), imp.Quality)
+	}
+	return nil
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunGeneratesPGMAndTemplate(t *testing.T) {
+	dir := t.TempDir()
+	img := filepath.Join(dir, "a.pgm")
+	tpl := filepath.Join(dir, "a.fmr")
+	if err := run([]string{"-out", img, "-template", tpl, "-device", "D2", "-subject", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data[:2]) != "P5" {
+		t.Fatalf("not a PGM: %q", data[:2])
+	}
+	tplData, err := os.ReadFile(tpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(tplData[:3]) != "FMR" {
+		t.Fatalf("not a template: %q", tplData[:3])
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},                                  // missing -out
+		{"-out", "x.pgm", "-device", "D9"},  // unknown device
+		{"-out", "x.pgm", "-subject", "-1"}, // bad subject
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Fatalf("expected error for %v", args)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fpinterop/internal/minutiae"
+	"fpinterop/internal/population"
+	"fpinterop/internal/rng"
+	"fpinterop/internal/sensor"
+)
+
+// writeTemplates captures two genuine samples and writes them as .fmr
+// files, returning their paths.
+func writeTemplates(t *testing.T) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	cohort := population.NewCohort(rng.New(5), population.CohortOptions{Size: 1})
+	d0, _ := sensor.ProfileByID("D0")
+	paths := make([]string, 2)
+	for k := 0; k < 2; k++ {
+		imp, err := d0.CaptureSubject(cohort.Subjects[0], k, sensor.CaptureOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := minutiae.Marshal(imp.Template)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths[k] = filepath.Join(dir, []string{"g.fmr", "p.fmr"}[k])
+		if err := os.WriteFile(paths[k], data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return paths[0], paths[1]
+}
+
+func TestRunTemplatesMode(t *testing.T) {
+	g, p := writeTemplates(t)
+	if err := run([]string{"-templates", g, p}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunGreedyMatcher(t *testing.T) {
+	g, p := writeTemplates(t)
+	if err := run([]string{"-templates", "-matcher", "greedy", g, p}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	g, _ := writeTemplates(t)
+	cases := [][]string{
+		{g},                                // one file
+		{"-matcher", "nope", g, g},         // unknown matcher
+		{"-templates", g, "/no/such/file"}, // missing input
+		{"/no/such/file.pgm", "/also/no.pgm"} /* missing images */}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Fatalf("expected error for %v", args)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+// Command fpquality assesses fingerprint image quality with the
+// NFIQ-like classifier (1 = best, 5 = worst) and reports whether NIST
+// SP 800-76 recapture guidance applies.
+//
+// Usage:
+//
+//	fpquality print.pgm [more.pgm ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fpinterop/internal/imgproc"
+	"fpinterop/internal/nfiq"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fpquality:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fpquality", flag.ContinueOnError)
+	verbose := fs.Bool("v", false, "print raw quality features")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("need at least one PGM file")
+	}
+	for _, path := range fs.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		img, err := imgproc.ReadPGM(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		features := nfiq.ExtractFeatures(img)
+		class := nfiq.ClassFromScore(features.Score())
+		fmt.Printf("%s: %s", path, class)
+		if nfiq.RecaptureRecommended(class) {
+			fmt.Printf("  [NIST SP 800-76: reacquire, up to 3 attempts]")
+		}
+		fmt.Println()
+		if *verbose {
+			fmt.Printf("  orientation certainty: %.3f\n", features.OrientationCertainty)
+			fmt.Printf("  ridge freq validity:   %.3f\n", features.RidgeFrequencyValid)
+			fmt.Printf("  contrast:              %.3f\n", features.Contrast)
+			fmt.Printf("  foreground fraction:   %.3f\n", features.ForegroundFraction)
+			fmt.Printf("  utility score:         %.3f\n", features.Score())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fpinterop/internal/imgproc"
+)
+
+func writeRidgePGM(t *testing.T) string {
+	t.Helper()
+	im := imgproc.NewImage(96, 96)
+	for y := 0; y < 96; y++ {
+		for x := 0; x < 96; x++ {
+			im.Set(x, y, 0.5+0.45*math.Cos(2*math.Pi*float64(x)/9))
+		}
+	}
+	path := filepath.Join(t.TempDir(), "r.pgm")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := imgproc.WritePGM(f, im); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAssessesQuality(t *testing.T) {
+	path := writeRidgePGM(t)
+	if err := run([]string{path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-v", path, path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("expected no-args error")
+	}
+	if err := run([]string{"/no/such.pgm"}); err == nil {
+		t.Fatal("expected missing-file error")
+	}
+}

@@ -1,0 +1,181 @@
+// Command interop-study runs the full interoperability study and prints
+// the paper's tables and figures.
+//
+// Usage:
+//
+//	interop-study [-seed N] [-subjects N] [-dmi N] [-ddmi N] [-only LIST]
+//
+// -only selects specific outputs, e.g. -only table3,table5,figure2;
+// the default prints everything. Paper-scale runs (-subjects 494 with full
+// impostor sets) perform ~660k comparisons and take a couple of minutes
+// on one core.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"fpinterop/internal/nfiq"
+	"fpinterop/internal/study"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "interop-study:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("interop-study", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 2013, "study seed (the whole run is a pure function of it)")
+	subjects := fs.Int("subjects", 494, "cohort size (paper: 494)")
+	dmi := fs.Int("dmi", 120855, "same-device impostor comparisons (paper: 120855)")
+	ddmi := fs.Int("ddmi", 483420, "cross-device impostor comparisons (paper: 483420)")
+	only := fs.String("only", "", "comma-separated outputs: table1,table2,table3,table4,table5,table6,figure1,figure2,figure3,figure4,figure5,shift")
+	list := fs.Bool("list", false, "list all reproducible artifacts and exit")
+	jsonPath := fs.String("json", "", "also write the machine-readable report to this path")
+	csvPath := fs.String("csv", "", "also write every raw score as CSV to this path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		fmt.Fprintf(out, "%-9s %-55s %s\n", "ID", "Title", "Paper claim")
+		for _, e := range study.Experiments() {
+			fmt.Fprintf(out, "%-9s %-55s %s\n", e.ID, e.Title, e.PaperClaim)
+		}
+		return nil
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToLower(k))] = true
+		}
+	}
+	sel := func(k string) bool { return len(want) == 0 || want[k] }
+
+	cfg := study.Config{
+		Seed:     *seed,
+		Subjects: *subjects,
+		MaxDMI:   *dmi,
+		MaxDDMI:  *ddmi,
+	}
+	start := time.Now()
+	fmt.Fprintf(out, "Building dataset: %d subjects × 5 devices × 2 samples (seed %d)...\n", *subjects, *seed)
+	ds, err := study.BuildDataset(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Dataset ready in %v. Generating score sets...\n", time.Since(start).Round(time.Millisecond))
+	t0 := time.Now()
+	sets, err := study.GenerateScores(ds)
+	if err != nil {
+		return err
+	}
+	counts := study.Table3(sets)
+	fmt.Fprintf(out, "Scores ready in %v (%d comparisons).\n\n",
+		time.Since(t0).Round(time.Millisecond),
+		counts.DMG+counts.DDMG+counts.DMI+counts.DDMI+len(sets.GenuineAll))
+
+	if sel("table1") {
+		fmt.Fprintln(out, study.RenderTable1(ds))
+	}
+	if sel("table2") {
+		fmt.Fprintln(out, study.RenderTable2(study.Table2(ds)))
+	}
+	if sel("figure1") {
+		fmt.Fprintln(out, study.RenderFigure1(study.Figure1(ds)))
+	}
+	if sel("table3") {
+		fmt.Fprintln(out, study.RenderTable3(counts))
+	}
+	if sel("figure2") {
+		f2, err := study.Figure2(ds, sets, "D3")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, study.RenderFigure2(f2))
+	}
+	if sel("figure3") {
+		f3, err := study.Figure3(ds, sets, "D0")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, study.RenderFigureHist("Figure 3: DMG and DMI histograms", f3))
+	}
+	if sel("figure4") {
+		f4, err := study.Figure4(ds, sets, "D0", "D1")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, study.RenderFigureHist("Figure 4: DDMG and DDMI histograms", f4))
+	}
+	if sel("table4") {
+		t4, err := study.Table4(ds, sets)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, study.RenderTable4(t4))
+	}
+	if sel("table5") {
+		m, err := study.FNMRMatrix(ds, sets, study.FNMRMatrixOptions{TargetFMR: 0.0001})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, study.RenderFNMRMatrix("Table 5: Interoperability FNMR matrix", m))
+	}
+	if sel("table6") {
+		m, err := study.FNMRMatrix(ds, sets, study.FNMRMatrixOptions{TargetFMR: 0.001, MaxQuality: nfiq.Good})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, study.RenderFNMRMatrix("Table 6: FNMR matrix, NFIQ quality < 3", m))
+	}
+	if sel("figure5") {
+		fmt.Fprintln(out, study.RenderFigure5(study.Figure5(sets)))
+	}
+	if sel("shift") {
+		a, err := study.Shift(ds, sets)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, study.RenderShift(a))
+	}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", *jsonPath, err)
+		}
+		report, err := study.BuildReport(ds, sets)
+		if err == nil {
+			err = report.WriteJSON(f)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("write JSON report: %w", err)
+		}
+		fmt.Fprintf(out, "wrote JSON report to %s\n", *jsonPath)
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", *csvPath, err)
+		}
+		err = study.WriteScoresCSV(f, ds, sets)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("write CSV scores: %w", err)
+		}
+		fmt.Fprintf(out, "wrote raw scores CSV to %s\n", *csvPath)
+	}
+	fmt.Fprintf(out, "Total runtime %v.\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

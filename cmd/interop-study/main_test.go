@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs run() with stdout redirected to a pipe-backed temp file.
+func capture(t *testing.T, args []string) string {
+	t.Helper()
+	tmp, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tmp.Close()
+	if err := run(args, tmp); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(tmp.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestRunList(t *testing.T) {
+	out := capture(t, []string{"-list"})
+	for _, want := range []string{"table3", "figure5", "Kendall"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("list output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTinyStudy(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "report.json")
+	csvPath := filepath.Join(dir, "scores.csv")
+	out := capture(t, []string{
+		"-subjects", "8", "-dmi", "60", "-ddmi", "80",
+		"-json", jsonPath, "-csv", csvPath,
+	})
+	for _, want := range []string{
+		"Table 3", "Table 4", "Table 5", "Figure 5", "Total runtime",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+	if fi, err := os.Stat(jsonPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("JSON report missing: %v", err)
+	}
+	if fi, err := os.Stat(csvPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("CSV export missing: %v", err)
+	}
+}
+
+func TestRunOnlySelectsOutputs(t *testing.T) {
+	out := capture(t, []string{"-subjects", "6", "-dmi", "30", "-ddmi", "30", "-only", "table3"})
+	if !strings.Contains(out, "Table 3") {
+		t.Fatal("selected output missing")
+	}
+	if strings.Contains(out, "Table 5") {
+		t.Fatal("unselected output printed")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	tmp, _ := os.CreateTemp(t.TempDir(), "out")
+	defer tmp.Close()
+	if err := run([]string{"-no-such-flag"}, tmp); err == nil {
+		t.Fatal("expected flag error")
+	}
+}

@@ -1,0 +1,108 @@
+// Command matchd runs the central fingerprint matching service: a TCP
+// server owning the enrollment gallery, to which heterogeneous capture
+// stations submit match/enroll/verify/identify requests — the deployment
+// architecture the paper's discussion section contemplates.
+//
+// Usage:
+//
+//	matchd [-addr 127.0.0.1:7070] [-preload N] [-seed N] [-device D0]
+//
+// -preload enrolls N synthetic subjects at startup so the service is
+// immediately searchable (useful for demos and load tests).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"fpinterop/internal/gallery"
+	"fpinterop/internal/matchsvc"
+	"fpinterop/internal/population"
+	"fpinterop/internal/rng"
+	"fpinterop/internal/sensor"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "matchd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("matchd", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7070", "listen address")
+	preload := fs.Int("preload", 0, "enroll N synthetic subjects at startup")
+	storePath := fs.String("store", "", "gallery file: loaded at startup if present, saved on shutdown")
+	seed := fs.Uint64("seed", 2013, "seed for preloaded subjects")
+	deviceID := fs.String("device", "D0", "device used for preloaded enrollments")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	logger := log.New(os.Stderr, "matchd: ", log.LstdFlags)
+	store := gallery.New(nil)
+	if *storePath != "" {
+		if f, err := os.Open(*storePath); err == nil {
+			loadErr := store.LoadFrom(f)
+			f.Close()
+			if loadErr != nil {
+				return fmt.Errorf("load gallery %s: %w", *storePath, loadErr)
+			}
+			logger.Printf("loaded %d enrollments from %s", store.Len(), *storePath)
+		} else if !os.IsNotExist(err) {
+			return fmt.Errorf("open gallery %s: %w", *storePath, err)
+		}
+	}
+	if *preload > 0 {
+		dev, ok := sensor.ProfileByID(*deviceID)
+		if !ok {
+			return fmt.Errorf("unknown device %q", *deviceID)
+		}
+		cohort := population.NewCohort(rng.New(*seed).Child("cohort"), population.CohortOptions{Size: *preload})
+		for i, subj := range cohort.Subjects {
+			imp, err := dev.CaptureSubject(subj, 0, sensor.CaptureOptions{})
+			if err != nil {
+				return fmt.Errorf("preload subject %d: %w", i, err)
+			}
+			if err := store.Enroll(fmt.Sprintf("subject-%04d", i), dev.ID, imp.Template); err != nil {
+				return fmt.Errorf("preload enroll %d: %w", i, err)
+			}
+		}
+		logger.Printf("preloaded %d enrollments from %s", *preload, dev.Model)
+	}
+
+	srv := matchsvc.NewServer(store, logger)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		return err
+	}
+	logger.Printf("listening on %s (%d enrollments)", bound, store.Len())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.Serve(ctx); err != nil {
+		return err
+	}
+	if *storePath != "" {
+		f, err := os.Create(*storePath)
+		if err != nil {
+			return fmt.Errorf("create gallery %s: %w", *storePath, err)
+		}
+		err = store.SaveTo(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("save gallery %s: %w", *storePath, err)
+		}
+		logger.Printf("saved %d enrollments to %s", store.Len(), *storePath)
+	}
+	logger.Printf("shut down")
+	return nil
+}

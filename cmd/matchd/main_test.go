@@ -1,0 +1,18 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("expected flag error")
+	}
+	if err := run([]string{"-preload", "1", "-device", "D9"}); err == nil {
+		t.Fatal("expected unknown-device error")
+	}
+	// An unusable listen address fails fast rather than serving.
+	if err := run([]string{"-addr", "256.256.256.256:0"}); err == nil {
+		t.Fatal("expected listen error")
+	}
+}

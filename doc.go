@@ -1,0 +1,15 @@
+// Package fpinterop is a from-scratch Go reproduction of "Interoperability
+// in Fingerprint Recognition: A Large-Scale Empirical Study" (Lugini,
+// Marasco, Cukic & Gashi, DSN 2013).
+//
+// The library synthesizes the study's entire measurement apparatus —
+// master fingerprints, the five capture devices, a minutiae matcher, an
+// NFIQ-like quality assessor, and the statistical machinery — and
+// regenerates every table and figure of the paper's evaluation. See
+// README.md for the architecture overview, DESIGN.md for the system
+// inventory, and EXPERIMENTS.md for paper-vs-measured results.
+//
+// The root package intentionally exports nothing; the implementation
+// lives under internal/ and is exercised through cmd/, examples/ and the
+// benchmark harness in bench_test.go.
+package fpinterop

@@ -1,0 +1,105 @@
+// Quality-gated enrollment: NIST SP 800-76 (cited by the paper)
+// recommends re-acquiring a fingerprint up to three times when the NFIQ
+// quality of an index finger is worse than 3. This example measures what
+// that recapture policy buys: the distribution of enrolled quality and
+// the cross-device FNMR with and without the gate.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fpinterop/internal/match"
+	"fpinterop/internal/nfiq"
+	"fpinterop/internal/population"
+	"fpinterop/internal/rng"
+	"fpinterop/internal/sensor"
+	"fpinterop/internal/stats"
+)
+
+const (
+	cohortSize  = 150
+	maxAttempts = 3
+	threshold   = 7.0
+)
+
+func main() {
+	log.SetFlags(0)
+	cohort := population.NewCohort(rng.New(800), population.CohortOptions{Size: cohortSize})
+	enroll, _ := sensor.ProfileByID("D1") // the noisier optical sensor
+	verify, _ := sensor.ProfileByID("D0")
+	matcher := &match.HoughMatcher{}
+
+	// Enroll twice: once taking the first capture unconditionally, once
+	// with the NIST recapture policy (retry while NFIQ > 3, up to 3
+	// attempts, keeping the best).
+	plain := make([]*sensor.Impression, cohortSize)
+	gated := make([]*sensor.Impression, cohortSize)
+	recaptures := 0
+	for i, s := range cohort.Subjects {
+		first, err := enroll.CaptureSubject(s, 0, sensor.CaptureOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		plain[i] = first
+		best := first
+		for attempt := 1; attempt < maxAttempts && nfiq.RecaptureRecommended(best.Quality); attempt++ {
+			recaptures++
+			// Habituation: each retry benefits from practice.
+			retry, err := enroll.CaptureSubject(s, attempt, sensor.CaptureOptions{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if retry.Quality < best.Quality {
+				best = retry
+			}
+		}
+		gated[i] = best
+	}
+
+	qualityHist := func(imps []*sensor.Impression) [5]int {
+		var h [5]int
+		for _, imp := range imps {
+			h[imp.Quality-1]++
+		}
+		return h
+	}
+	fmt.Printf("Enrollment on %s, verification on %s\n\n", enroll.Model, verify.Model)
+	fmt.Printf("NFIQ distribution      1    2    3    4    5\n")
+	fmt.Printf("first capture:     %5d%5d%5d%5d%5d\n", splat(qualityHist(plain))...)
+	fmt.Printf("with recapture:    %5d%5d%5d%5d%5d   (%d recaptures)\n",
+		append(splat(qualityHist(gated)), recaptures)...)
+
+	// Verify everyone cross-device.
+	score := func(gallery []*sensor.Impression) []float64 {
+		var out []float64
+		for i, s := range cohort.Subjects {
+			probe, err := verify.CaptureSubject(s, 1, sensor.CaptureOptions{SampleIndex: 1})
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := matcher.Match(gallery[i].Template, probe.Template)
+			if err != nil {
+				log.Fatal(err)
+			}
+			out = append(out, res.Score)
+		}
+		return out
+	}
+	plainScores := score(plain)
+	gatedScores := score(gated)
+	fmt.Printf("\ncross-device genuine mean: %.2f -> %.2f\n",
+		stats.Mean(plainScores), stats.Mean(gatedScores))
+	fmt.Printf("cross-device FNMR @ %.0f:    %.3f -> %.3f\n",
+		threshold, stats.FNMRAt(plainScores, threshold), stats.FNMRAt(gatedScores, threshold))
+	fmt.Println("\nThe paper's Figure 5(b): with diverse devices, both images must be")
+	fmt.Println("high quality to avoid low genuine scores — the recapture gate supplies that.")
+}
+
+func splat(h [5]int) []any {
+	out := make([]any, 5)
+	for i, v := range h {
+		out[i] = v
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+// Remote matching: the deployment shape the paper's discussion section
+// contemplates — a central matcher and gallery behind a network service,
+// with heterogeneous capture devices at the edge. This example starts the
+// service in-process, enrolls travellers captured on one sensor, then
+// verifies and identifies them from a *different* sensor over the wire.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"fpinterop/internal/gallery"
+	"fpinterop/internal/matchsvc"
+	"fpinterop/internal/population"
+	"fpinterop/internal/rng"
+	"fpinterop/internal/sensor"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Central service.
+	srv := matchsvc.NewServer(gallery.New(nil), nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx) }()
+	defer func() {
+		srv.Close()
+		<-done
+	}()
+	fmt.Printf("match service listening on %s\n", addr)
+
+	// Edge station 1: enrollment desk with a Guardian R2.
+	cohort := population.NewCohort(rng.New(365), population.CohortOptions{Size: 8})
+	enrollDev, _ := sensor.ProfileByID("D0")
+	enrollStation, err := matchsvc.Dial(addr, 2*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer enrollStation.Close()
+	for i, subj := range cohort.Subjects {
+		imp, err := enrollDev.CaptureSubject(subj, 0, sensor.CaptureOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		id := fmt.Sprintf("traveller-%02d", i)
+		if err := enrollStation.Enroll(id, enrollDev.ID, imp.Template); err != nil {
+			log.Fatal(err)
+		}
+	}
+	n, err := enrollStation.Count()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("enrolled %d travellers on %s\n\n", n, enrollDev.Model)
+
+	// Edge station 2: verification kiosk with a different sensor.
+	verifyDev, _ := sensor.ProfileByID("D3")
+	kiosk, err := matchsvc.Dial(addr, 2*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer kiosk.Close()
+
+	fmt.Printf("kiosk sensor: %s (cross-device verification)\n", verifyDev.Model)
+	fmt.Printf("%-14s %10s %8s %14s\n", "claimed ID", "score", "match?", "identified as")
+	hits := 0
+	for i, subj := range cohort.Subjects {
+		imp, err := verifyDev.CaptureSubject(subj, 1, sensor.CaptureOptions{SampleIndex: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		id := fmt.Sprintf("traveller-%02d", i)
+		res, err := kiosk.Verify(id, imp.Template)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cands, err := kiosk.Identify(imp.Template, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		top := "(none)"
+		if len(cands) > 0 {
+			top = cands[0].ID
+			if top == id {
+				hits++
+			}
+		}
+		fmt.Printf("%-14s %10.2f %8v %14s\n", id, res.Score, res.Score >= 7, top)
+	}
+	fmt.Printf("\nrank-1 identification across devices: %d/%d\n", hits, len(cohort.Subjects))
+}

@@ -1,0 +1,108 @@
+// Sensor-fleet operating points: an operator running a heterogeneous
+// fleet must pick decision thresholds. This example contrasts a single
+// global threshold (calibrated on pooled impostor scores at a target FMR)
+// with per-device-pair thresholds, showing how per-pair calibration
+// equalizes FNMR across the fleet — one of the architecture questions the
+// paper's discussion section raises.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fpinterop/internal/match"
+	"fpinterop/internal/population"
+	"fpinterop/internal/rng"
+	"fpinterop/internal/sensor"
+	"fpinterop/internal/stats"
+)
+
+const (
+	cohortSize = 100
+	targetFMR  = 0.01
+)
+
+func main() {
+	log.SetFlags(0)
+	cohort := population.NewCohort(rng.New(77), population.CohortOptions{Size: cohortSize})
+	devices := sensor.LiveScanProfiles()
+	matcher := &match.HoughMatcher{}
+
+	// Capture two samples of everyone on every live-scan device.
+	impressions := make(map[string][][]*sensor.Impression, len(devices))
+	for _, dev := range devices {
+		perSubject := make([][]*sensor.Impression, cohortSize)
+		for i, s := range cohort.Subjects {
+			for k := 0; k < 2; k++ {
+				imp, err := dev.CaptureSubject(s, k, sensor.CaptureOptions{})
+				if err != nil {
+					log.Fatal(err)
+				}
+				perSubject[i] = append(perSubject[i], imp)
+			}
+		}
+		impressions[dev.ID] = perSubject
+	}
+
+	// Score every ordered device pair: genuine (same subject) and
+	// impostor (next subject, cyclically).
+	type pair struct{ g, p string }
+	genuine := map[pair][]float64{}
+	impostor := map[pair][]float64{}
+	for _, dg := range devices {
+		for _, dp := range devices {
+			k := pair{dg.ID, dp.ID}
+			for i := 0; i < cohortSize; i++ {
+				g := impressions[dg.ID][i][0]
+				pr := impressions[dp.ID][i][1]
+				res, err := matcher.Match(g.Template, pr.Template)
+				if err != nil {
+					log.Fatal(err)
+				}
+				genuine[k] = append(genuine[k], res.Score)
+				o := impressions[dp.ID][(i+1)%cohortSize][1]
+				res, err = matcher.Match(g.Template, o.Template)
+				if err != nil {
+					log.Fatal(err)
+				}
+				impostor[k] = append(impostor[k], res.Score)
+			}
+		}
+	}
+
+	// Global threshold from pooled impostors.
+	var pooled []float64
+	for _, xs := range impostor {
+		pooled = append(pooled, xs...)
+	}
+	globalThr, err := stats.ThresholdForFMR(pooled, targetFMR)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Fleet of %d devices, target FMR %.2g, global threshold %.2f\n\n",
+		len(devices), targetFMR, globalThr)
+	fmt.Printf("%-10s %12s %12s %14s\n", "Pair", "global FNMR", "pair thr", "per-pair FNMR")
+
+	var worstGlobal, worstPer float64
+	for _, dg := range devices {
+		for _, dp := range devices {
+			k := pair{dg.ID, dp.ID}
+			gFNMR := stats.FNMRAt(genuine[k], globalThr)
+			thr, err := stats.ThresholdForFMR(impostor[k], targetFMR)
+			if err != nil {
+				log.Fatal(err)
+			}
+			pFNMR := stats.FNMRAt(genuine[k], thr)
+			fmt.Printf("%-10s %12.3f %12.2f %14.3f\n",
+				dg.ID+"->"+dp.ID, gFNMR, thr, pFNMR)
+			if gFNMR > worstGlobal {
+				worstGlobal = gFNMR
+			}
+			if pFNMR > worstPer {
+				worstPer = pFNMR
+			}
+		}
+	}
+	fmt.Printf("\nworst-case FNMR: global threshold %.3f, per-pair thresholds %.3f\n",
+		worstGlobal, worstPer)
+}

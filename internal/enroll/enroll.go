@@ -1,0 +1,140 @@
+// Package enroll implements the enrollment transaction policy of an
+// operational fingerprint system, following the NIST SP 800-76 guidance
+// the paper cites: acquire a sample; if its NFIQ quality is worse than 3,
+// re-acquire up to a configured number of attempts; keep the best sample;
+// declare failure-to-enroll (FTE) when even the best attempt is unusable.
+// The study's Figure 5 is the empirical justification: low-quality
+// enrollments are precisely the ones that later produce false non-matches,
+// especially across devices.
+package enroll
+
+import (
+	"errors"
+	"fmt"
+
+	"fpinterop/internal/nfiq"
+	"fpinterop/internal/population"
+	"fpinterop/internal/sensor"
+)
+
+// ErrFailureToEnroll reports that no attempt produced a usable sample.
+var ErrFailureToEnroll = errors.New("enroll: failure to enroll")
+
+// Policy configures the enrollment transaction.
+type Policy struct {
+	// MaxAttempts bounds acquisitions per transaction (default 3, per
+	// NIST SP 800-76).
+	MaxAttempts int
+	// RetryWorseThan triggers re-acquisition when quality is strictly
+	// worse than this class (default nfiq.Good = 3, per SP 800-76).
+	RetryWorseThan nfiq.Class
+	// RejectWorseThan declares FTE when even the best sample is strictly
+	// worse than this class (default nfiq.Poor = 5, i.e. only NFIQ-5
+	// rejects; set to Fair to be stricter).
+	RejectWorseThan nfiq.Class
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 3
+	}
+	if p.RetryWorseThan == 0 {
+		p.RetryWorseThan = nfiq.Good
+	}
+	if p.RejectWorseThan == 0 {
+		p.RejectWorseThan = nfiq.Poor
+	}
+	return p
+}
+
+// Transaction is the outcome of one enrollment attempt sequence.
+type Transaction struct {
+	// Best is the selected impression (nil on FTE).
+	Best *sensor.Impression
+	// Attempts is how many acquisitions were made.
+	Attempts int
+	// Qualities records the NFIQ class of every attempt in order.
+	Qualities []nfiq.Class
+	// Enrolled reports whether the transaction succeeded.
+	Enrolled bool
+}
+
+// Run executes the enrollment transaction for a subject on a device.
+// Attempt k uses capture sample index k, so habituation applies naturally
+// across retries.
+func Run(dev *sensor.Profile, subj *population.Subject, policy Policy) (Transaction, error) {
+	if dev == nil || subj == nil {
+		return Transaction{}, fmt.Errorf("enroll: nil device or subject")
+	}
+	policy = policy.withDefaults()
+	var tx Transaction
+	for attempt := 0; attempt < policy.MaxAttempts; attempt++ {
+		imp, err := dev.CaptureSubject(subj, attempt, sensor.CaptureOptions{})
+		if err != nil {
+			return Transaction{}, fmt.Errorf("enroll: attempt %d: %w", attempt, err)
+		}
+		tx.Attempts++
+		tx.Qualities = append(tx.Qualities, imp.Quality)
+		if tx.Best == nil || imp.Quality < tx.Best.Quality {
+			tx.Best = imp
+		}
+		if imp.Quality <= policy.RetryWorseThan {
+			break // good enough; stop re-acquiring
+		}
+	}
+	if tx.Best == nil || tx.Best.Quality > policy.RejectWorseThan {
+		tx.Best = nil
+		tx.Enrolled = false
+		return tx, ErrFailureToEnroll
+	}
+	tx.Enrolled = true
+	return tx, nil
+}
+
+// Stats aggregates enrollment outcomes over a cohort.
+type Stats struct {
+	// Enrolled and FTE count transaction outcomes.
+	Enrolled, FTE int
+	// TotalAttempts counts acquisitions across all transactions.
+	TotalAttempts int
+	// QualityHistogram counts the final enrolled quality classes (index
+	// class-1).
+	QualityHistogram [5]int
+}
+
+// RunCohort executes the policy for every subject on one device.
+func RunCohort(dev *sensor.Profile, cohort *population.Cohort, policy Policy) (Stats, error) {
+	var st Stats
+	for _, subj := range cohort.Subjects {
+		tx, err := Run(dev, subj, policy)
+		switch {
+		case errors.Is(err, ErrFailureToEnroll):
+			st.FTE++
+		case err != nil:
+			return Stats{}, err
+		default:
+			st.Enrolled++
+			st.QualityHistogram[tx.Best.Quality-1]++
+		}
+		st.TotalAttempts += tx.Attempts
+	}
+	return st, nil
+}
+
+// MeanAttempts returns the average acquisitions per transaction.
+func (s Stats) MeanAttempts() float64 {
+	n := s.Enrolled + s.FTE
+	if n == 0 {
+		return 0
+	}
+	return float64(s.TotalAttempts) / float64(n)
+}
+
+// FTERate returns the failure-to-enroll fraction.
+func (s Stats) FTERate() float64 {
+	n := s.Enrolled + s.FTE
+	if n == 0 {
+		return 0
+	}
+	return float64(s.FTE) / float64(n)
+}

@@ -1,0 +1,146 @@
+package enroll
+
+import (
+	"errors"
+	"testing"
+
+	"fpinterop/internal/nfiq"
+	"fpinterop/internal/population"
+	"fpinterop/internal/rng"
+	"fpinterop/internal/sensor"
+)
+
+func cohort(n int) *population.Cohort {
+	return population.NewCohort(rng.New(606), population.CohortOptions{Size: n})
+}
+
+func TestRunStopsOnGoodQuality(t *testing.T) {
+	c := cohort(60)
+	d0, _ := sensor.ProfileByID("D0")
+	for _, subj := range c.Subjects {
+		tx, err := Run(d0, subj, Policy{})
+		if err != nil && !errors.Is(err, ErrFailureToEnroll) {
+			t.Fatal(err)
+		}
+		if tx.Attempts < 1 || tx.Attempts > 3 {
+			t.Fatalf("attempts = %d", tx.Attempts)
+		}
+		// If the first sample was already NFIQ ≤ 3, exactly one attempt.
+		if tx.Qualities[0] <= nfiq.Good && tx.Attempts != 1 {
+			t.Fatalf("good first sample but %d attempts", tx.Attempts)
+		}
+		if tx.Enrolled && tx.Best == nil {
+			t.Fatal("enrolled without a best sample")
+		}
+	}
+}
+
+func TestRunKeepsBestAttempt(t *testing.T) {
+	c := cohort(100)
+	d4, _ := sensor.ProfileByID("D4") // ink: retries frequent
+	for _, subj := range c.Subjects {
+		tx, err := Run(d4, subj, Policy{})
+		if err != nil && !errors.Is(err, ErrFailureToEnroll) {
+			t.Fatal(err)
+		}
+		if !tx.Enrolled {
+			continue
+		}
+		for _, q := range tx.Qualities {
+			if q < tx.Best.Quality {
+				t.Fatalf("best quality %v worse than an attempt %v", tx.Best.Quality, q)
+			}
+		}
+	}
+}
+
+func TestRunNilInputs(t *testing.T) {
+	d0, _ := sensor.ProfileByID("D0")
+	if _, err := Run(nil, cohort(1).Subjects[0], Policy{}); err == nil {
+		t.Fatal("expected nil-device error")
+	}
+	if _, err := Run(d0, nil, Policy{}); err == nil {
+		t.Fatal("expected nil-subject error")
+	}
+}
+
+func TestStrictPolicyProducesFTE(t *testing.T) {
+	c := cohort(150)
+	d4, _ := sensor.ProfileByID("D4")
+	// Reject anything worse than NFIQ-2: ink captures will often fail.
+	strict := Policy{RejectWorseThan: nfiq.VeryGood}
+	st, err := RunCohort(d4, c, strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FTE == 0 {
+		t.Fatal("strict policy on ink produced no FTE")
+	}
+	if st.FTERate() <= 0 || st.FTERate() >= 1 {
+		t.Fatalf("FTE rate %v implausible", st.FTERate())
+	}
+	// Everything enrolled must satisfy the policy bound.
+	for class := int(nfiq.Good); class <= int(nfiq.Poor); class++ {
+		if st.QualityHistogram[class-1] != 0 {
+			t.Fatalf("enrolled quality %d violates strict policy", class)
+		}
+	}
+}
+
+func TestRecapturePolicyImprovesEnrolledQuality(t *testing.T) {
+	c := cohort(150)
+	d1, _ := sensor.ProfileByID("D1")
+	single := Policy{MaxAttempts: 1}
+	retry := Policy{MaxAttempts: 3}
+	s1, err := RunCohort(d1, c, single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3, err := RunCohort(d1, c, retry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := func(s Stats) float64 {
+		total, n := 0, 0
+		for i, c := range s.QualityHistogram {
+			total += (i + 1) * c
+			n += c
+		}
+		if n == 0 {
+			return 0
+		}
+		return float64(total) / float64(n)
+	}
+	if mean(s3) > mean(s1) {
+		t.Fatalf("recapture policy worsened mean quality: %v vs %v", mean(s3), mean(s1))
+	}
+	if s3.MeanAttempts() <= s1.MeanAttempts() {
+		t.Fatal("retry policy did not increase attempts")
+	}
+}
+
+func TestStatsZeroValues(t *testing.T) {
+	var s Stats
+	if s.MeanAttempts() != 0 || s.FTERate() != 0 {
+		t.Fatal("zero stats should report 0")
+	}
+}
+
+func TestRunCohortCountsAddUp(t *testing.T) {
+	c := cohort(80)
+	d2, _ := sensor.ProfileByID("D2")
+	st, err := RunCohort(d2, c, Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Enrolled+st.FTE != 80 {
+		t.Fatalf("outcomes %d+%d != 80", st.Enrolled, st.FTE)
+	}
+	enrolledHist := 0
+	for _, n := range st.QualityHistogram {
+		enrolledHist += n
+	}
+	if enrolledHist != st.Enrolled {
+		t.Fatal("quality histogram inconsistent with enrolled count")
+	}
+}

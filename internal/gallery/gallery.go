@@ -1,0 +1,207 @@
+// Package gallery implements the enrollment database of a fingerprint
+// identification system: a concurrent-safe template store with 1:1
+// verification and 1:N identification, plus the rank-based accuracy
+// analysis (CMC) used to evaluate identification across heterogeneous
+// sensors. The paper's motivating deployment — US-VISIT — is exactly
+// this: a central gallery enrolled on one device family, searched with
+// probes from whatever device a port of entry operates.
+package gallery
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"fpinterop/internal/match"
+	"fpinterop/internal/minutiae"
+)
+
+var (
+	// ErrNotFound reports an unknown enrollment ID.
+	ErrNotFound = errors.New("gallery: enrollment not found")
+	// ErrDuplicate reports an already-used enrollment ID.
+	ErrDuplicate = errors.New("gallery: enrollment ID already exists")
+)
+
+// Entry is one enrolled subject record.
+type Entry struct {
+	// ID is the enrollment identifier (e.g. a subject or visa number).
+	ID string
+	// DeviceID records which sensor produced the enrollment template.
+	DeviceID string
+	// Template is the enrolled minutiae template.
+	Template *minutiae.Template
+}
+
+// Store is a concurrent-safe in-memory enrollment database.
+// The zero value is NOT ready; use New.
+type Store struct {
+	mu      sync.RWMutex
+	matcher match.Matcher
+	entries map[string]*Entry
+	order   []string // insertion order for deterministic iteration
+}
+
+// New returns an empty store that searches with the given matcher.
+// A nil matcher defaults to the primary HoughMatcher.
+func New(m match.Matcher) *Store {
+	if m == nil {
+		m = &match.HoughMatcher{}
+	}
+	return &Store{matcher: m, entries: make(map[string]*Entry)}
+}
+
+// Enroll adds a template under id. The template is cloned, so later
+// mutation by the caller cannot corrupt the gallery.
+func (s *Store) Enroll(id, deviceID string, tpl *minutiae.Template) error {
+	if tpl == nil {
+		return fmt.Errorf("gallery: enroll %q: nil template", id)
+	}
+	if err := tpl.Validate(); err != nil {
+		return fmt.Errorf("gallery: enroll %q: %w", id, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.entries[id]; ok {
+		return fmt.Errorf("enroll %q: %w", id, ErrDuplicate)
+	}
+	s.entries[id] = &Entry{ID: id, DeviceID: deviceID, Template: tpl.Clone()}
+	s.order = append(s.order, id)
+	return nil
+}
+
+// Remove deletes an enrollment.
+func (s *Store) Remove(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.entries[id]; !ok {
+		return fmt.Errorf("remove %q: %w", id, ErrNotFound)
+	}
+	delete(s.entries, id)
+	for i, v := range s.order {
+		if v == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Len returns the number of enrollments.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.entries)
+}
+
+// Verify performs a 1:1 comparison of the probe against one enrollment.
+func (s *Store) Verify(id string, probe *minutiae.Template) (match.Result, error) {
+	s.mu.RLock()
+	e, ok := s.entries[id]
+	s.mu.RUnlock()
+	if !ok {
+		return match.Result{}, fmt.Errorf("verify %q: %w", id, ErrNotFound)
+	}
+	return s.matcher.Match(e.Template, probe)
+}
+
+// Candidate is one identification hit.
+type Candidate struct {
+	ID       string
+	DeviceID string
+	Score    float64
+}
+
+// Identify searches the probe against every enrollment and returns the
+// top-k candidates by score (all of them when k <= 0), ordered by
+// descending score with deterministic ID tie-breaks.
+func (s *Store) Identify(probe *minutiae.Template, k int) ([]Candidate, error) {
+	if probe == nil {
+		return nil, match.ErrNilTemplate
+	}
+	s.mu.RLock()
+	ids := append([]string(nil), s.order...)
+	entries := make([]*Entry, len(ids))
+	for i, id := range ids {
+		entries[i] = s.entries[id]
+	}
+	s.mu.RUnlock()
+
+	out := make([]Candidate, 0, len(entries))
+	for _, e := range entries {
+		res, err := s.matcher.Match(e.Template, probe)
+		if err != nil {
+			return nil, fmt.Errorf("identify against %q: %w", e.ID, err)
+		}
+		out = append(out, Candidate{ID: e.ID, DeviceID: e.DeviceID, Score: res.Score})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	if k > 0 && k < len(out) {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// Rank returns the 1-based rank at which trueID appears in an
+// identification of the probe, or 0 when it is not enrolled.
+func (s *Store) Rank(probe *minutiae.Template, trueID string) (int, error) {
+	cands, err := s.Identify(probe, 0)
+	if err != nil {
+		return 0, err
+	}
+	for i, c := range cands {
+		if c.ID == trueID {
+			return i + 1, nil
+		}
+	}
+	return 0, nil
+}
+
+// CMC is a cumulative match characteristic: CMC[k-1] is the fraction of
+// probes whose true identity appeared at rank ≤ k.
+type CMC []float64
+
+// ComputeCMC runs identification for every (probe, trueID) pair and
+// accumulates the rank histogram up to maxRank.
+func ComputeCMC(s *Store, probes []*minutiae.Template, trueIDs []string, maxRank int) (CMC, error) {
+	if len(probes) != len(trueIDs) {
+		return nil, fmt.Errorf("gallery: %d probes vs %d labels", len(probes), len(trueIDs))
+	}
+	if maxRank <= 0 {
+		return nil, fmt.Errorf("gallery: maxRank must be positive")
+	}
+	if len(probes) == 0 {
+		return nil, fmt.Errorf("gallery: no probes")
+	}
+	hits := make([]int, maxRank)
+	for i, probe := range probes {
+		rank, err := s.Rank(probe, trueIDs[i])
+		if err != nil {
+			return nil, err
+		}
+		if rank >= 1 && rank <= maxRank {
+			hits[rank-1]++
+		}
+	}
+	out := make(CMC, maxRank)
+	cum := 0
+	for k := 0; k < maxRank; k++ {
+		cum += hits[k]
+		out[k] = float64(cum) / float64(len(probes))
+	}
+	return out, nil
+}
+
+// RankOne returns the rank-1 identification rate.
+func (c CMC) RankOne() float64 {
+	if len(c) == 0 {
+		return 0
+	}
+	return c[0]
+}

@@ -1,0 +1,256 @@
+package gallery
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"fpinterop/internal/match"
+	"fpinterop/internal/minutiae"
+	"fpinterop/internal/population"
+	"fpinterop/internal/rng"
+	"fpinterop/internal/sensor"
+)
+
+// enrolledStore builds a store with n subjects enrolled on enrollDev and
+// returns matching probes captured on probeDev.
+func enrolledStore(t *testing.T, n int, enrollDev, probeDev string) (*Store, []*minutiae.Template, []string) {
+	t.Helper()
+	cohort := population.NewCohort(rng.New(31337), population.CohortOptions{Size: n})
+	ed, ok := sensor.ProfileByID(enrollDev)
+	if !ok {
+		t.Fatalf("unknown device %s", enrollDev)
+	}
+	pd, _ := sensor.ProfileByID(probeDev)
+	s := New(nil)
+	var probes []*minutiae.Template
+	var ids []string
+	for i, subj := range cohort.Subjects {
+		g, err := ed.CaptureSubject(subj, 0, sensor.CaptureOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := "subject-" + string(rune('A'+i))
+		if err := s.Enroll(id, enrollDev, g.Template); err != nil {
+			t.Fatal(err)
+		}
+		p, err := pd.CaptureSubject(subj, 1, sensor.CaptureOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		probes = append(probes, p.Template)
+		ids = append(ids, id)
+	}
+	return s, probes, ids
+}
+
+func TestEnrollAndLen(t *testing.T) {
+	s, _, _ := enrolledStore(t, 5, "D0", "D0")
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestEnrollValidation(t *testing.T) {
+	s := New(nil)
+	if err := s.Enroll("x", "D0", nil); err == nil {
+		t.Fatal("expected nil-template error")
+	}
+	bad := &minutiae.Template{Width: -1}
+	if err := s.Enroll("x", "D0", bad); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestEnrollDuplicate(t *testing.T) {
+	s := New(nil)
+	tpl := &minutiae.Template{Width: 100, Height: 100, DPI: 500}
+	if err := s.Enroll("a", "D0", tpl); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Enroll("a", "D0", tpl); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("want ErrDuplicate, got %v", err)
+	}
+}
+
+func TestEnrollClonesTemplate(t *testing.T) {
+	s := New(nil)
+	tpl := &minutiae.Template{Width: 100, Height: 100, DPI: 500,
+		Minutiae: []minutiae.Minutia{{X: 10, Y: 10, Angle: 1, Kind: minutiae.Ending}}}
+	if err := s.Enroll("a", "D0", tpl); err != nil {
+		t.Fatal(err)
+	}
+	tpl.Minutiae[0].X = 99 // caller mutation must not corrupt the store
+	res, err := s.Verify("a", &minutiae.Template{Width: 100, Height: 100, DPI: 500,
+		Minutiae: []minutiae.Minutia{{X: 10, Y: 10, Angle: 1, Kind: minutiae.Ending}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res // the verify itself succeeding on the original data is the point
+}
+
+func TestRemove(t *testing.T) {
+	s, _, ids := enrolledStore(t, 3, "D0", "D0")
+	if err := s.Remove(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len after remove = %d", s.Len())
+	}
+	if err := s.Remove(ids[1]); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+}
+
+func TestVerifyGenuineAndUnknown(t *testing.T) {
+	s, probes, ids := enrolledStore(t, 4, "D0", "D0")
+	res, err := s.Verify(ids[0], probes[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score < 7 {
+		t.Fatalf("genuine verify score %v", res.Score)
+	}
+	if _, err := s.Verify("ghost", probes[0]); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+}
+
+func TestIdentifyFindsTrueIdentityAtRankOne(t *testing.T) {
+	s, probes, ids := enrolledStore(t, 8, "D0", "D0")
+	hits := 0
+	for i, p := range probes {
+		cands, err := s.Identify(p, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cands) != 3 {
+			t.Fatalf("top-k size %d", len(cands))
+		}
+		if cands[0].ID == ids[i] {
+			hits++
+		}
+	}
+	if hits < 7 {
+		t.Fatalf("rank-1 hits %d/8 on same-device identification", hits)
+	}
+}
+
+func TestIdentifyKZeroReturnsAll(t *testing.T) {
+	s, probes, _ := enrolledStore(t, 4, "D0", "D0")
+	cands, err := s.Identify(probes[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 4 {
+		t.Fatalf("got %d candidates, want all 4", len(cands))
+	}
+	for i := 1; i < len(cands); i++ {
+		if cands[i].Score > cands[i-1].Score {
+			t.Fatal("candidates not sorted")
+		}
+	}
+}
+
+func TestIdentifyNilProbe(t *testing.T) {
+	s, _, _ := enrolledStore(t, 2, "D0", "D0")
+	if _, err := s.Identify(nil, 1); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRank(t *testing.T) {
+	s, probes, ids := enrolledStore(t, 6, "D0", "D0")
+	r, err := s.Rank(probes[2], ids[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 1 || r > 6 {
+		t.Fatalf("rank %d out of range", r)
+	}
+	r, err = s.Rank(probes[2], "not-enrolled")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 0 {
+		t.Fatalf("missing identity rank %d, want 0", r)
+	}
+}
+
+func TestCMCMonotoneAndCrossDeviceLower(t *testing.T) {
+	same, sameProbes, sameIDs := enrolledStore(t, 10, "D0", "D0")
+	cmcSame, err := ComputeCMC(same, sameProbes, sameIDs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k < len(cmcSame); k++ {
+		if cmcSame[k] < cmcSame[k-1] {
+			t.Fatal("CMC not monotone")
+		}
+	}
+	if cmcSame.RankOne() < 0.7 {
+		t.Fatalf("same-device rank-1 rate %v too low", cmcSame.RankOne())
+	}
+	// Cross-device identification (probe from the ink cards) cannot beat
+	// same-device.
+	cross, crossProbes, crossIDs := enrolledStore(t, 10, "D0", "D4")
+	cmcCross, err := ComputeCMC(cross, crossProbes, crossIDs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmcCross.RankOne() > cmcSame.RankOne() {
+		t.Fatalf("ink probes identified better (%v) than same-device (%v)",
+			cmcCross.RankOne(), cmcSame.RankOne())
+	}
+}
+
+func TestComputeCMCErrors(t *testing.T) {
+	s, probes, ids := enrolledStore(t, 2, "D0", "D0")
+	if _, err := ComputeCMC(s, probes, ids[:1], 3); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+	if _, err := ComputeCMC(s, probes, ids, 0); err == nil {
+		t.Fatal("expected maxRank error")
+	}
+	if _, err := ComputeCMC(s, nil, nil, 3); err == nil {
+		t.Fatal("expected empty error")
+	}
+}
+
+func TestStoreConcurrentUse(t *testing.T) {
+	s, probes, ids := enrolledStore(t, 4, "D0", "D0")
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				if _, err := s.Identify(probes[w%len(probes)], 2); err != nil {
+					panic(err)
+				}
+				if _, err := s.Verify(ids[w%len(ids)], probes[w%len(probes)]); err != nil {
+					panic(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestNewDefaultsMatcher(t *testing.T) {
+	s := New(nil)
+	if s.matcher == nil {
+		t.Fatal("nil matcher not defaulted")
+	}
+	custom := New(&match.GreedyMatcher{})
+	if _, ok := custom.matcher.(*match.GreedyMatcher); !ok {
+		t.Fatal("custom matcher not kept")
+	}
+}
+
+func TestEmptyCMCRankOne(t *testing.T) {
+	var c CMC
+	if c.RankOne() != 0 {
+		t.Fatal("empty CMC rank-1 should be 0")
+	}
+}

@@ -1,0 +1,156 @@
+package gallery
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"fpinterop/internal/minutiae"
+)
+
+// Persistence container format:
+//
+//	0   4  magic "FPGD"
+//	4   2  version (1)
+//	6   4  entry count
+//	then per entry:
+//	    2  id length, id bytes
+//	    2  device-id length, device-id bytes
+//	    4  template length, template bytes (minutiae codec)
+var (
+	storeMagic = [4]byte{'F', 'P', 'G', 'D'}
+
+	// ErrBadStoreFormat reports a stream that is not a serialized gallery.
+	ErrBadStoreFormat = errors.New("gallery: bad store format")
+)
+
+const storeVersion = 1
+
+// SaveTo serializes every enrollment to w in insertion order.
+func (s *Store) SaveTo(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(storeMagic[:]); err != nil {
+		return fmt.Errorf("gallery: write magic: %w", err)
+	}
+	var u16 [2]byte
+	var u32 [4]byte
+	binary.BigEndian.PutUint16(u16[:], storeVersion)
+	if _, err := bw.Write(u16[:]); err != nil {
+		return fmt.Errorf("gallery: write version: %w", err)
+	}
+	binary.BigEndian.PutUint32(u32[:], uint32(len(s.order)))
+	if _, err := bw.Write(u32[:]); err != nil {
+		return fmt.Errorf("gallery: write count: %w", err)
+	}
+	writeStr := func(v string) error {
+		if len(v) > 1<<16-1 {
+			return fmt.Errorf("gallery: string too long (%d bytes)", len(v))
+		}
+		binary.BigEndian.PutUint16(u16[:], uint16(len(v)))
+		if _, err := bw.Write(u16[:]); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(v)
+		return err
+	}
+	for _, id := range s.order {
+		e := s.entries[id]
+		if err := writeStr(e.ID); err != nil {
+			return fmt.Errorf("gallery: write id: %w", err)
+		}
+		if err := writeStr(e.DeviceID); err != nil {
+			return fmt.Errorf("gallery: write device: %w", err)
+		}
+		data, err := minutiae.Marshal(e.Template)
+		if err != nil {
+			return fmt.Errorf("gallery: marshal %q: %w", e.ID, err)
+		}
+		binary.BigEndian.PutUint32(u32[:], uint32(len(data)))
+		if _, err := bw.Write(u32[:]); err != nil {
+			return fmt.Errorf("gallery: write template length: %w", err)
+		}
+		if _, err := bw.Write(data); err != nil {
+			return fmt.Errorf("gallery: write template: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("gallery: flush: %w", err)
+	}
+	return nil
+}
+
+// LoadFrom replaces the store's contents with the serialized gallery
+// read from r.
+func (s *Store) LoadFrom(r io.Reader) error {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return fmt.Errorf("gallery: read magic: %w", err)
+	}
+	if magic != storeMagic {
+		return ErrBadStoreFormat
+	}
+	var u16 [2]byte
+	var u32 [4]byte
+	if _, err := io.ReadFull(br, u16[:]); err != nil {
+		return fmt.Errorf("gallery: read version: %w", err)
+	}
+	if v := binary.BigEndian.Uint16(u16[:]); v != storeVersion {
+		return fmt.Errorf("gallery: unsupported store version %d", v)
+	}
+	if _, err := io.ReadFull(br, u32[:]); err != nil {
+		return fmt.Errorf("gallery: read count: %w", err)
+	}
+	count := binary.BigEndian.Uint32(u32[:])
+	readStr := func() (string, error) {
+		if _, err := io.ReadFull(br, u16[:]); err != nil {
+			return "", err
+		}
+		buf := make([]byte, binary.BigEndian.Uint16(u16[:]))
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	entries := make(map[string]*Entry, count)
+	order := make([]string, 0, count)
+	for i := uint32(0); i < count; i++ {
+		id, err := readStr()
+		if err != nil {
+			return fmt.Errorf("gallery: read entry %d id: %w", i, err)
+		}
+		dev, err := readStr()
+		if err != nil {
+			return fmt.Errorf("gallery: read entry %d device: %w", i, err)
+		}
+		if _, err := io.ReadFull(br, u32[:]); err != nil {
+			return fmt.Errorf("gallery: read entry %d length: %w", i, err)
+		}
+		n := binary.BigEndian.Uint32(u32[:])
+		if n > 1<<20 {
+			return fmt.Errorf("gallery: entry %d template of %d bytes exceeds cap", i, n)
+		}
+		data := make([]byte, n)
+		if _, err := io.ReadFull(br, data); err != nil {
+			return fmt.Errorf("gallery: read entry %d template: %w", i, err)
+		}
+		tpl, err := minutiae.Unmarshal(data)
+		if err != nil {
+			return fmt.Errorf("gallery: decode entry %d (%q): %w", i, id, err)
+		}
+		if _, dup := entries[id]; dup {
+			return fmt.Errorf("gallery: duplicate id %q in store", id)
+		}
+		entries[id] = &Entry{ID: id, DeviceID: dev, Template: tpl}
+		order = append(order, id)
+	}
+	s.mu.Lock()
+	s.entries = entries
+	s.order = order
+	s.mu.Unlock()
+	return nil
+}

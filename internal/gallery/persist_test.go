@@ -1,0 +1,95 @@
+package gallery
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s, probes, ids := enrolledStore(t, 5, "D0", "D0")
+	var buf bytes.Buffer
+	if err := s.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := New(nil)
+	if err := restored.LoadFrom(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != s.Len() {
+		t.Fatalf("restored %d of %d entries", restored.Len(), s.Len())
+	}
+	// Identification behaves identically after the round trip.
+	orig, err := s.Identify(probes[2], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := restored.Identify(probes[2], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig[0].ID != back[0].ID {
+		t.Fatalf("identification changed after round trip: %+v vs %+v", orig[0], back[0])
+	}
+	// The template codec quantizes coordinates to whole pixels and angles
+	// to 16 bits, so scores may drift slightly — but not materially.
+	if d := orig[0].Score - back[0].Score; d > 1.5 || d < -1.5 {
+		t.Fatalf("score drift %v too large after round trip", d)
+	}
+	// Device metadata survives.
+	cands, _ := restored.Identify(probes[0], 1)
+	if cands[0].DeviceID != "D0" {
+		t.Fatal("device metadata lost")
+	}
+	_ = ids
+}
+
+func TestLoadFromRejectsGarbage(t *testing.T) {
+	s := New(nil)
+	if err := s.LoadFrom(strings.NewReader("not a gallery")); !errors.Is(err, ErrBadStoreFormat) {
+		t.Fatalf("want ErrBadStoreFormat, got %v", err)
+	}
+}
+
+func TestLoadFromTruncated(t *testing.T) {
+	s, _, _ := enrolledStore(t, 3, "D0", "D0")
+	var buf bytes.Buffer
+	if err := s.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, n := range []int{3, 6, 10, len(data) / 2, len(data) - 1} {
+		fresh := New(nil)
+		if err := fresh.LoadFrom(bytes.NewReader(data[:n])); err == nil {
+			t.Fatalf("truncation at %d accepted", n)
+		}
+	}
+}
+
+func TestLoadFromBadVersion(t *testing.T) {
+	s, _, _ := enrolledStore(t, 1, "D0", "D0")
+	var buf bytes.Buffer
+	if err := s.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[5] = 99
+	if err := New(nil).LoadFrom(bytes.NewReader(data)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestSaveEmptyStore(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New(nil).SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := New(nil)
+	if err := restored.LoadFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != 0 {
+		t.Fatal("empty store grew entries")
+	}
+}

@@ -1,0 +1,351 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func near(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func pointNear(a, b Point, tol float64) bool {
+	return near(a.X, b.X, tol) && near(a.Y, b.Y, tol)
+}
+
+func TestPointArithmetic(t *testing.T) {
+	p := Point{1, 2}
+	q := Point{3, -1}
+	if got := p.Add(q); got != (Point{4, 1}) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != (Point{-2, 3}) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != (Point{2, 4}) {
+		t.Fatalf("Scale = %v", got)
+	}
+	if got := p.Dot(q); got != 1 {
+		t.Fatalf("Dot = %v", got)
+	}
+	if !near(Point{3, 4}.Norm(), 5, 1e-12) {
+		t.Fatal("Norm wrong")
+	}
+	if !near(Point{0, 0}.Dist(Point{3, 4}), 5, 1e-12) {
+		t.Fatal("Dist wrong")
+	}
+}
+
+func TestRotate(t *testing.T) {
+	got := Point{1, 0}.Rotate(math.Pi / 2)
+	if !pointNear(got, Point{0, 1}, 1e-12) {
+		t.Fatalf("Rotate = %v", got)
+	}
+}
+
+func TestNormalizeAngle(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{math.Pi, math.Pi},
+		{-math.Pi, math.Pi},
+		{3 * math.Pi, math.Pi},
+		{2 * math.Pi, 0},
+		{-math.Pi / 2, -math.Pi / 2},
+		{5 * math.Pi / 2, math.Pi / 2},
+	}
+	for _, c := range cases {
+		if got := NormalizeAngle(c.in); !near(got, c.want, 1e-12) {
+			t.Fatalf("NormalizeAngle(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNormalizeAngleProperty(t *testing.T) {
+	f := func(theta float64) bool {
+		if math.IsNaN(theta) || math.IsInf(theta, 0) || math.Abs(theta) > 1e6 {
+			return true
+		}
+		got := NormalizeAngle(theta)
+		if got <= -math.Pi || got > math.Pi {
+			return false
+		}
+		// Same point on the circle.
+		return near(math.Sin(got), math.Sin(theta), 1e-6) && near(math.Cos(got), math.Cos(theta), 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAngleDiff(t *testing.T) {
+	if got := AngleDiff(0.1, -0.1); !near(got, 0.2, 1e-12) {
+		t.Fatalf("AngleDiff = %v", got)
+	}
+	// Wraparound: 179° vs -179° differ by 2°, not 358°.
+	a, b := math.Pi-0.01, -math.Pi+0.01
+	if got := AngleDiff(a, b); !near(math.Abs(got), 0.02, 1e-9) {
+		t.Fatalf("AngleDiff wrap = %v", got)
+	}
+}
+
+func TestOrientationDiff(t *testing.T) {
+	// Orientations are mod π: 0 and π are the same orientation.
+	if got := OrientationDiff(0, math.Pi); !near(got, 0, 1e-12) {
+		t.Fatalf("OrientationDiff(0, π) = %v", got)
+	}
+	if got := OrientationDiff(0, math.Pi/2); !near(got, math.Pi/2, 1e-12) {
+		t.Fatalf("OrientationDiff(0, π/2) = %v", got)
+	}
+	if got := OrientationDiff(0.1, math.Pi-0.1); !near(got, 0.2, 1e-9) {
+		t.Fatalf("OrientationDiff near-wrap = %v", got)
+	}
+}
+
+func TestRigidApplyInvertRoundTrip(t *testing.T) {
+	f := func(theta, tx, ty, px, py float64) bool {
+		if bad(theta) || bad(tx) || bad(ty) || bad(px) || bad(py) {
+			return true
+		}
+		r := Rigid{Theta: theta, T: Point{tx, ty}, S: 1}
+		p := Point{px, py}
+		back := r.Invert().Apply(r.Apply(p))
+		return pointNear(back, p, 1e-6*(1+p.Norm()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func bad(x float64) bool {
+	return math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e4
+}
+
+func TestRigidZeroScaleActsAsIdentityScale(t *testing.T) {
+	r := Rigid{Theta: 0, T: Point{1, 1}} // S == 0 ⇒ treated as 1
+	if got := r.Apply(Point{2, 3}); !pointNear(got, Point{3, 4}, 1e-12) {
+		t.Fatalf("zero-scale Apply = %v", got)
+	}
+}
+
+func TestRigidCompose(t *testing.T) {
+	r1 := Rigid{Theta: math.Pi / 2, T: Point{1, 0}, S: 1}
+	r2 := Rigid{Theta: math.Pi / 2, T: Point{0, 1}, S: 1}
+	comp := r1.Compose(r2)
+	p := Point{1, 1}
+	want := r2.Apply(r1.Apply(p))
+	if got := comp.Apply(p); !pointNear(got, want, 1e-9) {
+		t.Fatalf("Compose: got %v, want %v", got, want)
+	}
+}
+
+func TestRigidApplyAngle(t *testing.T) {
+	r := Rigid{Theta: math.Pi, S: 1}
+	if got := r.ApplyAngle(math.Pi / 2); !near(got, -math.Pi/2, 1e-12) {
+		t.Fatalf("ApplyAngle = %v", got)
+	}
+}
+
+func TestAffineIdentity(t *testing.T) {
+	a := IdentityAffine()
+	p := Point{3.5, -2}
+	if got := a.Apply(p); got != p {
+		t.Fatalf("identity moved point: %v", got)
+	}
+	if a.Det() != 1 {
+		t.Fatal("identity determinant != 1")
+	}
+}
+
+func TestAffineInvert(t *testing.T) {
+	a := Affine{A: 2, B: 1, C: 3, D: 0, E: 1, F: -2}
+	inv, ok := a.Invert()
+	if !ok {
+		t.Fatal("expected invertible")
+	}
+	p := Point{1.5, 2.5}
+	if got := inv.Apply(a.Apply(p)); !pointNear(got, p, 1e-9) {
+		t.Fatalf("Invert round trip = %v", got)
+	}
+}
+
+func TestAffineSingular(t *testing.T) {
+	a := Affine{A: 1, B: 2, D: 2, E: 4}
+	if _, ok := a.Invert(); ok {
+		t.Fatal("singular affine reported invertible")
+	}
+}
+
+func TestFromRigidMatchesRigidApply(t *testing.T) {
+	r := Rigid{Theta: 0.3, T: Point{2, -1}, S: 1.05}
+	a := FromRigid(r)
+	p := Point{4, 5}
+	if got, want := a.Apply(p), r.Apply(p); !pointNear(got, want, 1e-9) {
+		t.Fatalf("FromRigid mismatch: %v vs %v", got, want)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := Rect{0, 0, 4, 2}
+	if r.Width() != 4 || r.Height() != 2 || r.Area() != 8 {
+		t.Fatal("rect dims wrong")
+	}
+	if r.Center() != (Point{2, 1}) {
+		t.Fatal("center wrong")
+	}
+	if !r.Contains(Point{4, 2}) || r.Contains(Point{4.01, 1}) {
+		t.Fatal("contains wrong")
+	}
+}
+
+func TestRectIntersect(t *testing.T) {
+	a := Rect{0, 0, 4, 4}
+	b := Rect{2, 2, 6, 6}
+	got, ok := a.Intersect(b)
+	if !ok || got != (Rect{2, 2, 4, 4}) {
+		t.Fatalf("Intersect = %v ok=%v", got, ok)
+	}
+	if _, ok := a.Intersect(Rect{5, 5, 6, 6}); ok {
+		t.Fatal("disjoint rects intersected")
+	}
+}
+
+func TestCenteredRect(t *testing.T) {
+	r := CenteredRect(Point{1, 1}, 2, 4)
+	if r != (Rect{0, -1, 2, 3}) {
+		t.Fatalf("CenteredRect = %v", r)
+	}
+}
+
+func TestTPSInterpolatesControlPoints(t *testing.T) {
+	src := []Point{{0, 0}, {10, 0}, {0, 10}, {10, 10}, {5, 5}}
+	dst := []Point{{0.5, 0.2}, {10.1, -0.3}, {-0.2, 10.4}, {9.8, 9.9}, {5.5, 4.7}}
+	tps, err := FitTPS(src, dst, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if got := tps.Apply(src[i]); !pointNear(got, dst[i], 1e-6) {
+			t.Fatalf("control point %d: got %v, want %v", i, got, dst[i])
+		}
+	}
+}
+
+func TestTPSIdentityWarpIsIdentityEverywhere(t *testing.T) {
+	src := []Point{{0, 0}, {10, 0}, {0, 10}, {10, 10}}
+	tps, err := FitTPS(src, src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Point{{3, 7}, {5, 5}, {-2, 4}, {12, 12}} {
+		if got := tps.Apply(p); !pointNear(got, p, 1e-6) {
+			t.Fatalf("identity TPS moved %v to %v", p, got)
+		}
+	}
+	if e := tps.BendingEnergy(); math.Abs(e) > 1e-9 {
+		t.Fatalf("identity warp has bending energy %v", e)
+	}
+}
+
+func TestTPSAffineWarpHasZeroBendingEnergy(t *testing.T) {
+	src := []Point{{0, 0}, {10, 0}, {0, 10}, {10, 10}, {3, 4}}
+	aff := Affine{A: 1.1, B: 0.1, C: 2, D: -0.05, E: 0.95, F: -1}
+	dst := make([]Point, len(src))
+	for i, p := range src {
+		dst[i] = aff.Apply(p)
+	}
+	tps, err := FitTPS(src, dst, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := tps.BendingEnergy(); math.Abs(e) > 1e-6 {
+		t.Fatalf("affine warp bending energy = %v, want ~0", e)
+	}
+	// And it should reproduce the affine map away from control points.
+	p := Point{7, 2}
+	if got := tps.Apply(p); !pointNear(got, aff.Apply(p), 1e-6) {
+		t.Fatalf("affine TPS extrapolation wrong: %v", got)
+	}
+}
+
+func TestTPSNonAffineHasPositiveBendingEnergy(t *testing.T) {
+	src := []Point{{0, 0}, {10, 0}, {0, 10}, {10, 10}, {5, 5}}
+	dst := []Point{{0, 0}, {10, 0}, {0, 10}, {10, 10}, {5, 8}} // bump the middle
+	tps, err := FitTPS(src, dst, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := tps.BendingEnergy(); e <= 0 {
+		t.Fatalf("non-affine warp bending energy = %v, want > 0", e)
+	}
+}
+
+func TestTPSRegularizationSmooths(t *testing.T) {
+	src := []Point{{0, 0}, {10, 0}, {0, 10}, {10, 10}, {5, 5}}
+	dst := []Point{{0, 0}, {10, 0}, {0, 10}, {10, 10}, {5, 9}}
+	exact, err := FitTPS(src, dst, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smooth, err := FitTPS(src, dst, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smooth.BendingEnergy() >= exact.BendingEnergy() {
+		t.Fatalf("regularized energy %v not below exact %v",
+			smooth.BendingEnergy(), exact.BendingEnergy())
+	}
+	// The regularized fit should NOT interpolate the bumped point exactly.
+	if got := smooth.Apply(Point{5, 5}); near(got.Y, 9, 1e-6) {
+		t.Fatal("regularized spline interpolated exactly; lambda had no effect")
+	}
+}
+
+func TestTPSErrors(t *testing.T) {
+	if _, err := FitTPS([]Point{{0, 0}}, []Point{{0, 0}, {1, 1}}, 0); err == nil {
+		t.Fatal("expected mismatch error")
+	}
+	if _, err := FitTPS([]Point{{0, 0}, {1, 1}}, []Point{{0, 0}, {1, 1}}, 0); err == nil {
+		t.Fatal("expected too-few-points error")
+	}
+	// Collinear control points make the system singular.
+	col := []Point{{0, 0}, {1, 1}, {2, 2}, {3, 3}}
+	if _, err := FitTPS(col, col, 0); err == nil {
+		t.Fatal("expected singular error for collinear points")
+	}
+}
+
+func TestGridWarp(t *testing.T) {
+	bounds := Rect{0, 0, 20, 20}
+	warp, err := GridWarp(bounds, 4, 4, func(p Point) Point {
+		return Point{0.5 * math.Sin(p.Y/5), 0}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The warp should displace interior points horizontally by roughly the
+	// displacement function.
+	p := Point{10, 10}
+	got := warp.Apply(p)
+	want := p.Add(Point{0.5 * math.Sin(2.0), 0})
+	if !pointNear(got, want, 0.2) {
+		t.Fatalf("GridWarp(%v) = %v, want ≈ %v", p, got, want)
+	}
+}
+
+func TestGridWarpTooSmall(t *testing.T) {
+	if _, err := GridWarp(Rect{0, 0, 1, 1}, 1, 4, func(p Point) Point { return Point{} }); err == nil {
+		t.Fatal("expected grid-size error")
+	}
+}
+
+func TestTPSControlPointsCopied(t *testing.T) {
+	src := []Point{{0, 0}, {10, 0}, {0, 10}, {10, 10}}
+	tps, err := FitTPS(src, src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := tps.ControlPoints()
+	cp[0] = Point{99, 99}
+	if tps.ControlPoints()[0] == (Point{99, 99}) {
+		t.Fatal("ControlPoints exposes internal storage")
+	}
+}

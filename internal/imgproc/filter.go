@@ -1,0 +1,180 @@
+package imgproc
+
+import (
+	"fmt"
+	"math"
+)
+
+// ConvolveSeparable applies a separable filter: kx along rows, then ky
+// along columns, with replicate border padding. Kernel lengths must be odd.
+func ConvolveSeparable(im *Image, kx, ky []float64) (*Image, error) {
+	if len(kx)%2 == 0 || len(ky)%2 == 0 {
+		return nil, fmt.Errorf("imgproc: separable kernels must have odd length, got %d and %d", len(kx), len(ky))
+	}
+	rx := len(kx) / 2
+	tmp := NewImage(im.W, im.H)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			sum := 0.0
+			for k := -rx; k <= rx; k++ {
+				sum += kx[k+rx] * im.At(x+k, y)
+			}
+			tmp.Pix[y*im.W+x] = sum
+		}
+	}
+	ry := len(ky) / 2
+	out := NewImage(im.W, im.H)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			sum := 0.0
+			for k := -ry; k <= ry; k++ {
+				sum += ky[k+ry] * tmp.At(x, y+k)
+			}
+			out.Pix[y*im.W+x] = sum
+		}
+	}
+	return out, nil
+}
+
+// GaussianKernel returns a normalized 1-D Gaussian kernel with the given
+// sigma; the radius is ceil(3σ).
+func GaussianKernel(sigma float64) []float64 {
+	if sigma <= 0 {
+		return []float64{1}
+	}
+	r := int(math.Ceil(3 * sigma))
+	k := make([]float64, 2*r+1)
+	sum := 0.0
+	for i := -r; i <= r; i++ {
+		v := math.Exp(-float64(i*i) / (2 * sigma * sigma))
+		k[i+r] = v
+		sum += v
+	}
+	for i := range k {
+		k[i] /= sum
+	}
+	return k
+}
+
+// GaussianBlur returns the image smoothed with an isotropic Gaussian.
+func GaussianBlur(im *Image, sigma float64) *Image {
+	k := GaussianKernel(sigma)
+	out, err := ConvolveSeparable(im, k, k)
+	if err != nil {
+		// Kernel construction guarantees odd length; this cannot happen.
+		return im.Clone()
+	}
+	return out
+}
+
+// Sobel computes horizontal and vertical gradients with the 3×3 Sobel
+// operator.
+func Sobel(im *Image) (gx, gy *Image) {
+	gx = NewImage(im.W, im.H)
+	gy = NewImage(im.W, im.H)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			p00, p10, p20 := im.At(x-1, y-1), im.At(x, y-1), im.At(x+1, y-1)
+			p01, p21 := im.At(x-1, y), im.At(x+1, y)
+			p02, p12, p22 := im.At(x-1, y+1), im.At(x, y+1), im.At(x+1, y+1)
+			gx.Pix[y*im.W+x] = (p20 + 2*p21 + p22) - (p00 + 2*p01 + p02)
+			gy.Pix[y*im.W+x] = (p02 + 2*p12 + p22) - (p00 + 2*p10 + p20)
+		}
+	}
+	return gx, gy
+}
+
+// OtsuThreshold returns the threshold in [0,1] that maximizes inter-class
+// variance of the pixel histogram — the standard global binarization
+// threshold.
+func OtsuThreshold(im *Image) float64 {
+	const bins = 256
+	hist := im.Histogram(bins)
+	total := len(im.Pix)
+	if total == 0 {
+		return 0.5
+	}
+	sum := 0.0
+	for i, c := range hist {
+		sum += float64(i) * float64(c)
+	}
+	var sumB, wB float64
+	bestVar, bestT := -1.0, 127
+	for t := 0; t < bins; t++ {
+		wB += float64(hist[t])
+		if wB == 0 {
+			continue
+		}
+		wF := float64(total) - wB
+		if wF == 0 {
+			break
+		}
+		sumB += float64(t) * float64(hist[t])
+		mB := sumB / wB
+		mF := (sum - sumB) / wF
+		v := wB * wF * (mB - mF) * (mB - mF)
+		if v > bestVar {
+			bestVar, bestT = v, t
+		}
+	}
+	return (float64(bestT) + 0.5) / bins
+}
+
+// Binarize thresholds the image: pixels darker than t become foreground
+// (ridges are dark in fingerprint convention).
+func Binarize(im *Image, t float64) *Binary {
+	out := NewBinary(im.W, im.H)
+	for i, v := range im.Pix {
+		out.Pix[i] = v < t
+	}
+	return out
+}
+
+// GaborKernel builds a 2-D Gabor filter tuned to ridge orientation theta
+// (radians, direction of the ridge flow) and ridge frequency freq
+// (cycles/pixel). sigmaX and sigmaY control the envelope along and across
+// the ridge direction.
+func GaborKernel(theta, freq, sigmaX, sigmaY float64) [][]float64 {
+	r := int(math.Ceil(3 * math.Max(sigmaX, sigmaY)))
+	if r < 1 {
+		r = 1
+	}
+	n := 2*r + 1
+	k := make([][]float64, n)
+	c, s := math.Cos(theta), math.Sin(theta)
+	sum := 0.0
+	for dy := -r; dy <= r; dy++ {
+		row := make([]float64, n)
+		for dx := -r; dx <= r; dx++ {
+			// Rotate into the ridge frame: u along ridge, v across.
+			u := c*float64(dx) + s*float64(dy)
+			v := -s*float64(dx) + c*float64(dy)
+			env := math.Exp(-(u*u/(2*sigmaX*sigmaX) + v*v/(2*sigmaY*sigmaY)))
+			row[dx+r] = env * math.Cos(2*math.Pi*freq*v)
+			sum += row[dx+r]
+		}
+		k[dy+r] = row
+	}
+	// Zero the DC component so flat regions map to zero response.
+	mean := sum / float64(n*n)
+	for _, row := range k {
+		for i := range row {
+			row[i] -= mean
+		}
+	}
+	return k
+}
+
+// ApplyKernelAt evaluates a dense 2-D kernel centred at (x, y). The kernel
+// must be square with odd side length (as produced by GaborKernel).
+func ApplyKernelAt(im *Image, k [][]float64, x, y int) float64 {
+	r := len(k) / 2
+	sum := 0.0
+	for dy := -r; dy <= r; dy++ {
+		row := k[dy+r]
+		for dx := -r; dx <= r; dx++ {
+			sum += row[dx+r] * im.At(x+dx, y+dy)
+		}
+	}
+	return sum
+}

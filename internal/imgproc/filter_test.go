@@ -1,0 +1,182 @@
+package imgproc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGaussianKernelNormalized(t *testing.T) {
+	for _, sigma := range []float64{0.5, 1, 2.5} {
+		k := GaussianKernel(sigma)
+		if len(k)%2 == 0 {
+			t.Fatalf("kernel length even: %d", len(k))
+		}
+		sum := 0.0
+		for _, v := range k {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("sigma %v kernel sum = %v", sigma, sum)
+		}
+		// Symmetry.
+		for i := range k {
+			if math.Abs(k[i]-k[len(k)-1-i]) > 1e-12 {
+				t.Fatal("kernel not symmetric")
+			}
+		}
+	}
+}
+
+func TestGaussianKernelDegenerateSigma(t *testing.T) {
+	k := GaussianKernel(0)
+	if len(k) != 1 || k[0] != 1 {
+		t.Fatalf("zero-sigma kernel = %v", k)
+	}
+}
+
+func TestConvolveSeparableIdentity(t *testing.T) {
+	im := NewImage(4, 4)
+	im.Set(2, 1, 0.8)
+	out, err := ConvolveSeparable(im, []float64{1}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range im.Pix {
+		if out.Pix[i] != im.Pix[i] {
+			t.Fatal("identity convolution changed image")
+		}
+	}
+}
+
+func TestConvolveSeparableRejectsEvenKernels(t *testing.T) {
+	im := NewImage(2, 2)
+	if _, err := ConvolveSeparable(im, []float64{1, 1}, []float64{1}); err == nil {
+		t.Fatal("expected error for even kernel")
+	}
+}
+
+func TestGaussianBlurPreservesConstant(t *testing.T) {
+	im := NewImageFilled(8, 8, 0.37)
+	out := GaussianBlur(im, 1.5)
+	for _, v := range out.Pix {
+		if math.Abs(v-0.37) > 1e-9 {
+			t.Fatalf("blur changed constant image: %v", v)
+		}
+	}
+}
+
+func TestGaussianBlurSmooths(t *testing.T) {
+	im := NewImage(9, 9)
+	im.Set(4, 4, 1)
+	out := GaussianBlur(im, 1)
+	if out.At(4, 4) >= 1 {
+		t.Fatal("peak not reduced")
+	}
+	if out.At(3, 4) <= 0 {
+		t.Fatal("energy not spread")
+	}
+	// Total mass approximately preserved in the interior.
+	sum := 0.0
+	for _, v := range out.Pix {
+		sum += v
+	}
+	if math.Abs(sum-1) > 0.01 {
+		t.Fatalf("blur mass = %v", sum)
+	}
+}
+
+func TestSobelDetectsVerticalEdge(t *testing.T) {
+	im := NewImage(8, 8)
+	for y := 0; y < 8; y++ {
+		for x := 4; x < 8; x++ {
+			im.Set(x, y, 1)
+		}
+	}
+	gx, gy := Sobel(im)
+	// Strong horizontal gradient at the edge, no vertical gradient.
+	if gx.At(4, 4) <= 0.5 {
+		t.Fatalf("gx at edge = %v", gx.At(4, 4))
+	}
+	if math.Abs(gy.At(4, 4)) > 1e-9 {
+		t.Fatalf("gy at vertical edge = %v", gy.At(4, 4))
+	}
+}
+
+func TestOtsuSeparatesBimodal(t *testing.T) {
+	im := NewImage(10, 10)
+	for i := range im.Pix {
+		if i%2 == 0 {
+			im.Pix[i] = 0.2
+		} else {
+			im.Pix[i] = 0.8
+		}
+	}
+	thr := OtsuThreshold(im)
+	if thr <= 0.2 || thr >= 0.8 {
+		t.Fatalf("Otsu threshold %v not between modes", thr)
+	}
+}
+
+func TestOtsuEmptyImage(t *testing.T) {
+	if thr := OtsuThreshold(NewImage(0, 0)); thr != 0.5 {
+		t.Fatalf("empty Otsu = %v", thr)
+	}
+}
+
+func TestBinarize(t *testing.T) {
+	im := NewImage(2, 1)
+	im.Pix[0] = 0.1 // dark = ridge = foreground
+	im.Pix[1] = 0.9
+	b := Binarize(im, 0.5)
+	if !b.Pix[0] || b.Pix[1] {
+		t.Fatal("Binarize convention wrong")
+	}
+}
+
+func TestGaborKernelZeroDC(t *testing.T) {
+	k := GaborKernel(0.3, 0.1, 4, 4)
+	sum := 0.0
+	for _, row := range k {
+		for _, v := range row {
+			sum += v
+		}
+	}
+	if math.Abs(sum) > 1e-9 {
+		t.Fatalf("Gabor DC component = %v", sum)
+	}
+}
+
+func TestGaborRespondsToMatchingFrequency(t *testing.T) {
+	// Build a vertical-ridge image (ridges along y, varying along x) with
+	// period 8 px and check a Gabor tuned to it responds much more than an
+	// orthogonal one.
+	const period = 8.0
+	im := NewImage(64, 64)
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			im.Set(x, y, 0.5+0.5*math.Cos(2*math.Pi*float64(x)/period))
+		}
+	}
+	// Ridge direction is along y: theta = π/2.
+	matched := GaborKernel(math.Pi/2, 1/period, 4, 4)
+	orthogonal := GaborKernel(0, 1/period, 4, 4)
+	rm := math.Abs(ApplyKernelAt(im, matched, 32, 32))
+	ro := math.Abs(ApplyKernelAt(im, orthogonal, 32, 32))
+	if rm < 4*ro {
+		t.Fatalf("matched response %v not dominant over orthogonal %v", rm, ro)
+	}
+}
+
+func TestApplyKernelAtBorder(t *testing.T) {
+	im := NewImageFilled(4, 4, 1)
+	k := [][]float64{
+		{0, 0.25, 0},
+		{0.25, 0, 0.25},
+		{0, 0.25, 0},
+	}
+	// Replicate padding means the corner sees the same constant value.
+	v := ApplyKernelAt(im, k, 0, 0)
+	if math.Abs(v-1) > 1e-12 {
+		t.Fatalf("border kernel value = %v, want 1", v)
+	}
+}

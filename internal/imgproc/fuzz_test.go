@@ -1,0 +1,36 @@
+package imgproc
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// ReadPGM must never panic on arbitrary bytes.
+func TestReadPGMNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("ReadPGM panicked: %v", r)
+			}
+		}()
+		_, _ = ReadPGM(bytes.NewReader(data))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A hostile header must not cause huge allocations or panics.
+func TestReadPGMHostileHeader(t *testing.T) {
+	for _, src := range []string{
+		"P5\n65535 65535\n255\n",            // huge dims, no data
+		"P5\n2 2\n999999\n\x00\x00\x00\x00", // oversized maxval
+		"P2\n3 1\n255\n1 2",                 // missing pixel
+	} {
+		if _, err := ReadPGM(bytes.NewReader([]byte(src))); err == nil {
+			t.Fatalf("hostile PGM %q accepted", src)
+		}
+	}
+}

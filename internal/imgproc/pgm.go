@@ -1,0 +1,124 @@
+package imgproc
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WritePGM encodes the image as binary PGM (P5, 8-bit), the format NBIS
+// tooling consumes, so synthetic impressions can be inspected with any
+// image viewer.
+func WritePGM(w io.Writer, im *Image) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n255\n", im.W, im.H); err != nil {
+		return fmt.Errorf("imgproc: write PGM header: %w", err)
+	}
+	row := make([]byte, im.W)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			v := im.Pix[y*im.W+x]
+			if v < 0 {
+				v = 0
+			} else if v > 1 {
+				v = 1
+			}
+			row[x] = byte(v*255 + 0.5)
+		}
+		if _, err := bw.Write(row); err != nil {
+			return fmt.Errorf("imgproc: write PGM row %d: %w", y, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("imgproc: flush PGM: %w", err)
+	}
+	return nil
+}
+
+// ReadPGM decodes a binary (P5) or ASCII (P2) PGM stream into an Image with
+// pixels scaled to [0, 1].
+func ReadPGM(r io.Reader) (*Image, error) {
+	br := bufio.NewReader(r)
+	magic, err := pgmToken(br)
+	if err != nil {
+		return nil, fmt.Errorf("imgproc: read PGM magic: %w", err)
+	}
+	if magic != "P5" && magic != "P2" {
+		return nil, fmt.Errorf("imgproc: unsupported PGM magic %q", magic)
+	}
+	var w, h, maxv int
+	for _, dst := range []*int{&w, &h, &maxv} {
+		tok, err := pgmToken(br)
+		if err != nil {
+			return nil, fmt.Errorf("imgproc: read PGM header: %w", err)
+		}
+		if _, err := fmt.Sscanf(tok, "%d", dst); err != nil {
+			return nil, fmt.Errorf("imgproc: parse PGM header token %q: %w", tok, err)
+		}
+	}
+	if w <= 0 || h <= 0 || maxv <= 0 || maxv > 65535 {
+		return nil, fmt.Errorf("imgproc: invalid PGM dimensions %dx%d max %d", w, h, maxv)
+	}
+	// Cap the pixel count before allocating: a hostile header must not be
+	// able to demand gigabytes. 16 Mpx comfortably covers ten-print cards
+	// at 1000 dpi.
+	const maxPixels = 1 << 24
+	if w > maxPixels/h {
+		return nil, fmt.Errorf("imgproc: PGM %dx%d exceeds %d-pixel cap", w, h, maxPixels)
+	}
+	im := NewImage(w, h)
+	scale := 1 / float64(maxv)
+	switch magic {
+	case "P5":
+		if maxv > 255 {
+			return nil, fmt.Errorf("imgproc: 16-bit binary PGM not supported")
+		}
+		buf := make([]byte, w*h)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("imgproc: read PGM pixels: %w", err)
+		}
+		for i, b := range buf {
+			im.Pix[i] = float64(b) * scale
+		}
+	case "P2":
+		for i := 0; i < w*h; i++ {
+			tok, err := pgmToken(br)
+			if err != nil {
+				return nil, fmt.Errorf("imgproc: read PGM pixel %d: %w", i, err)
+			}
+			var v int
+			if _, err := fmt.Sscanf(tok, "%d", &v); err != nil {
+				return nil, fmt.Errorf("imgproc: parse PGM pixel %q: %w", tok, err)
+			}
+			im.Pix[i] = float64(v) * scale
+		}
+	}
+	return im, nil
+}
+
+// pgmToken reads the next whitespace-delimited token, skipping '#' comment
+// lines per the PGM specification.
+func pgmToken(br *bufio.Reader) (string, error) {
+	var tok []byte
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			if len(tok) > 0 && err == io.EOF {
+				return string(tok), nil
+			}
+			return "", err
+		}
+		switch {
+		case b == '#':
+			if _, err := br.ReadString('\n'); err != nil && err != io.EOF {
+				return "", err
+			}
+		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+			if len(tok) > 0 {
+				return string(tok), nil
+			}
+		default:
+			tok = append(tok, b)
+		}
+	}
+}

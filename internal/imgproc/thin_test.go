@@ -1,0 +1,151 @@
+package imgproc
+
+import (
+	"testing"
+)
+
+// thickLine draws a thick horizontal bar into a fresh binary image.
+func thickLine(w, h, y0, thickness int) *Binary {
+	b := NewBinary(w, h)
+	for y := y0; y < y0+thickness; y++ {
+		for x := 2; x < w-2; x++ {
+			b.Set(x, y, true)
+		}
+	}
+	return b
+}
+
+func TestThinReducesThickLineToSkeleton(t *testing.T) {
+	b := thickLine(32, 16, 5, 5)
+	sk := Thin(b)
+	if sk.Count() >= b.Count() {
+		t.Fatal("thinning did not reduce pixel count")
+	}
+	// Every column in the interior should have exactly one skeleton pixel.
+	for x := 6; x < 26; x++ {
+		n := 0
+		for y := 0; y < 16; y++ {
+			if sk.At(x, y) {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Fatalf("column %d has %d skeleton pixels, want 1", x, n)
+		}
+	}
+}
+
+func TestThinPreservesConnectivity(t *testing.T) {
+	b := thickLine(32, 16, 5, 5)
+	sk := Thin(b)
+	// Flood fill from any skeleton pixel must reach all skeleton pixels.
+	var start [2]int
+	found := false
+	for y := 0; y < sk.H && !found; y++ {
+		for x := 0; x < sk.W && !found; x++ {
+			if sk.At(x, y) {
+				start = [2]int{x, y}
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("skeleton vanished entirely")
+	}
+	seen := NewBinary(sk.W, sk.H)
+	stack := [][2]int{start}
+	seen.Set(start[0], start[1], true)
+	count := 1
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				nx, ny := p[0]+dx, p[1]+dy
+				if sk.At(nx, ny) && !seen.At(nx, ny) {
+					seen.Set(nx, ny, true)
+					count++
+					stack = append(stack, [2]int{nx, ny})
+				}
+			}
+		}
+	}
+	if count != sk.Count() {
+		t.Fatalf("skeleton disconnected: reached %d of %d", count, sk.Count())
+	}
+}
+
+func TestThinIdempotent(t *testing.T) {
+	b := thickLine(32, 16, 5, 5)
+	once := Thin(b)
+	twice := Thin(once)
+	for i := range once.Pix {
+		if once.Pix[i] != twice.Pix[i] {
+			t.Fatal("thinning not idempotent")
+		}
+	}
+}
+
+func TestThinEmptyImage(t *testing.T) {
+	b := NewBinary(8, 8)
+	sk := Thin(b)
+	if sk.Count() != 0 {
+		t.Fatal("empty image grew pixels")
+	}
+}
+
+func TestThinDoesNotMutateInput(t *testing.T) {
+	b := thickLine(16, 16, 5, 4)
+	before := b.Count()
+	Thin(b)
+	if b.Count() != before {
+		t.Fatal("Thin mutated its input")
+	}
+}
+
+func TestCrossingNumberLineEnd(t *testing.T) {
+	b := NewBinary(8, 8)
+	// Horizontal line from (2,4)..(5,4).
+	for x := 2; x <= 5; x++ {
+		b.Set(x, 4, true)
+	}
+	if cn := CrossingNumber(b, 2, 4); cn != 1 {
+		t.Fatalf("line end CN = %d, want 1", cn)
+	}
+	if cn := CrossingNumber(b, 3, 4); cn != 2 {
+		t.Fatalf("line interior CN = %d, want 2", cn)
+	}
+}
+
+func TestCrossingNumberBifurcation(t *testing.T) {
+	b := NewBinary(9, 9)
+	// A 'Y': vertical stem up to (4,4), two diagonal branches.
+	for y := 4; y <= 7; y++ {
+		b.Set(4, y, true)
+	}
+	b.Set(3, 3, true)
+	b.Set(2, 2, true)
+	b.Set(5, 3, true)
+	b.Set(6, 2, true)
+	if cn := CrossingNumber(b, 4, 4); cn != 3 {
+		t.Fatalf("bifurcation CN = %d, want 3", cn)
+	}
+}
+
+func TestCrossingNumberIsolatedPixel(t *testing.T) {
+	b := NewBinary(5, 5)
+	b.Set(2, 2, true)
+	if cn := CrossingNumber(b, 2, 2); cn != 0 {
+		t.Fatalf("isolated CN = %d, want 0", cn)
+	}
+}
+
+func TestNeighborCount(t *testing.T) {
+	b := NewBinary(3, 3)
+	b.Set(0, 0, true)
+	b.Set(1, 0, true)
+	b.Set(2, 2, true)
+	if n := NeighborCount(b, 1, 1); n != 3 {
+		t.Fatalf("NeighborCount = %d, want 3", n)
+	}
+}

@@ -1,0 +1,116 @@
+package match
+
+import (
+	"math"
+	"sort"
+
+	"fpinterop/internal/geom"
+	"fpinterop/internal/minutiae"
+)
+
+// GreedyMatcher is a deliberately simpler matcher used as the "diverse
+// matcher" in matcher-diversity analyses: it aligns templates by centroid
+// and dominant minutia direction only (no Hough search), then pairs
+// greedily. It is cheaper and measurably weaker than HoughMatcher —
+// exactly the asymmetry diversity studies need.
+type GreedyMatcher struct {
+	// DistTol is the pairing distance tolerance in px (default 16).
+	DistTol float64
+	// AngleTol is the pairing angle tolerance in radians (default 35°).
+	AngleTol float64
+}
+
+var _ Matcher = (*GreedyMatcher)(nil)
+
+// Match implements Matcher.
+func (m *GreedyMatcher) Match(gallery, probe *minutiae.Template) (Result, error) {
+	if gallery == nil || probe == nil {
+		return Result{}, ErrNilTemplate
+	}
+	distTol := m.DistTol
+	if distTol == 0 {
+		distTol = 16
+	}
+	angleTol := m.AngleTol
+	if angleTol == 0 {
+		angleTol = 35 * math.Pi / 180
+	}
+	ga, pr := gallery.Minutiae, probe.Minutiae
+	if len(ga) == 0 || len(pr) == 0 {
+		return Result{}, nil
+	}
+
+	// Alignment: rotation from the circular-mean direction difference,
+	// translation from centroids.
+	theta := circularMeanDiff(ga, pr)
+	gcx, gcy := gallery.Centroid()
+	pcx, pcy := probe.Centroid()
+	c, s := math.Cos(theta), math.Sin(theta)
+	tr := geom.Rigid{
+		Theta: theta,
+		T: geom.Point{
+			X: gcx - (pcx*c - pcy*s),
+			Y: gcy - (pcx*s + pcy*c),
+		},
+		S: 1,
+	}
+
+	type cand struct {
+		d    float64
+		g, q int
+	}
+	var cands []cand
+	for j, b := range pr {
+		tp := tr.Apply(geom.Point{X: b.X, Y: b.Y})
+		ta := b.Angle + theta
+		for i, a := range ga {
+			d := tp.Dist(geom.Point{X: a.X, Y: a.Y})
+			if d > distTol || angleDiff(ta, a.Angle) > angleTol {
+				continue
+			}
+			cands = append(cands, cand{d, i, j})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].d != cands[j].d {
+			return cands[i].d < cands[j].d
+		}
+		if cands[i].g != cands[j].g {
+			return cands[i].g < cands[j].g
+		}
+		return cands[i].q < cands[j].q
+	})
+	usedG := make(map[int]bool)
+	usedQ := make(map[int]bool)
+	var pairs [][2]int
+	sumD := 0.0
+	for _, cd := range cands {
+		if usedG[cd.g] || usedQ[cd.q] {
+			continue
+		}
+		usedG[cd.g] = true
+		usedQ[cd.q] = true
+		pairs = append(pairs, [2]int{cd.g, cd.q})
+		sumD += cd.d
+	}
+	res := Result{Matched: len(pairs), Transform: tr, Pairs: pairs}
+	if len(pairs) > 0 {
+		res.MeanResidual = sumD / float64(len(pairs))
+	}
+	res.Score = scoreFromPairing(len(pairs), res.MeanResidual, distTol, overlapDenom(gallery, probe, tr))
+	return res, nil
+}
+
+// circularMeanDiff estimates the rotation between two minutia sets from
+// the difference of their circular mean directions.
+func circularMeanDiff(ga, pr []minutiae.Minutia) float64 {
+	mean := func(ms []minutiae.Minutia) float64 {
+		var sx, sy float64
+		for _, m := range ms {
+			sx += math.Cos(m.Angle)
+			sy += math.Sin(m.Angle)
+		}
+		return math.Atan2(sy, sx)
+	}
+	return geom.NormalizeAngle(mean(ga) - mean(pr))
+}

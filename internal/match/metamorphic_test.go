@@ -1,0 +1,178 @@
+package match
+
+// Metamorphic properties of the matcher: relations that must hold under
+// input transformations regardless of the concrete templates.
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fpinterop/internal/geom"
+	"fpinterop/internal/minutiae"
+	"fpinterop/internal/rng"
+)
+
+// permute returns the template with its minutiae order shuffled
+// deterministically by seed.
+func permute(t *minutiae.Template, seed uint64) *minutiae.Template {
+	out := t.Clone()
+	src := rng.New(seed)
+	src.Shuffle(len(out.Minutiae), func(i, j int) {
+		out.Minutiae[i], out.Minutiae[j] = out.Minutiae[j], out.Minutiae[i]
+	})
+	return out
+}
+
+func TestMatchInvariantUnderMinutiaePermutation(t *testing.T) {
+	var m HoughMatcher
+	f := func(seedA, seedB, perm uint64) bool {
+		a := syntheticTemplate(seedA%1000+1, 30)
+		b := syntheticTemplate(seedB%1000+1, 30)
+		r1, err1 := m.Match(a, b)
+		r2, err2 := m.Match(permute(a, perm), permute(b, perm+1))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		// Scores must agree to numerical noise: the pairing is a set
+		// operation, not order-dependent.
+		return math.Abs(r1.Score-r2.Score) < 1e-9 && r1.Matched == r2.Matched
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatchScoreBounds(t *testing.T) {
+	var m HoughMatcher
+	f := func(seedA, seedB uint64, nA, nB uint8) bool {
+		a := syntheticTemplate(seedA%1000+1, int(nA%50)+1)
+		b := syntheticTemplate(seedB%1000+1, int(nB%50)+1)
+		res, err := m.Match(a, b)
+		if err != nil {
+			return false
+		}
+		return res.Score >= 0 && res.Score <= 30 &&
+			res.Matched >= 0 &&
+			res.Matched <= min(a.Count(), b.Count())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelfMatchDominatesCrossMatch(t *testing.T) {
+	var m HoughMatcher
+	f := func(seedA, seedB uint64) bool {
+		if seedA%1000 == seedB%1000 {
+			return true
+		}
+		a := syntheticTemplate(seedA%1000+1, 35)
+		b := syntheticTemplate(seedB%1000+1, 35)
+		self, err1 := m.Match(a, a)
+		cross, err2 := m.Match(a, b)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return self.Score > cross.Score
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatchRobustToSmallJitter(t *testing.T) {
+	// Adding sub-tolerance positional jitter must not collapse the score.
+	var m HoughMatcher
+	base := syntheticTemplate(42, 35)
+	src := rng.New(77)
+	jittered := base.Clone()
+	for i := range jittered.Minutiae {
+		jittered.Minutiae[i].X += src.NormMS(0, 1.5)
+		jittered.Minutiae[i].Y += src.NormMS(0, 1.5)
+		if jittered.Minutiae[i].X < 0 {
+			jittered.Minutiae[i].X = 0
+		}
+		if jittered.Minutiae[i].Y < 0 {
+			jittered.Minutiae[i].Y = 0
+		}
+		if jittered.Minutiae[i].X >= float64(jittered.Width) {
+			jittered.Minutiae[i].X = float64(jittered.Width) - 1
+		}
+		if jittered.Minutiae[i].Y >= float64(jittered.Height) {
+			jittered.Minutiae[i].Y = float64(jittered.Height) - 1
+		}
+	}
+	clean, err := m.Match(base, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := m.Match(base, jittered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noisy.Score < clean.Score*0.5 {
+		t.Fatalf("1.5px jitter collapsed score: %v -> %v", clean.Score, noisy.Score)
+	}
+}
+
+func TestMatchDegradesMonotonicallyWithDroppedMinutiae(t *testing.T) {
+	var m HoughMatcher
+	base := syntheticTemplate(17, 40)
+	prev := math.Inf(1)
+	for _, keep := range []int{40, 30, 20, 10} {
+		probe := base.Clone()
+		probe.Minutiae = probe.Minutiae[:keep]
+		res, err := m.Match(base, probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Allow small non-monotonicity from the overlap floor, but the
+		// overall trend must be decreasing.
+		if res.Score > prev+2 {
+			t.Fatalf("score rose from %v to %v after dropping minutiae", prev, res.Score)
+		}
+		prev = res.Score
+	}
+}
+
+func TestGreedyMatcherAgreesOnIdentity(t *testing.T) {
+	g := &GreedyMatcher{}
+	f := func(seed uint64) bool {
+		tpl := syntheticTemplate(seed%500+1, 25)
+		res, err := g.Match(tpl, tpl)
+		if err != nil {
+			return false
+		}
+		// Identity alignment: every minutia pairs with itself at zero
+		// residual.
+		return res.Matched == tpl.Count() && res.MeanResidual < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransformedSelfMatchTransformConsistency(t *testing.T) {
+	// Whatever transform the matcher reports, applying it to the probe
+	// must place matched minutiae near their gallery partners.
+	var m HoughMatcher
+	base := syntheticTemplate(23, 30)
+	tr := geom.Rigid{Theta: 0.2, T: geom.Point{X: 15, Y: -10}, S: 1}
+	probe := transformTemplate(base, tr)
+	res, err := m.Match(base, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matched < 5 {
+		t.Fatalf("too few pairs: %d", res.Matched)
+	}
+	for _, pair := range res.Pairs {
+		g := base.Minutiae[pair[0]]
+		p := probe.Minutiae[pair[1]]
+		moved := res.Transform.Apply(geom.Point{X: p.X, Y: p.Y})
+		if moved.Dist(geom.Point{X: g.X, Y: g.Y}) > 14 {
+			t.Fatalf("pair residual exceeds tolerance after transform")
+		}
+	}
+}

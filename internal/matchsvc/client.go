@@ -1,0 +1,203 @@
+package matchsvc
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"fpinterop/internal/gallery"
+	"fpinterop/internal/minutiae"
+)
+
+// Client is a connection to the matching service. It is safe for
+// concurrent use; requests are serialized over one connection.
+type Client struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	timeout time.Duration
+}
+
+// SetRequestTimeout bounds each round trip; zero (the default) means no
+// deadline. Identification over a large gallery can legitimately take
+// seconds — size the timeout to the gallery.
+func (c *Client) SetRequestTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.timeout = d
+}
+
+// Dial connects to a server address with the given timeout.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("matchsvc: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close shuts the connection down.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// roundTrip sends one request and decodes the response payload.
+func (c *Client) roundTrip(op byte, payload []byte) (*payloadReader, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.timeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+			return nil, fmt.Errorf("matchsvc: set deadline: %w", err)
+		}
+	}
+	if err := writeFrame(c.conn, op, payload); err != nil {
+		return nil, err
+	}
+	status, resp, err := readFrame(c.conn)
+	if err != nil {
+		return nil, fmt.Errorf("matchsvc: read response: %w", err)
+	}
+	r := &payloadReader{buf: resp}
+	if status == StatusError {
+		msg, err := r.string()
+		if err != nil {
+			msg = "(malformed error payload)"
+		}
+		return nil, fmt.Errorf("%w: %s", ErrRemote, msg)
+	}
+	if status != StatusOK {
+		return nil, fmt.Errorf("matchsvc: unknown status 0x%02x", status)
+	}
+	return r, nil
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(OpPing, nil)
+	return err
+}
+
+// MatchResult is the service-side comparison outcome.
+type MatchResult struct {
+	Score   float64
+	Matched int
+}
+
+func decodeMatch(r *payloadReader) (MatchResult, error) {
+	score, err := r.float64()
+	if err != nil {
+		return MatchResult{}, err
+	}
+	matched, err := r.uint32()
+	if err != nil {
+		return MatchResult{}, err
+	}
+	return MatchResult{Score: score, Matched: int(matched)}, nil
+}
+
+// Match compares two templates on the server.
+func (c *Client) Match(g, p *minutiae.Template) (MatchResult, error) {
+	var w payloadWriter
+	if err := w.template(g); err != nil {
+		return MatchResult{}, err
+	}
+	if err := w.template(p); err != nil {
+		return MatchResult{}, err
+	}
+	r, err := c.roundTrip(OpMatch, w.buf)
+	if err != nil {
+		return MatchResult{}, err
+	}
+	return decodeMatch(r)
+}
+
+// Enroll registers a template under id.
+func (c *Client) Enroll(id, deviceID string, tpl *minutiae.Template) error {
+	var w payloadWriter
+	if err := w.string(id); err != nil {
+		return err
+	}
+	if err := w.string(deviceID); err != nil {
+		return err
+	}
+	if err := w.template(tpl); err != nil {
+		return err
+	}
+	_, err := c.roundTrip(OpEnroll, w.buf)
+	return err
+}
+
+// Verify compares a probe against one enrollment.
+func (c *Client) Verify(id string, probe *minutiae.Template) (MatchResult, error) {
+	var w payloadWriter
+	if err := w.string(id); err != nil {
+		return MatchResult{}, err
+	}
+	if err := w.template(probe); err != nil {
+		return MatchResult{}, err
+	}
+	r, err := c.roundTrip(OpVerify, w.buf)
+	if err != nil {
+		return MatchResult{}, err
+	}
+	return decodeMatch(r)
+}
+
+// Identify searches the gallery and returns the top-k candidates.
+func (c *Client) Identify(probe *minutiae.Template, k int) ([]gallery.Candidate, error) {
+	var w payloadWriter
+	w.uint32(uint32(k))
+	if err := w.template(probe); err != nil {
+		return nil, err
+	}
+	r, err := c.roundTrip(OpIdentify, w.buf)
+	if err != nil {
+		return nil, err
+	}
+	n, err := r.uint32()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]gallery.Candidate, 0, n)
+	for i := uint32(0); i < n; i++ {
+		id, err := r.string()
+		if err != nil {
+			return nil, err
+		}
+		dev, err := r.string()
+		if err != nil {
+			return nil, err
+		}
+		score, err := r.float64()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, gallery.Candidate{ID: id, DeviceID: dev, Score: score})
+	}
+	return out, nil
+}
+
+// Remove deletes an enrollment.
+func (c *Client) Remove(id string) error {
+	var w payloadWriter
+	if err := w.string(id); err != nil {
+		return err
+	}
+	_, err := c.roundTrip(OpRemove, w.buf)
+	return err
+}
+
+// Count returns the number of enrollments.
+func (c *Client) Count() (int, error) {
+	r, err := c.roundTrip(OpCount, nil)
+	if err != nil {
+		return 0, err
+	}
+	n, err := r.uint32()
+	if err != nil {
+		return 0, err
+	}
+	return int(n), nil
+}

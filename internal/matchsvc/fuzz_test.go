@@ -1,0 +1,41 @@
+package matchsvc
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// readFrame must never panic on arbitrary bytes: the server reads frames
+// straight off the network.
+func TestReadFrameNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("readFrame panicked: %v", r)
+			}
+		}()
+		_, _, _ = readFrame(bytes.NewReader(data))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// dispatch must never panic on arbitrary payloads for any opcode.
+func TestDispatchNeverPanics(t *testing.T) {
+	srv := NewServer(nil, nil)
+	f := func(op byte, payload []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("dispatch(0x%02x) panicked: %v", op, r)
+			}
+		}()
+		status, _ := srv.dispatch(op, payload)
+		return status == StatusOK || status == StatusError
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,323 @@
+package matchsvc
+
+import (
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fpinterop/internal/gallery"
+	"fpinterop/internal/minutiae"
+	"fpinterop/internal/population"
+	"fpinterop/internal/rng"
+	"fpinterop/internal/sensor"
+)
+
+// startServer spins a server on an ephemeral port and returns a connected
+// client; everything shuts down with the test.
+func startServer(t *testing.T) (*Client, *Server) {
+	t.Helper()
+	srv := NewServer(gallery.New(nil), nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx) }()
+	t.Cleanup(func() {
+		cancel()
+		srv.Close()
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	cli, err := Dial(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	return cli, srv
+}
+
+// testImpressions captures a small cohort on a device.
+func testImpressions(t *testing.T, n int, deviceID string, sample int) []*minutiae.Template {
+	t.Helper()
+	cohort := population.NewCohort(rng.New(999), population.CohortOptions{Size: n})
+	dev, _ := sensor.ProfileByID(deviceID)
+	out := make([]*minutiae.Template, n)
+	for i, s := range cohort.Subjects {
+		imp, err := dev.CaptureSubject(s, sample, sensor.CaptureOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = imp.Template
+	}
+	return out
+}
+
+func TestPing(t *testing.T) {
+	cli, _ := startServer(t)
+	if err := cli.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoteMatch(t *testing.T) {
+	cli, _ := startServer(t)
+	tpls := testImpressions(t, 2, "D0", 0)
+	probes := testImpressions(t, 2, "D0", 1)
+	genuine, err := cli.Match(tpls[0], probes[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	impostor, err := cli.Match(tpls[0], probes[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if genuine.Score <= impostor.Score {
+		t.Fatalf("remote genuine %v not above impostor %v", genuine.Score, impostor.Score)
+	}
+	if genuine.Matched == 0 {
+		t.Fatal("no matched minutiae reported")
+	}
+}
+
+func TestEnrollVerifyIdentifyRemove(t *testing.T) {
+	cli, _ := startServer(t)
+	gallery := testImpressions(t, 3, "D0", 0)
+	probes := testImpressions(t, 3, "D1", 1) // cross-device probes
+	ids := []string{"alice", "bob", "carol"}
+	for i, tpl := range gallery {
+		if err := cli.Enroll(ids[i], "D0", tpl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, err := cli.Count(); err != nil || n != 3 {
+		t.Fatalf("count = %d, %v", n, err)
+	}
+	res, err := cli.Verify("alice", probes[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score <= 0 {
+		t.Fatalf("verify score %v", res.Score)
+	}
+	cands, err := cli.Identify(probes[1], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 2 {
+		t.Fatalf("got %d candidates", len(cands))
+	}
+	if cands[0].ID != "bob" {
+		t.Fatalf("rank-1 = %s, want bob", cands[0].ID)
+	}
+	if cands[0].DeviceID != "D0" {
+		t.Fatal("device metadata lost in transit")
+	}
+	if err := cli.Remove("bob"); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := cli.Count(); n != 2 {
+		t.Fatalf("count after remove = %d", n)
+	}
+}
+
+func TestRemoteErrors(t *testing.T) {
+	cli, _ := startServer(t)
+	tpl := testImpressions(t, 1, "D0", 0)[0]
+	// Verify against unknown ID → remote error.
+	if _, err := cli.Verify("ghost", tpl); !errors.Is(err, ErrRemote) {
+		t.Fatalf("want ErrRemote, got %v", err)
+	}
+	if err := cli.Enroll("a", "D0", tpl); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Enroll("a", "D0", tpl); !errors.Is(err, ErrRemote) {
+		t.Fatalf("duplicate enroll: want ErrRemote, got %v", err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	cli, srv := startServer(t)
+	tpls := testImpressions(t, 4, "D0", 0)
+	for i, tpl := range tpls {
+		if err := cli.Enroll(string(rune('a'+i)), "D0", tpl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	addr := srv.listener.Addr().String()
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := Dial(addr, 2*time.Second)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < 3; i++ {
+				if _, err := c.Identify(tpls[w], 1); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownOpcode(t *testing.T) {
+	_, srv := startServer(t)
+	addr := srv.listener.Addr().String()
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := writeFrame(conn, 0x7f, nil); err != nil {
+		t.Fatal(err)
+	}
+	status, payload, err := readFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != StatusError {
+		t.Fatalf("status = 0x%02x, want error", status)
+	}
+	r := &payloadReader{buf: payload}
+	msg, err := r.string()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(msg, "unknown opcode") {
+		t.Fatalf("message %q", msg)
+	}
+}
+
+func TestMalformedPayloadRejected(t *testing.T) {
+	_, srv := startServer(t)
+	addr := srv.listener.Addr().String()
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// OpMatch with garbage payload must produce a clean error frame, not
+	// a hang or crash.
+	if err := writeFrame(conn, OpMatch, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	status, _, err := readFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != StatusError {
+		t.Fatalf("status = 0x%02x, want error", status)
+	}
+}
+
+func TestFrameCap(t *testing.T) {
+	var sink deadWriter
+	err := writeFrame(&sink, OpPing, make([]byte, maxFrame+1))
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("want ErrFrameTooLarge, got %v", err)
+	}
+}
+
+type deadWriter struct{}
+
+func (deadWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+func TestPayloadRoundTrip(t *testing.T) {
+	var w payloadWriter
+	if err := w.string("hello"); err != nil {
+		t.Fatal(err)
+	}
+	w.uint32(42)
+	w.float64(3.25)
+	w.bytes([]byte{9, 8})
+	r := &payloadReader{buf: w.buf}
+	if s, err := r.string(); err != nil || s != "hello" {
+		t.Fatalf("string: %q %v", s, err)
+	}
+	if v, err := r.uint32(); err != nil || v != 42 {
+		t.Fatalf("uint32: %d %v", v, err)
+	}
+	if f, err := r.float64(); err != nil || f != 3.25 {
+		t.Fatalf("float64: %v %v", f, err)
+	}
+	if b, err := r.bytes(); err != nil || len(b) != 2 || b[0] != 9 {
+		t.Fatalf("bytes: %v %v", b, err)
+	}
+	// Reading past the end fails cleanly.
+	if _, err := r.uint32(); err == nil {
+		t.Fatal("expected short-payload error")
+	}
+}
+
+func TestServeBeforeListen(t *testing.T) {
+	srv := NewServer(nil, nil)
+	if err := srv.Serve(context.Background()); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestServerCloseIdempotentShutdown(t *testing.T) {
+	cli, srv := startServer(t)
+	_ = cli.Ping()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// After close, client requests fail.
+	if err := cli.Ping(); err == nil {
+		t.Fatal("ping succeeded after server close")
+	}
+}
+
+func TestClientRequestTimeout(t *testing.T) {
+	// A server that accepts but never replies: the request must fail by
+	// deadline rather than hang.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 1024)
+		for {
+			if _, err := conn.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	cli, err := Dial(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	cli.SetRequestTimeout(100 * time.Millisecond)
+	start := time.Now()
+	if err := cli.Ping(); err == nil {
+		t.Fatal("ping to mute server succeeded")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("timeout did not bound the request")
+	}
+}

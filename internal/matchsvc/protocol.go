@@ -1,0 +1,204 @@
+// Package matchsvc implements a networked fingerprint matching service:
+// a TCP server fronting a central enrollment gallery, and a client
+// library for edge capture stations. This is the deployment architecture
+// the paper's discussion section asks about — heterogeneous sensors at
+// the edge, one central matcher and gallery — so the interoperability
+// effects quantified by the study surface as service-level error rates.
+//
+// The wire protocol is deliberately simple and self-contained: each
+// message is a frame
+//
+//	uint32  payload length (big endian, excluding these 5 bytes)
+//	uint8   opcode (request) or status (response)
+//	bytes   payload
+//
+// Payload strings are uint16-length-prefixed UTF-8; templates use the
+// minutiae binary codec. Frames are capped at 1 MiB.
+package matchsvc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"fpinterop/internal/minutiae"
+)
+
+// Opcodes for requests.
+const (
+	// OpPing checks liveness.
+	OpPing = 0x01
+	// OpMatch compares two templates carried in the request.
+	OpMatch = 0x02
+	// OpEnroll adds a template to the gallery under an ID.
+	OpEnroll = 0x03
+	// OpVerify compares a probe against one enrollment (1:1).
+	OpVerify = 0x04
+	// OpIdentify searches a probe against the whole gallery (1:N).
+	OpIdentify = 0x05
+	// OpRemove deletes an enrollment.
+	OpRemove = 0x06
+	// OpCount returns the number of enrollments.
+	OpCount = 0x07
+)
+
+// Response status codes.
+const (
+	// StatusOK carries a successful result payload.
+	StatusOK = 0x00
+	// StatusError carries an error string payload.
+	StatusError = 0x01
+)
+
+// maxFrame bounds a frame payload (1 MiB — a template is ≤ ~32 KiB).
+const maxFrame = 1 << 20
+
+var (
+	// ErrFrameTooLarge reports an oversized frame.
+	ErrFrameTooLarge = errors.New("matchsvc: frame exceeds 1 MiB cap")
+	// ErrRemote wraps a server-reported error on the client side.
+	ErrRemote = errors.New("matchsvc: remote error")
+)
+
+// writeFrame emits one frame.
+func writeFrame(w io.Writer, op byte, payload []byte) error {
+	if len(payload) > maxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = op
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("matchsvc: write header: %w", err)
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return fmt.Errorf("matchsvc: write payload: %w", err)
+		}
+	}
+	return nil
+}
+
+// readFrame reads one frame.
+func readFrame(r io.Reader) (op byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err // EOF passes through for clean shutdown
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n > maxFrame {
+		return 0, nil, ErrFrameTooLarge
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("matchsvc: read payload: %w", err)
+	}
+	return hdr[4], payload, nil
+}
+
+// payloadWriter accumulates a request/response payload.
+type payloadWriter struct {
+	buf []byte
+}
+
+func (p *payloadWriter) string(s string) error {
+	if len(s) > math.MaxUint16 {
+		return fmt.Errorf("matchsvc: string of %d bytes too long", len(s))
+	}
+	var l [2]byte
+	binary.BigEndian.PutUint16(l[:], uint16(len(s)))
+	p.buf = append(p.buf, l[:]...)
+	p.buf = append(p.buf, s...)
+	return nil
+}
+
+func (p *payloadWriter) bytes(b []byte) {
+	var l [4]byte
+	binary.BigEndian.PutUint32(l[:], uint32(len(b)))
+	p.buf = append(p.buf, l[:]...)
+	p.buf = append(p.buf, b...)
+}
+
+func (p *payloadWriter) template(t *minutiae.Template) error {
+	data, err := minutiae.Marshal(t)
+	if err != nil {
+		return err
+	}
+	p.bytes(data)
+	return nil
+}
+
+func (p *payloadWriter) uint32(v uint32) {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	p.buf = append(p.buf, b[:]...)
+}
+
+func (p *payloadWriter) float64(v float64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], math.Float64bits(v))
+	p.buf = append(p.buf, b[:]...)
+}
+
+// payloadReader consumes a payload.
+type payloadReader struct {
+	buf []byte
+	off int
+}
+
+var errShortPayload = errors.New("matchsvc: short payload")
+
+func (p *payloadReader) take(n int) ([]byte, error) {
+	if p.off+n > len(p.buf) {
+		return nil, errShortPayload
+	}
+	b := p.buf[p.off : p.off+n]
+	p.off += n
+	return b, nil
+}
+
+func (p *payloadReader) string() (string, error) {
+	l, err := p.take(2)
+	if err != nil {
+		return "", err
+	}
+	b, err := p.take(int(binary.BigEndian.Uint16(l)))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func (p *payloadReader) bytes() ([]byte, error) {
+	l, err := p.take(4)
+	if err != nil {
+		return nil, err
+	}
+	return p.take(int(binary.BigEndian.Uint32(l)))
+}
+
+func (p *payloadReader) template() (*minutiae.Template, error) {
+	data, err := p.bytes()
+	if err != nil {
+		return nil, err
+	}
+	return minutiae.Unmarshal(data)
+}
+
+func (p *payloadReader) uint32() (uint32, error) {
+	b, err := p.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(b), nil
+}
+
+func (p *payloadReader) float64() (float64, error) {
+	b, err := p.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(b)), nil
+}

@@ -1,0 +1,257 @@
+package matchsvc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"fpinterop/internal/gallery"
+	"fpinterop/internal/match"
+)
+
+// Server is the central matching service: it owns a gallery.Store and
+// serves the frame protocol over TCP. Connections are handled
+// concurrently; requests within one connection are processed in order.
+type Server struct {
+	store  *gallery.Store
+	logger *log.Logger
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewServer returns a server backed by the given store (a fresh store
+// with the default matcher when nil). logger may be nil to disable
+// logging.
+func NewServer(store *gallery.Store, logger *log.Logger) *Server {
+	if store == nil {
+		store = gallery.New(nil)
+	}
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	return &Server{store: store, logger: logger, conns: make(map[net.Conn]struct{})}
+}
+
+// Store exposes the underlying gallery (e.g. for pre-enrollment).
+func (s *Server) Store() *gallery.Store { return s.store }
+
+// Listen binds addr (e.g. "127.0.0.1:0") and returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("matchsvc: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return "", errors.New("matchsvc: server already closed")
+	}
+	s.listener = ln
+	s.mu.Unlock()
+	return ln.Addr().String(), nil
+}
+
+// Serve accepts connections until the context is cancelled or Close is
+// called. Listen must have been called first.
+func (s *Server) Serve(ctx context.Context) error {
+	s.mu.Lock()
+	ln := s.listener
+	s.mu.Unlock()
+	if ln == nil {
+		return errors.New("matchsvc: Serve before Listen")
+	}
+	go func() {
+		<-ctx.Done()
+		ln.Close()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil || s.isClosed() {
+				s.wg.Wait()
+				return nil
+			}
+			return fmt.Errorf("matchsvc: accept: %w", err)
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
+			if err := s.handle(conn); err != nil && !errors.Is(err, io.EOF) {
+				s.logger.Printf("matchsvc: connection %s: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Close stops accepting, closes active connections and waits for
+// handlers to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// handle serves one connection until EOF.
+func (s *Server) handle(conn net.Conn) error {
+	for {
+		op, payload, err := readFrame(conn)
+		if err != nil {
+			return err
+		}
+		status, resp := s.dispatch(op, payload)
+		if err := writeFrame(conn, status, resp); err != nil {
+			return err
+		}
+	}
+}
+
+// dispatch executes one request and builds the response payload.
+func (s *Server) dispatch(op byte, payload []byte) (byte, []byte) {
+	fail := func(err error) (byte, []byte) {
+		var w payloadWriter
+		// Error strings are bounded by the frame cap; truncate defensively.
+		msg := err.Error()
+		if len(msg) > 1024 {
+			msg = msg[:1024]
+		}
+		if werr := w.string(msg); werr != nil {
+			return StatusError, nil
+		}
+		return StatusError, w.buf
+	}
+	r := &payloadReader{buf: payload}
+	switch op {
+	case OpPing:
+		return StatusOK, nil
+
+	case OpMatch:
+		g, err := r.template()
+		if err != nil {
+			return fail(err)
+		}
+		p, err := r.template()
+		if err != nil {
+			return fail(err)
+		}
+		res, err := (&match.HoughMatcher{}).Match(g, p)
+		if err != nil {
+			return fail(err)
+		}
+		var w payloadWriter
+		w.float64(res.Score)
+		w.uint32(uint32(res.Matched))
+		return StatusOK, w.buf
+
+	case OpEnroll:
+		id, err := r.string()
+		if err != nil {
+			return fail(err)
+		}
+		deviceID, err := r.string()
+		if err != nil {
+			return fail(err)
+		}
+		tpl, err := r.template()
+		if err != nil {
+			return fail(err)
+		}
+		if err := s.store.Enroll(id, deviceID, tpl); err != nil {
+			return fail(err)
+		}
+		return StatusOK, nil
+
+	case OpVerify:
+		id, err := r.string()
+		if err != nil {
+			return fail(err)
+		}
+		probe, err := r.template()
+		if err != nil {
+			return fail(err)
+		}
+		res, err := s.store.Verify(id, probe)
+		if err != nil {
+			return fail(err)
+		}
+		var w payloadWriter
+		w.float64(res.Score)
+		w.uint32(uint32(res.Matched))
+		return StatusOK, w.buf
+
+	case OpIdentify:
+		k, err := r.uint32()
+		if err != nil {
+			return fail(err)
+		}
+		probe, err := r.template()
+		if err != nil {
+			return fail(err)
+		}
+		cands, err := s.store.Identify(probe, int(k))
+		if err != nil {
+			return fail(err)
+		}
+		var w payloadWriter
+		w.uint32(uint32(len(cands)))
+		for _, c := range cands {
+			if err := w.string(c.ID); err != nil {
+				return fail(err)
+			}
+			if err := w.string(c.DeviceID); err != nil {
+				return fail(err)
+			}
+			w.float64(c.Score)
+		}
+		return StatusOK, w.buf
+
+	case OpRemove:
+		id, err := r.string()
+		if err != nil {
+			return fail(err)
+		}
+		if err := s.store.Remove(id); err != nil {
+			return fail(err)
+		}
+		return StatusOK, nil
+
+	case OpCount:
+		var w payloadWriter
+		w.uint32(uint32(s.store.Len()))
+		return StatusOK, w.buf
+
+	default:
+		return fail(fmt.Errorf("matchsvc: unknown opcode 0x%02x", op))
+	}
+}

@@ -1,0 +1,140 @@
+package minutiae
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Binary template format, modelled on ISO/IEC 19794-2 compact cards:
+//
+//	offset  size  field
+//	0       4     magic "FMR\x00"
+//	4       2     format version (big endian), currently 1
+//	6       2     image width in pixels
+//	8       2     image height in pixels
+//	10      2     resolution in DPI
+//	12      2     minutia count
+//	14      8·n   minutiae records
+//
+// Each minutia record is 8 bytes:
+//
+//	0  2   type (2 bits) << 14 | x (14 bits, fixed-point pixels)
+//	2  2   y (14 bits)
+//	4  2   angle, units of 2π/65536
+//	6  1   quality 0..100
+//	7  1   reserved (zero)
+var (
+	magic = [4]byte{'F', 'M', 'R', 0}
+
+	// ErrBadMagic reports a stream that is not a serialized template.
+	ErrBadMagic = errors.New("minutiae: bad template magic")
+	// ErrTruncated reports a stream shorter than its declared contents.
+	ErrTruncated = errors.New("minutiae: truncated template")
+)
+
+const (
+	headerSize  = 14
+	recordSize  = 8
+	formatV1    = 1
+	maxCoord    = 1<<14 - 1
+	angleUnits  = 65536.0
+	maxMinutiae = 1 << 12
+)
+
+// Marshal serializes the template.
+func Marshal(t *Template) ([]byte, error) {
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("marshal: %w", err)
+	}
+	if t.Width > maxCoord || t.Height > maxCoord {
+		return nil, fmt.Errorf("minutiae: dimensions %dx%d exceed 14-bit coordinate space", t.Width, t.Height)
+	}
+	if len(t.Minutiae) > maxMinutiae {
+		return nil, fmt.Errorf("minutiae: %d minutiae exceed format cap %d", len(t.Minutiae), maxMinutiae)
+	}
+	buf := make([]byte, headerSize+recordSize*len(t.Minutiae))
+	copy(buf[0:4], magic[:])
+	binary.BigEndian.PutUint16(buf[4:6], formatV1)
+	binary.BigEndian.PutUint16(buf[6:8], uint16(t.Width))
+	binary.BigEndian.PutUint16(buf[8:10], uint16(t.Height))
+	binary.BigEndian.PutUint16(buf[10:12], uint16(t.DPI))
+	binary.BigEndian.PutUint16(buf[12:14], uint16(len(t.Minutiae)))
+	for i, m := range t.Minutiae {
+		rec := buf[headerSize+i*recordSize:]
+		var kind uint16
+		switch m.Kind {
+		case Ending:
+			kind = 1
+		case Bifurcation:
+			kind = 2
+		}
+		x := uint16(math.Round(m.X))
+		y := uint16(math.Round(m.Y))
+		if x > maxCoord {
+			x = maxCoord
+		}
+		if y > maxCoord {
+			y = maxCoord
+		}
+		binary.BigEndian.PutUint16(rec[0:2], kind<<14|x)
+		binary.BigEndian.PutUint16(rec[2:4], y)
+		angle := uint16(math.Round(NormalizeAngle(m.Angle) / (2 * math.Pi) * angleUnits))
+		binary.BigEndian.PutUint16(rec[4:6], angle)
+		q := m.Quality
+		if q > 100 {
+			q = 100
+		}
+		rec[6] = q
+		rec[7] = 0
+	}
+	return buf, nil
+}
+
+// Unmarshal parses a serialized template.
+func Unmarshal(data []byte) (*Template, error) {
+	if len(data) < headerSize {
+		return nil, ErrTruncated
+	}
+	if data[0] != magic[0] || data[1] != magic[1] || data[2] != magic[2] || data[3] != magic[3] {
+		return nil, ErrBadMagic
+	}
+	if v := binary.BigEndian.Uint16(data[4:6]); v != formatV1 {
+		return nil, fmt.Errorf("minutiae: unsupported format version %d", v)
+	}
+	t := &Template{
+		Width:  int(binary.BigEndian.Uint16(data[6:8])),
+		Height: int(binary.BigEndian.Uint16(data[8:10])),
+		DPI:    int(binary.BigEndian.Uint16(data[10:12])),
+	}
+	n := int(binary.BigEndian.Uint16(data[12:14]))
+	if len(data) < headerSize+n*recordSize {
+		return nil, ErrTruncated
+	}
+	t.Minutiae = make([]Minutia, n)
+	for i := 0; i < n; i++ {
+		rec := data[headerSize+i*recordSize:]
+		word := binary.BigEndian.Uint16(rec[0:2])
+		var kind Type
+		switch word >> 14 {
+		case 1:
+			kind = Ending
+		case 2:
+			kind = Bifurcation
+		default:
+			return nil, fmt.Errorf("minutiae: record %d has invalid type %d", i, word>>14)
+		}
+		t.Minutiae[i] = Minutia{
+			X:       float64(word & maxCoord),
+			Y:       float64(binary.BigEndian.Uint16(rec[2:4]) & maxCoord),
+			Angle:   float64(binary.BigEndian.Uint16(rec[4:6])) / angleUnits * 2 * math.Pi,
+			Kind:    kind,
+			Quality: rec[6],
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("unmarshal: %w", err)
+	}
+	return t, nil
+}

@@ -1,0 +1,230 @@
+package minutiae
+
+import (
+	"math"
+	"sort"
+
+	"fpinterop/internal/imgproc"
+)
+
+// ExtractOptions tunes skeleton-based minutiae extraction.
+type ExtractOptions struct {
+	// BorderMargin drops minutiae closer than this many pixels to the
+	// image border (border artifacts dominate there). Default 12.
+	BorderMargin int
+	// MinSpurLength removes ridge endings whose skeleton branch is shorter
+	// than this many pixels (spur artifacts). Default 8.
+	MinSpurLength int
+	// MergeRadius merges minutiae pairs closer than this many pixels
+	// (broken-ridge artifacts produce facing endpoint pairs). Default 6.
+	MergeRadius float64
+	// MinCoherence drops minutiae in blocks with orientation coherence
+	// below this threshold (unreliable regions). Default 0.15.
+	MinCoherence float64
+}
+
+func (o ExtractOptions) withDefaults() ExtractOptions {
+	if o.BorderMargin == 0 {
+		o.BorderMargin = 12
+	}
+	if o.MinSpurLength == 0 {
+		o.MinSpurLength = 8
+	}
+	if o.MergeRadius == 0 {
+		o.MergeRadius = 6
+	}
+	if o.MinCoherence == 0 {
+		o.MinCoherence = 0.15
+	}
+	return o
+}
+
+// Extract locates minutiae on a ridge skeleton using the crossing-number
+// method and applies standard spurious-minutiae filtering. The orientation
+// field of the source image supplies minutia angles; dpi annotates the
+// resulting template.
+func Extract(skel *imgproc.Binary, of *imgproc.OrientationField, dpi int, opts ExtractOptions) *Template {
+	opts = opts.withDefaults()
+	var raw []Minutia
+	for y := 0; y < skel.H; y++ {
+		for x := 0; x < skel.W; x++ {
+			if !skel.At(x, y) {
+				continue
+			}
+			cn := imgproc.CrossingNumber(skel, x, y)
+			var kind Type
+			switch {
+			case cn == 1:
+				kind = Ending
+			case cn >= 3:
+				kind = Bifurcation
+			default:
+				continue
+			}
+			angle := minutiaAngle(skel, x, y, of, kind)
+			raw = append(raw, Minutia{
+				X: float64(x), Y: float64(y),
+				Angle: angle, Kind: kind, Quality: 60,
+			})
+		}
+	}
+	raw = dropBorder(raw, skel.W, skel.H, opts.BorderMargin)
+	raw = dropLowCoherence(raw, of, opts.MinCoherence)
+	raw = removeSpurs(raw, skel, opts.MinSpurLength)
+	raw = mergeClose(raw, opts.MergeRadius)
+	sort.Slice(raw, func(i, j int) bool {
+		if raw[i].Y != raw[j].Y {
+			return raw[i].Y < raw[j].Y
+		}
+		return raw[i].X < raw[j].X
+	})
+	return &Template{Width: skel.W, Height: skel.H, DPI: dpi, Minutiae: raw}
+}
+
+// minutiaAngle derives the minutia direction: the local ridge orientation
+// disambiguated by the direction of the attached skeleton branch.
+func minutiaAngle(skel *imgproc.Binary, x, y int, of *imgproc.OrientationField, kind Type) float64 {
+	theta := of.ThetaAt(x, y) // ridge orientation in [0, π)
+	// Walk a few pixels along the branch to find which of theta/theta+π the
+	// ridge actually leaves toward.
+	dir := branchDirection(skel, x, y)
+	if dir == nil {
+		return NormalizeAngle(theta)
+	}
+	cand := theta
+	d1 := math.Abs(angularDiff(math.Atan2(dir[1], dir[0]), theta))
+	d2 := math.Abs(angularDiff(math.Atan2(dir[1], dir[0]), theta+math.Pi))
+	if d2 < d1 {
+		cand = theta + math.Pi
+	}
+	if kind == Ending {
+		// Ending direction points back along the ridge.
+		cand += math.Pi
+	}
+	return NormalizeAngle(cand)
+}
+
+// branchDirection returns the average direction of skeleton pixels within a
+// small disc of (x, y), or nil when isolated.
+func branchDirection(skel *imgproc.Binary, x, y int) []float64 {
+	var sx, sy float64
+	n := 0
+	const r = 4
+	for dy := -r; dy <= r; dy++ {
+		for dx := -r; dx <= r; dx++ {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			if skel.At(x+dx, y+dy) {
+				sx += float64(dx)
+				sy += float64(dy)
+				n++
+			}
+		}
+	}
+	if n == 0 || (sx == 0 && sy == 0) {
+		return nil
+	}
+	return []float64{sx, sy}
+}
+
+func angularDiff(a, b float64) float64 {
+	d := math.Mod(a-b, 2*math.Pi)
+	if d > math.Pi {
+		d -= 2 * math.Pi
+	}
+	if d < -math.Pi {
+		d += 2 * math.Pi
+	}
+	return d
+}
+
+func dropBorder(ms []Minutia, w, h, margin int) []Minutia {
+	out := ms[:0]
+	for _, m := range ms {
+		if m.X < float64(margin) || m.Y < float64(margin) ||
+			m.X >= float64(w-margin) || m.Y >= float64(h-margin) {
+			continue
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func dropLowCoherence(ms []Minutia, of *imgproc.OrientationField, minCoh float64) []Minutia {
+	out := ms[:0]
+	for _, m := range ms {
+		if of.CoherenceAt(int(m.X), int(m.Y)) < minCoh {
+			continue
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// removeSpurs drops endings whose skeleton branch terminates within
+// minLen pixels — classic spur artifacts of thinning.
+func removeSpurs(ms []Minutia, skel *imgproc.Binary, minLen int) []Minutia {
+	out := ms[:0]
+	for _, m := range ms {
+		if m.Kind == Ending && branchLength(skel, int(m.X), int(m.Y), minLen+1) < minLen {
+			continue
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// branchLength walks the skeleton from an endpoint until a junction, another
+// endpoint, or the cap, returning the number of steps taken.
+func branchLength(skel *imgproc.Binary, x, y, cap int) int {
+	px, py := -1, -1
+	steps := 0
+	for steps < cap {
+		// Find the next skeleton neighbour that is not where we came from.
+		nx, ny, count := -1, -1, 0
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				if dx == 0 && dy == 0 {
+					continue
+				}
+				cx, cy := x+dx, y+dy
+				if !skel.At(cx, cy) || (cx == px && cy == py) {
+					continue
+				}
+				nx, ny = cx, cy
+				count++
+			}
+		}
+		if count != 1 {
+			// Junction (or dead end): branch over.
+			return steps
+		}
+		px, py = x, y
+		x, y = nx, ny
+		steps++
+	}
+	return steps
+}
+
+// mergeClose removes both members of minutia pairs closer than radius —
+// facing endpoint pairs from broken ridges and double-detected
+// bifurcations are the classic false positives.
+func mergeClose(ms []Minutia, radius float64) []Minutia {
+	drop := make([]bool, len(ms))
+	for i := 0; i < len(ms); i++ {
+		for j := i + 1; j < len(ms); j++ {
+			if ms[i].Dist(ms[j]) < radius {
+				drop[i] = true
+				drop[j] = true
+			}
+		}
+	}
+	out := ms[:0]
+	for i, m := range ms {
+		if !drop[i] {
+			out = append(out, m)
+		}
+	}
+	return out
+}

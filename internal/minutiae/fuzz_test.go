@@ -1,0 +1,56 @@
+package minutiae
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Unmarshal must reject, never panic on, arbitrary input — templates
+// arrive over the network in the matching service.
+func TestUnmarshalNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Unmarshal panicked on %d bytes: %v", len(data), r)
+			}
+		}()
+		tpl, err := Unmarshal(data)
+		// Either a clean error or a template that validates.
+		if err == nil {
+			if verr := tpl.Validate(); verr != nil {
+				t.Fatalf("Unmarshal accepted invalid template: %v", verr)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Unmarshal must also survive corrupted versions of valid templates.
+func TestUnmarshalCorruptedValidTemplate(t *testing.T) {
+	tpl := validTemplate()
+	data, err := Marshal(tpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		for _, flip := range []byte{0xff, 0x80, 0x01} {
+			mut := append([]byte(nil), data...)
+			mut[i] ^= flip
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("panic with byte %d flipped by %x: %v", i, flip, r)
+					}
+				}()
+				if out, err := Unmarshal(mut); err == nil {
+					if verr := out.Validate(); verr != nil {
+						t.Fatalf("corrupted template accepted: %v", verr)
+					}
+				}
+			}()
+		}
+	}
+}

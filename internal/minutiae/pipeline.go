@@ -1,0 +1,60 @@
+package minutiae
+
+import (
+	"fmt"
+
+	"fpinterop/internal/imgproc"
+)
+
+// ExtractFromImage runs the full image-to-template pipeline on a grayscale
+// fingerprint image (ridges dark): normalization, block orientation
+// estimation with smoothing, Gabor enhancement, Otsu binarization,
+// Zhang–Suen thinning, and crossing-number minutiae extraction with
+// spurious filtering.
+func ExtractFromImage(img *imgproc.Image, dpi int, opts ExtractOptions) (*Template, error) {
+	if img == nil || img.W == 0 || img.H == 0 {
+		return nil, fmt.Errorf("minutiae: empty image")
+	}
+	if dpi <= 0 {
+		return nil, fmt.Errorf("minutiae: invalid dpi %d", dpi)
+	}
+	work := img.Clone().Normalize(0.5, 0.18).Clamp()
+
+	const block = 16
+	of := imgproc.EstimateOrientation(work, block)
+	of.Smooth(1)
+
+	// Gabor enhancement tuned to the measured ridge frequency (fall back
+	// to the 500-dpi prior of 9 px when measurement fails).
+	freq := imgproc.EstimateFrequency(work, of, work.W/2, work.H/2, 48)
+	if freq < 1.0/16 || freq > 1.0/5 {
+		freq = 1.0 / 9
+	}
+	sigma := 1 / freq / 2.2
+	const bins = 16
+	kernels := make([][][]float64, bins)
+	for b := 0; b < bins; b++ {
+		theta := (float64(b) + 0.5) * 3.141592653589793 / float64(bins)
+		kernels[b] = imgproc.GaborKernel(theta, freq, sigma, sigma)
+	}
+	enhanced := imgproc.NewImage(work.W, work.H)
+	for y := 0; y < work.H; y++ {
+		for x := 0; x < work.W; x++ {
+			theta := of.ThetaAt(x, y)
+			b := int(theta / 3.141592653589793 * float64(bins))
+			if b >= bins {
+				b = bins - 1
+			}
+			r := imgproc.ApplyKernelAt(work, kernels[b], x, y)
+			// Negative response = ridge (dark); map to grayscale.
+			enhanced.Pix[y*work.W+x] = 0.5 + 0.5*r
+		}
+	}
+	enhanced.Clamp()
+
+	thr := imgproc.OtsuThreshold(enhanced)
+	binary := imgproc.Binarize(enhanced, thr)
+	skel := imgproc.Thin(binary)
+	tpl := Extract(skel, of, dpi, opts)
+	return tpl, nil
+}

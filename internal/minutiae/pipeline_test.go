@@ -1,0 +1,82 @@
+package minutiae
+
+import (
+	"math"
+	"testing"
+
+	"fpinterop/internal/imgproc"
+)
+
+// sinusoidalRidges renders clean parallel ridges with a few breaks so the
+// extractor has endpoints to find.
+func sinusoidalRidges(w, h int, period float64) *imgproc.Image {
+	im := imgproc.NewImage(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := 0.5 + 0.45*math.Cos(2*math.Pi*float64(y)/period)
+			im.Set(x, y, v)
+		}
+	}
+	// Punch a wide white gap (3 periods — too wide for Gabor enhancement
+	// to heal) into the ridges to create endings.
+	for y := 0; y < h; y++ {
+		for x := w / 2; x < w/2+3*int(period); x++ {
+			if im.At(x, y) < 0.4 {
+				im.Set(x, y, 1)
+			}
+		}
+	}
+	return im
+}
+
+func TestExtractFromImageFindsFeatures(t *testing.T) {
+	img := sinusoidalRidges(128, 128, 9)
+	tpl, err := ExtractFromImage(img, 500, ExtractOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tpl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tpl.DPI != 500 || tpl.Width != 128 {
+		t.Fatal("metadata wrong")
+	}
+	if tpl.Count() == 0 {
+		t.Fatal("no minutiae found in broken-ridge image")
+	}
+}
+
+func TestExtractFromImageErrors(t *testing.T) {
+	if _, err := ExtractFromImage(nil, 500, ExtractOptions{}); err == nil {
+		t.Fatal("expected nil-image error")
+	}
+	if _, err := ExtractFromImage(imgproc.NewImage(32, 32), 0, ExtractOptions{}); err == nil {
+		t.Fatal("expected dpi error")
+	}
+}
+
+func TestExtractFromImageBlankImage(t *testing.T) {
+	blank := imgproc.NewImageFilled(96, 96, 1)
+	tpl, err := ExtractFromImage(blank, 500, ExtractOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tpl.Count() > 4 {
+		t.Fatalf("blank image produced %d minutiae", tpl.Count())
+	}
+}
+
+func TestExtractFromImageDeterministic(t *testing.T) {
+	img := sinusoidalRidges(96, 96, 9)
+	a, err := ExtractFromImage(img, 500, ExtractOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ExtractFromImage(img, 500, ExtractOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != b.Count() {
+		t.Fatal("pipeline not deterministic")
+	}
+}

@@ -1,0 +1,321 @@
+// Package population generates the synthetic study cohort. The paper
+// collected fingerprints from 494 participants at West Virginia University
+// in 2012; Figure 1 summarizes their age and ethnicity distributions (53%
+// aged 20–29, 57.2% Caucasian). This package reproduces those demographics
+// and attaches the per-subject physiological traits — skin moisture,
+// elasticity, ridge wear — that drive capture quality in the sensor models.
+package population
+
+import (
+	"fmt"
+	"sync"
+
+	"fpinterop/internal/ridge"
+	"fpinterop/internal/rng"
+)
+
+// AgeGroup bins participant age as in the paper's Figure 1.
+type AgeGroup int
+
+const (
+	// AgeUnder20 is younger than 20 years.
+	AgeUnder20 AgeGroup = iota + 1
+	// Age20s is 20–29 years (the dominant group, 53%).
+	Age20s
+	// Age30s is 30–39 years.
+	Age30s
+	// Age40s is 40–49 years.
+	Age40s
+	// Age50s is 50–59 years.
+	Age50s
+	// Age60Plus is 60 years or older.
+	Age60Plus
+)
+
+// String returns the bin label.
+func (a AgeGroup) String() string {
+	switch a {
+	case AgeUnder20:
+		return "<20"
+	case Age20s:
+		return "20-29"
+	case Age30s:
+		return "30-39"
+	case Age40s:
+		return "40-49"
+	case Age50s:
+		return "50-59"
+	case Age60Plus:
+		return "60+"
+	default:
+		return fmt.Sprintf("age(%d)", int(a))
+	}
+}
+
+// ageDistribution reproduces Figure 1: 53% of participants were 20–29.
+var ageDistribution = []struct {
+	group  AgeGroup
+	weight float64
+}{
+	{AgeUnder20, 0.06},
+	{Age20s, 0.53},
+	{Age30s, 0.16},
+	{Age40s, 0.11},
+	{Age50s, 0.09},
+	{Age60Plus, 0.05},
+}
+
+// Ethnicity bins participant ethnicity as in the paper's Figure 1.
+type Ethnicity int
+
+const (
+	// Caucasian is the dominant group (57.2%).
+	Caucasian Ethnicity = iota + 1
+	// Asian participants.
+	Asian
+	// AfricanAmerican participants.
+	AfricanAmerican
+	// MiddleEastern participants.
+	MiddleEastern
+	// Hispanic participants.
+	Hispanic
+	// OtherEthnicity covers the remaining groups.
+	OtherEthnicity
+)
+
+// String returns the bin label.
+func (e Ethnicity) String() string {
+	switch e {
+	case Caucasian:
+		return "Caucasian"
+	case Asian:
+		return "Asian"
+	case AfricanAmerican:
+		return "African American"
+	case MiddleEastern:
+		return "Middle Eastern"
+	case Hispanic:
+		return "Hispanic"
+	case OtherEthnicity:
+		return "Other"
+	default:
+		return fmt.Sprintf("ethnicity(%d)", int(e))
+	}
+}
+
+// ethnicityDistribution reproduces Figure 1: 57.2% Caucasian.
+var ethnicityDistribution = []struct {
+	group  Ethnicity
+	weight float64
+}{
+	{Caucasian, 0.572},
+	{Asian, 0.168},
+	{AfricanAmerican, 0.095},
+	{MiddleEastern, 0.07},
+	{Hispanic, 0.055},
+	{OtherEthnicity, 0.04},
+}
+
+// Traits are per-subject physiological factors that modulate how well the
+// finger images on a sensor. All are in [0, 1]; higher is more favourable.
+type Traits struct {
+	// SkinMoisture: dry skin (low) produces faint, broken ridges.
+	SkinMoisture float64
+	// SkinElasticity: inelastic skin (low, correlated with age) distorts
+	// more under placement pressure.
+	SkinElasticity float64
+	// RidgeDefinition: worn or fine ridges (low) lower image contrast.
+	RidgeDefinition float64
+	// Cooperation: how consistently the subject places the finger;
+	// low cooperation increases placement jitter.
+	Cooperation float64
+}
+
+// Finger identifies one of the ten fingers, in ten-print card order.
+type Finger int
+
+const (
+	// RightThumb through RightLittle are the right-hand fingers.
+	RightThumb Finger = iota
+	RightIndex
+	RightMiddle
+	RightRing
+	RightLittle
+	// LeftThumb through LeftLittle are the left-hand fingers.
+	LeftThumb
+	LeftIndex
+	LeftMiddle
+	LeftRing
+	LeftLittle
+	numFingers
+)
+
+// fingerNames are the stable derivation keys for per-finger masters.
+var fingerNames = [numFingers]string{
+	"R-thumb", "R-index", "R-middle", "R-ring", "R-little",
+	"L-thumb", "L-index", "L-middle", "L-ring", "L-little",
+}
+
+// String returns the conventional finger label.
+func (f Finger) String() string {
+	if f < 0 || f >= numFingers {
+		return fmt.Sprintf("finger(%d)", int(f))
+	}
+	return fingerNames[f]
+}
+
+// Valid reports whether f names one of the ten fingers.
+func (f Finger) Valid() bool { return f >= 0 && f < numFingers }
+
+// Subject is one study participant.
+type Subject struct {
+	// ID is the participant number, 0-based.
+	ID int
+	// Age and Ethnicity are the demographic bins of Figure 1.
+	Age       AgeGroup
+	Ethnicity Ethnicity
+	// Traits drive capture quality.
+	Traits Traits
+	// master is the right-index-finger master print (the finger the study
+	// matches), generated eagerly; other fingers are generated lazily.
+	master *ridge.Master
+	src    *rng.Source
+
+	mu      sync.Mutex
+	fingers map[Finger]*ridge.Master
+	genOpts ridge.GenOptions
+}
+
+// Cohort is the full set of study participants.
+type Cohort struct {
+	Subjects []*Subject
+}
+
+// CohortOptions configures cohort generation.
+type CohortOptions struct {
+	// Size is the number of participants (default 494, the paper's cohort).
+	Size int
+	// MeanMinutiae forwards to master-fingerprint generation.
+	MeanMinutiae float64
+}
+
+func (o CohortOptions) withDefaults() CohortOptions {
+	if o.Size == 0 {
+		o.Size = 494
+	}
+	return o
+}
+
+// NewCohort deterministically generates a cohort from the study source.
+func NewCohort(src *rng.Source, opts CohortOptions) *Cohort {
+	opts = opts.withDefaults()
+	c := &Cohort{Subjects: make([]*Subject, opts.Size)}
+	for i := 0; i < opts.Size; i++ {
+		ssrc := src.Child(fmt.Sprintf("subject/%d", i))
+		c.Subjects[i] = newSubject(i, ssrc, opts)
+	}
+	return c
+}
+
+func newSubject(id int, src *rng.Source, opts CohortOptions) *Subject {
+	s := &Subject{ID: id, src: src}
+	// Demographics.
+	ageWeights := make([]float64, len(ageDistribution))
+	for i, a := range ageDistribution {
+		ageWeights[i] = a.weight
+	}
+	s.Age = ageDistribution[src.Pick(ageWeights)].group
+	ethWeights := make([]float64, len(ethnicityDistribution))
+	for i, e := range ethnicityDistribution {
+		ethWeights[i] = e.weight
+	}
+	s.Ethnicity = ethnicityDistribution[src.Pick(ethWeights)].group
+
+	// Traits: age degrades moisture and elasticity; everything has
+	// individual variation.
+	agePenalty := map[AgeGroup]float64{
+		AgeUnder20: 0.00, Age20s: 0.02, Age30s: 0.06,
+		Age40s: 0.12, Age50s: 0.20, Age60Plus: 0.30,
+	}[s.Age]
+	tsrc := src.Child("traits")
+	s.Traits = Traits{
+		SkinMoisture:    tsrc.TruncNorm(0.72-agePenalty, 0.15, 0.05, 1),
+		SkinElasticity:  tsrc.TruncNorm(0.78-agePenalty*1.2, 0.12, 0.05, 1),
+		RidgeDefinition: tsrc.TruncNorm(0.75-agePenalty*0.8, 0.14, 0.05, 1),
+		Cooperation:     tsrc.TruncNorm(0.8, 0.12, 0.2, 1),
+	}
+
+	// Master fingerprint for the right index finger (the study's finger);
+	// the other nine are generated on demand by Finger.
+	s.genOpts = ridge.GenOptions{MeanMinutiae: opts.MeanMinutiae}
+	s.master = ridge.Generate(
+		fmt.Sprintf("subject/%d/finger/R-index", id),
+		src.Child("finger/R-index"),
+		s.genOpts,
+	)
+	return s
+}
+
+// Master returns the subject's right-index-finger master print.
+func (s *Subject) Master() *ridge.Master { return s.master }
+
+// Finger returns the master print for any of the subject's ten fingers,
+// generating it deterministically on first use. It returns an error for
+// invalid finger identifiers. Safe for concurrent use.
+func (s *Subject) Finger(f Finger) (*ridge.Master, error) {
+	if !f.Valid() {
+		return nil, fmt.Errorf("population: invalid finger %d", int(f))
+	}
+	if f == RightIndex {
+		return s.master, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fingers == nil {
+		s.fingers = make(map[Finger]*ridge.Master)
+	}
+	if m, ok := s.fingers[f]; ok {
+		return m, nil
+	}
+	m := ridge.Generate(
+		fmt.Sprintf("subject/%d/finger/%s", s.ID, f),
+		s.src.Child("finger/"+f.String()),
+		s.genOpts,
+	)
+	s.fingers[f] = m
+	return m, nil
+}
+
+// CaptureSource returns a deterministic randomness source for one capture
+// event of this subject, keyed by device and sample index.
+func (s *Subject) CaptureSource(deviceID string, sample int) *rng.Source {
+	return s.src.Child(fmt.Sprintf("capture/%s/%d", deviceID, sample))
+}
+
+// AgeHistogram returns participant counts per age group.
+func (c *Cohort) AgeHistogram() map[AgeGroup]int {
+	h := make(map[AgeGroup]int)
+	for _, s := range c.Subjects {
+		h[s.Age]++
+	}
+	return h
+}
+
+// EthnicityHistogram returns participant counts per ethnicity group.
+func (c *Cohort) EthnicityHistogram() map[Ethnicity]int {
+	h := make(map[Ethnicity]int)
+	for _, s := range c.Subjects {
+		h[s.Ethnicity]++
+	}
+	return h
+}
+
+// AgeGroups lists all age bins in display order.
+func AgeGroups() []AgeGroup {
+	return []AgeGroup{AgeUnder20, Age20s, Age30s, Age40s, Age50s, Age60Plus}
+}
+
+// Ethnicities lists all ethnicity bins in display order.
+func Ethnicities() []Ethnicity {
+	return []Ethnicity{Caucasian, Asian, AfricanAmerican, MiddleEastern, Hispanic, OtherEthnicity}
+}

@@ -1,0 +1,204 @@
+package population
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"fpinterop/internal/ridge"
+	"fpinterop/internal/rng"
+)
+
+func testCohort(size int) *Cohort {
+	return NewCohort(rng.New(2013), CohortOptions{Size: size, MeanMinutiae: 20})
+}
+
+func TestCohortDefaultSizeIs494(t *testing.T) {
+	c := NewCohort(rng.New(1), CohortOptions{MeanMinutiae: 8})
+	if len(c.Subjects) != 494 {
+		t.Fatalf("default cohort size %d, want 494 (paper cohort)", len(c.Subjects))
+	}
+}
+
+func TestCohortDeterministic(t *testing.T) {
+	a := testCohort(50)
+	b := testCohort(50)
+	for i := range a.Subjects {
+		if a.Subjects[i].Age != b.Subjects[i].Age ||
+			a.Subjects[i].Ethnicity != b.Subjects[i].Ethnicity ||
+			a.Subjects[i].Traits != b.Subjects[i].Traits {
+			t.Fatalf("subject %d differs between equal-seed cohorts", i)
+		}
+	}
+}
+
+func TestDemographicsMatchFigure1(t *testing.T) {
+	c := testCohort(4000)
+	ages := c.AgeHistogram()
+	n := float64(len(c.Subjects))
+	if f := float64(ages[Age20s]) / n; math.Abs(f-0.53) > 0.04 {
+		t.Fatalf("20-29 fraction %v, want ≈ 0.53 (Figure 1)", f)
+	}
+	eth := c.EthnicityHistogram()
+	if f := float64(eth[Caucasian]) / n; math.Abs(f-0.572) > 0.04 {
+		t.Fatalf("Caucasian fraction %v, want ≈ 0.572 (Figure 1)", f)
+	}
+}
+
+func TestTraitsInRange(t *testing.T) {
+	c := testCohort(200)
+	for _, s := range c.Subjects {
+		tr := s.Traits
+		for name, v := range map[string]float64{
+			"moisture": tr.SkinMoisture, "elasticity": tr.SkinElasticity,
+			"definition": tr.RidgeDefinition, "cooperation": tr.Cooperation,
+		} {
+			if v < 0 || v > 1 {
+				t.Fatalf("subject %d %s = %v out of [0,1]", s.ID, name, v)
+			}
+		}
+	}
+}
+
+func TestAgeDegradesTraits(t *testing.T) {
+	c := testCohort(4000)
+	var youngSum, oldSum float64
+	var youngN, oldN int
+	for _, s := range c.Subjects {
+		switch s.Age {
+		case AgeUnder20, Age20s:
+			youngSum += s.Traits.SkinElasticity
+			youngN++
+		case Age50s, Age60Plus:
+			oldSum += s.Traits.SkinElasticity
+			oldN++
+		}
+	}
+	if youngN == 0 || oldN == 0 {
+		t.Fatal("age bins unexpectedly empty")
+	}
+	if youngSum/float64(youngN) <= oldSum/float64(oldN) {
+		t.Fatal("elasticity does not decrease with age")
+	}
+}
+
+func TestSubjectsHaveDistinctMasters(t *testing.T) {
+	c := testCohort(10)
+	a := c.Subjects[0].Master()
+	b := c.Subjects[1].Master()
+	if a == nil || b == nil {
+		t.Fatal("missing master prints")
+	}
+	if a.PeriodMM == b.PeriodMM && len(a.Minutiae) == len(b.Minutiae) &&
+		len(a.Minutiae) > 0 && a.Minutiae[0] == b.Minutiae[0] {
+		t.Fatal("two subjects share a master fingerprint")
+	}
+}
+
+func TestCaptureSourceKeyed(t *testing.T) {
+	c := testCohort(2)
+	s := c.Subjects[0]
+	a := s.CaptureSource("D0", 0)
+	b := s.CaptureSource("D0", 0)
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("same capture key gave different streams")
+	}
+	d := s.CaptureSource("D1", 0)
+	if a.Uint64() == d.Uint64() {
+		t.Fatal("different devices share capture stream")
+	}
+}
+
+func TestHistogramsCoverWholeCohort(t *testing.T) {
+	c := testCohort(300)
+	total := 0
+	for _, n := range c.AgeHistogram() {
+		total += n
+	}
+	if total != 300 {
+		t.Fatalf("age histogram covers %d of 300", total)
+	}
+	total = 0
+	for _, n := range c.EthnicityHistogram() {
+		total += n
+	}
+	if total != 300 {
+		t.Fatalf("ethnicity histogram covers %d of 300", total)
+	}
+}
+
+func TestGroupLabels(t *testing.T) {
+	if Age20s.String() != "20-29" || Caucasian.String() != "Caucasian" {
+		t.Fatal("labels wrong")
+	}
+	if len(AgeGroups()) != 6 || len(Ethnicities()) != 6 {
+		t.Fatal("bin enumerations wrong")
+	}
+	if AgeGroup(99).String() == "" || Ethnicity(99).String() == "" {
+		t.Fatal("unknown bins should render")
+	}
+}
+
+func TestFingerLabels(t *testing.T) {
+	if RightIndex.String() != "R-index" || LeftLittle.String() != "L-little" {
+		t.Fatal("finger labels wrong")
+	}
+	if Finger(42).String() == "" || Finger(42).Valid() {
+		t.Fatal("invalid finger handling wrong")
+	}
+}
+
+func TestFingerMastersDistinctAndDeterministic(t *testing.T) {
+	c := testCohort(2)
+	s := c.Subjects[0]
+	idx, err := s.Finger(RightIndex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != s.Master() {
+		t.Fatal("RightIndex must be the study master")
+	}
+	mid, err := s.Finger(RightMiddle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid2, err := s.Finger(RightMiddle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid != mid2 {
+		t.Fatal("finger master not cached")
+	}
+	if mid.PeriodMM == idx.PeriodMM && len(mid.Minutiae) == len(idx.Minutiae) {
+		if len(mid.Minutiae) > 0 && mid.Minutiae[0] == idx.Minutiae[0] {
+			t.Fatal("two fingers share a master")
+		}
+	}
+	if _, err := s.Finger(Finger(-1)); err == nil {
+		t.Fatal("expected invalid finger error")
+	}
+}
+
+func TestFingerConcurrentAccess(t *testing.T) {
+	c := testCohort(1)
+	s := c.Subjects[0]
+	var wg sync.WaitGroup
+	masters := make([]*ridge.Master, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, err := s.Finger(LeftThumb)
+			if err != nil {
+				panic(err)
+			}
+			masters[i] = m
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < 8; i++ {
+		if masters[i] != masters[0] {
+			t.Fatal("concurrent Finger calls produced different masters")
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package sensor
+
+import (
+	"fmt"
+	"math"
+
+	"fpinterop/internal/geom"
+	"fpinterop/internal/imgproc"
+	"fpinterop/internal/population"
+	"fpinterop/internal/ridge"
+	"fpinterop/internal/rng"
+)
+
+// CaptureImage runs the full image-level acquisition path: synthesize the
+// ridge pattern over the placement window, then push it through the
+// device's imaging chain (geometric distortion, contrast transfer, dryness
+// breaks, sensor noise, ink artifacts). It returns the captured image and
+// the placement window used.
+//
+// This path is orders of magnitude slower than Capture and is used by the
+// examples, command-line tools, and the calibration tests that tie the two
+// paths together.
+func (p *Profile) CaptureImage(master *ridge.Master, traits population.Traits, src *rng.Source, opts CaptureOptions) (*imgproc.Image, geom.Rect, error) {
+	if master == nil {
+		return nil, geom.Rect{}, fmt.Errorf("sensor: nil master fingerprint")
+	}
+	opts = opts.withDefaults()
+
+	jitterSD := p.PlacementSD * (1.6 - 0.75*traits.Cooperation)
+	center := geom.Point{X: src.NormMS(0, jitterSD), Y: src.NormMS(0, jitterSD)}
+	window := geom.CenteredRect(center, p.ContactW, p.ContactH)
+
+	base, err := ridge.Synthesize(master, window, p.DPI, ridge.SynthOptions{})
+	if err != nil {
+		return nil, geom.Rect{}, fmt.Errorf("sensor: synthesize for %s: %w", p.ID, err)
+	}
+
+	// Geometric distortion: resample through the inverse displacement
+	// (approximated by negating the forward displacement, valid for the
+	// small amplitudes involved).
+	pxPerMM := float64(p.DPI) / 25.4
+	distorted := imgproc.NewImage(base.W, base.H)
+	for y := 0; y < base.H; y++ {
+		for x := 0; x < base.W; x++ {
+			mm := geom.Point{
+				X: window.MinX + (float64(x)+0.5)/pxPerMM,
+				Y: window.MaxY - (float64(y)+0.5)/pxPerMM,
+			}
+			d := p.Distort(mm)
+			// Inverse warp: sample where the distortion came from.
+			inv := geom.Point{X: 2*mm.X - d.X, Y: 2*mm.Y - d.Y}
+			sx := (inv.X - window.MinX) * pxPerMM
+			sy := (window.MaxY - inv.Y) * pxPerMM
+			distorted.Pix[y*base.W+x] = base.Bilinear(sx-0.5, sy-0.5)
+		}
+	}
+
+	// Latent fidelity for the imaging chain (same model as Capture).
+	skin := 0.45*traits.SkinMoisture + 0.30*traits.RidgeDefinition + 0.25*traits.SkinElasticity
+	phi := 0.15 + 0.62*skin + 0.28*(p.BaseFidelity-0.7)/0.3*0.5
+	phi += float64(opts.SampleIndex) * opts.HabituationGain
+	if p.Ink {
+		phi -= 0.10
+	}
+	phi = clamp01(phi + src.NormMS(0, 0.07))
+
+	out := distorted
+	// Dryness breaks: a smooth random field gates ridge contrast; dry skin
+	// (low moisture, low fidelity) breaks ridges into fragments.
+	breakStrength := (1 - phi) * (1.3 - traits.SkinMoisture)
+	if breakStrength > 0.05 {
+		fieldSeed := src.Uint64()
+		for y := 0; y < out.H; y++ {
+			for x := 0; x < out.W; x++ {
+				n := smoothNoise(fieldSeed, float64(x)/17, float64(y)/17)
+				if n < breakStrength*0.8 {
+					idx := y*out.W + x
+					// Fade ridges toward background.
+					out.Pix[idx] = out.Pix[idx]*0.35 + 0.65
+				}
+			}
+		}
+	}
+	// Contrast transfer.
+	for i, v := range out.Pix {
+		out.Pix[i] = math.Pow(clamp01(v), p.ContrastGamma)
+	}
+	// Ink artifacts: blotting (dark blobs) and fading.
+	if p.Ink {
+		nBlots := src.Poisson(6)
+		for i := 0; i < nBlots; i++ {
+			bx, by := src.Intn(out.W), src.Intn(out.H)
+			r := 2 + src.Intn(6)
+			dark := src.Bool(0.6)
+			for dy := -r; dy <= r; dy++ {
+				for dx := -r; dx <= r; dx++ {
+					if dx*dx+dy*dy > r*r {
+						continue
+					}
+					if dark {
+						out.Set(bx+dx, by+dy, out.At(bx+dx, by+dy)*0.2)
+					} else {
+						out.Set(bx+dx, by+dy, 1)
+					}
+				}
+			}
+		}
+	}
+	// Sensor noise.
+	for i := range out.Pix {
+		out.Pix[i] += src.NormMS(0, p.NoiseSD)
+	}
+	out.Clamp()
+	// Scanned ink goes through the despeckling every AFIS scan pipeline
+	// applies (paper grain and dust produce salt-and-pepper noise).
+	if p.Ink {
+		out = imgproc.Median3(out)
+	}
+	return out, window, nil
+}
+
+// smoothNoise is a cheap value-noise function in [0, 1] with bilinear
+// interpolation between hashed lattice values.
+func smoothNoise(seed uint64, x, y float64) float64 {
+	xi, yi := math.Floor(x), math.Floor(y)
+	fx, fy := x-xi, y-yi
+	h := func(ix, iy int64) float64 {
+		v := seed ^ uint64(ix)*0x9e3779b97f4a7c15 ^ uint64(iy)*0xc2b2ae3d27d4eb4f
+		v ^= v >> 29
+		v *= 0xbf58476d1ce4e5b9
+		v ^= v >> 32
+		return float64(v%65536) / 65536
+	}
+	ix, iy := int64(xi), int64(yi)
+	v00 := h(ix, iy)
+	v10 := h(ix+1, iy)
+	v01 := h(ix, iy+1)
+	v11 := h(ix+1, iy+1)
+	// Smoothstep the fractions for C1 continuity.
+	sx := fx * fx * (3 - 2*fx)
+	sy := fy * fy * (3 - 2*fy)
+	return v00*(1-sx)*(1-sy) + v10*sx*(1-sy) + v01*(1-sx)*sy + v11*sx*sy
+}

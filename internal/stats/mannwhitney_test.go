@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMannWhitneyShiftDetected(t *testing.T) {
+	var lo, hi []float64
+	for i := 0; i < 100; i++ {
+		lo = append(lo, float64(i%17))
+		hi = append(hi, float64(i%17)+6)
+	}
+	res, err := MannWhitney(hi, lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P.Log10 > -5 {
+		t.Fatalf("clear shift not detected: p = %v", res.P)
+	}
+	// Samples span 0..16 and 6..22: the overlap keeps the common-language
+	// effect below 1 but it must clearly exceed chance.
+	if res.CommonLanguage < 0.75 {
+		t.Fatalf("effect size %v too small for a 6-unit shift", res.CommonLanguage)
+	}
+	if res.Z <= 0 {
+		t.Fatalf("Z = %v, want positive for first sample larger", res.Z)
+	}
+}
+
+func TestMannWhitneyNoShift(t *testing.T) {
+	var x, y []float64
+	s := uint64(5)
+	next := func() float64 {
+		s = s*6364136223846793005 + 1442695040888963407
+		return float64(s>>33) / float64(1<<31)
+	}
+	for i := 0; i < 300; i++ {
+		x = append(x, next())
+		y = append(y, next())
+	}
+	res, err := MannWhitney(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P.Log10 < -3 {
+		t.Fatalf("identical distributions spuriously significant: %v", res.P)
+	}
+	if math.Abs(res.CommonLanguage-0.5) > 0.06 {
+		t.Fatalf("effect size %v should be ~0.5", res.CommonLanguage)
+	}
+}
+
+func TestMannWhitneySymmetry(t *testing.T) {
+	x := []float64{1, 3, 5, 7, 9, 11}
+	y := []float64{2, 4, 6, 8, 10, 12}
+	a, err := MannWhitney(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MannWhitney(y, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// U1 + U2 = n1·n2; p-values identical.
+	if math.Abs(a.U+b.U-36) > 1e-9 {
+		t.Fatalf("U values %v + %v != 36", a.U, b.U)
+	}
+	if math.Abs(a.P.Log10-b.P.Log10) > 1e-9 {
+		t.Fatalf("p-values differ: %v vs %v", a.P, b.P)
+	}
+}
+
+func TestMannWhitneyAllTied(t *testing.T) {
+	x := []float64{5, 5, 5}
+	y := []float64{5, 5, 5, 5}
+	res, err := MannWhitney(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P.Log10 != 0 {
+		t.Fatalf("fully tied data p = %v, want 1", res.P)
+	}
+	if math.Abs(res.CommonLanguage-0.5) > 1e-9 {
+		t.Fatalf("tied effect size %v", res.CommonLanguage)
+	}
+}
+
+func TestMannWhitneyErrors(t *testing.T) {
+	if _, err := MannWhitney([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("expected size error")
+	}
+}

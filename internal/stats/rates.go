@@ -1,0 +1,179 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ThresholdForFMR returns the lowest decision threshold t such that the
+// fraction of impostor scores ≥ t does not exceed target. Scores equal to
+// the threshold count as matches (accept if score ≥ t). The impostor
+// slice is not modified.
+func ThresholdForFMR(impostor []float64, target float64) (float64, error) {
+	if len(impostor) == 0 {
+		return 0, fmt.Errorf("stats: no impostor scores")
+	}
+	if target < 0 || target > 1 {
+		return 0, fmt.Errorf("stats: target FMR %v outside [0, 1]", target)
+	}
+	s := append([]float64(nil), impostor...)
+	sort.Float64s(s)
+	n := len(s)
+	// Allowed number of false matches.
+	allowed := int(target * float64(n))
+	if allowed >= n {
+		return s[0], nil
+	}
+	// Threshold just above the (allowed+1)-th largest score.
+	idx := n - allowed - 1 // index of the largest score that must be rejected
+	return nextAfter(s[idx]), nil
+}
+
+// nextAfter returns the smallest representable float64 greater than x.
+func nextAfter(x float64) float64 {
+	return x + x*1e-12 + 1e-12
+}
+
+// FMRAt returns the fraction of impostor scores accepted (≥ t).
+func FMRAt(impostor []float64, t float64) float64 {
+	if len(impostor) == 0 {
+		return 0
+	}
+	n := 0
+	for _, s := range impostor {
+		if s >= t {
+			n++
+		}
+	}
+	return float64(n) / float64(len(impostor))
+}
+
+// FNMRAt returns the fraction of genuine scores rejected (< t).
+func FNMRAt(genuine []float64, t float64) float64 {
+	if len(genuine) == 0 {
+		return 0
+	}
+	n := 0
+	for _, s := range genuine {
+		if s < t {
+			n++
+		}
+	}
+	return float64(n) / float64(len(genuine))
+}
+
+// FNMRAtFMR computes the operating point the paper's Tables 5 and 6 use:
+// fix the threshold from the impostor distribution at the target FMR, then
+// report the genuine rejection rate at that threshold.
+func FNMRAtFMR(genuine, impostor []float64, targetFMR float64) (fnmr, threshold float64, err error) {
+	t, err := ThresholdForFMR(impostor, targetFMR)
+	if err != nil {
+		return 0, 0, err
+	}
+	return FNMRAt(genuine, t), t, nil
+}
+
+// EER returns the equal error rate: the rate where FMR equals FNMR, found
+// by sweeping thresholds over the pooled score set, along with the
+// threshold achieving it.
+func EER(genuine, impostor []float64) (rate, threshold float64, err error) {
+	if len(genuine) == 0 || len(impostor) == 0 {
+		return 0, 0, fmt.Errorf("stats: EER needs both genuine and impostor scores")
+	}
+	all := make([]float64, 0, len(genuine)+len(impostor))
+	all = append(all, genuine...)
+	all = append(all, impostor...)
+	sort.Float64s(all)
+	bestGap := 2.0
+	for _, t := range all {
+		fmr := FMRAt(impostor, t)
+		fnmr := FNMRAt(genuine, t)
+		gap := fmr - fnmr
+		if gap < 0 {
+			gap = -gap
+		}
+		if gap < bestGap {
+			bestGap = gap
+			rate = (fmr + fnmr) / 2
+			threshold = t
+		}
+	}
+	return rate, threshold, nil
+}
+
+// DETPoint is one operating point of a detection-error-tradeoff curve.
+type DETPoint struct {
+	Threshold, FMR, FNMR float64
+}
+
+// DET sweeps n thresholds between the score extremes and returns the
+// resulting curve ordered by threshold.
+func DET(genuine, impostor []float64, n int) ([]DETPoint, error) {
+	if len(genuine) == 0 || len(impostor) == 0 {
+		return nil, fmt.Errorf("stats: DET needs both genuine and impostor scores")
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("stats: DET needs >= 2 points")
+	}
+	lo, hi := genuine[0], genuine[0]
+	for _, s := range genuine {
+		lo = min(lo, s)
+		hi = max(hi, s)
+	}
+	for _, s := range impostor {
+		lo = min(lo, s)
+		hi = max(hi, s)
+	}
+	out := make([]DETPoint, n)
+	for i := 0; i < n; i++ {
+		t := lo + (hi-lo)*float64(i)/float64(n-1)
+		out[i] = DETPoint{Threshold: t, FMR: FMRAt(impostor, t), FNMR: FNMRAt(genuine, t)}
+	}
+	return out, nil
+}
+
+// BootstrapFNMR returns a percentile bootstrap confidence interval
+// [lo, hi] for FNMR at a fixed threshold, resampling genuine scores with
+// replacement. The next function provides deterministic randomness
+// (e.g. rng.Source.Float64).
+func BootstrapFNMR(genuine []float64, threshold float64, rounds int, conf float64, next func() float64) (lo, hi float64, err error) {
+	if len(genuine) == 0 {
+		return 0, 0, fmt.Errorf("stats: no genuine scores")
+	}
+	if rounds < 10 {
+		return 0, 0, fmt.Errorf("stats: need >= 10 bootstrap rounds")
+	}
+	if conf <= 0 || conf >= 1 {
+		return 0, 0, fmt.Errorf("stats: confidence %v outside (0, 1)", conf)
+	}
+	n := len(genuine)
+	rates := make([]float64, rounds)
+	for r := 0; r < rounds; r++ {
+		rejected := 0
+		for i := 0; i < n; i++ {
+			s := genuine[int(next()*float64(n))%n]
+			if s < threshold {
+				rejected++
+			}
+		}
+		rates[r] = float64(rejected) / float64(n)
+	}
+	sort.Float64s(rates)
+	alpha := (1 - conf) / 2
+	loIdx := int(alpha * float64(rounds))
+	hiIdx := int((1 - alpha) * float64(rounds))
+	if hiIdx >= rounds {
+		hiIdx = rounds - 1
+	}
+	return rates[loIdx], rates[hiIdx], nil
+}
+
+// RenderDET formats a DET curve as an aligned text table (threshold, FMR,
+// FNMR per row) for terminal inspection.
+func RenderDET(points []DETPoint) string {
+	out := fmt.Sprintf("%10s %10s %10s\n", "threshold", "FMR", "FNMR")
+	for _, p := range points {
+		out += fmt.Sprintf("%10.3f %10.5f %10.5f\n", p.Threshold, p.FMR, p.FNMR)
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SpearmanResult is the outcome of a Spearman rank correlation test.
+type SpearmanResult struct {
+	// Rho is the rank correlation coefficient in [−1, 1].
+	Rho float64
+	// P is the two-sided p-value under H₀: ρ = 0 (t-approximation mapped
+	// through the normal tail; adequate for the n ≥ 20 uses here).
+	P PValue
+	// N is the number of paired observations.
+	N int
+}
+
+// Spearman computes the Spearman rank correlation with midranks for ties
+// — a robustness companion to Kendall for the Table 4 analysis (the two
+// must agree in sign and significance ordering).
+func Spearman(x, y []float64) (SpearmanResult, error) {
+	n := len(x)
+	if len(y) != n {
+		return SpearmanResult{}, fmt.Errorf("stats: Spearman length mismatch %d != %d", n, len(y))
+	}
+	if n < 3 {
+		return SpearmanResult{}, fmt.Errorf("stats: Spearman needs >= 3 pairs, got %d", n)
+	}
+	rx := midranks(x)
+	ry := midranks(y)
+	// Pearson correlation of the ranks.
+	var mx, my float64
+	for i := 0; i < n; i++ {
+		mx += rx[i]
+		my += ry[i]
+	}
+	mx /= float64(n)
+	my /= float64(n)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx := rx[i] - mx
+		dy := ry[i] - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	res := SpearmanResult{N: n}
+	if sxx == 0 || syy == 0 {
+		res.P = PValue{Log10: 0}
+		return res, nil
+	}
+	res.Rho = sxy / math.Sqrt(sxx*syy)
+	// t statistic with n-2 degrees of freedom; for the sample sizes used
+	// here the normal tail is an adequate stand-in.
+	if r2 := res.Rho * res.Rho; r2 < 1 {
+		tstat := res.Rho * math.Sqrt(float64(n-2)/(1-r2))
+		res.P = TwoSidedNormalP(tstat)
+	} else {
+		// Perfect correlation: p bounded by the permutation count.
+		res.P = PValue{Log10: -lgammaLog10Factorial(n)}
+	}
+	return res, nil
+}
+
+// midranks returns 1-based ranks with ties sharing their average rank.
+func midranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j < n && xs[idx[j]] == xs[idx[i]] {
+			j++
+		}
+		mid := float64(i+j+1) / 2
+		for k := i; k < j; k++ {
+			ranks[idx[k]] = mid
+		}
+		i = j
+	}
+	return ranks
+}
+
+// lgammaLog10Factorial returns log10(n!) via the log-gamma function.
+func lgammaLog10Factorial(n int) float64 {
+	lg, _ := math.Lgamma(float64(n) + 1)
+	return lg / ln10
+}

@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSpearmanPerfectMonotone(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5, 6}
+	y := []float64{2, 4, 9, 16, 30, 100} // monotone, non-linear
+	res, err := Spearman(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rho != 1 {
+		t.Fatalf("rho = %v, want 1 for monotone data", res.Rho)
+	}
+	if res.P.Log10 >= 0 {
+		t.Fatal("perfect correlation should be significant")
+	}
+}
+
+func TestSpearmanAnticorrelation(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{10, 8, 6, 4, 2}
+	res, err := Spearman(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rho != -1 {
+		t.Fatalf("rho = %v, want -1", res.Rho)
+	}
+}
+
+func TestSpearmanIndependent(t *testing.T) {
+	var x, y []float64
+	s := uint64(333)
+	next := func() float64 {
+		s = s*6364136223846793005 + 1442695040888963407
+		return float64(s>>33) / float64(1<<31)
+	}
+	for i := 0; i < 300; i++ {
+		x = append(x, next())
+		y = append(y, next())
+	}
+	res, err := Spearman(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Rho) > 0.12 {
+		t.Fatalf("independent rho = %v", res.Rho)
+	}
+	if res.P.Log10 < -3 {
+		t.Fatalf("independent data spuriously significant: %v", res.P)
+	}
+}
+
+func TestSpearmanAgreesWithKendallInSign(t *testing.T) {
+	x := []float64{3, 1, 4, 1.5, 5, 9, 2.6, 5.3}
+	y := []float64{2, 0.5, 5, 2.5, 4, 10, 3, 6}
+	sp, err := Spearman(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kd, err := Kendall(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (sp.Rho > 0) != (kd.Tau > 0) {
+		t.Fatalf("Spearman %v and Kendall %v disagree in sign", sp.Rho, kd.Tau)
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	x := []float64{1, 1, 2, 2, 3}
+	y := []float64{1, 2, 2, 3, 3}
+	res, err := Spearman(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rho <= 0 || res.Rho > 1 {
+		t.Fatalf("tied rho = %v", res.Rho)
+	}
+	flat := []float64{7, 7, 7, 7, 7}
+	res, err = Spearman(flat, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rho != 0 || res.P.Log10 != 0 {
+		t.Fatalf("degenerate Spearman = %+v", res)
+	}
+}
+
+func TestSpearmanErrors(t *testing.T) {
+	if _, err := Spearman([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("expected mismatch error")
+	}
+	if _, err := Spearman([]float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Fatal("expected too-few error")
+	}
+}
+
+func TestMidranks(t *testing.T) {
+	r := midranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("midranks = %v, want %v", r, want)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package study
+
+import (
+	"fmt"
+
+	"fpinterop/internal/nfiq"
+)
+
+// Experiment is one reproducible artifact of the paper: a table or a
+// figure, with the code that regenerates it.
+type Experiment struct {
+	// ID is the paper artifact identifier, e.g. "table5" or "figure2".
+	ID string
+	// Title is the paper caption, abbreviated.
+	Title string
+	// PaperClaim is the qualitative result the artifact supports.
+	PaperClaim string
+	// Run renders the artifact from a computed study.
+	Run func(ds *Dataset, sets *ScoreSets) (string, error)
+}
+
+// Experiments returns the registry of all paper artifacts in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{
+			ID:         "figure1",
+			Title:      "Age and ethnicity groups of the participants",
+			PaperClaim: "494 participants; 53% aged 20-29; 57.2% Caucasian",
+			Run: func(ds *Dataset, sets *ScoreSets) (string, error) {
+				return RenderFigure1(Figure1(ds)), nil
+			},
+		},
+		{
+			ID:         "table1",
+			Title:      "Characteristics of the Live-scan devices",
+			PaperClaim: "four 500-dpi optical sensors; Seek II has a 40.6x38.1mm capture area",
+			Run: func(ds *Dataset, sets *ScoreSets) (string, error) {
+				return RenderTable1(ds), nil
+			},
+		},
+		{
+			ID:         "table2",
+			Title:      "Notation table for similarity score computations",
+			PaperClaim: "defines the DMG/DMI/DDMG/DDMI score sets",
+			Run: func(ds *Dataset, sets *ScoreSets) (string, error) {
+				return RenderTable2(Table2(ds)), nil
+			},
+		},
+		{
+			ID:         "table3",
+			Title:      "Match scores for different match scenarios",
+			PaperClaim: "DMG 1,976; DDMG 9,880; DMI 120,855; DDMI 483,420",
+			Run: func(ds *Dataset, sets *ScoreSets) (string, error) {
+				return RenderTable3(Table3(sets)), nil
+			},
+		},
+		{
+			ID:         "figure2",
+			Title:      "Genuine match scores ordered by magnitude vs Seek II gallery",
+			PaperClaim: "same-sensor scores highest; ten-print probes lowest",
+			Run: func(ds *Dataset, sets *ScoreSets) (string, error) {
+				f, err := Figure2(ds, sets, "D3")
+				if err != nil {
+					return "", err
+				}
+				return RenderFigure2(f), nil
+			},
+		},
+		{
+			ID:         "figure3",
+			Title:      "DMG and DMI histograms, Cross Match Guardian R2",
+			PaperClaim: "no impostor score above 7; a few genuine scores below 7",
+			Run: func(ds *Dataset, sets *ScoreSets) (string, error) {
+				f, err := Figure3(ds, sets, "D0")
+				if err != nil {
+					return "", err
+				}
+				return RenderFigureHist("Figure 3", f), nil
+			},
+		},
+		{
+			ID:         "figure4",
+			Title:      "DDMG and DDMI histograms, Guardian R2 vs digID Mini",
+			PaperClaim: "greater genuine/impostor overlap with diverse sensors",
+			Run: func(ds *Dataset, sets *ScoreSets) (string, error) {
+				f, err := Figure4(ds, sets, "D0", "D1")
+				if err != nil {
+					return "", err
+				}
+				return RenderFigureHist("Figure 4", f), nil
+			},
+		},
+		{
+			ID:         "table4",
+			Title:      "Kendall rank correlation p-values",
+			PaperClaim: "diagonal ~5e-242; some pairs indistinguishable (~0.6); asymmetric",
+			Run: func(ds *Dataset, sets *ScoreSets) (string, error) {
+				t, err := Table4(ds, sets)
+				if err != nil {
+					return "", err
+				}
+				out := RenderTable4(t)
+				out += fmt.Sprintf("mean |log10 p| asymmetry under gallery/probe swap: %.2f\n",
+					Table4Asymmetry(t))
+				return out, nil
+			},
+		},
+		{
+			ID:         "table5",
+			Title:      "Interoperability FNMR matrix at FMR 0.01%",
+			PaperClaim: "intra-device FNMR lower than inter-device (D1/D3 diagonal anomalies); D4 worst",
+			Run: func(ds *Dataset, sets *ScoreSets) (string, error) {
+				m, err := FNMRMatrix(ds, sets, FNMRMatrixOptions{TargetFMR: 0.0001})
+				if err != nil {
+					return "", err
+				}
+				return RenderFNMRMatrix("Table 5", m), nil
+			},
+		},
+		{
+			ID:         "table6",
+			Title:      "FNMR matrix at FMR 0.1% for NFIQ quality < 3",
+			PaperClaim: "good-quality subsets behave better; intra/inter differences become unpredictable",
+			Run: func(ds *Dataset, sets *ScoreSets) (string, error) {
+				m, err := FNMRMatrix(ds, sets, FNMRMatrixOptions{TargetFMR: 0.001, MaxQuality: nfiq.Good})
+				if err != nil {
+					return "", err
+				}
+				return RenderFNMRMatrix("Table 6", m), nil
+			},
+		},
+		{
+			ID:         "figure5",
+			Title:      "Low genuine scores by (gallery, probe) NFIQ quality",
+			PaperClaim: "cross-device low scores need both images high-quality to avoid FNMs",
+			Run: func(ds *Dataset, sets *ScoreSets) (string, error) {
+				return RenderFigure5(Figure5(sets)), nil
+			},
+		},
+	}
+}
+
+// ExperimentByID looks an experiment up.
+func ExperimentByID(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

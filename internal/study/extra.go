@@ -1,0 +1,172 @@
+package study
+
+import (
+	"fmt"
+	"math"
+
+	"fpinterop/internal/stats"
+)
+
+// EERMatrixData holds per-device-pair equal error rates — the summary
+// metric Ross & Jain used for the cross-sensor case study the paper's
+// related-work section quotes (EER 23.13% across optical/capacitive
+// sensors vs ~6–10% within one sensor).
+type EERMatrixData struct {
+	DeviceIDs []string
+	// EER[i][j] is the equal error rate enrolling on device i, verifying
+	// on device j.
+	EER [][]float64
+}
+
+// EERMatrix computes per-device-pair equal error rates from the dense
+// genuine set and the impostor sets.
+func EERMatrix(ds *Dataset, sets *ScoreSets) (EERMatrixData, error) {
+	nDev := ds.NumDevices()
+	genuine := make([][][]float64, nDev)
+	impostor := make([][][]float64, nDev)
+	for i := 0; i < nDev; i++ {
+		genuine[i] = make([][]float64, nDev)
+		impostor[i] = make([][]float64, nDev)
+	}
+	for _, s := range sets.GenuineAll {
+		genuine[s.DeviceG][s.DeviceP] = append(genuine[s.DeviceG][s.DeviceP], s.Value)
+	}
+	for _, s := range sets.DMI {
+		impostor[s.DeviceG][s.DeviceP] = append(impostor[s.DeviceG][s.DeviceP], s.Value)
+	}
+	for _, s := range sets.DDMI {
+		impostor[s.DeviceG][s.DeviceP] = append(impostor[s.DeviceG][s.DeviceP], s.Value)
+	}
+	out := EERMatrixData{EER: make([][]float64, nDev)}
+	for i := 0; i < nDev; i++ {
+		out.DeviceIDs = append(out.DeviceIDs, ds.Devices[i].ID)
+		out.EER[i] = make([]float64, nDev)
+		for j := 0; j < nDev; j++ {
+			if len(genuine[i][j]) == 0 || len(impostor[i][j]) == 0 {
+				continue
+			}
+			rate, _, err := stats.EER(genuine[i][j], impostor[i][j])
+			if err != nil {
+				return EERMatrixData{}, fmt.Errorf("EER cell (%d,%d): %w", i, j, err)
+			}
+			out.EER[i][j] = rate
+		}
+	}
+	return out, nil
+}
+
+// RenderEERMatrix prints the EER matrix.
+func RenderEERMatrix(m EERMatrixData) string {
+	out := "Equal error rate per (gallery device, probe device)\n    "
+	for _, id := range m.DeviceIDs {
+		out += fmt.Sprintf(" %8s", id)
+	}
+	out += "\n"
+	for i, id := range m.DeviceIDs {
+		out += fmt.Sprintf("%-4s", id)
+		for j := range m.DeviceIDs {
+			out += fmt.Sprintf(" %8.4f", m.EER[i][j])
+		}
+		out += "\n"
+	}
+	return out
+}
+
+// HabituationData quantifies the paper's habituation further-work bullet:
+// do later samples from a participant image better than earlier ones?
+type HabituationData struct {
+	// MeanQualityBySample is the mean NFIQ class of live-scan impressions
+	// for each sample index (lower is better).
+	MeanQualityBySample []float64
+	// ForwardMean is the mean genuine score matching sample 0 (gallery)
+	// against sample 1 (probe) on the same live-scan device; ReverseMean
+	// swaps the roles.
+	ForwardMean, ReverseMean float64
+}
+
+// Habituation computes the habituation summary.
+func Habituation(ds *Dataset, sets *ScoreSets) HabituationData {
+	var out HabituationData
+	sums := make([]float64, SamplesPerDevice)
+	counts := make([]int, SamplesPerDevice)
+	for s := 0; s < ds.NumSubjects(); s++ {
+		for d := 0; d < ds.NumDevices(); d++ {
+			if ds.Devices[d].Ink {
+				continue
+			}
+			for k := 0; k < SamplesPerDevice; k++ {
+				sums[k] += float64(ds.Impression(s, d, k).Quality)
+				counts[k]++
+			}
+		}
+	}
+	out.MeanQualityBySample = make([]float64, SamplesPerDevice)
+	for k := range sums {
+		if counts[k] > 0 {
+			out.MeanQualityBySample[k] = sums[k] / float64(counts[k])
+		}
+	}
+	var fwd, rev []float64
+	for _, s := range sets.GenuineAll {
+		if !s.SameDevice() || ds.Devices[s.DeviceG].Ink {
+			continue
+		}
+		switch {
+		case s.SampleG == 0 && s.SampleP == 1:
+			fwd = append(fwd, s.Value)
+		case s.SampleG == 1 && s.SampleP == 0:
+			rev = append(rev, s.Value)
+		}
+	}
+	out.ForwardMean = stats.Mean(fwd)
+	out.ReverseMean = stats.Mean(rev)
+	return out
+}
+
+// Table4Asymmetry summarizes the surprising observation the paper makes
+// about Table 4: the Kendall test results are not symmetric under
+// swapping which device supplies the gallery. It returns the mean
+// absolute difference of log10 p-values between cell (i,j) and the cell
+// whose roles are swapped (j,i), over live-scan pairs present in both
+// orientations.
+func Table4Asymmetry(t Table4Data) float64 {
+	idx := map[string]int{}
+	for i, id := range t.RowIDs {
+		idx[id] = i
+	}
+	var sum float64
+	var n int
+	for i, rowID := range t.RowIDs {
+		for j, colID := range t.ColIDs {
+			if rowID == colID {
+				continue
+			}
+			ri, ok := idx[colID]
+			if !ok {
+				continue // ink column has no row
+			}
+			// Find the column of rowID in the swapped row.
+			cj := -1
+			for k, c := range t.ColIDs {
+				if c == rowID {
+					cj = k
+					break
+				}
+			}
+			if cj < 0 {
+				continue
+			}
+			a := t.P[i][j].Log10
+			b := t.P[ri][cj].Log10
+			if math.IsInf(a, 0) || math.IsInf(b, 0) {
+				continue
+			}
+			sum += math.Abs(a - b)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

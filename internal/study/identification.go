@@ -1,0 +1,82 @@
+package study
+
+import (
+	"fmt"
+	"strings"
+
+	"fpinterop/internal/gallery"
+	"fpinterop/internal/minutiae"
+)
+
+// IdentificationResult summarizes a closed-set 1:N identification
+// experiment: gallery enrolled on one device, probes from another.
+type IdentificationResult struct {
+	GalleryDevice, ProbeDevice string
+	// CMC[k-1] is the fraction of probes whose true identity ranked ≤ k.
+	CMC gallery.CMC
+	// Probes is the number of searches performed.
+	Probes int
+}
+
+// Identification runs a closed-set identification experiment over the
+// first n subjects of the dataset (all subjects when n <= 0): everyone is
+// enrolled from their first sample on galleryID and searched with their
+// second sample on probeID. Cost is O(n²) matcher calls — size n
+// accordingly.
+func Identification(ds *Dataset, galleryID, probeID string, n, maxRank int) (IdentificationResult, error) {
+	gi, ok := ds.DeviceIndex(galleryID)
+	if !ok {
+		return IdentificationResult{}, fmt.Errorf("study: unknown gallery device %q", galleryID)
+	}
+	pi, ok := ds.DeviceIndex(probeID)
+	if !ok {
+		return IdentificationResult{}, fmt.Errorf("study: unknown probe device %q", probeID)
+	}
+	if n <= 0 || n > ds.NumSubjects() {
+		n = ds.NumSubjects()
+	}
+	if maxRank <= 0 {
+		maxRank = 5
+	}
+	store := gallery.New(ds.Config.Matcher)
+	ids := make([]string, n)
+	probes := make([]*minutiae.Template, n)
+	for s := 0; s < n; s++ {
+		ids[s] = fmt.Sprintf("subject-%04d", s)
+		if err := store.Enroll(ids[s], galleryID, ds.Impression(s, gi, 0).Template); err != nil {
+			return IdentificationResult{}, fmt.Errorf("study: identification enroll: %w", err)
+		}
+		probes[s] = ds.Impression(s, pi, 1).Template
+	}
+	cmc, err := gallery.ComputeCMC(store, probes, ids, maxRank)
+	if err != nil {
+		return IdentificationResult{}, fmt.Errorf("study: identification CMC: %w", err)
+	}
+	return IdentificationResult{
+		GalleryDevice: galleryID,
+		ProbeDevice:   probeID,
+		CMC:           cmc,
+		Probes:        n,
+	}, nil
+}
+
+// RenderIdentification prints the CMC summary.
+func RenderIdentification(results []IdentificationResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Closed-set identification (CMC), gallery device -> probe device\n")
+	fmt.Fprintf(&b, "%-12s %8s", "Pair", "probes")
+	if len(results) > 0 {
+		for k := 1; k <= len(results[0].CMC); k++ {
+			fmt.Fprintf(&b, "  rank-%d", k)
+		}
+	}
+	fmt.Fprintf(&b, "\n")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-12s %8d", r.GalleryDevice+"->"+r.ProbeDevice, r.Probes)
+		for _, v := range r.CMC {
+			fmt.Fprintf(&b, "  %6.3f", v)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,64 @@
+package study
+
+import (
+	"fmt"
+	"strings"
+)
+
+// QualityDistribution is the per-device NFIQ class histogram over all
+// captured impressions — the acquisition-quality character of each device
+// ("it is important to note that the sensors in our study are
+// significantly higher in quality", paper §II).
+type QualityDistribution struct {
+	DeviceIDs []string
+	// Counts[d][q-1] is the number of impressions of device d with NFIQ
+	// class q.
+	Counts [][5]int
+}
+
+// QualityByDevice tallies NFIQ classes per device across the dataset.
+func QualityByDevice(ds *Dataset) QualityDistribution {
+	out := QualityDistribution{Counts: make([][5]int, ds.NumDevices())}
+	for d := 0; d < ds.NumDevices(); d++ {
+		out.DeviceIDs = append(out.DeviceIDs, ds.Devices[d].ID)
+	}
+	for s := 0; s < ds.NumSubjects(); s++ {
+		for d := 0; d < ds.NumDevices(); d++ {
+			for k := 0; k < SamplesPerDevice; k++ {
+				q := ds.Impression(s, d, k).Quality
+				if q.Valid() {
+					out.Counts[d][q-1]++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Mean returns the mean NFIQ class for device index d (lower is better).
+func (q QualityDistribution) Mean(d int) float64 {
+	total, n := 0, 0
+	for i, c := range q.Counts[d] {
+		total += (i + 1) * c
+		n += c
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(total) / float64(n)
+}
+
+// RenderQualityByDevice prints the distribution.
+func RenderQualityByDevice(q QualityDistribution) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "NFIQ distribution per device (all impressions)\n")
+	fmt.Fprintf(&b, "%-6s %6s %6s %6s %6s %6s %8s\n", "Dev", "1", "2", "3", "4", "5", "mean")
+	for d, id := range q.DeviceIDs {
+		fmt.Fprintf(&b, "%-6s", id)
+		for c := 0; c < 5; c++ {
+			fmt.Fprintf(&b, " %6d", q.Counts[d][c])
+		}
+		fmt.Fprintf(&b, " %8.2f\n", q.Mean(d))
+	}
+	return b.String()
+}

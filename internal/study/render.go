@@ -1,0 +1,171 @@
+package study
+
+import (
+	"fmt"
+	"strings"
+
+	"fpinterop/internal/population"
+)
+
+// RenderTable1 prints the device characteristics table (the paper's
+// Table 1).
+func RenderTable1(ds *Dataset) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: Live-scan devices used for fingerprint acquisition\n")
+	fmt.Fprintf(&b, "%-4s %-42s %-6s %-12s %-12s\n", "Dev", "Model", "dpi", "Image (px)", "Area (mm)")
+	for _, d := range ds.Devices {
+		fmt.Fprintf(&b, "%-4s %-42s %-6d %dx%-7d %.1fx%.1f\n",
+			d.ID, d.Model, d.DPI, d.ImageW, d.ImageH, d.PlatenW, d.PlatenH)
+	}
+	return b.String()
+}
+
+// RenderFigure1 prints the demographic histograms.
+func RenderFigure1(f Figure1Data) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1: Age and ethnicity groups of the %d participants\n", f.Total)
+	fmt.Fprintf(&b, "Age groups:\n")
+	for _, g := range population.AgeGroups() {
+		n := f.Ages[g]
+		fmt.Fprintf(&b, "  %-6s %4d (%5.1f%%) %s\n", g, n,
+			100*float64(n)/float64(f.Total), bar(n, f.Total))
+	}
+	fmt.Fprintf(&b, "Ethnicity groups:\n")
+	for _, g := range population.Ethnicities() {
+		n := f.Ethnicities[g]
+		fmt.Fprintf(&b, "  %-17s %4d (%5.1f%%) %s\n", g, n,
+			100*float64(n)/float64(f.Total), bar(n, f.Total))
+	}
+	return b.String()
+}
+
+func bar(n, total int) string {
+	if total == 0 {
+		return ""
+	}
+	w := n * 40 / total
+	return strings.Repeat("#", w)
+}
+
+// RenderTable3 prints the score-set cardinalities.
+func RenderTable3(t Table3Counts) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: Match scores for different match scenarios\n")
+	fmt.Fprintf(&b, "%-8s %12s\n", "Set", "Scores")
+	fmt.Fprintf(&b, "%-8s %12d\n", "DMG", t.DMG)
+	fmt.Fprintf(&b, "%-8s %12d\n", "DDMG", t.DDMG)
+	fmt.Fprintf(&b, "%-8s %12d\n", "DMI", t.DMI)
+	fmt.Fprintf(&b, "%-8s %12d\n", "DDMI", t.DDMI)
+	return b.String()
+}
+
+// RenderFigure2 prints the ordered genuine score curves as quantile
+// summaries per probe device.
+func RenderFigure2(f Figure2Data) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2: Genuine match scores (DDMG) ordered by magnitude,\n")
+	fmt.Fprintf(&b, "for different probe devices vs %s gallery\n", f.GalleryDevice)
+	fmt.Fprintf(&b, "%-6s %8s %8s %8s %8s %8s\n", "Probe", "max", "p75", "median", "p25", "min")
+	ids := make([]string, 0, len(f.SeriesByProbe))
+	for id := range f.SeriesByProbe {
+		ids = append(ids, id)
+	}
+	sortStrings(ids)
+	for _, id := range ids {
+		s := f.SeriesByProbe[id] // sorted descending
+		if len(s) == 0 {
+			continue
+		}
+		q := func(p float64) float64 { return s[int(p*float64(len(s)-1))] }
+		fmt.Fprintf(&b, "%-6s %8.2f %8.2f %8.2f %8.2f %8.2f\n",
+			id, s[0], q(0.25), q(0.5), q(0.75), s[len(s)-1])
+	}
+	return b.String()
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// RenderFigureHist prints a genuine/impostor histogram pair (Figures 3
+// and 4).
+func RenderFigureHist(title string, f FigureHistData) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (gallery %s, probe %s)\n", title, f.GalleryDevice, f.ProbeDevice)
+	fmt.Fprintf(&b, "%-10s %10s %10s\n", "Score bin", "Genuine", "Impostor")
+	for i := range f.Genuine.Counts {
+		lo, hi := f.Genuine.BinRange(i)
+		g := f.Genuine.Counts[i]
+		im := f.Impostor.Counts[i]
+		if g == 0 && im == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%4.0f-%-5.0f %10d %10d\n", lo, hi, g, im)
+	}
+	return b.String()
+}
+
+// RenderTable4 prints the Kendall p-value matrix.
+func RenderTable4(t Table4Data) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 4: p-values from Kendall's rank correlation statistical test\n")
+	fmt.Fprintf(&b, "%-4s", "")
+	for _, c := range t.ColIDs {
+		fmt.Fprintf(&b, " %12s", "DX-"+c)
+	}
+	fmt.Fprintf(&b, "\n")
+	for i, r := range t.RowIDs {
+		fmt.Fprintf(&b, "%-4s", r)
+		for j := range t.ColIDs {
+			fmt.Fprintf(&b, " %12s", t.P[i][j].String())
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	return b.String()
+}
+
+// RenderFNMRMatrix prints an interoperability FNMR matrix (Tables 5/6).
+func RenderFNMRMatrix(title string, m FNMRMatrixData) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (FNMR at fixed FMR of %.4g%%)\n", title, m.TargetFMR*100)
+	fmt.Fprintf(&b, "%-4s", "")
+	for _, id := range m.DeviceIDs {
+		fmt.Fprintf(&b, " %10s", id)
+	}
+	fmt.Fprintf(&b, "\n")
+	for i, id := range m.DeviceIDs {
+		fmt.Fprintf(&b, "%-4s", id)
+		for j := range m.DeviceIDs {
+			fmt.Fprintf(&b, " %10.2e", m.FNMR[i][j])
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	return b.String()
+}
+
+// RenderFigure5 prints the low-score quality surfaces.
+func RenderFigure5(f Figure5Data) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5: Genuine match scores below %.0f by (gallery NFIQ, probe NFIQ)\n", f.Threshold)
+	render := func(name string, m [5][5]int) {
+		fmt.Fprintf(&b, "%s:\n      probe→ ", name)
+		for q := 1; q <= 5; q++ {
+			fmt.Fprintf(&b, "%6d", q)
+		}
+		fmt.Fprintf(&b, "\n")
+		for qg := 0; qg < 5; qg++ {
+			fmt.Fprintf(&b, "  gallery %d: ", qg+1)
+			for qp := 0; qp < 5; qp++ {
+				fmt.Fprintf(&b, "%6d", m[qg][qp])
+			}
+			fmt.Fprintf(&b, "\n")
+		}
+	}
+	render("(a) same device", f.SameDevice)
+	render("(b) diverse devices", f.CrossDevice)
+	return b.String()
+}

@@ -1,0 +1,58 @@
+package study
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table2Row describes one of the four similarity score sets (the paper's
+// Table 2, "Notation table for similarity score computations").
+type Table2Row struct {
+	// Name is the set label (DMG, DMI, DDMG, DDMI).
+	Name string
+	// Definition is the membership rule.
+	Definition string
+	// Subjects, Devices, Samples mirror the paper's Table 3 columns.
+	Subjects, Devices, Samples int
+}
+
+// Table2 returns the notation table. Counts follow the study design: DMG
+// uses the four live-scan devices (ink has one imprint), everything else
+// spans all five.
+func Table2(ds *Dataset) []Table2Row {
+	n := ds.NumSubjects()
+	return []Table2Row{
+		{
+			Name:       "DMG",
+			Definition: "Device Match Genuine: same subject, gallery and probe from the same device",
+			Subjects:   n, Devices: 4, Samples: 2,
+		},
+		{
+			Name:       "DMI",
+			Definition: "Device Match Impostor: different subjects, gallery and probe from the same device",
+			Subjects:   n, Devices: 5, Samples: 2,
+		},
+		{
+			Name:       "DDMG",
+			Definition: "Diverse Device Match Genuine: same subject, gallery and probe from different devices",
+			Subjects:   n, Devices: 5, Samples: 2,
+		},
+		{
+			Name:       "DDMI",
+			Definition: "Diverse Device Match Impostor: different subjects, gallery and probe from different devices",
+			Subjects:   n, Devices: 5, Samples: 2,
+		},
+	}
+}
+
+// RenderTable2 prints the notation table.
+func RenderTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: Notation for similarity score computations\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6s %s\n", r.Name, r.Definition)
+		fmt.Fprintf(&b, "       (%d subjects, %d devices, %d samples)\n",
+			r.Subjects, r.Devices, r.Samples)
+	}
+	return b.String()
+}
