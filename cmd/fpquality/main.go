@@ -1,10 +1,12 @@
 // Command fpquality assesses fingerprint image quality with the
 // NFIQ-like classifier (1 = best, 5 = worst) and reports whether NIST
-// SP 800-76 recapture guidance applies.
+// SP 800-76 recapture guidance applies. With -summary it also prints
+// the NFIQ class distribution across all inputs — the quality histogram
+// behind the paper's Table 6 filtering (keep only classes 1-2).
 //
 // Usage:
 //
-//	fpquality print.pgm [more.pgm ...]
+//	fpquality [-v] [-summary] print.pgm [more.pgm ...]
 package main
 
 import (
@@ -26,12 +28,15 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("fpquality", flag.ContinueOnError)
 	verbose := fs.Bool("v", false, "print raw quality features")
+	summary := fs.Bool("summary", false, "print the NFIQ class distribution across all inputs")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() == 0 {
 		return fmt.Errorf("need at least one PGM file")
 	}
+	byClass := map[nfiq.Class]int{}
+	recapture := 0
 	for _, path := range fs.Args() {
 		f, err := os.Open(path)
 		if err != nil {
@@ -44,8 +49,10 @@ func run(args []string) error {
 		}
 		features := nfiq.ExtractFeatures(img)
 		class := nfiq.ClassFromScore(features.Score())
+		byClass[class]++
 		fmt.Printf("%s: %s", path, class)
 		if nfiq.RecaptureRecommended(class) {
+			recapture++
 			fmt.Printf("  [NIST SP 800-76: reacquire, up to 3 attempts]")
 		}
 		fmt.Println()
@@ -56,6 +63,15 @@ func run(args []string) error {
 			fmt.Printf("  foreground fraction:   %.3f\n", features.ForegroundFraction)
 			fmt.Printf("  utility score:         %.3f\n", features.Score())
 		}
+	}
+	if *summary {
+		total := fs.NArg()
+		fmt.Printf("\nNFIQ class distribution (%d images)\n", total)
+		for c := nfiq.Excellent; c <= nfiq.Poor; c++ {
+			n := byClass[c]
+			fmt.Printf("  %-12s %4d  (%.1f%%)\n", c, n, 100*float64(n)/float64(total))
+		}
+		fmt.Printf("  recapture recommended: %d\n", recapture)
 	}
 	return nil
 }

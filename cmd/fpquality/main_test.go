@@ -37,6 +37,9 @@ func TestRunAssessesQuality(t *testing.T) {
 	if err := run([]string{"-v", path, path}); err != nil {
 		t.Fatal(err)
 	}
+	if err := run([]string{"-summary", path, path, path}); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestRunErrors(t *testing.T) {

@@ -35,7 +35,7 @@ func run(args []string, out *os.File) error {
 	subjects := fs.Int("subjects", 494, "cohort size (paper: 494)")
 	dmi := fs.Int("dmi", 120855, "same-device impostor comparisons (paper: 120855)")
 	ddmi := fs.Int("ddmi", 483420, "cross-device impostor comparisons (paper: 483420)")
-	only := fs.String("only", "", "comma-separated outputs: table1,table2,table3,table4,table5,table6,figure1,figure2,figure3,figure4,figure5,shift")
+	only := fs.String("only", "", "comma-separated outputs: table1,table2,table3,table4,table5,table6,figure1,figure2,figure3,figure4,figure5,shift,eer")
 	list := fs.Bool("list", false, "list all reproducible artifacts and exit")
 	jsonPath := fs.String("json", "", "also write the machine-readable report to this path")
 	csvPath := fs.String("csv", "", "also write every raw score as CSV to this path")
@@ -85,7 +85,7 @@ func run(args []string, out *os.File) error {
 		fmt.Fprintln(out, study.RenderTable1(ds))
 	}
 	if sel("table2") {
-		fmt.Fprintln(out, study.RenderTable2(study.Table2(ds)))
+		fmt.Fprintln(out, study.RenderTable2(study.Table2(ds, sets)))
 	}
 	if sel("figure1") {
 		fmt.Fprintln(out, study.RenderFigure1(study.Figure1(ds)))
@@ -144,6 +144,13 @@ func run(args []string, out *os.File) error {
 			return err
 		}
 		fmt.Fprintln(out, study.RenderShift(a))
+	}
+	if sel("eer") {
+		m, err := study.EERMatrix(ds, sets)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, study.RenderEERMatrix(m))
 	}
 	if *jsonPath != "" {
 		f, err := os.Create(*jsonPath)

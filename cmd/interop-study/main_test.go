@@ -43,7 +43,7 @@ func TestRunTinyStudy(t *testing.T) {
 		"-json", jsonPath, "-csv", csvPath,
 	})
 	for _, want := range []string{
-		"Table 3", "Table 4", "Table 5", "Figure 5", "Total runtime",
+		"Table 3", "Table 4", "Table 5", "Figure 5", "Equal error rate", "Total runtime",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("output missing %q", want)

@@ -1,0 +1,3 @@
+module fpinterop
+
+go 1.24

@@ -2,36 +2,26 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
+
+// The slice-based functions below are convenience wrappers over
+// ScoreDist for callers holding raw, unsorted score slices. Code that
+// queries the same partition more than once (matrices, DET curves plus
+// point lookups) should build one ScoreDist and reuse it.
 
 // ThresholdForFMR returns the lowest decision threshold t such that the
 // fraction of impostor scores ≥ t does not exceed target. Scores equal to
 // the threshold count as matches (accept if score ≥ t). The impostor
 // slice is not modified.
 func ThresholdForFMR(impostor []float64, target float64) (float64, error) {
-	if len(impostor) == 0 {
-		return 0, fmt.Errorf("stats: no impostor scores")
-	}
-	if target < 0 || target > 1 {
-		return 0, fmt.Errorf("stats: target FMR %v outside [0, 1]", target)
-	}
-	s := append([]float64(nil), impostor...)
-	sort.Float64s(s)
-	n := len(s)
-	// Allowed number of false matches.
-	allowed := int(target * float64(n))
-	if allowed >= n {
-		return s[0], nil
-	}
-	// Threshold just above the (allowed+1)-th largest score.
-	idx := n - allowed - 1 // index of the largest score that must be rejected
-	return nextAfter(s[idx]), nil
+	return ScoreDistFromSorted(nil, SortedCopy(impostor)).ThresholdForFMR(target)
 }
 
 // nextAfter returns the smallest representable float64 greater than x.
 func nextAfter(x float64) float64 {
-	return x + x*1e-12 + 1e-12
+	return math.Nextafter(x, math.Inf(1))
 }
 
 // FMRAt returns the fraction of impostor scores accepted (≥ t).
@@ -66,39 +56,14 @@ func FNMRAt(genuine []float64, t float64) float64 {
 // fix the threshold from the impostor distribution at the target FMR, then
 // report the genuine rejection rate at that threshold.
 func FNMRAtFMR(genuine, impostor []float64, targetFMR float64) (fnmr, threshold float64, err error) {
-	t, err := ThresholdForFMR(impostor, targetFMR)
-	if err != nil {
-		return 0, 0, err
-	}
-	return FNMRAt(genuine, t), t, nil
+	return NewScoreDist(genuine, impostor).FNMRAtFMR(targetFMR)
 }
 
 // EER returns the equal error rate: the rate where FMR equals FNMR, found
 // by sweeping thresholds over the pooled score set, along with the
 // threshold achieving it.
 func EER(genuine, impostor []float64) (rate, threshold float64, err error) {
-	if len(genuine) == 0 || len(impostor) == 0 {
-		return 0, 0, fmt.Errorf("stats: EER needs both genuine and impostor scores")
-	}
-	all := make([]float64, 0, len(genuine)+len(impostor))
-	all = append(all, genuine...)
-	all = append(all, impostor...)
-	sort.Float64s(all)
-	bestGap := 2.0
-	for _, t := range all {
-		fmr := FMRAt(impostor, t)
-		fnmr := FNMRAt(genuine, t)
-		gap := fmr - fnmr
-		if gap < 0 {
-			gap = -gap
-		}
-		if gap < bestGap {
-			bestGap = gap
-			rate = (fmr + fnmr) / 2
-			threshold = t
-		}
-	}
-	return rate, threshold, nil
+	return NewScoreDist(genuine, impostor).EER()
 }
 
 // DETPoint is one operating point of a detection-error-tradeoff curve.
@@ -112,24 +77,7 @@ func DET(genuine, impostor []float64, n int) ([]DETPoint, error) {
 	if len(genuine) == 0 || len(impostor) == 0 {
 		return nil, fmt.Errorf("stats: DET needs both genuine and impostor scores")
 	}
-	if n < 2 {
-		return nil, fmt.Errorf("stats: DET needs >= 2 points")
-	}
-	lo, hi := genuine[0], genuine[0]
-	for _, s := range genuine {
-		lo = min(lo, s)
-		hi = max(hi, s)
-	}
-	for _, s := range impostor {
-		lo = min(lo, s)
-		hi = max(hi, s)
-	}
-	out := make([]DETPoint, n)
-	for i := 0; i < n; i++ {
-		t := lo + (hi-lo)*float64(i)/float64(n-1)
-		out[i] = DETPoint{Threshold: t, FMR: FMRAt(impostor, t), FNMR: FNMRAt(genuine, t)}
-	}
-	return out, nil
+	return NewScoreDist(genuine, impostor).DET(n)
 }
 
 // BootstrapFNMR returns a percentile bootstrap confidence interval

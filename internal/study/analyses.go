@@ -205,6 +205,7 @@ func Table4(ds *Dataset, sets *ScoreSets) (Table4Data, error) {
 	}
 	out.Tau = make([][]float64, len(out.RowIDs))
 	out.P = make([][]stats.PValue, len(out.RowIDs))
+	rowOf := make(map[int]int, len(out.RowIDs)) // device index → matrix row
 	row := 0
 	for di := 0; di < nDev; di++ {
 		if ds.Devices[di].Ink {
@@ -212,17 +213,27 @@ func Table4(ds *Dataset, sets *ScoreSets) (Table4Data, error) {
 		}
 		out.Tau[row] = make([]float64, nDev)
 		out.P[row] = make([]stats.PValue, nDev)
-		ref := lists[di][di]
-		for dj := 0; dj < nDev; dj++ {
-			res, err := stats.Kendall(ref, lists[di][dj])
-			if err != nil {
-				return Table4Data{}, fmt.Errorf("table 4 cell (%s, %s): %w",
-					ds.Devices[di].ID, ds.Devices[dj].ID, err)
-			}
-			out.Tau[row][dj] = res.Tau
-			out.P[row][dj] = res.P
-		}
+		rowOf[di] = row
 		row++
+	}
+	// The Kendall tests of different cells are independent; run them on
+	// the bounded worker pool, each writing only its own (row, dj) slot.
+	err := forEachCell(nDev, ds.Config.Parallelism, func(di, dj int) error {
+		r, ok := rowOf[di]
+		if !ok {
+			return nil // ink device: no same-device reference row
+		}
+		res, err := stats.Kendall(lists[di][di], lists[di][dj])
+		if err != nil {
+			return fmt.Errorf("table 4 cell (%s, %s): %w",
+				ds.Devices[di].ID, ds.Devices[dj].ID, err)
+		}
+		out.Tau[r][dj] = res.Tau
+		out.P[r][dj] = res.P
+		return nil
+	})
+	if err != nil {
+		return Table4Data{}, err
 	}
 	return out, nil
 }
@@ -268,27 +279,8 @@ func FNMRMatrix(ds *Dataset, sets *ScoreSets, opts FNMRMatrixOptions) (FNMRMatri
 		}
 		return s.QualityG < opts.MaxQuality && s.QualityP < opts.MaxQuality
 	}
-	genuine := make([][][]float64, nDev)
-	impostor := make([][][]float64, nDev)
-	for i := 0; i < nDev; i++ {
-		genuine[i] = make([][]float64, nDev)
-		impostor[i] = make([][]float64, nDev)
-	}
-	for _, s := range sets.GenuineAll {
-		if keep(s) {
-			genuine[s.DeviceG][s.DeviceP] = append(genuine[s.DeviceG][s.DeviceP], s.Value)
-		}
-	}
-	for _, s := range sets.DMI {
-		if keep(s) {
-			impostor[s.DeviceG][s.DeviceP] = append(impostor[s.DeviceG][s.DeviceP], s.Value)
-		}
-	}
-	for _, s := range sets.DDMI {
-		if keep(s) {
-			impostor[s.DeviceG][s.DeviceP] = append(impostor[s.DeviceG][s.DeviceP], s.Value)
-		}
-	}
+	genuine := partitionByDevicePair(nDev, keep, sets.GenuineAll)
+	impostor := partitionByDevicePair(nDev, keep, sets.DMI, sets.DDMI)
 
 	out := FNMRMatrixData{TargetFMR: opts.TargetFMR}
 	for i := 0; i < nDev; i++ {
@@ -301,21 +293,31 @@ func FNMRMatrix(ds *Dataset, sets *ScoreSets, opts FNMRMatrixOptions) (FNMRMatri
 		out.FNMR[i] = make([]float64, nDev)
 		out.Threshold[i] = make([]float64, nDev)
 		out.GenuineCount[i] = make([]int, nDev)
-		for j := 0; j < nDev; j++ {
-			gen := genuine[i][j]
-			imp := impostor[i][j]
-			out.GenuineCount[i][j] = len(gen)
-			if len(gen) == 0 || len(imp) == 0 {
-				// Cell has no usable data (tiny test configs); report 0.
-				continue
-			}
-			fnmr, thr, err := stats.FNMRAtFMR(gen, imp, opts.TargetFMR)
-			if err != nil {
-				return FNMRMatrixData{}, fmt.Errorf("cell (%d,%d): %w", i, j, err)
-			}
-			out.FNMR[i][j] = fnmr
-			out.Threshold[i][j] = thr
+	}
+	// Each cell sorts its partition once; the threshold fix and the FNMR
+	// lookup both reuse the same ScoreDist. Cells are independent, so
+	// they run on the bounded worker pool.
+	err := forEachCell(nDev, ds.Config.Parallelism, func(i, j int) error {
+		gen := genuine[i][j]
+		imp := impostor[i][j]
+		out.GenuineCount[i][j] = len(gen)
+		if len(gen) == 0 || len(imp) == 0 {
+			// Cell has no usable data (tiny test configs); report 0.
+			return nil
 		}
+		// Cell-private partitions: sort in place, no copy.
+		sort.Float64s(gen)
+		sort.Float64s(imp)
+		fnmr, thr, err := stats.ScoreDistFromSorted(gen, imp).FNMRAtFMR(opts.TargetFMR)
+		if err != nil {
+			return fmt.Errorf("cell (%d,%d): %w", i, j, err)
+		}
+		out.FNMR[i][j] = fnmr
+		out.Threshold[i][j] = thr
+		return nil
+	})
+	if err != nil {
+		return FNMRMatrixData{}, err
 	}
 	return out, nil
 }

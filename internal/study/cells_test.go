@@ -1,0 +1,146 @@
+package study
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"fpinterop/internal/match"
+	"fpinterop/internal/minutiae"
+)
+
+func TestForEachIndex(t *testing.T) {
+	var hits [100]atomic.Int64
+	if err := forEachIndex(len(hits), 7, func(i int) error {
+		hits[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("index %d visited %d times", i, hits[i].Load())
+		}
+	}
+	// Errors surface, and every index still runs (no early abort that
+	// would leave result slots unwritten).
+	var n atomic.Int64
+	err := forEachIndex(50, 0, func(i int) error {
+		n.Add(1)
+		if i == 3 {
+			return errors.New("cell failure")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "cell failure") {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	if n.Load() != 50 {
+		t.Fatalf("visited %d of 50 after error", n.Load())
+	}
+}
+
+// TestParallelAnalysesDeterministic computes every cell-parallel
+// analysis several times concurrently and requires identical results —
+// under -race this also proves the worker pools share no cell state.
+func TestParallelAnalysesDeterministic(t *testing.T) {
+	ds, sets := testStudy(t)
+	type result struct {
+		eer   EERMatrixData
+		fnmr  FNMRMatrixData
+		t4    Table4Data
+		shift ShiftAnalysis
+	}
+	compute := func() (result, error) {
+		var r result
+		var err error
+		if r.eer, err = EERMatrix(ds, sets); err != nil {
+			return r, err
+		}
+		if r.fnmr, err = FNMRMatrix(ds, sets, FNMRMatrixOptions{TargetFMR: 0.01}); err != nil {
+			return r, err
+		}
+		if r.t4, err = Table4(ds, sets); err != nil {
+			return r, err
+		}
+		r.shift, err = Shift(ds, sets)
+		return r, err
+	}
+	const runs = 4
+	results := make([]result, runs)
+	errs := make([]error, runs)
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = compute()
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < runs; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if !reflect.DeepEqual(results[i], results[0]) {
+			t.Fatalf("concurrent run %d differs from run 0", i)
+		}
+	}
+}
+
+// selectiveFailMatcher fails deterministically for one gallery template
+// and counts every comparison attempted.
+type selectiveFailMatcher struct {
+	inner match.Matcher
+	bad   *minutiae.Template
+	calls atomic.Int64
+}
+
+func (m *selectiveFailMatcher) Match(g, p *minutiae.Template) (match.Result, error) {
+	m.calls.Add(1)
+	if g == m.bad {
+		return match.Result{}, errors.New("injected matcher failure")
+	}
+	return m.inner.Match(g, p)
+}
+
+// TestGenerateScoresMatcherError checks that a match error fails the run
+// loudly without a worker abandoning the rest of its chunk: every
+// comparison must still be attempted, and the error must say how many
+// failed.
+func TestGenerateScoresMatcherError(t *testing.T) {
+	cfg := Config{Seed: 7, Subjects: 4, MaxDMI: 20, MaxDDMI: 20, Parallelism: 3}
+	ds, err := BuildDataset(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := GenerateScores(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(clean.DMG) + len(clean.DDMG) + len(clean.DMI) + len(clean.DDMI) + len(clean.GenuineAll)
+
+	fm := &selectiveFailMatcher{inner: ds.Config.Matcher, bad: ds.Impression(0, 0, 0).Template}
+	ds.Config.Matcher = fm
+	sets, err := GenerateScores(ds)
+	if err == nil {
+		t.Fatal("expected an error from the failing matcher")
+	}
+	if sets != nil {
+		t.Fatal("failed run must not return partial score sets")
+	}
+	if !strings.Contains(err.Error(), "comparisons failed") ||
+		!strings.Contains(err.Error(), "injected matcher failure") {
+		t.Fatalf("error does not report failure count and cause: %v", err)
+	}
+	if got := fm.calls.Load(); got != int64(total) {
+		t.Fatalf("only %d of %d comparisons attempted: worker dropped its chunk", got, total)
+	}
+	if !strings.Contains(err.Error(), fmt.Sprintf("of %d comparisons", total)) {
+		t.Fatalf("error does not name the comparison total %d: %v", total, err)
+	}
+}

@@ -43,7 +43,7 @@ func Experiments() []Experiment {
 			Title:      "Notation table for similarity score computations",
 			PaperClaim: "defines the DMG/DMI/DDMG/DDMI score sets",
 			Run: func(ds *Dataset, sets *ScoreSets) (string, error) {
-				return RenderTable2(Table2(ds)), nil
+				return RenderTable2(Table2(ds, sets)), nil
 			},
 		},
 		{
@@ -135,6 +135,18 @@ func Experiments() []Experiment {
 			PaperClaim: "cross-device low scores need both images high-quality to avoid FNMs",
 			Run: func(ds *Dataset, sets *ScoreSets) (string, error) {
 				return RenderFigure5(Figure5(sets)), nil
+			},
+		},
+		{
+			ID:         "eer",
+			Title:      "Per-device-pair equal error rates (extension)",
+			PaperClaim: "within-sensor EER far below cross-sensor EER (Ross & Jain's 6-10% vs 23%)",
+			Run: func(ds *Dataset, sets *ScoreSets) (string, error) {
+				m, err := EERMatrix(ds, sets)
+				if err != nil {
+					return "", err
+				}
+				return RenderEERMatrix(m), nil
 			},
 		},
 	}

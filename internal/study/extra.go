@@ -3,6 +3,7 @@ package study
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"fpinterop/internal/stats"
 )
@@ -19,38 +20,36 @@ type EERMatrixData struct {
 }
 
 // EERMatrix computes per-device-pair equal error rates from the dense
-// genuine set and the impostor sets.
+// genuine set and the impostor sets. Each cell's partition is sorted
+// once into a stats.ScoreDist (the EER itself is then a single merge
+// sweep), and the independent cells run on the study's bounded worker
+// pool.
 func EERMatrix(ds *Dataset, sets *ScoreSets) (EERMatrixData, error) {
 	nDev := ds.NumDevices()
-	genuine := make([][][]float64, nDev)
-	impostor := make([][][]float64, nDev)
-	for i := 0; i < nDev; i++ {
-		genuine[i] = make([][]float64, nDev)
-		impostor[i] = make([][]float64, nDev)
-	}
-	for _, s := range sets.GenuineAll {
-		genuine[s.DeviceG][s.DeviceP] = append(genuine[s.DeviceG][s.DeviceP], s.Value)
-	}
-	for _, s := range sets.DMI {
-		impostor[s.DeviceG][s.DeviceP] = append(impostor[s.DeviceG][s.DeviceP], s.Value)
-	}
-	for _, s := range sets.DDMI {
-		impostor[s.DeviceG][s.DeviceP] = append(impostor[s.DeviceG][s.DeviceP], s.Value)
-	}
+	genuine := partitionByDevicePair(nDev, nil, sets.GenuineAll)
+	impostor := partitionByDevicePair(nDev, nil, sets.DMI, sets.DDMI)
 	out := EERMatrixData{EER: make([][]float64, nDev)}
 	for i := 0; i < nDev; i++ {
 		out.DeviceIDs = append(out.DeviceIDs, ds.Devices[i].ID)
 		out.EER[i] = make([]float64, nDev)
-		for j := 0; j < nDev; j++ {
-			if len(genuine[i][j]) == 0 || len(impostor[i][j]) == 0 {
-				continue
-			}
-			rate, _, err := stats.EER(genuine[i][j], impostor[i][j])
-			if err != nil {
-				return EERMatrixData{}, fmt.Errorf("EER cell (%d,%d): %w", i, j, err)
-			}
-			out.EER[i][j] = rate
+	}
+	err := forEachCell(nDev, ds.Config.Parallelism, func(i, j int) error {
+		if len(genuine[i][j]) == 0 || len(impostor[i][j]) == 0 {
+			return nil
 		}
+		// The partitions are cell-private, so sort them in place rather
+		// than copying into NewScoreDist.
+		sort.Float64s(genuine[i][j])
+		sort.Float64s(impostor[i][j])
+		rate, _, err := stats.ScoreDistFromSorted(genuine[i][j], impostor[i][j]).EER()
+		if err != nil {
+			return fmt.Errorf("EER cell (%d,%d): %w", i, j, err)
+		}
+		out.EER[i][j] = rate
+		return nil
+	})
+	if err != nil {
+		return EERMatrixData{}, err
 	}
 	return out, nil
 }

@@ -73,8 +73,8 @@ func TestTable4AsymmetryNonNegative(t *testing.T) {
 func TestExperimentRegistry(t *testing.T) {
 	ds, sets := testStudy(t)
 	exps := Experiments()
-	if len(exps) != 11 {
-		t.Fatalf("registry has %d artifacts, want 11 (Tables 1-6 + Figures 1-5)", len(exps))
+	if len(exps) != 12 {
+		t.Fatalf("registry has %d artifacts, want 12 (Tables 1-6 + Figures 1-5 + EER matrix)", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -190,8 +190,8 @@ func TestQualityByDevice(t *testing.T) {
 }
 
 func TestTable2Notation(t *testing.T) {
-	ds, _ := testStudy(t)
-	rows := Table2(ds)
+	ds, sets := testStudy(t)
+	rows := Table2(ds, sets)
 	if len(rows) != 4 {
 		t.Fatalf("Table 2 has %d rows, want 4", len(rows))
 	}
@@ -215,6 +215,21 @@ func TestTable2Notation(t *testing.T) {
 		if r.Name == "DMG" && r.Devices != 4 {
 			t.Fatalf("DMG devices %d, want 4", r.Devices)
 		}
+	}
+	// Observed cardinalities must match Table 3, and medians separate
+	// genuine sets from impostor sets.
+	counts := Table3(sets)
+	want := map[string]int{"DMG": counts.DMG, "DMI": counts.DMI, "DDMG": counts.DDMG, "DDMI": counts.DDMI}
+	med := map[string]float64{}
+	for _, r := range rows {
+		if r.Observed != want[r.Name] {
+			t.Fatalf("%s observed %d, want %d", r.Name, r.Observed, want[r.Name])
+		}
+		med[r.Name] = r.Median
+	}
+	if med["DMG"] <= med["DMI"] || med["DDMG"] <= med["DDMI"] {
+		t.Fatalf("genuine medians %v/%v not above impostor medians %v/%v",
+			med["DMG"], med["DDMG"], med["DMI"], med["DDMI"])
 	}
 	if out := RenderTable2(rows); len(out) < 100 {
 		t.Fatal("rendering too short")

@@ -151,6 +151,7 @@ func GenerateScores(ds *Dataset) (*ScoreSets, error) {
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		firstErr error
+		failed   int
 	)
 	chunk := (len(jobs) + cfg.Parallelism - 1) / cfg.Parallelism
 	if chunk < 1 {
@@ -170,8 +171,17 @@ func GenerateScores(ds *Dataset) (*ScoreSets, error) {
 				p := ds.Impression(j.subjP, j.devP, j.sampP)
 				res, err := cfg.Matcher.Match(g.Template, p.Template)
 				if err != nil {
-					setErr(&mu, &firstErr, err)
-					return
+					// Keep working through the chunk: a bailing worker
+					// would silently leave every remaining comparison as a
+					// zero Score while reporting only the first error.
+					mu.Lock()
+					failed++
+					if firstErr == nil {
+						firstErr = fmt.Errorf("subject %d device %d sample %d vs subject %d device %d sample %d: %w",
+							j.subjG, j.devG, j.sampG, j.subjP, j.devP, j.sampP, err)
+					}
+					mu.Unlock()
+					continue
 				}
 				scores[i] = Score{
 					SubjectG: j.subjG, SubjectP: j.subjP,
@@ -185,7 +195,8 @@ func GenerateScores(ds *Dataset) (*ScoreSets, error) {
 	}
 	wg.Wait()
 	if firstErr != nil {
-		return nil, fmt.Errorf("study: score generation: %w", firstErr)
+		return nil, fmt.Errorf("study: score generation: %d of %d comparisons failed, first: %w",
+			failed, len(jobs), firstErr)
 	}
 
 	sets := &ScoreSets{}

@@ -22,31 +22,43 @@ type ShiftAnalysis struct {
 	Effect []float64
 }
 
-// Shift runs the analysis.
+// Shift runs the analysis. The per-gallery partitions are built in one
+// pass over the score sets (instead of one rescan per device) and the
+// independent Mann–Whitney tests run on the study's bounded worker pool.
 func Shift(ds *Dataset, sets *ScoreSets) (ShiftAnalysis, error) {
-	var out ShiftAnalysis
-	for di := 0; di < ds.NumDevices(); di++ {
-		if ds.Devices[di].Ink {
-			continue
+	nDev := ds.NumDevices()
+	same := make([][]float64, nDev)
+	cross := make([][]float64, nDev)
+	for _, s := range sets.DMG {
+		same[s.DeviceG] = append(same[s.DeviceG], s.Value)
+	}
+	for _, s := range sets.DDMG {
+		cross[s.DeviceG] = append(cross[s.DeviceG], s.Value)
+	}
+	var galleries []int
+	for di := 0; di < nDev; di++ {
+		if !ds.Devices[di].Ink {
+			galleries = append(galleries, di)
 		}
-		var same, cross []float64
-		for _, s := range sets.DMG {
-			if s.DeviceG == di {
-				same = append(same, s.Value)
-			}
-		}
-		for _, s := range sets.DDMG {
-			if s.DeviceG == di {
-				cross = append(cross, s.Value)
-			}
-		}
-		res, err := stats.MannWhitney(same, cross)
+	}
+	out := ShiftAnalysis{
+		GalleryIDs: make([]string, len(galleries)),
+		P:          make([]stats.PValue, len(galleries)),
+		Effect:     make([]float64, len(galleries)),
+	}
+	err := forEachIndex(len(galleries), ds.Config.Parallelism, func(i int) error {
+		di := galleries[i]
+		res, err := stats.MannWhitney(same[di], cross[di])
 		if err != nil {
-			return ShiftAnalysis{}, fmt.Errorf("shift for %s: %w", ds.Devices[di].ID, err)
+			return fmt.Errorf("shift for %s: %w", ds.Devices[di].ID, err)
 		}
-		out.GalleryIDs = append(out.GalleryIDs, ds.Devices[di].ID)
-		out.P = append(out.P, res.P)
-		out.Effect = append(out.Effect, res.CommonLanguage)
+		out.GalleryIDs[i] = ds.Devices[di].ID
+		out.P[i] = res.P
+		out.Effect[i] = res.CommonLanguage
+		return nil
+	})
+	if err != nil {
+		return ShiftAnalysis{}, err
 	}
 	return out, nil
 }

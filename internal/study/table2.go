@@ -3,10 +3,13 @@ package study
 import (
 	"fmt"
 	"strings"
+
+	"fpinterop/internal/stats"
 )
 
 // Table2Row describes one of the four similarity score sets (the paper's
-// Table 2, "Notation table for similarity score computations").
+// Table 2, "Notation table for similarity score computations"), together
+// with the cardinality and median actually observed in this run.
 type Table2Row struct {
 	// Name is the set label (DMG, DMI, DDMG, DDMI).
 	Name string
@@ -14,33 +17,48 @@ type Table2Row struct {
 	Definition string
 	// Subjects, Devices, Samples mirror the paper's Table 3 columns.
 	Subjects, Devices, Samples int
+	// Observed is how many scores the set holds in this run.
+	Observed int
+	// Median is the median similarity score of the set (0 when empty).
+	Median float64
 }
 
-// Table2 returns the notation table. Counts follow the study design: DMG
-// uses the four live-scan devices (ink has one imprint), everything else
-// spans all five.
-func Table2(ds *Dataset) []Table2Row {
+// Table2 returns the notation table annotated with the observed score
+// sets. Counts follow the study design: DMG uses the four live-scan
+// devices (ink has one imprint), everything else spans all five.
+func Table2(ds *Dataset, sets *ScoreSets) []Table2Row {
 	n := ds.NumSubjects()
+	median := func(scores []Score) float64 {
+		if len(scores) == 0 {
+			return 0
+		}
+		m, _ := stats.Quantile(Values(scores), 0.5)
+		return m
+	}
 	return []Table2Row{
 		{
 			Name:       "DMG",
 			Definition: "Device Match Genuine: same subject, gallery and probe from the same device",
 			Subjects:   n, Devices: 4, Samples: 2,
+			Observed: len(sets.DMG), Median: median(sets.DMG),
 		},
 		{
 			Name:       "DMI",
 			Definition: "Device Match Impostor: different subjects, gallery and probe from the same device",
 			Subjects:   n, Devices: 5, Samples: 2,
+			Observed: len(sets.DMI), Median: median(sets.DMI),
 		},
 		{
 			Name:       "DDMG",
 			Definition: "Diverse Device Match Genuine: same subject, gallery and probe from different devices",
 			Subjects:   n, Devices: 5, Samples: 2,
+			Observed: len(sets.DDMG), Median: median(sets.DDMG),
 		},
 		{
 			Name:       "DDMI",
 			Definition: "Diverse Device Match Impostor: different subjects, gallery and probe from different devices",
 			Subjects:   n, Devices: 5, Samples: 2,
+			Observed: len(sets.DDMI), Median: median(sets.DDMI),
 		},
 	}
 }
@@ -51,8 +69,8 @@ func RenderTable2(rows []Table2Row) string {
 	fmt.Fprintf(&b, "Table 2: Notation for similarity score computations\n")
 	for _, r := range rows {
 		fmt.Fprintf(&b, "%-6s %s\n", r.Name, r.Definition)
-		fmt.Fprintf(&b, "       (%d subjects, %d devices, %d samples)\n",
-			r.Subjects, r.Devices, r.Samples)
+		fmt.Fprintf(&b, "       (%d subjects, %d devices, %d samples; observed %d scores, median %.2f)\n",
+			r.Subjects, r.Devices, r.Samples, r.Observed, r.Median)
 	}
 	return b.String()
 }
