@@ -18,11 +18,15 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"fpinterop/internal/calib"
+	"fpinterop/internal/gallery"
 	"fpinterop/internal/match"
+	"fpinterop/internal/minutiae"
 	"fpinterop/internal/nfiq"
 	"fpinterop/internal/population"
+	"fpinterop/internal/rng"
 	"fpinterop/internal/sensor"
 	"fpinterop/internal/stats"
 	"fpinterop/internal/study"
@@ -608,5 +612,146 @@ func BenchmarkExtensionQualityByDevice(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = study.QualityByDevice(ds)
+	}
+}
+
+// --- Indexed 1:N identification ---------------------------------------
+//
+// The retrieval-stage benchmark builds synthetic galleries far larger
+// than the study cohort (identification latency is the deployment
+// bottleneck, not match accuracy), so it uses its own template cache
+// rather than the shared study dataset. Scale with
+// FPINTEROP_BENCH_GALLERY, a comma-separated list of gallery sizes
+// (default "1000,10000,50000").
+
+var (
+	idxBenchMu     sync.Mutex
+	idxBenchCohort *population.Cohort
+	idxBenchTpls   []*minutiae.Template // gallery templates (D0, sample 0)
+	idxBenchProbes []*minutiae.Template // probe templates (D0, sample 1)
+	idxBenchStores = map[string]*gallery.Store{}
+)
+
+const idxBenchProbeCount = 16
+
+func idxBenchSizes() []int {
+	spec := os.Getenv("FPINTEROP_BENCH_GALLERY")
+	if spec == "" {
+		return []int{1000, 10000, 50000}
+	}
+	var out []int
+	for _, f := range strings.Split(spec, ",") {
+		if n, err := strconv.Atoi(strings.TrimSpace(f)); err == nil && n > 0 {
+			out = append(out, n)
+		}
+	}
+	if len(out) == 0 {
+		return []int{1000, 10000, 50000}
+	}
+	return out
+}
+
+// idxBenchStore returns a cached gallery of n enrollments, with or
+// without the triplet index, plus the shared probe set. Stores are
+// built once per (size, variant) and reused across benchmark
+// iterations.
+func idxBenchStore(b *testing.B, n int, indexed bool) (*gallery.Store, []*minutiae.Template) {
+	b.Helper()
+	idxBenchMu.Lock()
+	defer idxBenchMu.Unlock()
+	if idxBenchCohort == nil {
+		max := idxBenchProbeCount
+		for _, s := range idxBenchSizes() {
+			if s > max {
+				max = s
+			}
+		}
+		idxBenchCohort = population.NewCohort(rng.New(4242), population.CohortOptions{Size: max})
+	}
+	d0, _ := sensor.ProfileByID("D0")
+	for len(idxBenchTpls) < n {
+		imp, err := d0.CaptureSubject(idxBenchCohort.Subjects[len(idxBenchTpls)], 0, sensor.CaptureOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		idxBenchTpls = append(idxBenchTpls, imp.Template)
+	}
+	for len(idxBenchProbes) < idxBenchProbeCount {
+		imp, err := d0.CaptureSubject(idxBenchCohort.Subjects[len(idxBenchProbes)], 1, sensor.CaptureOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		idxBenchProbes = append(idxBenchProbes, imp.Template)
+	}
+	key := fmt.Sprintf("exhaustive/%d", n)
+	if indexed {
+		key = fmt.Sprintf("indexed/%d", n)
+	}
+	if s, ok := idxBenchStores[key]; ok {
+		return s, idxBenchProbes
+	}
+	store := gallery.New(nil)
+	for i := 0; i < n; i++ {
+		if err := store.Enroll(fmt.Sprintf("subject-%06d", i), "D0", idxBenchTpls[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if indexed {
+		start := time.Now()
+		if err := store.EnableIndex(gallery.IndexOptions{}); err != nil {
+			b.Fatal(err)
+		}
+		st, _ := store.IndexStats()
+		printArtifact(key, fmt.Sprintf(
+			"[indexed-identify] N=%d: index built in %v (%d keys, %d postings)",
+			n, time.Since(start).Round(time.Millisecond), st.DistinctKeys, st.Postings))
+	}
+	idxBenchStores[key] = store
+	return store, idxBenchProbes
+}
+
+// BenchmarkExtensionIndexedIdentify contrasts 1:N identification served
+// by the minutia-triplet retrieval index against the exhaustive scan at
+// growing gallery sizes, and prints the indexed-vs-exhaustive CMC
+// comparison on the study population (the recall cost of the
+// shortlist). The acceptance bar for the retrieval stage: ≥5× speedup
+// at 10k enrollments with rank-1 within 2pp of exhaustive.
+func BenchmarkExtensionIndexedIdentify(b *testing.B) {
+	ds, sets := benchStudy(b)
+	if e, ok := study.ExperimentByID("index"); ok {
+		out, err := e.Run(ds, sets)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printArtifact("extension-index", out)
+	}
+	for _, n := range idxBenchSizes() {
+		for _, indexed := range []bool{false, true} {
+			name := fmt.Sprintf("exhaustive/N=%d", n)
+			if indexed {
+				name = fmt.Sprintf("indexed/N=%d", n)
+			}
+			b.Run(name, func(b *testing.B) {
+				store, probes := idxBenchStore(b, n, indexed)
+				b.ResetTimer()
+				shortlistSum := 0
+				for i := 0; i < b.N; i++ {
+					cands, stats, err := store.IdentifyDetailed(probes[i%len(probes)], 5)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(cands) == 0 {
+						b.Fatal("no candidates")
+					}
+					if indexed && !stats.Indexed {
+						b.Fatalf("recall guard tripped at N=%d (shortlist %d)", n, stats.Shortlist)
+					}
+					shortlistSum += stats.Shortlist
+				}
+				if indexed {
+					b.ReportMetric(float64(shortlistSum)/float64(b.N), "shortlist/op")
+				}
+			})
+		}
 	}
 }

@@ -6,9 +6,13 @@
 // Usage:
 //
 //	matchd [-addr 127.0.0.1:7070] [-preload N] [-seed N] [-device D0]
+//	       [-index] [-index-fanout N]
 //
 // -preload enrolls N synthetic subjects at startup so the service is
-// immediately searchable (useful for demos and load tests).
+// immediately searchable (useful for demos and load tests). -index
+// enables the minutia-triplet retrieval index, so identification
+// searches a candidate shortlist instead of the whole gallery; each
+// indexed search logs its shortlist size.
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"syscall"
 
 	"fpinterop/internal/gallery"
+	"fpinterop/internal/index"
 	"fpinterop/internal/matchsvc"
 	"fpinterop/internal/population"
 	"fpinterop/internal/rng"
@@ -41,12 +46,26 @@ func run(args []string) error {
 	storePath := fs.String("store", "", "gallery file: loaded at startup if present, saved on shutdown")
 	seed := fs.Uint64("seed", 2013, "seed for preloaded subjects")
 	deviceID := fs.String("device", "D0", "device used for preloaded enrollments")
+	useIndex := fs.Bool("index", false, "serve identification from a minutia-triplet candidate index")
+	indexFanout := fs.Int("index-fanout", 0, "index shortlist size (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *indexFanout < 0 {
+		return fmt.Errorf("-index-fanout must be >= 0, got %d", *indexFanout)
+	}
+	if *indexFanout > 0 && !*useIndex {
+		return fmt.Errorf("-index-fanout requires -index")
 	}
 
 	logger := log.New(os.Stderr, "matchd: ", log.LstdFlags)
 	store := gallery.New(nil)
+	if *useIndex {
+		opt := gallery.IndexOptions{Index: index.Options{Fanout: *indexFanout}}
+		if err := store.EnableIndex(opt); err != nil {
+			return fmt.Errorf("enable index: %w", err)
+		}
+	}
 	if *storePath != "" {
 		if f, err := os.Open(*storePath); err == nil {
 			loadErr := store.LoadFrom(f)
@@ -75,6 +94,11 @@ func run(args []string) error {
 			}
 		}
 		logger.Printf("preloaded %d enrollments from %s", *preload, dev.Model)
+	}
+
+	if st, ok := store.IndexStats(); ok {
+		logger.Printf("index enabled: %d templates, %d keys, %d postings",
+			st.Templates, st.DistinctKeys, st.Postings)
 	}
 
 	srv := matchsvc.NewServer(store, logger)

@@ -15,4 +15,15 @@ func TestRunErrors(t *testing.T) {
 	if err := run([]string{"-addr", "256.256.256.256:0"}); err == nil {
 		t.Fatal("expected listen error")
 	}
+	if err := run([]string{"-index-fanout", "-1"}); err == nil {
+		t.Fatal("expected fanout validation error")
+	}
+	if err := run([]string{"-index-fanout", "128"}); err == nil {
+		t.Fatal("expected -index-fanout without -index to be rejected")
+	}
+	// The indexed preload path wires EnableIndex before enrollment; the
+	// bad address still aborts before serving.
+	if err := run([]string{"-index", "-preload", "3", "-addr", "256.256.256.256:0"}); err == nil {
+		t.Fatal("expected listen error on indexed preload")
+	}
 }

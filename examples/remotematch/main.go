@@ -3,20 +3,127 @@
 // with heterogeneous capture devices at the edge. This example starts the
 // service in-process, enrolls travellers captured on one sensor, then
 // verifies and identifies them from a *different* sensor over the wire.
+// It then preloads a larger gallery into two services — one exhaustive,
+// one with the minutia-triplet retrieval index — and contrasts their
+// identification latency (p50/p99 over the wire).
 package main
 
 import (
 	"context"
 	"fmt"
 	"log"
+	"sort"
 	"time"
 
 	"fpinterop/internal/gallery"
 	"fpinterop/internal/matchsvc"
+	"fpinterop/internal/minutiae"
 	"fpinterop/internal/population"
 	"fpinterop/internal/rng"
 	"fpinterop/internal/sensor"
 )
+
+// startServer serves a store in-process and returns a connected client
+// plus a shutdown func.
+func startServer(store *gallery.Store) (*matchsvc.Client, func()) {
+	srv := matchsvc.NewServer(store, nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx) }()
+	cli, err := matchsvc.Dial(addr, 2*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cli.SetRequestTimeout(time.Minute)
+	return cli, func() {
+		cli.Close()
+		cancel()
+		srv.Close()
+		<-done
+	}
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// indexedIdentifyDemo preloads an exhaustive and an indexed service
+// with the same gallery and compares 1:N latency over the wire.
+func indexedIdentifyDemo(gallerySize, probeCount int) {
+	fmt.Printf("\n--- indexed identification, %d enrollments ---\n", gallerySize)
+	cohort := population.NewCohort(rng.New(366), population.CohortOptions{Size: gallerySize})
+	enrollDev, _ := sensor.ProfileByID("D0")
+
+	exhaustive := gallery.New(nil)
+	indexed := gallery.New(nil)
+	if err := indexed.EnableIndex(gallery.IndexOptions{}); err != nil {
+		log.Fatal(err)
+	}
+	probes := make([]*minutiae.Template, 0, probeCount)
+	for i, subj := range cohort.Subjects {
+		imp, err := enrollDev.CaptureSubject(subj, 0, sensor.CaptureOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		id := fmt.Sprintf("subject-%05d", i)
+		if err := exhaustive.Enroll(id, enrollDev.ID, imp.Template); err != nil {
+			log.Fatal(err)
+		}
+		if err := indexed.Enroll(id, enrollDev.ID, imp.Template); err != nil {
+			log.Fatal(err)
+		}
+		if i < probeCount {
+			p, err := enrollDev.CaptureSubject(subj, 1, sensor.CaptureOptions{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			probes = append(probes, p.Template)
+		}
+	}
+	if st, ok := indexed.IndexStats(); ok {
+		fmt.Printf("index: %d templates, %d keys, %d postings\n",
+			st.Templates, st.DistinctKeys, st.Postings)
+	}
+
+	fmt.Printf("%-12s %10s %10s %8s %10s\n", "path", "p50", "p99", "rank-1", "shortlist")
+	for _, cfg := range []struct {
+		name  string
+		store *gallery.Store
+	}{{"exhaustive", exhaustive}, {"indexed", indexed}} {
+		cli, shutdown := startServer(cfg.store)
+		lats := make([]time.Duration, 0, len(probes))
+		hits := 0
+		shortlistSum := 0
+		for i, probe := range probes {
+			start := time.Now()
+			cands, stats, err := cli.IdentifyEx(probe, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			lats = append(lats, time.Since(start))
+			if len(cands) > 0 && cands[0].ID == fmt.Sprintf("subject-%05d", i) {
+				hits++
+			}
+			shortlistSum += stats.Shortlist
+		}
+		shutdown()
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		fmt.Printf("%-12s %10v %10v %5d/%-2d %10.1f\n",
+			cfg.name,
+			percentile(lats, 0.50).Round(100*time.Microsecond),
+			percentile(lats, 0.99).Round(100*time.Microsecond),
+			hits, len(probes),
+			float64(shortlistSum)/float64(len(probes)))
+	}
+}
 
 func main() {
 	log.SetFlags(0)
@@ -96,4 +203,7 @@ func main() {
 		fmt.Printf("%-14s %10.2f %8v %14s\n", id, res.Score, res.Score >= 7, top)
 	}
 	fmt.Printf("\nrank-1 identification across devices: %d/%d\n", hits, len(cohort.Subjects))
+
+	// Scale the gallery up and let the retrieval index earn its keep.
+	indexedIdentifyDemo(400, 25)
 }

@@ -10,9 +10,11 @@ package gallery
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
+	"fpinterop/internal/index"
 	"fpinterop/internal/match"
 	"fpinterop/internal/minutiae"
 )
@@ -41,6 +43,15 @@ type Store struct {
 	matcher match.Matcher
 	entries map[string]*Entry
 	order   []string // insertion order for deterministic iteration
+
+	// idx, when non-nil, serves Identify from a triplet-index shortlist
+	// instead of an exhaustive scan (see EnableIndex).
+	idx           *index.Index
+	minCandidates int
+
+	// parallelism bounds the workers fanning matcher calls during
+	// identification (0 = GOMAXPROCS).
+	parallelism int
 }
 
 // New returns an empty store that searches with the given matcher.
@@ -50,6 +61,18 @@ func New(m match.Matcher) *Store {
 		m = &match.HoughMatcher{}
 	}
 	return &Store{matcher: m, entries: make(map[string]*Entry)}
+}
+
+// SetParallelism bounds the worker goroutines used to fan matcher
+// calls during identification (the study.Config.Parallelism
+// convention); n <= 0 restores the default of GOMAXPROCS.
+func (s *Store) SetParallelism(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	s.parallelism = n
 }
 
 // Enroll adds a template under id. The template is cloned, so later
@@ -66,7 +89,13 @@ func (s *Store) Enroll(id, deviceID string, tpl *minutiae.Template) error {
 	if _, ok := s.entries[id]; ok {
 		return fmt.Errorf("enroll %q: %w", id, ErrDuplicate)
 	}
-	s.entries[id] = &Entry{ID: id, DeviceID: deviceID, Template: tpl.Clone()}
+	clone := tpl.Clone()
+	if s.idx != nil {
+		if err := s.idx.Add(id, clone); err != nil {
+			return fmt.Errorf("gallery: enroll %q: %w", id, err)
+		}
+	}
+	s.entries[id] = &Entry{ID: id, DeviceID: deviceID, Template: clone}
 	s.order = append(s.order, id)
 	return nil
 }
@@ -77,6 +106,15 @@ func (s *Store) Remove(id string) error {
 	defer s.mu.Unlock()
 	if _, ok := s.entries[id]; !ok {
 		return fmt.Errorf("remove %q: %w", id, ErrNotFound)
+	}
+	if s.idx != nil {
+		// The index holds exactly the enrolled set; a miss here would
+		// mean they diverged, which Remove must not hide. It is checked
+		// before mutating entries/order so a failure leaves the store
+		// untouched.
+		if err := s.idx.Remove(id); err != nil {
+			return fmt.Errorf("gallery: remove %q from index: %w", id, err)
+		}
 	}
 	delete(s.entries, id)
 	for i, v := range s.order {
@@ -113,28 +151,162 @@ type Candidate struct {
 	Score    float64
 }
 
-// Identify searches the probe against every enrollment and returns the
-// top-k candidates by score (all of them when k <= 0), ordered by
-// descending score with deterministic ID tie-breaks.
+// IndexOptions configures indexed candidate retrieval on a Store.
+type IndexOptions struct {
+	// Index tunes the triplet index (zero value for defaults).
+	Index index.Options
+	// MinCandidates is the recall guard: when the index shortlist holds
+	// fewer candidates than this (or than the requested top-k), Identify
+	// falls back to the exhaustive scan rather than risk missing the
+	// mate (default 8).
+	MinCandidates int
+}
+
+// EnableIndex attaches a minutia-triplet retrieval index, building it
+// from the current enrollments; subsequent Enroll/Remove calls keep it
+// incrementally up to date, and LoadFrom rebuilds it. While enabled,
+// Identify with k > 0 searches only the index shortlist unless the
+// recall guard trips.
+func (s *Store) EnableIndex(opt IndexOptions) error {
+	if opt.MinCandidates <= 0 {
+		opt.MinCandidates = 8
+	}
+	idx := index.New(opt.Index)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, id := range s.order {
+		if err := idx.Add(id, s.entries[id].Template); err != nil {
+			return fmt.Errorf("gallery: index build: %w", err)
+		}
+	}
+	s.idx = idx
+	s.minCandidates = opt.MinCandidates
+	return nil
+}
+
+// DisableIndex detaches the retrieval index; Identify reverts to the
+// exhaustive scan.
+func (s *Store) DisableIndex() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.idx = nil
+}
+
+// IndexStats reports retrieval-index occupancy; ok is false when no
+// index is enabled.
+func (s *Store) IndexStats() (st index.Stats, ok bool) {
+	s.mu.RLock()
+	idx := s.idx
+	s.mu.RUnlock()
+	if idx == nil {
+		return index.Stats{}, false
+	}
+	return idx.Stats(), true
+}
+
+// IdentifyStats describes how one identification was served.
+type IdentifyStats struct {
+	// GallerySize is the number of enrollments at search time.
+	GallerySize int
+	// Shortlist is how many candidates the index retrieved for this
+	// search: 0 when no shortlist was attempted (index disabled or a
+	// full ranking requested), and possibly non-zero even when Indexed
+	// is false — a shortlist the recall guard rejected. Use Indexed,
+	// not Shortlist, to tell which path served the query.
+	Shortlist int
+	// Scanned is how many full matcher comparisons ran.
+	Scanned int
+	// Indexed reports whether the shortlist path served the query.
+	Indexed bool
+}
+
+// Identify searches the probe against the gallery and returns the top-k
+// candidates by score (all of them when k <= 0), ordered by descending
+// score with deterministic ID tie-breaks. With an index enabled and
+// k > 0, only the retrieval shortlist is scored by the full matcher;
+// pass k <= 0 (or disable the index) for an exhaustive ranking.
 func (s *Store) Identify(probe *minutiae.Template, k int) ([]Candidate, error) {
+	out, _, err := s.IdentifyDetailed(probe, k)
+	return out, err
+}
+
+// IdentifyDetailed is Identify plus retrieval statistics.
+func (s *Store) IdentifyDetailed(probe *minutiae.Template, k int) ([]Candidate, IdentifyStats, error) {
 	if probe == nil {
-		return nil, match.ErrNilTemplate
+		return nil, IdentifyStats{}, match.ErrNilTemplate
 	}
 	s.mu.RLock()
-	ids := append([]string(nil), s.order...)
-	entries := make([]*Entry, len(ids))
-	for i, id := range ids {
-		entries[i] = s.entries[id]
-	}
+	idx := s.idx
+	minCand := s.minCandidates
+	size := len(s.order)
 	s.mu.RUnlock()
 
-	out := make([]Candidate, 0, len(entries))
-	for _, e := range entries {
-		res, err := s.matcher.Match(e.Template, probe)
-		if err != nil {
-			return nil, fmt.Errorf("identify against %q: %w", e.ID, err)
+	stats := IdentifyStats{GallerySize: size}
+	if idx != nil && k > 0 {
+		fanout := idx.Options().Fanout
+		if k > fanout {
+			fanout = k
 		}
-		out = append(out, Candidate{ID: e.ID, DeviceID: e.DeviceID, Score: res.Score})
+		shortlist := idx.Candidates(probe, fanout)
+		stats.Shortlist = len(shortlist)
+		if len(shortlist) >= minCand && len(shortlist) >= k {
+			entries := make([]*Entry, 0, len(shortlist))
+			s.mu.RLock()
+			for _, c := range shortlist {
+				// An entry may have been removed between the index
+				// lookup and this snapshot; skip it.
+				if e, ok := s.entries[c.ID]; ok {
+					entries = append(entries, e)
+				}
+			}
+			stats.GallerySize = len(s.order)
+			s.mu.RUnlock()
+			out, err := s.scoreEntries(entries, probe)
+			if err != nil {
+				return nil, stats, err
+			}
+			stats.Scanned = len(entries)
+			stats.Indexed = true
+			if k < len(out) {
+				out = out[:k]
+			}
+			return out, stats, nil
+		}
+		// Recall guard tripped: too few candidates retrieved to trust
+		// the shortlist — fall through to the exhaustive scan.
+	}
+
+	s.mu.RLock()
+	entries := make([]*Entry, len(s.order))
+	for i, id := range s.order {
+		entries[i] = s.entries[id]
+	}
+	stats.GallerySize = len(entries)
+	s.mu.RUnlock()
+	out, err := s.scoreEntries(entries, probe)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.Scanned = len(entries)
+	if k > 0 && k < len(out) {
+		out = out[:k]
+	}
+	return out, stats, nil
+}
+
+// scoreEntries runs the full matcher for the probe against every entry
+// across a bounded worker pool and returns candidates ordered by
+// descending score with ID tie-breaks. Workers write only their own
+// result slot, so the output is deterministic regardless of scheduling;
+// on matcher failure the error from the lowest entry index wins.
+func (s *Store) scoreEntries(entries []*Entry, probe *minutiae.Template) ([]Candidate, error) {
+	scores, err := s.matchAll(entries, probe)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Candidate, len(entries))
+	for i, e := range entries {
+		out[i] = Candidate{ID: e.ID, DeviceID: e.DeviceID, Score: scores[i]}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Score != out[j].Score {
@@ -142,25 +314,107 @@ func (s *Store) Identify(probe *minutiae.Template, k int) ([]Candidate, error) {
 		}
 		return out[i].ID < out[j].ID
 	})
-	if k > 0 && k < len(out) {
-		out = out[:k]
-	}
 	return out, nil
 }
 
-// Rank returns the 1-based rank at which trueID appears in an
-// identification of the probe, or 0 when it is not enrolled.
+// matchAll computes the matcher score of the probe against every entry
+// on at most s.parallelism workers.
+func (s *Store) matchAll(entries []*Entry, probe *minutiae.Template) ([]float64, error) {
+	s.mu.RLock()
+	workers := s.parallelism
+	s.mu.RUnlock()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(entries) {
+		workers = len(entries)
+	}
+	scores := make([]float64, len(entries))
+	if workers <= 1 {
+		for i, e := range entries {
+			res, err := s.matcher.Match(e.Template, probe)
+			if err != nil {
+				return nil, fmt.Errorf("identify against %q: %w", e.ID, err)
+			}
+			scores[i] = res.Score
+		}
+		return scores, nil
+	}
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		next   int
+		errIdx = -1
+		first  error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(entries) {
+					return
+				}
+				res, err := s.matcher.Match(entries[i].Template, probe)
+				if err != nil {
+					mu.Lock()
+					if errIdx == -1 || i < errIdx {
+						errIdx = i
+						first = fmt.Errorf("identify against %q: %w", entries[i].ID, err)
+					}
+					mu.Unlock()
+					continue
+				}
+				scores[i] = res.Score
+			}
+		}()
+	}
+	wg.Wait()
+	if first != nil {
+		return nil, first
+	}
+	return scores, nil
+}
+
+// Rank returns the 1-based rank at which trueID appears in a full
+// (exhaustive) identification of the probe, or 0 when it is not
+// enrolled. The rank is computed in one pass — count the enrollments
+// scoring strictly better, with the ID tie-break — without sorting the
+// candidate list.
 func (s *Store) Rank(probe *minutiae.Template, trueID string) (int, error) {
-	cands, err := s.Identify(probe, 0)
+	if probe == nil {
+		return 0, match.ErrNilTemplate
+	}
+	s.mu.RLock()
+	if _, ok := s.entries[trueID]; !ok {
+		s.mu.RUnlock()
+		return 0, nil
+	}
+	entries := make([]*Entry, len(s.order))
+	trueIdx := -1
+	for i, id := range s.order {
+		entries[i] = s.entries[id]
+		if id == trueID {
+			trueIdx = i
+		}
+	}
+	s.mu.RUnlock()
+	scores, err := s.matchAll(entries, probe)
 	if err != nil {
 		return 0, err
 	}
-	for i, c := range cands {
-		if c.ID == trueID {
-			return i + 1, nil
+	trueScore := scores[trueIdx]
+	rank := 1
+	for i, sc := range scores {
+		if sc > trueScore || (sc == trueScore && entries[i].ID < trueID) {
+			rank++
 		}
 	}
-	return 0, nil
+	return rank, nil
 }
 
 // CMC is a cumulative match characteristic: CMC[k-1] is the fraction of

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"fpinterop/internal/index"
 	"fpinterop/internal/match"
 	"fpinterop/internal/minutiae"
 	"fpinterop/internal/population"
@@ -252,5 +253,262 @@ func TestEmptyCMCRankOne(t *testing.T) {
 	var c CMC
 	if c.RankOne() != 0 {
 		t.Fatal("empty CMC rank-1 should be 0")
+	}
+}
+
+// errAfterMatcher fails every comparison once the counter trips,
+// exercising error propagation through the parallel scan.
+type errAfterMatcher struct {
+	mu    sync.Mutex
+	calls int
+	after int
+}
+
+func (m *errAfterMatcher) Match(g, p *minutiae.Template) (match.Result, error) {
+	m.mu.Lock()
+	m.calls++
+	trip := m.calls > m.after
+	m.mu.Unlock()
+	if trip {
+		return match.Result{}, errors.New("matcher budget exceeded")
+	}
+	return (&match.HoughMatcher{}).Match(g, p)
+}
+
+func TestIdentifyParallelMatchesSerial(t *testing.T) {
+	s, probes, _ := enrolledStore(t, 10, "D0", "D1")
+	s.SetParallelism(1)
+	serial, err := s.Identify(probes[3], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetParallelism(4)
+	parallel, err := s.Identify(probes[3], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("length mismatch: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("candidate %d differs: %+v vs %+v", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestIdentifyParallelErrorPropagates(t *testing.T) {
+	cohort := population.NewCohort(rng.New(31337), population.CohortOptions{Size: 6})
+	d0, _ := sensor.ProfileByID("D0")
+	s := New(&errAfterMatcher{after: 3})
+	for i, subj := range cohort.Subjects {
+		imp, err := d0.CaptureSubject(subj, 0, sensor.CaptureOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Enroll("subject-"+string(rune('A'+i)), "D0", imp.Template); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.SetParallelism(3)
+	probe, err := d0.CaptureSubject(cohort.Subjects[0], 1, sensor.CaptureOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Identify(probe.Template, 0); err == nil {
+		t.Fatal("matcher failure swallowed by parallel scan")
+	}
+}
+
+// TestIdentifyConcurrentMutationRace exercises the parallel scan and
+// the incremental index under concurrent enrollment churn; run with
+// -race.
+func TestIdentifyConcurrentMutationRace(t *testing.T) {
+	s, probes, _ := enrolledStore(t, 12, "D0", "D0")
+	if err := s.EnableIndex(IndexOptions{MinCandidates: 2}); err != nil {
+		t.Fatal(err)
+	}
+	s.SetParallelism(4)
+	extra := &minutiae.Template{Width: 400, Height: 400, DPI: 500}
+	cohort := population.NewCohort(rng.New(777), population.CohortOptions{Size: 8})
+	d0, _ := sensor.ProfileByID("D0")
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				if _, err := s.Identify(probes[(w+i)%len(probes)], 3); err != nil {
+					panic(err)
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i, subj := range cohort.Subjects {
+			imp, err := d0.CaptureSubject(subj, 0, sensor.CaptureOptions{})
+			if err != nil {
+				panic(err)
+			}
+			id := "churn-" + string(rune('a'+i))
+			if err := s.Enroll(id, "D0", imp.Template); err != nil {
+				panic(err)
+			}
+			if err := s.Remove(id); err != nil {
+				panic(err)
+			}
+		}
+	}()
+	wg.Wait()
+	_ = extra
+	if s.Len() != 12 {
+		t.Fatalf("Len after churn = %d", s.Len())
+	}
+}
+
+func TestRankMatchesIdentifyOrdering(t *testing.T) {
+	s, probes, ids := enrolledStore(t, 8, "D0", "D1")
+	for p := range probes {
+		cands, err := s.Identify(probes[p], 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, trueID := range ids {
+			want := 0
+			for i, c := range cands {
+				if c.ID == trueID {
+					want = i + 1
+					break
+				}
+			}
+			got, err := s.Rank(probes[p], trueID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("probe %d trueID %s: direct rank %d, sorted rank %d", p, trueID, got, want)
+			}
+		}
+	}
+	if r, err := s.Rank(probes[0], "not-enrolled"); err != nil || r != 0 {
+		t.Fatalf("missing identity rank %d err %v", r, err)
+	}
+	if _, err := s.Rank(nil, ids[0]); err == nil {
+		t.Fatal("nil probe accepted")
+	}
+}
+
+func TestIndexedIdentifyAgreesOnTopCandidate(t *testing.T) {
+	s, probes, ids := enrolledStore(t, 30, "D0", "D0")
+	exhaustive := make([]Candidate, len(probes))
+	for i, p := range probes {
+		cands, err := s.Identify(p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exhaustive[i] = cands[0]
+	}
+	if err := s.EnableIndex(IndexOptions{Index: index.Options{Fanout: 12}}); err != nil {
+		t.Fatal(err)
+	}
+	agree := 0
+	for i, p := range probes {
+		cands, stats, err := s.IdentifyDetailed(p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !stats.Indexed {
+			t.Fatalf("probe %d not served by the index (shortlist %d)", i, stats.Shortlist)
+		}
+		if stats.Scanned >= stats.GallerySize {
+			t.Fatalf("probe %d: indexed path scanned the whole gallery (%d/%d)",
+				i, stats.Scanned, stats.GallerySize)
+		}
+		if len(cands) == 1 && cands[0] == exhaustive[i] {
+			agree++
+		}
+	}
+	if agree < len(probes)-1 {
+		t.Fatalf("indexed top-1 agrees on only %d/%d probes", agree, len(probes))
+	}
+	_ = ids
+}
+
+func TestIndexedIdentifyRecallGuardFallsBack(t *testing.T) {
+	s, probes, _ := enrolledStore(t, 4, "D0", "D0")
+	if err := s.EnableIndex(IndexOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// Gallery smaller than MinCandidates: the guard must force the
+	// exhaustive path, and results must still be complete.
+	cands, stats, err := s.IdentifyDetailed(probes[0], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Indexed {
+		t.Fatal("recall guard did not trip on a tiny gallery")
+	}
+	if len(cands) != 2 || stats.Scanned != 4 {
+		t.Fatalf("fallback scan incomplete: %d candidates, %d scanned", len(cands), stats.Scanned)
+	}
+	// k <= 0 always takes the exhaustive path (full ranking requested).
+	_, stats, err = s.IdentifyDetailed(probes[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Indexed {
+		t.Fatal("full ranking served from the shortlist")
+	}
+	// Disabling the index restores plain behavior.
+	s.DisableIndex()
+	if _, ok := s.IndexStats(); ok {
+		t.Fatal("IndexStats ok after DisableIndex")
+	}
+}
+
+func TestEnrollRemoveKeepIndexInSync(t *testing.T) {
+	s, probes, ids := enrolledStore(t, 12, "D0", "D0")
+	if err := s.EnableIndex(IndexOptions{MinCandidates: 2}); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := s.IndexStats()
+	if !ok || st.Templates != 12 {
+		t.Fatalf("index stats after enable: %+v ok=%v", st, ok)
+	}
+	if err := s.Remove(ids[5]); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := s.IndexStats(); st.Templates != 11 {
+		t.Fatalf("index stats after remove: %+v", st)
+	}
+	// The removed identity must no longer be retrievable at top-1.
+	cands, _, err := s.IdentifyDetailed(probes[5], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) > 0 && cands[0].ID == ids[5] {
+		t.Fatal("removed enrollment still identified")
+	}
+	// Re-enrolling restores it.
+	d0, _ := sensor.ProfileByID("D0")
+	cohort := population.NewCohort(rng.New(31337), population.CohortOptions{Size: 12})
+	imp, err := d0.CaptureSubject(cohort.Subjects[5], 0, sensor.CaptureOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Enroll(ids[5], "D0", imp.Template); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := s.IndexStats(); st.Templates != 12 {
+		t.Fatalf("index stats after re-enroll: %+v", st)
+	}
+	cands, err = s.Identify(probes[5], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 1 || cands[0].ID != ids[5] {
+		t.Fatalf("re-enrolled identity not found: %+v", cands)
 	}
 }

@@ -149,8 +149,18 @@ func (s *Store) LoadFrom(r io.Reader) error {
 		order = append(order, id)
 	}
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.entries = entries
 	s.order = order
-	s.mu.Unlock()
+	if s.idx != nil {
+		// The retrieval index must mirror the enrolled set exactly;
+		// rebuild it from the loaded entries.
+		s.idx.Reset()
+		for _, id := range order {
+			if err := s.idx.Add(id, entries[id].Template); err != nil {
+				return fmt.Errorf("gallery: index rebuild: %w", err)
+			}
+		}
+	}
 	return nil
 }

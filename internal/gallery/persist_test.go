@@ -93,3 +93,56 @@ func TestSaveEmptyStore(t *testing.T) {
 		t.Fatal("empty store grew entries")
 	}
 }
+
+func TestLoadFromRebuildsIndex(t *testing.T) {
+	s, probes, _ := enrolledStore(t, 20, "D0", "D0")
+	var buf bytes.Buffer
+	if err := s.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := New(nil)
+	if err := restored.EnableIndex(IndexOptions{MinCandidates: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := restored.IndexStats(); st.Templates != 0 {
+		t.Fatalf("fresh index not empty: %+v", st)
+	}
+	if err := restored.LoadFrom(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := restored.IndexStats()
+	if !ok || st.Templates != 20 || st.Postings == 0 {
+		t.Fatalf("index not rebuilt by LoadFrom: %+v ok=%v", st, ok)
+	}
+	// Indexed and exhaustive identification agree on top-1 for the
+	// round-tripped population.
+	for i, p := range probes {
+		indexed, stats, err := restored.IdentifyDetailed(p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !stats.Indexed {
+			t.Fatalf("probe %d not served by the rebuilt index", i)
+		}
+		restored.DisableIndex()
+		exhaustive, err := restored.Identify(p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := restored.EnableIndex(IndexOptions{MinCandidates: 2}); err != nil {
+			t.Fatal(err)
+		}
+		if indexed[0].ID != exhaustive[0].ID {
+			t.Fatalf("probe %d: indexed top-1 %q, exhaustive top-1 %q",
+				i, indexed[0].ID, exhaustive[0].ID)
+		}
+	}
+	// A second load (e.g. restoring a different snapshot) replaces the
+	// index contents instead of accumulating duplicates.
+	if err := restored.LoadFrom(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := restored.IndexStats(); st.Templates != 20 {
+		t.Fatalf("index accumulated across loads: %+v", st)
+	}
+}

@@ -1,0 +1,576 @@
+// Package index implements candidate retrieval for 1:N fingerprint
+// identification: a geometric-hashing index over minutia triplets that
+// maps a probe template to a scored shortlist of enrolled templates in
+// time sub-linear in the gallery size, so the full matcher only runs on
+// the shortlist. This is the retrieval stage a central matching service
+// (the deployment the paper's discussion section contemplates) needs
+// before a million-user gallery becomes searchable at interactive
+// latency.
+//
+// Each template is reduced to a set of local minutia triplets (every
+// minutia with pairs of its nearest neighbours). A triplet is described
+// by features invariant to rotation and translation of the capture
+// window: the three side lengths of the triangle, and at each vertex
+// the angle between the minutia ridge direction and the direction to
+// the triangle centroid. Quantizing those six features yields a hash
+// key; the index is a multimap from key to the templates containing
+// such a triplet. A probe votes with its own triplet keys — probing
+// neighbouring quantization bins near bin boundaries to absorb sensor
+// noise — and the most-voted templates form the candidate shortlist.
+// Votes are weighted by key rarity (1/bucket size): a triplet shape
+// shared by thousands of templates carries almost no identity signal,
+// while a rare one is strong evidence, and without the weighting the
+// random-collision vote floor grows with the gallery and drowns the
+// genuine signal.
+package index
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"fpinterop/internal/minutiae"
+)
+
+var (
+	// ErrDuplicate reports an already-indexed template ID.
+	ErrDuplicate = errors.New("index: template ID already indexed")
+	// ErrNotFound reports an unknown template ID.
+	ErrNotFound = errors.New("index: template ID not indexed")
+)
+
+// Options tunes triplet extraction, quantization, and retrieval. The
+// zero value gives production defaults calibrated for 500-dpi templates
+// (≈50–70 minutiae) from the study's sensor models.
+type Options struct {
+	// NeighborK is how many nearest neighbours each minutia pairs with
+	// to form triplets (default 6 → up to C(6,2)=15 triplets seeded per
+	// minutia before deduplication).
+	NeighborK int
+	// MaxTriplets caps the triplets indexed per template (default 800).
+	MaxTriplets int
+	// MinSide rejects near-degenerate triangles whose shortest side is
+	// below this many pixels (default 10).
+	MinSide float64
+	// MaxSide rejects spread-out triangles whose longest side exceeds
+	// this many pixels (default 200); local triplets survive the
+	// device-characteristic distortion fields far better than global
+	// structure.
+	MaxSide float64
+	// SideBin is the side-length quantization step in pixels
+	// (default 16).
+	SideBin float64
+	// AngleBins is how many bins the vertex angle features quantize
+	// into over [0, 2π) (default 8, i.e. 45° bins).
+	AngleBins int
+	// BoundaryMargin is the fraction of a bin within which a probe
+	// feature also votes into the neighbouring bin (default 0.3).
+	// Larger margins raise recall and lookup cost.
+	BoundaryMargin float64
+	// Fanout is the default shortlist size returned by Candidates when
+	// the caller passes fanout <= 0 (default 64).
+	Fanout int
+	// MinVotes drops templates with fewer raw bucket hits than this
+	// from the shortlist (default 1; rarity weighting already pushes
+	// incidental collisions to the bottom of the ranking).
+	MinVotes int
+	// MaxBucket skips buckets holding more postings than this during
+	// lookup (default 4096): keys shared by that many templates carry
+	// almost no identity information but dominate voting cost.
+	MaxBucket int
+}
+
+func (o Options) withDefaults() Options {
+	if o.NeighborK == 0 {
+		o.NeighborK = 6
+	}
+	if o.MaxTriplets == 0 {
+		o.MaxTriplets = 800
+	}
+	if o.MinSide == 0 {
+		o.MinSide = 10
+	}
+	if o.MaxSide == 0 {
+		o.MaxSide = 200
+	}
+	if o.SideBin == 0 {
+		o.SideBin = 16
+	}
+	if o.AngleBins == 0 {
+		o.AngleBins = 8
+	}
+	if o.BoundaryMargin == 0 {
+		o.BoundaryMargin = 0.3
+	}
+	if o.Fanout == 0 {
+		o.Fanout = 64
+	}
+	if o.MinVotes == 0 {
+		o.MinVotes = 1
+	}
+	if o.MaxBucket == 0 {
+		o.MaxBucket = 4096
+	}
+	// Keep packed fields in range: 8 bits per side bin, 6 per angle bin.
+	if o.AngleBins > 64 {
+		o.AngleBins = 64
+	}
+	if max := 255 * o.SideBin; o.MaxSide > max {
+		o.MaxSide = max
+	}
+	return o
+}
+
+// posting records that a template (by dense ref) contains count
+// triplets quantizing to a bucket's key.
+type posting struct {
+	ref   uint32
+	count uint32
+}
+
+// Index is a concurrent-safe triplet index. The zero value is NOT
+// ready; use New.
+type Index struct {
+	mu  sync.RWMutex
+	opt Options
+	// buckets maps a quantized triplet key to the templates containing
+	// such a triplet, each bucket sorted by ref for deterministic scans.
+	buckets map[uint64][]posting
+	// ids maps dense refs to template IDs ("" = free slot).
+	ids []string
+	// refs maps template IDs back to their dense ref.
+	refs map[string]uint32
+	// keys holds, per ref, every key the template was inserted under
+	// (with multiplicity), so Remove can unwind its postings.
+	keys [][]uint64
+	// free lists reusable ref slots.
+	free []uint32
+	// postings counts live (key, template) pairs across all buckets.
+	postings int
+}
+
+// New returns an empty index with the given options (zero value for
+// defaults).
+func New(opt Options) *Index {
+	return &Index{
+		opt:     opt.withDefaults(),
+		buckets: make(map[uint64][]posting),
+		refs:    make(map[string]uint32),
+	}
+}
+
+// Options returns the resolved option set the index runs with.
+func (ix *Index) Options() Options { return ix.opt }
+
+// Len returns the number of indexed templates.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.refs)
+}
+
+// Add indexes a template under id. Templates with fewer than three
+// usable minutiae index no triplets; they are still registered (and can
+// be Removed) but will never be retrieved — callers relying on a recall
+// guard fall back to exhaustive search for such galleries.
+func (ix *Index) Add(id string, tpl *minutiae.Template) error {
+	if tpl == nil {
+		return fmt.Errorf("index: add %q: nil template", id)
+	}
+	tripletKeys := ix.opt.templateKeys(tpl.Minutiae)
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, ok := ix.refs[id]; ok {
+		return fmt.Errorf("add %q: %w", id, ErrDuplicate)
+	}
+	var ref uint32
+	if n := len(ix.free); n > 0 {
+		ref = ix.free[n-1]
+		ix.free = ix.free[:n-1]
+		ix.ids[ref] = id
+		ix.keys[ref] = tripletKeys
+	} else {
+		ref = uint32(len(ix.ids))
+		ix.ids = append(ix.ids, id)
+		ix.keys = append(ix.keys, tripletKeys)
+	}
+	ix.refs[id] = ref
+	for _, key := range tripletKeys {
+		ix.insertPosting(key, ref)
+	}
+	return nil
+}
+
+// insertPosting merges one (key, ref) occurrence into its bucket,
+// keeping the bucket sorted by ref.
+func (ix *Index) insertPosting(key uint64, ref uint32) {
+	bucket := ix.buckets[key]
+	i := sort.Search(len(bucket), func(i int) bool { return bucket[i].ref >= ref })
+	if i < len(bucket) && bucket[i].ref == ref {
+		bucket[i].count++
+		return
+	}
+	bucket = append(bucket, posting{})
+	copy(bucket[i+1:], bucket[i:])
+	bucket[i] = posting{ref: ref, count: 1}
+	ix.buckets[key] = bucket
+	ix.postings++
+}
+
+// Remove drops a template from the index.
+func (ix *Index) Remove(id string) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ref, ok := ix.refs[id]
+	if !ok {
+		return fmt.Errorf("remove %q: %w", id, ErrNotFound)
+	}
+	for _, key := range ix.keys[ref] {
+		bucket := ix.buckets[key]
+		i := sort.Search(len(bucket), func(i int) bool { return bucket[i].ref >= ref })
+		if i >= len(bucket) || bucket[i].ref != ref {
+			continue // defensive; every inserted key has a posting
+		}
+		if bucket[i].count--; bucket[i].count > 0 {
+			continue
+		}
+		if len(bucket) == 1 {
+			delete(ix.buckets, key)
+		} else {
+			ix.buckets[key] = append(bucket[:i], bucket[i+1:]...)
+		}
+		ix.postings--
+	}
+	delete(ix.refs, id)
+	ix.ids[ref] = ""
+	ix.keys[ref] = nil
+	ix.free = append(ix.free, ref)
+	return nil
+}
+
+// Reset empties the index, keeping its options.
+func (ix *Index) Reset() {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.buckets = make(map[uint64][]posting)
+	ix.ids = ix.ids[:0]
+	ix.keys = ix.keys[:0]
+	ix.free = ix.free[:0]
+	ix.refs = make(map[string]uint32)
+	ix.postings = 0
+}
+
+// Candidate is one retrieved template.
+type Candidate struct {
+	// ID is the template identifier passed to Add.
+	ID string
+	// Score is the rarity-weighted vote mass: each (probe triplet,
+	// bucket) hit contributes 1/bucketSize, so matching a rare triplet
+	// shape counts for far more than a generic one.
+	Score float64
+	// Hits is the raw number of bucket hits behind the score.
+	Hits int
+}
+
+// Candidates retrieves the shortlist for a probe: the fanout
+// highest-scoring templates (Options.Fanout when fanout <= 0), ordered
+// by descending score with deterministic ID tie-breaks. Safe for
+// concurrent use with other lookups; a nil or tiny probe returns no
+// candidates.
+func (ix *Index) Candidates(probe *minutiae.Template, fanout int) []Candidate {
+	if probe == nil {
+		return nil
+	}
+	probeKeys := ix.opt.probeKeys(probe.Minutiae)
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if fanout <= 0 {
+		fanout = ix.opt.Fanout
+	}
+	// Dense accumulators keep the hot voting loop branch-free; the
+	// touched list bounds the collection pass by the number of
+	// templates actually hit, not the gallery size.
+	scores := make([]float64, len(ix.ids))
+	hits := make([]int32, len(ix.ids))
+	touched := make([]uint32, 0, 4*fanout)
+	for _, key := range probeKeys {
+		bucket := ix.buckets[key]
+		if len(bucket) == 0 || len(bucket) > ix.opt.MaxBucket {
+			continue
+		}
+		w := 1 / float64(len(bucket))
+		for _, p := range bucket {
+			if hits[p.ref] == 0 {
+				touched = append(touched, p.ref)
+			}
+			scores[p.ref] += w
+			hits[p.ref]++
+		}
+	}
+	out := make([]Candidate, 0, fanout)
+	for _, ref := range touched {
+		if int(hits[ref]) >= ix.opt.MinVotes {
+			out = append(out, Candidate{ID: ix.ids[ref], Score: scores[ref], Hits: int(hits[ref])})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	if len(out) > fanout {
+		out = out[:fanout]
+	}
+	return out
+}
+
+// Stats summarizes index occupancy (for logging and benchmarks).
+type Stats struct {
+	// Templates is the number of indexed templates.
+	Templates int
+	// DistinctKeys is the number of occupied hash buckets.
+	DistinctKeys int
+	// Postings is the number of live (key, template) pairs.
+	Postings int
+}
+
+// Stats returns current occupancy.
+func (ix *Index) Stats() Stats {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return Stats{
+		Templates:    len(ix.refs),
+		DistinctKeys: len(ix.buckets),
+		Postings:     ix.postings,
+	}
+}
+
+// --- Triplet extraction and quantization -------------------------------
+
+// triplet holds the canonical invariant features of one minutia
+// triangle: side lengths in descending order and, per canonical vertex,
+// the angle between the ridge direction and the direction to the
+// triangle centroid.
+type triplet struct {
+	sides [3]float64
+	betas [3]float64
+}
+
+// features computes the canonical triplet features, rejecting
+// degenerate or over-spread triangles. Vertices are ordered by the
+// length of their opposite side (descending), which is invariant to
+// rotation, translation, and input order.
+func (o Options) features(a, b, c minutiae.Minutia) (triplet, bool) {
+	dab := a.Dist(b)
+	dac := a.Dist(c)
+	dbc := b.Dist(c)
+	// opp[i] is the side opposite vertex i of (a, b, c).
+	v := [3]minutiae.Minutia{a, b, c}
+	opp := [3]float64{dbc, dac, dab}
+	order := [3]int{0, 1, 2}
+	sort.Slice(order[:], func(i, j int) bool {
+		oi, oj := order[i], order[j]
+		if opp[oi] != opp[oj] {
+			return opp[oi] > opp[oj]
+		}
+		return oi < oj
+	})
+	var t triplet
+	for i, vi := range order {
+		t.sides[i] = opp[vi]
+	}
+	if t.sides[2] < o.MinSide || t.sides[0] > o.MaxSide {
+		return triplet{}, false
+	}
+	cx := (a.X + b.X + c.X) / 3
+	cy := (a.Y + b.Y + c.Y) / 3
+	for i, vi := range order {
+		m := v[vi]
+		dir := math.Atan2(cy-m.Y, cx-m.X)
+		t.betas[i] = minutiae.NormalizeAngle(m.Angle - dir)
+	}
+	return t, true
+}
+
+// packKey packs six quantized features into one uint64: three 8-bit
+// side bins and three 6-bit angle bins.
+func packKey(qs [3]int, qb [3]int) uint64 {
+	return uint64(qs[0])<<34 | uint64(qs[1])<<26 | uint64(qs[2])<<18 |
+		uint64(qb[0])<<12 | uint64(qb[1])<<6 | uint64(qb[2])
+}
+
+// key quantizes a triplet to its primary hash key.
+func (o Options) key(t triplet) uint64 {
+	var qs, qb [3]int
+	angleStep := 2 * math.Pi / float64(o.AngleBins)
+	for i := 0; i < 3; i++ {
+		qs[i] = clampInt(int(t.sides[i]/o.SideBin), 0, 255)
+		qb[i] = clampInt(int(t.betas[i]/angleStep), 0, o.AngleBins-1)
+	}
+	return packKey(qs, qb)
+}
+
+// probeKeysFor expands one probe triplet into its multi-probed key set:
+// each feature near a bin boundary (within BoundaryMargin of it) also
+// tries the neighbouring bin, so quantization noise between enrollment
+// and probe does not silently drop the vote. At most 2⁶ keys; typically
+// a handful.
+func (o Options) probeKeysFor(t triplet, dst []uint64) []uint64 {
+	var sideOpts, angleOpts [3][2]int
+	var sideN, angleN [3]int
+	angleStep := 2 * math.Pi / float64(o.AngleBins)
+	for i := 0; i < 3; i++ {
+		sideN[i] = binOptions(t.sides[i], o.SideBin, o.BoundaryMargin, &sideOpts[i])
+		for j := 0; j < sideN[i]; j++ {
+			sideOpts[i][j] = clampInt(sideOpts[i][j], 0, 255)
+		}
+		angleN[i] = binOptions(t.betas[i], angleStep, o.BoundaryMargin, &angleOpts[i])
+		for j := 0; j < angleN[i]; j++ {
+			// Angle bins wrap around.
+			angleOpts[i][j] = (angleOpts[i][j] + o.AngleBins) % o.AngleBins
+		}
+	}
+	for a := 0; a < sideN[0]; a++ {
+		for b := 0; b < sideN[1]; b++ {
+			for c := 0; c < sideN[2]; c++ {
+				qs := [3]int{sideOpts[0][a], sideOpts[1][b], sideOpts[2][c]}
+				for d := 0; d < angleN[0]; d++ {
+					for e := 0; e < angleN[1]; e++ {
+						for f := 0; f < angleN[2]; f++ {
+							dst = append(dst, packKey(qs,
+								[3]int{angleOpts[0][d], angleOpts[1][e], angleOpts[2][f]}))
+						}
+					}
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// binOptions quantizes v by step and, when the value sits within
+// margin·step of a bin boundary, adds the neighbouring bin. It returns
+// the number of options written (1 or 2); options may be negative
+// (callers clamp or wrap).
+func binOptions(v, step, margin float64, out *[2]int) int {
+	scaled := v / step
+	bin := int(math.Floor(scaled))
+	out[0] = bin
+	frac := scaled - math.Floor(scaled)
+	switch {
+	case frac < margin:
+		out[1] = bin - 1
+		return 2
+	case frac > 1-margin:
+		out[1] = bin + 1
+		return 2
+	default:
+		return 1
+	}
+}
+
+// triplets enumerates the template's local triplets in deterministic
+// order: each minutia combined with pairs of its NeighborK nearest
+// neighbours, deduplicated, capped at MaxTriplets.
+func (o Options) triplets(ms []minutiae.Minutia, visit func(a, b, c minutiae.Minutia) bool) {
+	o = o.withDefaults()
+	n := len(ms)
+	if n < 3 {
+		return
+	}
+	type neighbor struct {
+		d   float64
+		idx int
+	}
+	neigh := make([]neighbor, 0, n-1)
+	k := o.NeighborK
+	seen := make(map[uint64]struct{}, n*k*(k-1)/2)
+	emitted := 0
+	for i := 0; i < n && emitted < o.MaxTriplets; i++ {
+		neigh = neigh[:0]
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			dx := ms[i].X - ms[j].X
+			dy := ms[i].Y - ms[j].Y
+			neigh = append(neigh, neighbor{d: dx*dx + dy*dy, idx: j})
+		}
+		sort.Slice(neigh, func(x, y int) bool {
+			if neigh[x].d != neigh[y].d {
+				return neigh[x].d < neigh[y].d
+			}
+			return neigh[x].idx < neigh[y].idx
+		})
+		kk := k
+		if kk > len(neigh) {
+			kk = len(neigh)
+		}
+		for x := 0; x < kk && emitted < o.MaxTriplets; x++ {
+			for y := x + 1; y < kk && emitted < o.MaxTriplets; y++ {
+				a, b, c := i, neigh[x].idx, neigh[y].idx
+				// Canonical sorted indices for deduplication.
+				if a > b {
+					a, b = b, a
+				}
+				if b > c {
+					b, c = c, b
+				}
+				if a > b {
+					a, b = b, a
+				}
+				id := uint64(a)<<32 | uint64(b)<<16 | uint64(c)
+				if _, dup := seen[id]; dup {
+					continue
+				}
+				seen[id] = struct{}{}
+				if visit(ms[a], ms[b], ms[c]) {
+					emitted++
+				}
+			}
+		}
+	}
+}
+
+// templateKeys computes the primary keys a template is indexed under.
+func (o Options) templateKeys(ms []minutiae.Minutia) []uint64 {
+	o = o.withDefaults()
+	keys := make([]uint64, 0, o.MaxTriplets)
+	o.triplets(ms, func(a, b, c minutiae.Minutia) bool {
+		t, ok := o.features(a, b, c)
+		if !ok {
+			return false
+		}
+		keys = append(keys, o.key(t))
+		return true
+	})
+	return keys
+}
+
+// probeKeys computes the multi-probed key set a probe votes with.
+func (o Options) probeKeys(ms []minutiae.Minutia) []uint64 {
+	o = o.withDefaults()
+	keys := make([]uint64, 0, 4*o.MaxTriplets)
+	o.triplets(ms, func(a, b, c minutiae.Minutia) bool {
+		t, ok := o.features(a, b, c)
+		if !ok {
+			return false
+		}
+		keys = o.probeKeysFor(t, keys)
+		return true
+	})
+	return keys
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -156,6 +156,38 @@ func (c *Client) Identify(probe *minutiae.Template, k int) ([]gallery.Candidate,
 	if err != nil {
 		return nil, err
 	}
+	return decodeCandidates(r)
+}
+
+// IdentifyEx is Identify plus the server's retrieval statistics: how
+// large the gallery was, how many candidates the triplet index
+// shortlisted, and whether the indexed path served the search.
+func (c *Client) IdentifyEx(probe *minutiae.Template, k int) ([]gallery.Candidate, gallery.IdentifyStats, error) {
+	var w payloadWriter
+	w.uint32(uint32(k))
+	if err := w.template(probe); err != nil {
+		return nil, gallery.IdentifyStats{}, err
+	}
+	r, err := c.roundTrip(OpIdentifyEx, w.buf)
+	if err != nil {
+		return nil, gallery.IdentifyStats{}, err
+	}
+	var stats gallery.IdentifyStats
+	var vals [4]uint32
+	for i := range vals {
+		if vals[i], err = r.uint32(); err != nil {
+			return nil, gallery.IdentifyStats{}, err
+		}
+	}
+	stats.GallerySize = int(vals[0])
+	stats.Shortlist = int(vals[1])
+	stats.Scanned = int(vals[2])
+	stats.Indexed = vals[3] != 0
+	cands, err := decodeCandidates(r)
+	return cands, stats, err
+}
+
+func decodeCandidates(r *payloadReader) ([]gallery.Candidate, error) {
 	n, err := r.uint32()
 	if err != nil {
 		return nil, err

@@ -9,7 +9,10 @@ import (
 	"testing"
 	"time"
 
+	"fmt"
+
 	"fpinterop/internal/gallery"
+	"fpinterop/internal/index"
 	"fpinterop/internal/minutiae"
 	"fpinterop/internal/population"
 	"fpinterop/internal/rng"
@@ -319,5 +322,81 @@ func TestClientRequestTimeout(t *testing.T) {
 	}
 	if time.Since(start) > 2*time.Second {
 		t.Fatal("timeout did not bound the request")
+	}
+}
+
+func TestIdentifyExStatsOverIndexedStore(t *testing.T) {
+	store := gallery.New(nil)
+	if err := store.EnableIndex(gallery.IndexOptions{
+		Index:         index.Options{Fanout: 8},
+		MinCandidates: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(store, nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx) }()
+	t.Cleanup(func() {
+		cancel()
+		srv.Close()
+		<-done
+	})
+	cli, err := Dial(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+
+	tpls := testImpressions(t, 20, "D0", 0)
+	probes := testImpressions(t, 20, "D0", 1)
+	for i, tpl := range tpls {
+		if err := cli.Enroll(fmt.Sprintf("subj-%02d", i), "D0", tpl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cands, stats, err := cli.IdentifyEx(probes[4], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Indexed {
+		t.Fatalf("indexed store did not serve from the shortlist: %+v", stats)
+	}
+	if stats.GallerySize != 20 || stats.Shortlist == 0 || stats.Scanned == 0 {
+		t.Fatalf("implausible stats: %+v", stats)
+	}
+	if stats.Scanned >= stats.GallerySize {
+		t.Fatalf("shortlist did not prune the gallery: %+v", stats)
+	}
+	if len(cands) != 1 || cands[0].ID != "subj-04" {
+		t.Fatalf("indexed identification wrong: %+v", cands)
+	}
+}
+
+func TestIdentifyExStatsOverPlainStore(t *testing.T) {
+	cli, _ := startServer(t)
+	tpls := testImpressions(t, 3, "D0", 0)
+	probes := testImpressions(t, 3, "D0", 1)
+	for i, tpl := range tpls {
+		if err := cli.Enroll(fmt.Sprintf("p-%d", i), "D0", tpl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cands, stats, err := cli.IdentifyEx(probes[1], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Indexed || stats.Shortlist != 0 {
+		t.Fatalf("plain store reported an indexed search: %+v", stats)
+	}
+	if stats.GallerySize != 3 || stats.Scanned != 3 {
+		t.Fatalf("exhaustive stats wrong: %+v", stats)
+	}
+	if len(cands) != 2 || cands[0].ID != "p-1" {
+		t.Fatalf("identification wrong: %+v", cands)
 	}
 }

@@ -42,6 +42,10 @@ const (
 	OpRemove = 0x06
 	// OpCount returns the number of enrollments.
 	OpCount = 0x07
+	// OpIdentifyEx is OpIdentify plus retrieval statistics in the
+	// response (gallery size, index shortlist size, matcher scans, and
+	// whether the indexed path served the search).
+	OpIdentifyEx = 0x08
 )
 
 // Response status codes.

@@ -210,7 +210,7 @@ func (s *Server) dispatch(op byte, payload []byte) (byte, []byte) {
 		w.uint32(uint32(res.Matched))
 		return StatusOK, w.buf
 
-	case OpIdentify:
+	case OpIdentify, OpIdentifyEx:
 		k, err := r.uint32()
 		if err != nil {
 			return fail(err)
@@ -219,11 +219,25 @@ func (s *Server) dispatch(op byte, payload []byte) (byte, []byte) {
 		if err != nil {
 			return fail(err)
 		}
-		cands, err := s.store.Identify(probe, int(k))
+		cands, stats, err := s.store.IdentifyDetailed(probe, int(k))
 		if err != nil {
 			return fail(err)
 		}
+		if stats.Indexed {
+			s.logger.Printf("identify: shortlist %d of %d enrollments (scanned %d)",
+				stats.Shortlist, stats.GallerySize, stats.Scanned)
+		}
 		var w payloadWriter
+		if op == OpIdentifyEx {
+			w.uint32(uint32(stats.GallerySize))
+			w.uint32(uint32(stats.Shortlist))
+			w.uint32(uint32(stats.Scanned))
+			indexed := uint32(0)
+			if stats.Indexed {
+				indexed = 1
+			}
+			w.uint32(indexed)
+		}
 		w.uint32(uint32(len(cands)))
 		for _, c := range cands {
 			if err := w.string(c.ID); err != nil {

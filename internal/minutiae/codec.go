@@ -70,13 +70,16 @@ func Marshal(t *Template) ([]byte, error) {
 		case Bifurcation:
 			kind = 2
 		}
+		// Coordinates are valid in [0, dim), so rounding may land exactly
+		// on the dimension (e.g. x=403.6 in a 404-wide window); clamp to
+		// the last in-bounds pixel or the round trip fails validation.
 		x := uint16(math.Round(m.X))
 		y := uint16(math.Round(m.Y))
-		if x > maxCoord {
-			x = maxCoord
+		if x >= uint16(t.Width) {
+			x = uint16(t.Width) - 1
 		}
-		if y > maxCoord {
-			y = maxCoord
+		if y >= uint16(t.Height) {
+			y = uint16(t.Height) - 1
 		}
 		binary.BigEndian.PutUint16(rec[0:2], kind<<14|x)
 		binary.BigEndian.PutUint16(rec[2:4], y)

@@ -165,3 +165,24 @@ func TestCodecPropertyRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRoundTripEdgeCoordinates(t *testing.T) {
+	// A minutia within half a pixel of the window edge must survive the
+	// round trip: rounding to the nearest pixel would land exactly on
+	// the dimension, which Validate rejects.
+	tpl := &Template{Width: 404, Height: 404, DPI: 500, Minutiae: []Minutia{
+		{X: 403.6, Y: 403.9, Angle: 1, Kind: Ending, Quality: 50},
+		{X: 0.2, Y: 0.4, Angle: 2, Kind: Bifurcation, Quality: 50},
+	}}
+	data, err := Marshal(tpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Minutiae[0].X != 403 || back.Minutiae[0].Y != 403 {
+		t.Fatalf("edge minutia moved to (%v, %v)", back.Minutiae[0].X, back.Minutiae[0].Y)
+	}
+}

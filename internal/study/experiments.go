@@ -3,6 +3,7 @@ package study
 import (
 	"fmt"
 
+	"fpinterop/internal/gallery"
 	"fpinterop/internal/nfiq"
 )
 
@@ -147,6 +148,26 @@ func Experiments() []Experiment {
 					return "", err
 				}
 				return RenderEERMatrix(m), nil
+			},
+		},
+		{
+			ID:         "index",
+			Title:      "Indexed vs exhaustive 1:N identification (extension)",
+			PaperClaim: "a triplet-index shortlist keeps rank-1 within ~2pp of the exhaustive scan",
+			Run: func(ds *Dataset, sets *ScoreSets) (string, error) {
+				n := ds.NumSubjects()
+				if n > 200 {
+					n = 200 // exhaustive CMC is O(n²) matcher calls
+				}
+				var results []IndexedIdentificationResult
+				for _, probeID := range []string{"D0", "D1"} {
+					r, err := IndexedIdentification(ds, "D0", probeID, n, 5, gallery.IndexOptions{})
+					if err != nil {
+						return "", err
+					}
+					results = append(results, r)
+				}
+				return RenderIndexedIdentification(results), nil
 			},
 		},
 	}

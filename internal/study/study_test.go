@@ -5,6 +5,9 @@ import (
 	"sync"
 	"testing"
 
+	"strings"
+
+	"fpinterop/internal/gallery"
 	"fpinterop/internal/nfiq"
 	"fpinterop/internal/stats"
 )
@@ -499,5 +502,53 @@ func TestRenderersProduceOutput(t *testing.T) {
 	}
 	if out := RenderFigure5(Figure5(sets)); len(out) < 100 {
 		t.Fatal("Figure 5 rendering too short")
+	}
+}
+
+func TestIndexedIdentificationTracksExhaustive(t *testing.T) {
+	ds, _ := testStudy(t)
+	r, err := IndexedIdentification(ds, "D0", "D0", 40, 3, gallery.IndexOptions{MinCandidates: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Gallery != 40 || r.Probes != 40 {
+		t.Fatalf("shape: %+v", r)
+	}
+	for k := 1; k < len(r.Indexed); k++ {
+		if r.Indexed[k] < r.Indexed[k-1] {
+			t.Fatal("indexed CMC not monotone")
+		}
+	}
+	// The shortlist can only lose probes relative to the full scan, and
+	// on a same-device population it should lose almost none.
+	if r.Indexed.RankOne() > r.Exhaustive.RankOne() {
+		t.Fatalf("indexed rank-1 %.3f exceeds exhaustive %.3f",
+			r.Indexed.RankOne(), r.Exhaustive.RankOne())
+	}
+	if d := r.Exhaustive.RankOne() - r.Indexed.RankOne(); d > 0.05 {
+		t.Fatalf("indexed rank-1 trails exhaustive by %.3f", d)
+	}
+	if r.MeanShortlist == 0 {
+		t.Fatal("no shortlist statistics collected")
+	}
+	out := RenderIndexedIdentification([]IndexedIdentificationResult{r})
+	if !strings.Contains(out, "D0->D0") || !strings.Contains(out, "idx rank-1") {
+		t.Fatalf("render missing fields:\n%s", out)
+	}
+}
+
+func TestIndexExperimentRegistered(t *testing.T) {
+	if _, ok := ExperimentByID("index"); !ok {
+		t.Fatal("index experiment not in the registry")
+	}
+}
+
+func TestIdentificationUnknownDevices(t *testing.T) {
+	ds, _ := testStudy(t)
+	if _, err := Identification(ds, "D9", "D0", 5, 3); err == nil {
+		t.Fatal("unknown gallery device accepted")
+	}
+	if _, err := IndexedIdentification(ds, "D0", "D9", 5, 3, gallery.IndexOptions{}); err == nil {
+		t.Fatal("unknown probe device accepted")
 	}
 }
