@@ -22,12 +22,14 @@ import (
 
 	"fpinterop/internal/calib"
 	"fpinterop/internal/gallery"
+	"fpinterop/internal/index"
 	"fpinterop/internal/match"
 	"fpinterop/internal/minutiae"
 	"fpinterop/internal/nfiq"
 	"fpinterop/internal/population"
 	"fpinterop/internal/rng"
 	"fpinterop/internal/sensor"
+	"fpinterop/internal/shard"
 	"fpinterop/internal/stats"
 	"fpinterop/internal/study"
 )
@@ -625,11 +627,12 @@ func BenchmarkExtensionQualityByDevice(b *testing.B) {
 // (default "1000,10000,50000").
 
 var (
-	idxBenchMu     sync.Mutex
-	idxBenchCohort *population.Cohort
-	idxBenchTpls   []*minutiae.Template // gallery templates (D0, sample 0)
-	idxBenchProbes []*minutiae.Template // probe templates (D0, sample 1)
-	idxBenchStores = map[string]*gallery.Store{}
+	idxBenchMu      sync.Mutex
+	idxBenchCohort  *population.Cohort
+	idxBenchTpls    []*minutiae.Template // gallery templates (D0, sample 0)
+	idxBenchProbes  []*minutiae.Template // probe templates (D0, sample 1)
+	idxBenchStores  = map[string]*gallery.Store{}
+	idxBenchRouters = map[string]*shard.Router{}
 )
 
 const idxBenchProbeCount = 16
@@ -651,14 +654,10 @@ func idxBenchSizes() []int {
 	return out
 }
 
-// idxBenchStore returns a cached gallery of n enrollments, with or
-// without the triplet index, plus the shared probe set. Stores are
-// built once per (size, variant) and reused across benchmark
-// iterations.
-func idxBenchStore(b *testing.B, n int, indexed bool) (*gallery.Store, []*minutiae.Template) {
+// idxBenchFill ensures n gallery templates and the shared probe set are
+// captured; the caller must hold idxBenchMu.
+func idxBenchFill(b *testing.B, n int) {
 	b.Helper()
-	idxBenchMu.Lock()
-	defer idxBenchMu.Unlock()
 	if idxBenchCohort == nil {
 		max := idxBenchProbeCount
 		for _, s := range idxBenchSizes() {
@@ -683,6 +682,17 @@ func idxBenchStore(b *testing.B, n int, indexed bool) (*gallery.Store, []*minuti
 		}
 		idxBenchProbes = append(idxBenchProbes, imp.Template)
 	}
+}
+
+// idxBenchStore returns a cached gallery of n enrollments, with or
+// without the triplet index, plus the shared probe set. Stores are
+// built once per (size, variant) and reused across benchmark
+// iterations.
+func idxBenchStore(b *testing.B, n int, indexed bool) (*gallery.Store, []*minutiae.Template) {
+	b.Helper()
+	idxBenchMu.Lock()
+	defer idxBenchMu.Unlock()
+	idxBenchFill(b, n)
 	key := fmt.Sprintf("exhaustive/%d", n)
 	if indexed {
 		key = fmt.Sprintf("indexed/%d", n)
@@ -751,6 +761,94 @@ func BenchmarkExtensionIndexedIdentify(b *testing.B) {
 				if indexed {
 					b.ReportMetric(float64(shortlistSum)/float64(b.N), "shortlist/op")
 				}
+			})
+		}
+	}
+}
+
+// shardBenchRouter returns a cached scatter-gather router of `shards`
+// indexed local shards holding n enrollments, plus the shared probes.
+// Per-shard index fanout shrinks with the shard count (each shard only
+// needs to surface the global top-k plus slack), so the merged scan
+// count stays comparable to a single indexed store while ring lookup
+// and index voting parallelize across shards.
+func shardBenchRouter(b *testing.B, n, shards int) (*shard.Router, []*minutiae.Template) {
+	b.Helper()
+	idxBenchMu.Lock()
+	defer idxBenchMu.Unlock()
+	idxBenchFill(b, n)
+	key := fmt.Sprintf("sharded/%d/%d", shards, n)
+	if r, ok := idxBenchRouters[key]; ok {
+		return r, idxBenchProbes
+	}
+	fanout := (64 + shards - 1) / shards
+	if fanout < 8 {
+		fanout = 8
+	}
+	backends := make([]shard.Backend, shards)
+	for i := range backends {
+		store := gallery.New(nil)
+		if err := store.EnableIndex(gallery.IndexOptions{
+			Index:         index.Options{Fanout: fanout},
+			MinCandidates: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		backends[i] = shard.NewLocal(fmt.Sprintf("shard-%d", i), store)
+	}
+	router, err := shard.New(backends, shard.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	items := make([]shard.Enrollment, n)
+	for i := 0; i < n; i++ {
+		items[i] = shard.Enrollment{ID: fmt.Sprintf("subject-%06d", i), DeviceID: "D0", Template: idxBenchTpls[i]}
+	}
+	start := time.Now()
+	if err := router.EnrollBatch(items); err != nil {
+		b.Fatal(err)
+	}
+	sizes := make([]string, shards)
+	for i, bk := range router.Backends() {
+		sz, _ := bk.Len()
+		sizes[i] = fmt.Sprintf("%d", sz)
+	}
+	printArtifact(key, fmt.Sprintf(
+		"[sharded-identify] N=%d shards=%d: built in %v (per-shard fanout %d, sizes %s)",
+		n, shards, time.Since(start).Round(time.Millisecond), fanout, strings.Join(sizes, "/")))
+	idxBenchRouters[key] = router
+	return router, idxBenchProbes
+}
+
+// BenchmarkExtensionShardedIdentify measures 1:N identification through
+// the scatter-gather shard router at growing shard counts: the
+// horizontal-scale path the deployment architecture needs once a single
+// store (even indexed) saturates. Each sub-benchmark fans the probe out
+// to every shard and merges the per-shard top-5 shortlists; at a fixed
+// gallery size the p50 should improve as shards are added, because the
+// per-shard index voting and shortlist scoring shrink with the
+// partition while the fan-out runs in parallel.
+func BenchmarkExtensionShardedIdentify(b *testing.B) {
+	for _, n := range idxBenchSizes() {
+		for _, shards := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("shards=%d/N=%d", shards, n), func(b *testing.B) {
+				router, probes := shardBenchRouter(b, n, shards)
+				b.ResetTimer()
+				scannedSum := 0
+				for i := 0; i < b.N; i++ {
+					cands, stats, err := router.IdentifyDetailed(probes[i%len(probes)], 5)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(cands) == 0 {
+						b.Fatal("no candidates")
+					}
+					if stats.Partial || stats.ShardsQueried != shards {
+						b.Fatalf("partial coverage at N=%d shards=%d: %+v", n, shards, stats)
+					}
+					scannedSum += stats.Scanned
+				}
+				b.ReportMetric(float64(scannedSum)/float64(b.N), "scanned/op")
 			})
 		}
 	}

@@ -35,7 +35,7 @@ func run(args []string, out *os.File) error {
 	subjects := fs.Int("subjects", 494, "cohort size (paper: 494)")
 	dmi := fs.Int("dmi", 120855, "same-device impostor comparisons (paper: 120855)")
 	ddmi := fs.Int("ddmi", 483420, "cross-device impostor comparisons (paper: 483420)")
-	only := fs.String("only", "", "comma-separated outputs: table1,table2,table3,table4,table5,table6,figure1,figure2,figure3,figure4,figure5,shift,eer,index")
+	only := fs.String("only", "", "comma-separated outputs: table1,table2,table3,table4,table5,table6,figure1,figure2,figure3,figure4,figure5,shift,eer,index,shard")
 	list := fs.Bool("list", false, "list all reproducible artifacts and exit")
 	jsonPath := fs.String("json", "", "also write the machine-readable report to this path")
 	csvPath := fs.String("csv", "", "also write every raw score as CSV to this path")
@@ -156,6 +156,17 @@ func run(args []string, out *os.File) error {
 		e, ok := study.ExperimentByID("index")
 		if !ok {
 			return fmt.Errorf("index experiment missing from registry")
+		}
+		rendered, err := e.Run(ds, sets)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, rendered)
+	}
+	if sel("shard") {
+		e, ok := study.ExperimentByID("shard")
+		if !ok {
+			return fmt.Errorf("shard experiment missing from registry")
 		}
 		rendered, err := e.Run(ds, sets)
 		if err != nil {

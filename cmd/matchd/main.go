@@ -6,13 +6,22 @@
 // Usage:
 //
 //	matchd [-addr 127.0.0.1:7070] [-preload N] [-seed N] [-device D0]
-//	       [-index] [-index-fanout N]
+//	       [-index] [-index-fanout N] [-idle-timeout 2m]
+//	       [-local-shards N | -shards addr1,addr2,...] [-shard-timeout D]
 //
 // -preload enrolls N synthetic subjects at startup so the service is
 // immediately searchable (useful for demos and load tests). -index
 // enables the minutia-triplet retrieval index, so identification
 // searches a candidate shortlist instead of the whole gallery; each
 // indexed search logs its shortlist size.
+//
+// Sharding: -local-shards N partitions the gallery across N in-process
+// stores behind a consistent-hash router (each shard indexed when
+// -index is set); -shards runs this instance as a scatter-gather front
+// over remote matchd shards, routing enrollments by subject ID and
+// fanning every identification out to all healthy shards. The two are
+// mutually exclusive; a remote front leaves indexing (-index) and
+// persistence (-store) to the shard processes that own the data.
 package main
 
 import (
@@ -22,7 +31,9 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
+	"time"
 
 	"fpinterop/internal/gallery"
 	"fpinterop/internal/index"
@@ -30,6 +41,7 @@ import (
 	"fpinterop/internal/population"
 	"fpinterop/internal/rng"
 	"fpinterop/internal/sensor"
+	"fpinterop/internal/shard"
 )
 
 func main() {
@@ -48,6 +60,10 @@ func run(args []string) error {
 	deviceID := fs.String("device", "D0", "device used for preloaded enrollments")
 	useIndex := fs.Bool("index", false, "serve identification from a minutia-triplet candidate index")
 	indexFanout := fs.Int("index-fanout", 0, "index shortlist size (0 = default)")
+	idleTimeout := fs.Duration("idle-timeout", 2*time.Minute, "drop connections idle (or mid-frame) longer than this; 0 disables")
+	localShards := fs.Int("local-shards", 0, "partition the gallery across N in-process shards")
+	shardAddrs := fs.String("shards", "", "comma-separated remote matchd addresses to scatter-gather over")
+	shardTimeout := fs.Duration("shard-timeout", 0, "per-shard identification deadline (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -57,23 +73,104 @@ func run(args []string) error {
 	if *indexFanout > 0 && !*useIndex {
 		return fmt.Errorf("-index-fanout requires -index")
 	}
+	if *localShards < 0 {
+		return fmt.Errorf("-local-shards must be >= 0, got %d", *localShards)
+	}
+	if *localShards > 0 && *shardAddrs != "" {
+		return fmt.Errorf("-local-shards and -shards are mutually exclusive")
+	}
+	if *shardAddrs != "" && *useIndex {
+		return fmt.Errorf("-index belongs on the shard processes, not the -shards front")
+	}
+	if *shardAddrs != "" && *storePath != "" {
+		return fmt.Errorf("-store belongs on the shard processes, not the -shards front")
+	}
+	if *shardTimeout != 0 && *localShards == 0 && *shardAddrs == "" {
+		return fmt.Errorf("-shard-timeout requires -local-shards or -shards")
+	}
 
 	logger := log.New(os.Stderr, "matchd: ", log.LstdFlags)
-	store := gallery.New(nil)
-	if *useIndex {
-		opt := gallery.IndexOptions{Index: index.Options{Fanout: *indexFanout}}
-		if err := store.EnableIndex(opt); err != nil {
-			return fmt.Errorf("enable index: %w", err)
+	indexOpt := gallery.IndexOptions{Index: index.Options{Fanout: *indexFanout}}
+
+	// The served backend is either a single store or a shard router.
+	var (
+		backend matchsvc.Gallery
+		store   *gallery.Store
+		router  *shard.Router
+	)
+	switch {
+	case *shardAddrs != "":
+		var backends []shard.Backend
+		for _, a := range strings.Split(*shardAddrs, ",") {
+			a = strings.TrimSpace(a)
+			if a == "" {
+				continue
+			}
+			cli, err := matchsvc.Dial(a, 5*time.Second)
+			if err != nil {
+				return fmt.Errorf("dial shard %s: %w", a, err)
+			}
+			defer cli.Close()
+			// A hung shard must not wedge the front: bound every round
+			// trip so abandoned scatter calls unwind instead of piling
+			// up, giving the router's own deadline generous headroom.
+			reqTimeout := 2 * *shardTimeout
+			if reqTimeout <= 0 {
+				reqTimeout = 2 * time.Minute
+			}
+			cli.SetRequestTimeout(reqTimeout)
+			backends = append(backends, shard.NewRemote(a, cli))
 		}
+		var err error
+		router, err = shard.New(backends, shard.Options{ShardTimeout: *shardTimeout})
+		if err != nil {
+			return err
+		}
+		backend = shard.Front{Router: router}
+		logger.Printf("scatter-gather front over %d remote shards", len(backends))
+
+	case *localShards > 0:
+		backends := make([]shard.Backend, *localShards)
+		for i := range backends {
+			st := gallery.New(nil)
+			if *useIndex {
+				if err := st.EnableIndex(indexOpt); err != nil {
+					return fmt.Errorf("enable index on shard %d: %w", i, err)
+				}
+			}
+			backends[i] = shard.NewLocal(fmt.Sprintf("shard-%d", i), st)
+		}
+		var err error
+		router, err = shard.New(backends, shard.Options{ShardTimeout: *shardTimeout})
+		if err != nil {
+			return err
+		}
+		backend = shard.Front{Router: router}
+		logger.Printf("gallery partitioned across %d local shards", *localShards)
+
+	default:
+		store = gallery.New(nil)
+		if *useIndex {
+			if err := store.EnableIndex(indexOpt); err != nil {
+				return fmt.Errorf("enable index: %w", err)
+			}
+		}
+		backend = store
 	}
+
 	if *storePath != "" {
 		if f, err := os.Open(*storePath); err == nil {
-			loadErr := store.LoadFrom(f)
+			var loadErr error
+			if router != nil {
+				loadErr = router.LoadFrom(f)
+			} else {
+				loadErr = store.LoadFrom(f)
+			}
 			f.Close()
 			if loadErr != nil {
 				return fmt.Errorf("load gallery %s: %w", *storePath, loadErr)
 			}
-			logger.Printf("loaded %d enrollments from %s", store.Len(), *storePath)
+			logger.Printf("loaded %d enrollments from %s", backend.Len(), *storePath)
 		} else if !os.IsNotExist(err) {
 			return fmt.Errorf("open gallery %s: %w", *storePath, err)
 		}
@@ -84,32 +181,81 @@ func run(args []string) error {
 			return fmt.Errorf("unknown device %q", *deviceID)
 		}
 		cohort := population.NewCohort(rng.New(*seed).Child("cohort"), population.CohortOptions{Size: *preload})
+		items := make([]shard.Enrollment, len(cohort.Subjects))
 		for i, subj := range cohort.Subjects {
 			imp, err := dev.CaptureSubject(subj, 0, sensor.CaptureOptions{})
 			if err != nil {
 				return fmt.Errorf("preload subject %d: %w", i, err)
 			}
-			if err := store.Enroll(fmt.Sprintf("subject-%04d", i), dev.ID, imp.Template); err != nil {
-				return fmt.Errorf("preload enroll %d: %w", i, err)
+			items[i] = shard.Enrollment{
+				ID:       fmt.Sprintf("subject-%04d", i),
+				DeviceID: dev.ID,
+				Template: imp.Template,
+			}
+		}
+		if router != nil {
+			if err := router.EnrollBatch(items); err != nil {
+				return fmt.Errorf("preload: %w", err)
+			}
+		} else {
+			for _, it := range items {
+				if err := store.Enroll(it.ID, it.DeviceID, it.Template); err != nil {
+					return fmt.Errorf("preload enroll %q: %w", it.ID, err)
+				}
 			}
 		}
 		logger.Printf("preloaded %d enrollments from %s", *preload, dev.Model)
 	}
 
-	if st, ok := store.IndexStats(); ok {
-		logger.Printf("index enabled: %d templates, %d keys, %d postings",
-			st.Templates, st.DistinctKeys, st.Postings)
+	if store != nil {
+		if st, ok := store.IndexStats(); ok {
+			logger.Printf("index enabled: %d templates, %d keys, %d postings",
+				st.Templates, st.DistinctKeys, st.Postings)
+		}
+	}
+	if router != nil {
+		for i, b := range router.Backends() {
+			n, err := b.Len()
+			if err != nil {
+				logger.Printf("shard %d (%s): unreachable: %v", i, b.Name(), err)
+				continue
+			}
+			logger.Printf("shard %d (%s): %d enrollments", i, b.Name(), n)
+		}
 	}
 
-	srv := matchsvc.NewServer(store, logger)
+	srv := matchsvc.NewServer(backend, logger)
+	srv.SetIdleTimeout(*idleTimeout)
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		return err
 	}
-	logger.Printf("listening on %s (%d enrollments)", bound, store.Len())
+	logger.Printf("listening on %s (%d enrollments)", bound, backend.Len())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if router != nil {
+		// Degraded shards only rejoin the scatter set when something
+		// probes them; do it periodically so a repaired shard does not
+		// stay invisible until restart.
+		go func() {
+			ticker := time.NewTicker(30 * time.Second)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					for i, err := range router.CheckHealth() {
+						if err != nil {
+							logger.Printf("health probe: shard %d (%s): %v",
+								i, router.Backends()[i].Name(), err)
+						}
+					}
+				}
+			}
+		}()
+	}
 	if err := srv.Serve(ctx); err != nil {
 		return err
 	}
@@ -118,14 +264,18 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("create gallery %s: %w", *storePath, err)
 		}
-		err = store.SaveTo(f)
+		if router != nil {
+			err = router.SaveTo(f)
+		} else {
+			err = store.SaveTo(f)
+		}
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
 		if err != nil {
 			return fmt.Errorf("save gallery %s: %w", *storePath, err)
 		}
-		logger.Printf("saved %d enrollments to %s", store.Len(), *storePath)
+		logger.Printf("saved %d enrollments to %s", backend.Len(), *storePath)
 	}
 	logger.Printf("shut down")
 	return nil

@@ -26,4 +26,28 @@ func TestRunErrors(t *testing.T) {
 	if err := run([]string{"-index", "-preload", "3", "-addr", "256.256.256.256:0"}); err == nil {
 		t.Fatal("expected listen error on indexed preload")
 	}
+	if err := run([]string{"-local-shards", "-2"}); err == nil {
+		t.Fatal("expected negative -local-shards to be rejected")
+	}
+	if err := run([]string{"-local-shards", "2", "-shards", "127.0.0.1:1"}); err == nil {
+		t.Fatal("expected -local-shards with -shards to be rejected")
+	}
+	if err := run([]string{"-shards", "127.0.0.1:1", "-index"}); err == nil {
+		t.Fatal("expected -index on a -shards front to be rejected")
+	}
+	if err := run([]string{"-shards", "127.0.0.1:1", "-store", "/tmp/x"}); err == nil {
+		t.Fatal("expected -store on a -shards front to be rejected")
+	}
+	if err := run([]string{"-shard-timeout", "5s"}); err == nil {
+		t.Fatal("expected -shard-timeout without sharding to be rejected")
+	}
+	// A remote-shard front fails fast when a shard is unreachable.
+	if err := run([]string{"-shards", "127.0.0.1:1", "-addr", "127.0.0.1:0"}); err == nil {
+		t.Fatal("expected dial error for unreachable shard")
+	}
+	// The sharded preload path routes through EnrollBatch; the bad listen
+	// address still aborts before serving.
+	if err := run([]string{"-local-shards", "3", "-preload", "3", "-addr", "256.256.256.256:0"}); err == nil {
+		t.Fatal("expected listen error on sharded preload")
+	}
 }

@@ -3,17 +3,22 @@
 // global threshold (calibrated on pooled impostor scores at a target FMR)
 // with per-device-pair thresholds, showing how per-pair calibration
 // equalizes FNMR across the fleet — one of the architecture questions the
-// paper's discussion section raises.
+// paper's discussion section raises. It then enrolls the whole fleet
+// into a sharded central gallery (a consistent-hash router over three
+// shards) and shows scatter-gather identification returning the same
+// rank-1 answers as one monolithic store.
 package main
 
 import (
 	"fmt"
 	"log"
 
+	"fpinterop/internal/gallery"
 	"fpinterop/internal/match"
 	"fpinterop/internal/population"
 	"fpinterop/internal/rng"
 	"fpinterop/internal/sensor"
+	"fpinterop/internal/shard"
 	"fpinterop/internal/stats"
 )
 
@@ -105,4 +110,70 @@ func main() {
 	}
 	fmt.Printf("\nworst-case FNMR: global threshold %.3f, per-pair thresholds %.3f\n",
 		worstGlobal, worstPer)
+
+	// --- Sharded central gallery -------------------------------------
+	// The fleet's enrollment device is D0 (first sample of everyone);
+	// the central gallery is partitioned across three shards. EnrollBatch
+	// groups the fleet's templates by owning shard, so a remote
+	// deployment ships one batch per shard instead of one round trip per
+	// subject.
+	const shards = 3
+	backends := make([]shard.Backend, shards)
+	for i := range backends {
+		backends[i] = shard.NewLocal(fmt.Sprintf("shard-%d", i), gallery.New(nil))
+	}
+	router, err := shard.New(backends, shard.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	single := gallery.New(nil)
+	items := make([]shard.Enrollment, cohortSize)
+	for i := 0; i < cohortSize; i++ {
+		tpl := impressions["D0"][i][0].Template
+		id := fmt.Sprintf("subject-%04d", i)
+		items[i] = shard.Enrollment{ID: id, DeviceID: "D0", Template: tpl}
+		if err := single.Enroll(id, "D0", tpl); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := router.EnrollBatch(items); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nSharded central gallery: %d subjects across %d shards (", cohortSize, shards)
+	for i, b := range router.Backends() {
+		n, _ := b.Len()
+		if i > 0 {
+			fmt.Print("/")
+		}
+		fmt.Print(n)
+	}
+	fmt.Println(" per shard)")
+
+	// Search cross-device probes (digID Mini second samples) through
+	// both paths; scatter-gather must reproduce the single store's
+	// rank-1 exactly.
+	const probeN = 20
+	agree, hits := 0, 0
+	for i := 0; i < probeN; i++ {
+		probe := impressions["D1"][i][1].Template
+		want, err := single.Identify(probe, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		got, stats, err := router.IdentifyDetailed(probe, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if stats.Partial {
+			log.Fatalf("partial coverage: %+v", stats)
+		}
+		if len(got) > 0 && len(want) > 0 && got[0] == want[0] {
+			agree++
+		}
+		if len(got) > 0 && got[0].ID == fmt.Sprintf("subject-%04d", i) {
+			hits++
+		}
+	}
+	fmt.Printf("scatter-gather vs single store: %d/%d rank-1 identical, %d/%d correct identifications\n",
+		agree, probeN, hits, probeN)
 }

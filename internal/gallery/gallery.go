@@ -222,9 +222,11 @@ type IdentifyStats struct {
 
 // Identify searches the probe against the gallery and returns the top-k
 // candidates by score (all of them when k <= 0), ordered by descending
-// score with deterministic ID tie-breaks. With an index enabled and
-// k > 0, only the retrieval shortlist is scored by the full matcher;
-// pass k <= 0 (or disable the index) for an exhaustive ranking.
+// score with deterministic ID tie-breaks. k larger than the gallery is
+// clamped to the gallery size; an empty store yields an empty (non-nil)
+// candidate list. With an index enabled and k > 0, only the retrieval
+// shortlist is scored by the full matcher; pass k <= 0 (or disable the
+// index) for an exhaustive ranking.
 func (s *Store) Identify(probe *minutiae.Template, k int) ([]Candidate, error) {
 	out, _, err := s.IdentifyDetailed(probe, k)
 	return out, err
@@ -241,6 +243,12 @@ func (s *Store) IdentifyDetailed(probe *minutiae.Template, k int) ([]Candidate, 
 	size := len(s.order)
 	s.mu.RUnlock()
 
+	if k > size {
+		// Asking for more candidates than enrollments is a full ranking;
+		// clamping here keeps the indexed path's shortlist-covers-k guard
+		// meaningful instead of tripping it on every oversized k.
+		k = size
+	}
 	stats := IdentifyStats{GallerySize: size}
 	if idx != nil && k > 0 {
 		fanout := idx.Options().Fanout

@@ -512,3 +512,90 @@ func TestEnrollRemoveKeepIndexInSync(t *testing.T) {
 		t.Fatalf("re-enrolled identity not found: %+v", cands)
 	}
 }
+
+func TestIdentifyKEdgeCases(t *testing.T) {
+	s, probes, _ := enrolledStore(t, 4, "D0", "D0")
+	// k equal to the gallery size is a full ranking.
+	atLen, err := s.Identify(probes[0], 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(atLen) != 4 {
+		t.Fatalf("k=len returned %d candidates", len(atLen))
+	}
+	// k beyond the gallery size clamps to a full ranking rather than
+	// erroring or padding.
+	beyond, err := s.Identify(probes[0], 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(beyond) != 4 {
+		t.Fatalf("k>len returned %d candidates", len(beyond))
+	}
+	for i := range atLen {
+		if beyond[i] != atLen[i] {
+			t.Fatalf("k>len ranking diverged at %d: %+v vs %+v", i, beyond[i], atLen[i])
+		}
+	}
+	// k=0 is the documented full-ranking path.
+	all, err := s.Identify(probes[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 4 {
+		t.Fatalf("k=0 returned %d candidates", len(all))
+	}
+}
+
+func TestIdentifyEmptyStore(t *testing.T) {
+	cohort := population.NewCohort(rng.New(7), population.CohortOptions{Size: 1})
+	dev, _ := sensor.ProfileByID("D0")
+	imp, err := dev.CaptureSubject(cohort.Subjects[0], 0, sensor.CaptureOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := imp.Template
+	for _, idx := range []bool{false, true} {
+		s := New(nil)
+		if idx {
+			if err := s.EnableIndex(IndexOptions{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, k := range []int{0, 1, 5} {
+			cands, stats, err := s.IdentifyDetailed(probe, k)
+			if err != nil {
+				t.Fatalf("indexed=%v k=%d: %v", idx, k, err)
+			}
+			if cands == nil {
+				t.Fatalf("indexed=%v k=%d: nil candidate list from empty store", idx, k)
+			}
+			if len(cands) != 0 {
+				t.Fatalf("indexed=%v k=%d: %d candidates from empty store", idx, k, len(cands))
+			}
+			if stats.GallerySize != 0 || stats.Scanned != 0 {
+				t.Fatalf("indexed=%v k=%d: implausible stats %+v", idx, k, stats)
+			}
+		}
+	}
+}
+
+// TestIdentifyClampedKStillIndexed checks that an oversized k on an
+// indexed store degrades to the exhaustive full ranking (shortlists
+// cannot cover the whole gallery) without error.
+func TestIdentifyClampedKOnIndexedStore(t *testing.T) {
+	s, probes, _ := enrolledStore(t, 6, "D0", "D0")
+	if err := s.EnableIndex(IndexOptions{MinCandidates: 1}); err != nil {
+		t.Fatal(err)
+	}
+	cands, stats, err := s.IdentifyDetailed(probes[0], 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 6 {
+		t.Fatalf("clamped k returned %d of 6 candidates", len(cands))
+	}
+	if stats.Scanned != 6 {
+		t.Fatalf("full ranking must scan the whole gallery: %+v", stats)
+	}
+}

@@ -11,11 +11,19 @@ import (
 )
 
 // Client is a connection to the matching service. It is safe for
-// concurrent use; requests are serialized over one connection.
+// concurrent use; requests are serialized over one connection. After a
+// transport failure — including the server dropping an idle connection
+// at its read deadline — the next request transparently redials, so a
+// long-lived client (e.g. a shard router front) survives quiet periods
+// and server restarts.
 type Client struct {
-	mu      sync.Mutex
-	conn    net.Conn
-	timeout time.Duration
+	mu          sync.Mutex
+	addr        string
+	dialTimeout time.Duration
+	conn        net.Conn
+	broken      bool
+	closed      bool
+	timeout     time.Duration
 }
 
 // SetRequestTimeout bounds each round trip; zero (the default) means no
@@ -27,36 +35,60 @@ func (c *Client) SetRequestTimeout(d time.Duration) {
 	c.timeout = d
 }
 
-// Dial connects to a server address with the given timeout.
+// Dial connects to a server address with the given timeout (also used
+// for later reconnects).
 func Dial(addr string, timeout time.Duration) (*Client, error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("matchsvc: dial %s: %w", addr, err)
 	}
-	return &Client{conn: conn}, nil
+	return &Client{addr: addr, dialTimeout: timeout, conn: conn}, nil
 }
 
-// Close shuts the connection down.
+// Close shuts the connection down; subsequent requests fail instead of
+// redialling.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.closed = true
 	return c.conn.Close()
 }
 
-// roundTrip sends one request and decodes the response payload.
+// roundTrip sends one request and decodes the response payload. A
+// request over a connection broken by an earlier failure redials first;
+// the failure that broke the connection was already reported to its
+// caller, and a response frame can never be mistaken for a request's
+// because requests are serialized under the mutex.
 func (c *Client) roundTrip(op byte, payload []byte) (*payloadReader, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return nil, fmt.Errorf("matchsvc: client closed")
+	}
+	if c.broken {
+		conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
+		if err != nil {
+			return nil, fmt.Errorf("matchsvc: redial %s: %w", c.addr, err)
+		}
+		c.conn.Close()
+		c.conn = conn
+		c.broken = false
+	}
 	if c.timeout > 0 {
 		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
 			return nil, fmt.Errorf("matchsvc: set deadline: %w", err)
 		}
 	}
 	if err := writeFrame(c.conn, op, payload); err != nil {
+		c.broken = true
 		return nil, err
 	}
 	status, resp, err := readFrame(c.conn)
 	if err != nil {
+		// Includes deadline expiry: a late response arriving after the
+		// caller gave up must not be read as the answer to the next
+		// request, so the connection is replaced, not reused.
+		c.broken = true
 		return nil, fmt.Errorf("matchsvc: read response: %w", err)
 	}
 	r := &payloadReader{buf: resp}
@@ -127,6 +159,82 @@ func (c *Client) Enroll(id, deviceID string, tpl *minutiae.Template) error {
 	}
 	_, err := c.roundTrip(OpEnroll, w.buf)
 	return err
+}
+
+// Enrollment is one EnrollBatch item.
+type Enrollment struct {
+	ID, DeviceID string
+	Template     *minutiae.Template
+}
+
+// enrollBatchBudget leaves headroom under the frame cap for the count
+// prefix and per-item length framing.
+const enrollBatchBudget = maxFrame - 4096
+
+// EnrollBatch registers many templates in as few round trips as the
+// 1 MiB frame cap allows, returning how many were enrolled. Batches are
+// not atomic: on error, items from already-shipped chunks (and items
+// preceding the failure inside its chunk, which the server reports)
+// remain enrolled.
+func (c *Client) EnrollBatch(items []Enrollment) (int, error) {
+	return c.enrollBatchChunked(items, enrollBatchBudget)
+}
+
+// enrollBatchChunked is EnrollBatch with an explicit per-frame payload
+// budget (separated out so tests can force multi-frame chunking without
+// megabyte fixtures).
+func (c *Client) enrollBatchChunked(items []Enrollment, budget int) (int, error) {
+	enrolled := 0
+	encoded := make([][]byte, 0, len(items))
+	size := 0
+	flush := func() error {
+		if len(encoded) == 0 {
+			return nil
+		}
+		var w payloadWriter
+		w.uint32(uint32(len(encoded)))
+		for _, e := range encoded {
+			w.buf = append(w.buf, e...)
+		}
+		r, err := c.roundTrip(OpEnrollBatch, w.buf)
+		if err != nil {
+			return err
+		}
+		n, err := r.uint32()
+		if err != nil {
+			return err
+		}
+		if int(n) != len(encoded) {
+			return fmt.Errorf("matchsvc: batch enrolled %d of %d items", n, len(encoded))
+		}
+		enrolled += int(n)
+		encoded = encoded[:0]
+		size = 0
+		return nil
+	}
+	for _, it := range items {
+		var w payloadWriter
+		if err := w.string(it.ID); err != nil {
+			return enrolled, err
+		}
+		if err := w.string(it.DeviceID); err != nil {
+			return enrolled, err
+		}
+		if err := w.template(it.Template); err != nil {
+			return enrolled, err
+		}
+		if len(w.buf) > budget {
+			return enrolled, fmt.Errorf("matchsvc: batch item %q of %d bytes exceeds frame budget", it.ID, len(w.buf))
+		}
+		if size+len(w.buf) > budget {
+			if err := flush(); err != nil {
+				return enrolled, err
+			}
+		}
+		encoded = append(encoded, w.buf)
+		size += len(w.buf)
+	}
+	return enrolled, flush()
 }
 
 // Verify compares a probe against one enrollment.

@@ -1,0 +1,353 @@
+package matchsvc
+
+// Client-side failure paths: a well-behaved client must surface server
+// error statuses, truncated or oversized response frames, and mid-response
+// connection loss as clean errors rather than hangs, panics, or silently
+// wrong results.
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeServer accepts one connection, reads one request frame, and hands
+// the connection to respond for a scripted reply.
+func fakeServer(t *testing.T, respond func(conn net.Conn)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		if _, _, err := readFrame(conn); err != nil {
+			return
+		}
+		respond(conn)
+	}()
+	return ln.Addr().String()
+}
+
+func dialFake(t *testing.T, addr string) *Client {
+	t.Helper()
+	cli, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	cli.SetRequestTimeout(2 * time.Second)
+	return cli
+}
+
+func TestClientServerStatusError(t *testing.T) {
+	addr := fakeServer(t, func(conn net.Conn) {
+		var w payloadWriter
+		_ = w.string("synthetic failure")
+		_ = writeFrame(conn, StatusError, w.buf)
+	})
+	err := dialFake(t, addr).Ping()
+	if !errors.Is(err, ErrRemote) {
+		t.Fatalf("want ErrRemote, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "synthetic failure") {
+		t.Fatalf("error lost the server message: %v", err)
+	}
+}
+
+func TestClientMalformedErrorPayload(t *testing.T) {
+	// StatusError whose payload is not a valid string: still ErrRemote,
+	// with a placeholder message instead of a decode panic.
+	addr := fakeServer(t, func(conn net.Conn) {
+		_ = writeFrame(conn, StatusError, []byte{0xff})
+	})
+	err := dialFake(t, addr).Ping()
+	if !errors.Is(err, ErrRemote) {
+		t.Fatalf("want ErrRemote, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "malformed") {
+		t.Fatalf("expected placeholder message, got %v", err)
+	}
+}
+
+func TestClientUnknownStatus(t *testing.T) {
+	addr := fakeServer(t, func(conn net.Conn) {
+		_ = writeFrame(conn, 0x7e, nil)
+	})
+	err := dialFake(t, addr).Ping()
+	if err == nil || !strings.Contains(err.Error(), "unknown status") {
+		t.Fatalf("want unknown-status error, got %v", err)
+	}
+}
+
+func TestClientOversizeResponseRejected(t *testing.T) {
+	// A frame header claiming more than the 1 MiB cap must be rejected
+	// before the client tries to allocate or read the payload.
+	addr := fakeServer(t, func(conn net.Conn) {
+		var hdr [5]byte
+		binary.BigEndian.PutUint32(hdr[:4], maxFrame+1)
+		hdr[4] = StatusOK
+		_, _ = conn.Write(hdr[:])
+	})
+	err := dialFake(t, addr).Ping()
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("want ErrFrameTooLarge, got %v", err)
+	}
+}
+
+func TestClientTruncatedResponse(t *testing.T) {
+	// Header promises 100 payload bytes but the connection closes after 10.
+	addr := fakeServer(t, func(conn net.Conn) {
+		var hdr [5]byte
+		binary.BigEndian.PutUint32(hdr[:4], 100)
+		hdr[4] = StatusOK
+		_, _ = conn.Write(hdr[:])
+		_, _ = conn.Write(make([]byte, 10))
+	})
+	err := dialFake(t, addr).Ping()
+	if err == nil || !strings.Contains(err.Error(), "read response") {
+		t.Fatalf("want read-response error, got %v", err)
+	}
+}
+
+func TestClientConnClosedMidResponse(t *testing.T) {
+	addr := fakeServer(t, func(conn net.Conn) {
+		// Close without replying at all.
+	})
+	if _, err := dialFake(t, addr).Count(); err == nil {
+		t.Fatal("count over a closed connection succeeded")
+	}
+}
+
+func TestClientShortResultPayload(t *testing.T) {
+	// StatusOK whose payload is too short for the expected result shape.
+	addr := fakeServer(t, func(conn net.Conn) {
+		_ = writeFrame(conn, StatusOK, []byte{0, 0})
+	})
+	if _, err := dialFake(t, addr).Count(); !errors.Is(err, errShortPayload) {
+		t.Fatalf("want short-payload error, got %v", err)
+	}
+}
+
+func TestClientRedialsAfterIdleDrop(t *testing.T) {
+	// A server with an aggressive idle timeout drops the quiet client;
+	// the client's next request redials transparently instead of failing
+	// forever on the dead connection — the lifecycle a long-lived shard
+	// front depends on.
+	srv := NewServer(nil, nil)
+	srv.SetIdleTimeout(100 * time.Millisecond)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx) }()
+	t.Cleanup(func() {
+		cancel()
+		srv.Close()
+		<-done
+	})
+	cli, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	cli.SetRequestTimeout(2 * time.Second)
+	if err := cli.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(400 * time.Millisecond) // server drops the idle connection
+	// One request may surface the broken connection; within two requests
+	// the client must be healthy again.
+	if err := cli.Ping(); err != nil {
+		if err := cli.Ping(); err != nil {
+			t.Fatalf("client did not recover after idle drop: %v", err)
+		}
+	}
+	if _, err := cli.Count(); err != nil {
+		t.Fatalf("count after recovery: %v", err)
+	}
+	// A closed client stays closed — no zombie redials.
+	cli.Close()
+	if err := cli.Ping(); err == nil {
+		t.Fatal("request on a closed client succeeded")
+	}
+}
+
+func TestServerIdleTimeoutDropsStalledConnection(t *testing.T) {
+	srv := NewServer(nil, nil)
+	srv.SetIdleTimeout(150 * time.Millisecond)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx) }()
+	t.Cleanup(func() {
+		cancel()
+		srv.Close()
+		<-done
+	})
+
+	// A slow-loris connection: send a partial frame header, then stall.
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	start := time.Now()
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("stalled connection was answered instead of dropped")
+	} else if netErr, ok := err.(net.Error); ok && netErr.Timeout() {
+		t.Fatal("server kept the stalled connection past the idle timeout")
+	}
+	if waited := time.Since(start); waited > 3*time.Second {
+		t.Fatalf("drop took %v, idle timeout was 150ms", waited)
+	}
+
+	// A live connection with activity inside the timeout keeps working.
+	cli, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	for i := 0; i < 3; i++ {
+		if err := cli.Ping(); err != nil {
+			t.Fatalf("ping %d over live connection: %v", i, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func TestEnrollBatchChunksUnderFrameBudget(t *testing.T) {
+	cli, srv := startServer(t)
+	tpls := testImpressions(t, 8, "D0", 0)
+	items := make([]Enrollment, len(tpls))
+	for i, tpl := range tpls {
+		items[i] = Enrollment{ID: fmt.Sprintf("batch-%02d", i), DeviceID: "D0", Template: tpl}
+	}
+	// A tiny budget forces one frame per item or two; the server must see
+	// every item regardless of how the client splits the frames.
+	var itemSize int // largest encoded item
+	for _, it := range items {
+		var w payloadWriter
+		_ = w.string(it.ID)
+		_ = w.string(it.DeviceID)
+		_ = w.template(it.Template)
+		if len(w.buf) > itemSize {
+			itemSize = len(w.buf)
+		}
+	}
+	n, err := cli.enrollBatchChunked(items, itemSize+8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(items) {
+		t.Fatalf("enrolled %d of %d", n, len(items))
+	}
+	if srv.Store().Len() != len(items) {
+		t.Fatalf("server holds %d enrollments", srv.Store().Len())
+	}
+
+	// One item alone over the budget is rejected up front.
+	if _, err := cli.enrollBatchChunked(items[:1], 16); err == nil {
+		t.Fatal("oversized single item accepted")
+	}
+}
+
+func TestEnrollBatchPartialFailure(t *testing.T) {
+	cli, srv := startServer(t)
+	tpls := testImpressions(t, 4, "D0", 0)
+	items := make([]Enrollment, len(tpls))
+	for i, tpl := range tpls {
+		items[i] = Enrollment{ID: fmt.Sprintf("p-%d", i), DeviceID: "D0", Template: tpl}
+	}
+	items[2].ID = "p-0" // duplicate → server fails at item 2
+	n, err := cli.EnrollBatch(items)
+	if !errors.Is(err, ErrRemote) {
+		t.Fatalf("want ErrRemote, got %v", err)
+	}
+	// The frame-level failure means no chunk completed, so the client
+	// reports zero — but the server kept the items preceding the failure.
+	if n != 0 {
+		t.Fatalf("client-confirmed count = %d, want 0", n)
+	}
+	if got := srv.Store().Len(); got != 2 {
+		t.Fatalf("server enrolled %d, want the 2 preceding the duplicate", got)
+	}
+}
+
+func TestEnrollBatchEmpty(t *testing.T) {
+	cli, _ := startServer(t)
+	n, err := cli.EnrollBatch(nil)
+	if err != nil || n != 0 {
+		t.Fatalf("empty batch: n=%d err=%v", n, err)
+	}
+}
+
+func TestEnrollBatchConcurrentWithIdentify(t *testing.T) {
+	cli, srv := startServer(t)
+	tpls := testImpressions(t, 6, "D0", 0)
+	probes := testImpressions(t, 6, "D0", 1)
+	seed := make([]Enrollment, 3)
+	for i := 0; i < 3; i++ {
+		seed[i] = Enrollment{ID: fmt.Sprintf("s-%d", i), DeviceID: "D0", Template: tpls[i]}
+	}
+	if _, err := cli.EnrollBatch(seed); err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.listener.Addr().String()
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		c, err := Dial(addr, time.Second)
+		if err != nil {
+			errs <- err
+			return
+		}
+		defer c.Close()
+		rest := make([]Enrollment, 3)
+		for i := 0; i < 3; i++ {
+			rest[i] = Enrollment{ID: fmt.Sprintf("t-%d", i), DeviceID: "D0", Template: tpls[3+i]}
+		}
+		if _, err := c.EnrollBatch(rest); err != nil {
+			errs <- err
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			if _, err := cli.Identify(probes[i%len(probes)], 1); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if n, err := cli.Count(); err != nil || n != 6 {
+		t.Fatalf("count = %d, %v", n, err)
+	}
+}

@@ -46,6 +46,12 @@ const (
 	// response (gallery size, index shortlist size, matcher scans, and
 	// whether the indexed path served the search).
 	OpIdentifyEx = 0x08
+	// OpEnrollBatch adds many templates in one round trip: uint32 count,
+	// then per item (id, device id, template). The response carries the
+	// number enrolled. Enrollment is sequential and not atomic — on
+	// failure the server reports an error after having enrolled the
+	// items preceding the failing one.
+	OpEnrollBatch = 0x09
 )
 
 // Response status codes.

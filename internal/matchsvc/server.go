@@ -8,17 +8,37 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"fpinterop/internal/gallery"
 	"fpinterop/internal/match"
+	"fpinterop/internal/minutiae"
 )
 
-// Server is the central matching service: it owns a gallery.Store and
+// Gallery is the enrollment backend a Server fronts. *gallery.Store is
+// the canonical single-node implementation; a shard router satisfies the
+// same contract, so one server binary can serve either a leaf store or a
+// scatter-gather tier.
+type Gallery interface {
+	Enroll(id, deviceID string, tpl *minutiae.Template) error
+	Remove(id string) error
+	Verify(id string, probe *minutiae.Template) (match.Result, error)
+	IdentifyDetailed(probe *minutiae.Template, k int) ([]gallery.Candidate, gallery.IdentifyStats, error)
+	Len() int
+}
+
+// defaultIdleTimeout bounds how long a connection may sit between (or
+// inside) requests before the server drops it: a dead peer or a
+// slow-loris client must not pin a handler goroutine forever.
+const defaultIdleTimeout = 2 * time.Minute
+
+// Server is the central matching service: it owns a Gallery backend and
 // serves the frame protocol over TCP. Connections are handled
 // concurrently; requests within one connection are processed in order.
 type Server struct {
-	store  *gallery.Store
-	logger *log.Logger
+	store       Gallery
+	logger      *log.Logger
+	idleTimeout time.Duration
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -27,21 +47,36 @@ type Server struct {
 	closed   bool
 }
 
-// NewServer returns a server backed by the given store (a fresh store
-// with the default matcher when nil). logger may be nil to disable
-// logging.
-func NewServer(store *gallery.Store, logger *log.Logger) *Server {
+// NewServer returns a server backed by the given gallery (a fresh
+// single-node store with the default matcher when nil). logger may be
+// nil to disable logging.
+func NewServer(store Gallery, logger *log.Logger) *Server {
 	if store == nil {
 		store = gallery.New(nil)
 	}
 	if logger == nil {
 		logger = log.New(io.Discard, "", 0)
 	}
-	return &Server{store: store, logger: logger, conns: make(map[net.Conn]struct{})}
+	return &Server{
+		store:       store,
+		logger:      logger,
+		idleTimeout: defaultIdleTimeout,
+		conns:       make(map[net.Conn]struct{}),
+	}
+}
+
+// SetIdleTimeout bounds how long the server waits for a complete request
+// frame on an open connection (default 2 minutes); d <= 0 disables the
+// deadline. Call before Serve.
+func (s *Server) SetIdleTimeout(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s.idleTimeout = d
 }
 
 // Store exposes the underlying gallery (e.g. for pre-enrollment).
-func (s *Server) Store() *gallery.Store { return s.store }
+func (s *Server) Store() Gallery { return s.store }
 
 // Listen binds addr (e.g. "127.0.0.1:0") and returns the bound address.
 func (s *Server) Listen(addr string) (string, error) {
@@ -123,14 +158,28 @@ func (s *Server) Close() error {
 	return nil
 }
 
-// handle serves one connection until EOF.
+// handle serves one connection until EOF. Each request frame must
+// arrive — completely — within the idle timeout, so neither a silent
+// peer nor one dribbling a byte at a time can hold the handler.
 func (s *Server) handle(conn net.Conn) error {
 	for {
+		if s.idleTimeout > 0 {
+			if err := conn.SetReadDeadline(time.Now().Add(s.idleTimeout)); err != nil {
+				return fmt.Errorf("matchsvc: set read deadline: %w", err)
+			}
+		}
 		op, payload, err := readFrame(conn)
 		if err != nil {
 			return err
 		}
 		status, resp := s.dispatch(op, payload)
+		if s.idleTimeout > 0 {
+			// The response write gets the same bound: a peer that never
+			// drains its receive buffer must not pin the handler either.
+			if err := conn.SetWriteDeadline(time.Now().Add(s.idleTimeout)); err != nil {
+				return fmt.Errorf("matchsvc: set write deadline: %w", err)
+			}
+		}
 		if err := writeFrame(conn, status, resp); err != nil {
 			return err
 		}
@@ -248,6 +297,33 @@ func (s *Server) dispatch(op byte, payload []byte) (byte, []byte) {
 			}
 			w.float64(c.Score)
 		}
+		return StatusOK, w.buf
+
+	case OpEnrollBatch:
+		n, err := r.uint32()
+		if err != nil {
+			return fail(err)
+		}
+		for i := uint32(0); i < n; i++ {
+			id, err := r.string()
+			if err != nil {
+				return fail(fmt.Errorf("batch item %d: %w", i, err))
+			}
+			deviceID, err := r.string()
+			if err != nil {
+				return fail(fmt.Errorf("batch item %d: %w", i, err))
+			}
+			tpl, err := r.template()
+			if err != nil {
+				return fail(fmt.Errorf("batch item %d: %w", i, err))
+			}
+			if err := s.store.Enroll(id, deviceID, tpl); err != nil {
+				// Not atomic: items before i are enrolled; say so.
+				return fail(fmt.Errorf("batch item %d (%d enrolled): %w", i, i, err))
+			}
+		}
+		var w payloadWriter
+		w.uint32(n)
 		return StatusOK, w.buf
 
 	case OpRemove:

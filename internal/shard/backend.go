@@ -1,0 +1,137 @@
+package shard
+
+import (
+	"io"
+
+	"fpinterop/internal/gallery"
+	"fpinterop/internal/match"
+	"fpinterop/internal/matchsvc"
+	"fpinterop/internal/minutiae"
+)
+
+// Enrollment is one batched enrollment item — the same shape the wire
+// protocol batches, aliased so router batches ship to remote shards
+// without a conversion copy.
+type Enrollment = matchsvc.Enrollment
+
+// Backend is one shard of the partitioned gallery: a local
+// gallery.Store, or a remote matchd reached through matchsvc.Client.
+// Implementations must be safe for concurrent use.
+type Backend interface {
+	// Name identifies the shard on the ring (a label for local shards,
+	// typically the address for remote ones). Names must be unique and
+	// stable: the ring hashes them, so renaming a shard moves its keys.
+	Name() string
+	Enroll(id, deviceID string, tpl *minutiae.Template) error
+	// EnrollBatch registers many templates, ideally in fewer round trips
+	// than one-by-one Enroll. Not atomic: a failure may leave a prefix of
+	// the batch enrolled.
+	EnrollBatch(items []Enrollment) error
+	Remove(id string) error
+	Verify(id string, probe *minutiae.Template) (match.Result, error)
+	IdentifyDetailed(probe *minutiae.Template, k int) ([]gallery.Candidate, gallery.IdentifyStats, error)
+	// Len returns the shard's enrollment count; the error reports an
+	// unreachable shard (always nil for local shards).
+	Len() (int, error)
+}
+
+// Saver is implemented by backends whose gallery can be serialized
+// (local shards; a remote matchd owns its own persistence).
+type Saver interface {
+	SaveTo(w io.Writer) error
+}
+
+// Loader is implemented by backends whose gallery can be replaced from
+// a serialized stream.
+type Loader interface {
+	LoadFrom(r io.Reader) error
+}
+
+// Local adapts a *gallery.Store to the Backend interface.
+type Local struct {
+	name  string
+	store *gallery.Store
+}
+
+// NewLocal wraps an in-process store as a shard named name.
+func NewLocal(name string, store *gallery.Store) *Local {
+	if store == nil {
+		store = gallery.New(nil)
+	}
+	return &Local{name: name, store: store}
+}
+
+// Store exposes the wrapped store (e.g. to enable its index).
+func (l *Local) Store() *gallery.Store { return l.store }
+
+func (l *Local) Name() string { return l.name }
+
+func (l *Local) Enroll(id, deviceID string, tpl *minutiae.Template) error {
+	return l.store.Enroll(id, deviceID, tpl)
+}
+
+func (l *Local) EnrollBatch(items []Enrollment) error {
+	for _, it := range items {
+		if err := l.store.Enroll(it.ID, it.DeviceID, it.Template); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (l *Local) Remove(id string) error { return l.store.Remove(id) }
+
+func (l *Local) Verify(id string, probe *minutiae.Template) (match.Result, error) {
+	return l.store.Verify(id, probe)
+}
+
+func (l *Local) IdentifyDetailed(probe *minutiae.Template, k int) ([]gallery.Candidate, gallery.IdentifyStats, error) {
+	return l.store.IdentifyDetailed(probe, k)
+}
+
+func (l *Local) Len() (int, error) { return l.store.Len(), nil }
+
+func (l *Local) SaveTo(w io.Writer) error   { return l.store.SaveTo(w) }
+func (l *Local) LoadFrom(r io.Reader) error { return l.store.LoadFrom(r) }
+
+// Remote adapts a matchsvc.Client to the Backend interface. The client
+// serializes requests over one connection, so one Remote sustains one
+// in-flight request; the router's fan-out runs shards in parallel, not
+// requests within a shard.
+type Remote struct {
+	name string
+	cli  *matchsvc.Client
+}
+
+// NewRemote wraps a connected client as a shard named name (typically
+// the dialed address).
+func NewRemote(name string, cli *matchsvc.Client) *Remote {
+	return &Remote{name: name, cli: cli}
+}
+
+func (r *Remote) Name() string { return r.name }
+
+func (r *Remote) Enroll(id, deviceID string, tpl *minutiae.Template) error {
+	return r.cli.Enroll(id, deviceID, tpl)
+}
+
+func (r *Remote) EnrollBatch(items []Enrollment) error {
+	_, err := r.cli.EnrollBatch(items)
+	return err
+}
+
+func (r *Remote) Remove(id string) error { return r.cli.Remove(id) }
+
+func (r *Remote) Verify(id string, probe *minutiae.Template) (match.Result, error) {
+	res, err := r.cli.Verify(id, probe)
+	if err != nil {
+		return match.Result{}, err
+	}
+	return match.Result{Score: res.Score, Matched: res.Matched}, nil
+}
+
+func (r *Remote) IdentifyDetailed(probe *minutiae.Template, k int) ([]gallery.Candidate, gallery.IdentifyStats, error) {
+	return r.cli.IdentifyEx(probe, k)
+}
+
+func (r *Remote) Len() (int, error) { return r.cli.Count() }

@@ -1,0 +1,32 @@
+package shard
+
+import (
+	"fpinterop/internal/gallery"
+	"fpinterop/internal/minutiae"
+)
+
+// Fold collapses scatter-gather statistics into the single-store
+// gallery.IdentifyStats shape (sums of sizes, shortlists, and scans;
+// Indexed when every answering shard served from its retrieval index),
+// so sharded searches report through interfaces built around one store.
+func (s IdentifyStats) Fold() gallery.IdentifyStats {
+	return gallery.IdentifyStats{
+		GallerySize: s.GallerySize,
+		Shortlist:   s.Shortlist,
+		Scanned:     s.Scanned,
+		Indexed:     s.IndexedShards > 0 && s.FallbackShards == 0,
+	}
+}
+
+// Front adapts a Router to the matchsvc.Gallery interface, letting a
+// matchd process serve a sharded gallery through the same wire protocol
+// as a single store. Everything but IdentifyDetailed promotes from the
+// embedded router; IdentifyDetailed folds the per-shard statistics.
+type Front struct {
+	*Router
+}
+
+func (f Front) IdentifyDetailed(probe *minutiae.Template, k int) ([]gallery.Candidate, gallery.IdentifyStats, error) {
+	cands, st, err := f.Router.IdentifyDetailed(probe, k)
+	return cands, st.Fold(), err
+}

@@ -1,0 +1,145 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Router persistence container:
+//
+//	0   4  magic "FPSR"
+//	4   2  version (1)
+//	6   4  shard count
+//	then per shard, in backend order:
+//	    2  name length, name bytes
+//	    8  stream length, embedded gallery stream (gallery.Store format)
+//
+// Each shard's stream is the store's own container, so a shard file
+// slice loads into a standalone store too. Loading restores every shard
+// and — through gallery.Store.LoadFrom — rebuilds each shard's
+// retrieval index when one is enabled.
+var (
+	routerMagic = [4]byte{'F', 'P', 'S', 'R'}
+
+	// ErrBadRouterFormat reports a stream that is not a serialized
+	// sharded gallery.
+	ErrBadRouterFormat = errors.New("shard: bad router store format")
+	// ErrNotPersistent reports a backend without local persistence
+	// (remote shards own their own files).
+	ErrNotPersistent = errors.New("shard: backend does not support persistence")
+	// ErrShardMismatch reports a saved layout that does not match the
+	// router's backends (count or names); rebalancing across layouts is
+	// a separate concern from restoring one.
+	ErrShardMismatch = errors.New("shard: saved layout does not match router backends")
+)
+
+const routerVersion = 1
+
+// SaveTo serializes every shard's gallery in backend order. All
+// backends must implement Saver.
+func (r *Router) SaveTo(w io.Writer) error {
+	for _, b := range r.backends {
+		if _, ok := b.(Saver); !ok {
+			return fmt.Errorf("%w: %q", ErrNotPersistent, b.Name())
+		}
+	}
+	if _, err := w.Write(routerMagic[:]); err != nil {
+		return fmt.Errorf("shard: write magic: %w", err)
+	}
+	var u16 [2]byte
+	var u32 [4]byte
+	var u64 [8]byte
+	binary.BigEndian.PutUint16(u16[:], routerVersion)
+	if _, err := w.Write(u16[:]); err != nil {
+		return fmt.Errorf("shard: write version: %w", err)
+	}
+	binary.BigEndian.PutUint32(u32[:], uint32(len(r.backends)))
+	if _, err := w.Write(u32[:]); err != nil {
+		return fmt.Errorf("shard: write count: %w", err)
+	}
+	for _, b := range r.backends {
+		name := b.Name()
+		if len(name) > 1<<16-1 {
+			return fmt.Errorf("shard: name %q too long", name)
+		}
+		binary.BigEndian.PutUint16(u16[:], uint16(len(name)))
+		if _, err := w.Write(u16[:]); err != nil {
+			return fmt.Errorf("shard: write name length: %w", err)
+		}
+		if _, err := io.WriteString(w, name); err != nil {
+			return fmt.Errorf("shard: write name: %w", err)
+		}
+		var buf bytes.Buffer
+		if err := b.(Saver).SaveTo(&buf); err != nil {
+			return fmt.Errorf("shard %q: save: %w", name, err)
+		}
+		binary.BigEndian.PutUint64(u64[:], uint64(buf.Len()))
+		if _, err := w.Write(u64[:]); err != nil {
+			return fmt.Errorf("shard: write stream length: %w", err)
+		}
+		if _, err := w.Write(buf.Bytes()); err != nil {
+			return fmt.Errorf("shard %q: write stream: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// LoadFrom restores every shard from a stream written by SaveTo. The
+// saved shard count and names must match the router's backends exactly
+// (same names, same order): routing depends on names, so loading a
+// different layout would strand enrollments on the wrong shard. All
+// backends must implement Loader; each shard's store rebuilds its own
+// retrieval index as part of its LoadFrom.
+func (r *Router) LoadFrom(src io.Reader) error {
+	for _, b := range r.backends {
+		if _, ok := b.(Loader); !ok {
+			return fmt.Errorf("%w: %q", ErrNotPersistent, b.Name())
+		}
+	}
+	var magic [4]byte
+	if _, err := io.ReadFull(src, magic[:]); err != nil {
+		return fmt.Errorf("shard: read magic: %w", err)
+	}
+	if magic != routerMagic {
+		return ErrBadRouterFormat
+	}
+	var u16 [2]byte
+	var u32 [4]byte
+	var u64 [8]byte
+	if _, err := io.ReadFull(src, u16[:]); err != nil {
+		return fmt.Errorf("shard: read version: %w", err)
+	}
+	if v := binary.BigEndian.Uint16(u16[:]); v != routerVersion {
+		return fmt.Errorf("shard: unsupported router store version %d", v)
+	}
+	if _, err := io.ReadFull(src, u32[:]); err != nil {
+		return fmt.Errorf("shard: read count: %w", err)
+	}
+	if count := binary.BigEndian.Uint32(u32[:]); int(count) != len(r.backends) {
+		return fmt.Errorf("%w: file has %d shards, router has %d",
+			ErrShardMismatch, count, len(r.backends))
+	}
+	for i, b := range r.backends {
+		if _, err := io.ReadFull(src, u16[:]); err != nil {
+			return fmt.Errorf("shard: read name length: %w", err)
+		}
+		nameBuf := make([]byte, binary.BigEndian.Uint16(u16[:]))
+		if _, err := io.ReadFull(src, nameBuf); err != nil {
+			return fmt.Errorf("shard: read name: %w", err)
+		}
+		if string(nameBuf) != b.Name() {
+			return fmt.Errorf("%w: shard %d is %q in the file, %q in the router",
+				ErrShardMismatch, i, nameBuf, b.Name())
+		}
+		if _, err := io.ReadFull(src, u64[:]); err != nil {
+			return fmt.Errorf("shard: read stream length: %w", err)
+		}
+		if err := b.(Loader).LoadFrom(io.LimitReader(src, int64(binary.BigEndian.Uint64(u64[:])))); err != nil {
+			return fmt.Errorf("shard %q: load: %w", b.Name(), err)
+		}
+	}
+	return nil
+}

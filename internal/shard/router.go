@@ -1,0 +1,469 @@
+// Package shard partitions the enrollment gallery across many backends
+// — local stores or remote matchd instances — behind one router, so the
+// central-matcher deployment the paper's discussion section describes
+// can scale horizontally: enrollments spread over shards by consistent
+// hashing on subject ID, and every 1:N identification scatter-gathers
+// across the healthy shards and merges their shortlists into one global
+// top-k with deterministic ordering. With exhaustive per-shard search
+// the merged result is bit-identical to a single store holding the same
+// enrollments; with per-shard retrieval indexes each shard prunes
+// independently, which is the horizontal version of the index's
+// recall/speed trade.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"fpinterop/internal/gallery"
+	"fpinterop/internal/match"
+	"fpinterop/internal/minutiae"
+)
+
+var (
+	// ErrNoBackends reports a router constructed without shards.
+	ErrNoBackends = errors.New("shard: router needs at least one backend")
+	// ErrDuplicateName reports two backends sharing a ring name.
+	ErrDuplicateName = errors.New("shard: duplicate backend name")
+	// ErrShardTimeout reports a shard that missed the per-shard deadline.
+	ErrShardTimeout = errors.New("shard: shard deadline exceeded")
+	// ErrDegraded reports an operation routed to a degraded shard (or,
+	// under FailClosed, an identification attempted while any shard is
+	// degraded).
+	ErrDegraded = errors.New("shard: backend degraded")
+)
+
+// Policy selects how identification treats degraded shards.
+type Policy int
+
+const (
+	// SkipDegraded serves identification from the healthy shards and
+	// reports the reduced coverage in the stats (Partial = true). This
+	// is the availability-first posture: a missing shard can only hide
+	// mates enrolled on it.
+	SkipDegraded Policy = iota
+	// FailClosed refuses identification while any shard is degraded or
+	// fails mid-search — the integrity-first posture for workloads where
+	// a silently partial search is worse than an error.
+	FailClosed
+)
+
+// Options tunes the router. The zero value gives production defaults.
+type Options struct {
+	// VirtualNodes is how many ring points each shard contributes
+	// (default 64). More points smooth the key distribution at the cost
+	// of a larger ring.
+	VirtualNodes int
+	// Workers bounds the goroutines fanning a search across shards
+	// (default: one per shard).
+	Workers int
+	// ShardTimeout is the per-shard identification deadline; a shard
+	// that misses it counts as failed for that search (and toward
+	// degradation). 0 disables the deadline. The abandoned call keeps
+	// its goroutine until the backend returns; the router only stops
+	// waiting.
+	ShardTimeout time.Duration
+	// FailureThreshold is how many consecutive failures mark a shard
+	// degraded (default 3).
+	FailureThreshold int
+	// Policy selects the degraded-shard behavior (default SkipDegraded).
+	Policy Policy
+}
+
+func (o Options) withDefaults() Options {
+	if o.VirtualNodes <= 0 {
+		o.VirtualNodes = 64
+	}
+	if o.FailureThreshold <= 0 {
+		o.FailureThreshold = 3
+	}
+	return o
+}
+
+// health tracks one backend's consecutive-failure state.
+type health struct {
+	mu          sync.Mutex
+	consecFails int
+	degraded    bool
+}
+
+// Router partitions enrollments across backends by consistent hashing
+// on enrollment ID and scatter-gathers identification across them. It
+// is safe for concurrent use.
+type Router struct {
+	backends []Backend
+	ring     *ring
+	opt      Options
+	health   []*health
+}
+
+// New builds a router over the given backends. Backend names must be
+// unique; ring placement depends only on the names, so a router rebuilt
+// over the same names routes identically.
+func New(backends []Backend, opt Options) (*Router, error) {
+	if len(backends) == 0 {
+		return nil, ErrNoBackends
+	}
+	opt = opt.withDefaults()
+	names := make([]string, len(backends))
+	seen := make(map[string]bool, len(backends))
+	for i, b := range backends {
+		n := b.Name()
+		if seen[n] {
+			return nil, fmt.Errorf("%w: %q", ErrDuplicateName, n)
+		}
+		seen[n] = true
+		names[i] = n
+	}
+	hs := make([]*health, len(backends))
+	for i := range hs {
+		hs[i] = &health{}
+	}
+	return &Router{
+		backends: backends,
+		ring:     newRing(names, opt.VirtualNodes),
+		opt:      opt,
+		health:   hs,
+	}, nil
+}
+
+// Backends returns the shard list in ring-construction order.
+func (r *Router) Backends() []Backend { return r.backends }
+
+// Owner returns the position of the shard owning id.
+func (r *Router) Owner(id string) int { return r.ring.owner(id) }
+
+// record updates a shard's health after one backend call.
+func (r *Router) record(i int, err error) {
+	h := r.health[i]
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if err == nil {
+		h.consecFails = 0
+		h.degraded = false
+		return
+	}
+	h.consecFails++
+	if h.consecFails >= r.opt.FailureThreshold {
+		h.degraded = true
+	}
+}
+
+func (r *Router) isDegraded(i int) bool {
+	h := r.health[i]
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.degraded
+}
+
+// Degraded returns the positions of currently degraded shards.
+func (r *Router) Degraded() []int {
+	var out []int
+	for i := range r.backends {
+		if r.isDegraded(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// CheckHealth probes every shard (a Len round trip) and resets the
+// health of responsive ones, letting degraded shards rejoin the
+// scatter set; errs[i] is non-nil for shards that failed the probe.
+// Call it periodically, or after repairing a shard.
+func (r *Router) CheckHealth() (errs []error) {
+	errs = make([]error, len(r.backends))
+	for i, b := range r.backends {
+		_, err := b.Len()
+		r.record(i, err)
+		errs[i] = err
+	}
+	return errs
+}
+
+// routingErr decorates shard-call failures with the shard name.
+func routingErr(b Backend, err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("shard %q: %w", b.Name(), err)
+}
+
+// Enroll routes the template to the shard owning id. Enrollment always
+// targets the owner — there is no failover, because a mis-placed
+// enrollment would be invisible to Remove/Verify routing.
+func (r *Router) Enroll(id, deviceID string, tpl *minutiae.Template) error {
+	i := r.ring.owner(id)
+	err := r.backends[i].Enroll(id, deviceID, tpl)
+	r.record(i, err)
+	return routingErr(r.backends[i], err)
+}
+
+// EnrollBatch groups the items by owning shard and ships each group in
+// one backend batch (one round trip per shard for remote backends, up
+// to frame-cap chunking), fanning the per-shard batches out in
+// parallel. Not atomic: a shard failure leaves that shard's prefix (and
+// every other shard's full group) enrolled.
+func (r *Router) EnrollBatch(items []Enrollment) error {
+	if len(items) == 0 {
+		return nil
+	}
+	groups := make([][]Enrollment, len(r.backends))
+	for _, it := range items {
+		i := r.ring.owner(it.ID)
+		groups[i] = append(groups[i], it)
+	}
+	workers := r.fanout(len(r.backends))
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		next int
+		errs []error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(groups) {
+					return
+				}
+				if len(groups[i]) == 0 {
+					continue
+				}
+				err := r.backends[i].EnrollBatch(groups[i])
+				r.record(i, err)
+				if err != nil {
+					mu.Lock()
+					errs = append(errs, routingErr(r.backends[i], err))
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Remove routes the deletion to the shard owning id.
+func (r *Router) Remove(id string) error {
+	i := r.ring.owner(id)
+	err := r.backends[i].Remove(id)
+	r.record(i, err)
+	return routingErr(r.backends[i], err)
+}
+
+// Verify routes the 1:1 comparison to the shard owning id.
+func (r *Router) Verify(id string, probe *minutiae.Template) (match.Result, error) {
+	i := r.ring.owner(id)
+	res, err := r.backends[i].Verify(id, probe)
+	r.record(i, err)
+	return res, routingErr(r.backends[i], err)
+}
+
+// Len sums the enrollment counts of the reachable shards (unreachable
+// shards contribute zero), satisfying the matchsvc.Gallery contract so
+// a router can sit directly behind a matchd front.
+func (r *Router) Len() int {
+	total := 0
+	for i, b := range r.backends {
+		n, err := b.Len()
+		r.record(i, err)
+		if err == nil {
+			total += n
+		}
+	}
+	return total
+}
+
+// ShardIdentifyStats is one shard's contribution to a search.
+type ShardIdentifyStats struct {
+	// Shard is the backend name.
+	Shard string
+	// Stats is the shard-local retrieval detail (zero when the shard was
+	// skipped or failed).
+	Stats gallery.IdentifyStats
+	// Skipped reports a degraded shard that was not queried.
+	Skipped bool
+	// Err is the failure message when the query errored or timed out.
+	Err string
+}
+
+// IdentifyStats aggregates a scatter-gather search.
+type IdentifyStats struct {
+	// GallerySize, Shortlist, and Scanned are summed over the shards
+	// that answered.
+	GallerySize int
+	Shortlist   int
+	Scanned     int
+	// IndexedShards and FallbackShards count how many answering shards
+	// served from their retrieval index vs an exhaustive scan.
+	IndexedShards  int
+	FallbackShards int
+	// ShardsQueried, ShardsSkipped, and ShardsFailed partition the
+	// shard set for this search.
+	ShardsQueried int
+	ShardsSkipped int
+	ShardsFailed  int
+	// Partial reports incomplete coverage: at least one shard was
+	// skipped or failed, so a mate enrolled there could be missing.
+	Partial bool
+	// PerShard holds every shard's detail in backend order.
+	PerShard []ShardIdentifyStats
+}
+
+// shardAnswer carries one shard's identification result to the merge.
+type shardAnswer struct {
+	cands []gallery.Candidate
+	stats gallery.IdentifyStats
+	err   error
+}
+
+// fanout bounds the scatter worker count.
+func (r *Router) fanout(n int) int {
+	w := r.opt.Workers
+	if w <= 0 || w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// callIdentify runs one shard search under the per-shard deadline. On
+// timeout the call is abandoned (its goroutine finishes into a buffered
+// channel) and reported as ErrShardTimeout.
+func (r *Router) callIdentify(b Backend, probe *minutiae.Template, k int) shardAnswer {
+	if r.opt.ShardTimeout <= 0 {
+		cands, stats, err := b.IdentifyDetailed(probe, k)
+		return shardAnswer{cands: cands, stats: stats, err: err}
+	}
+	ch := make(chan shardAnswer, 1)
+	go func() {
+		cands, stats, err := b.IdentifyDetailed(probe, k)
+		ch <- shardAnswer{cands: cands, stats: stats, err: err}
+	}()
+	timer := time.NewTimer(r.opt.ShardTimeout)
+	defer timer.Stop()
+	select {
+	case ans := <-ch:
+		return ans
+	case <-timer.C:
+		return shardAnswer{err: ErrShardTimeout}
+	}
+}
+
+// Identify scatter-gathers the probe across the shards and returns the
+// global top-k candidates (all of them when k <= 0), ordered by
+// descending score with deterministic ID tie-breaks.
+func (r *Router) Identify(probe *minutiae.Template, k int) ([]gallery.Candidate, error) {
+	out, _, err := r.IdentifyDetailed(probe, k)
+	return out, err
+}
+
+// IdentifyDetailed is Identify plus per-shard and aggregate statistics.
+// Each shard is asked for its local top-k; merging the per-shard
+// shortlists yields the same result a single store would produce,
+// because any candidate in the global top-k is necessarily in its own
+// shard's top-k. Under SkipDegraded, failed or skipped shards reduce
+// coverage (stats.Partial); under FailClosed they fail the search.
+func (r *Router) IdentifyDetailed(probe *minutiae.Template, k int) ([]gallery.Candidate, IdentifyStats, error) {
+	if probe == nil {
+		return nil, IdentifyStats{}, match.ErrNilTemplate
+	}
+	n := len(r.backends)
+	stats := IdentifyStats{PerShard: make([]ShardIdentifyStats, n)}
+	targets := make([]int, 0, n)
+	for i := range r.backends {
+		stats.PerShard[i].Shard = r.backends[i].Name()
+		if r.isDegraded(i) {
+			if r.opt.Policy == FailClosed {
+				return nil, stats, fmt.Errorf("shard %q: %w", r.backends[i].Name(), ErrDegraded)
+			}
+			stats.PerShard[i].Skipped = true
+			stats.ShardsSkipped++
+			stats.Partial = true
+			continue
+		}
+		targets = append(targets, i)
+	}
+
+	answers := make([]shardAnswer, n)
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		next int
+	)
+	workers := r.fanout(len(targets))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				t := next
+				next++
+				mu.Unlock()
+				if t >= len(targets) {
+					return
+				}
+				i := targets[t]
+				answers[i] = r.callIdentify(r.backends[i], probe, k)
+				r.record(i, answers[i].err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	var merged []gallery.Candidate
+	for _, i := range targets {
+		ans := answers[i]
+		stats.ShardsQueried++
+		if ans.err != nil {
+			stats.PerShard[i].Err = ans.err.Error()
+			stats.ShardsFailed++
+			stats.Partial = true
+			if r.opt.Policy == FailClosed {
+				return nil, stats, fmt.Errorf("shard %q: %w", r.backends[i].Name(), ans.err)
+			}
+			continue
+		}
+		stats.PerShard[i].Stats = ans.stats
+		stats.GallerySize += ans.stats.GallerySize
+		stats.Shortlist += ans.stats.Shortlist
+		stats.Scanned += ans.stats.Scanned
+		if ans.stats.Indexed {
+			stats.IndexedShards++
+		} else {
+			stats.FallbackShards++
+		}
+		merged = append(merged, ans.cands...)
+	}
+	if stats.ShardsQueried == stats.ShardsFailed && stats.ShardsFailed > 0 {
+		// Every queried shard failed: that is an outage, not an empty
+		// gallery.
+		return nil, stats, fmt.Errorf("shard: all %d queried shards failed", stats.ShardsFailed)
+	}
+
+	sort.Slice(merged, func(a, b int) bool {
+		if merged[a].Score != merged[b].Score {
+			return merged[a].Score > merged[b].Score
+		}
+		return merged[a].ID < merged[b].ID
+	})
+	if k > 0 && k < len(merged) {
+		merged = merged[:k]
+	}
+	if merged == nil {
+		merged = []gallery.Candidate{}
+	}
+	return merged, stats, nil
+}

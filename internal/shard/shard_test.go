@@ -1,0 +1,560 @@
+package shard
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"fpinterop/internal/gallery"
+	"fpinterop/internal/minutiae"
+	"fpinterop/internal/population"
+	"fpinterop/internal/rng"
+	"fpinterop/internal/sensor"
+)
+
+// Captured templates are the expensive fixture; build one shared set.
+var (
+	tplOnce   sync.Once
+	tplGal    []*minutiae.Template // D0 sample 0
+	tplProbes []*minutiae.Template // D1 sample 1 (cross-device probes)
+	tplErr    error
+)
+
+const tplCount = 24
+
+func fixtures(t *testing.T) (gal, probes []*minutiae.Template) {
+	t.Helper()
+	tplOnce.Do(func() {
+		cohort := population.NewCohort(rng.New(20130624), population.CohortOptions{Size: tplCount})
+		d0, _ := sensor.ProfileByID("D0")
+		d1, _ := sensor.ProfileByID("D1")
+		for _, s := range cohort.Subjects {
+			g, err := d0.CaptureSubject(s, 0, sensor.CaptureOptions{})
+			if err != nil {
+				tplErr = err
+				return
+			}
+			p, err := d1.CaptureSubject(s, 1, sensor.CaptureOptions{})
+			if err != nil {
+				tplErr = err
+				return
+			}
+			tplGal = append(tplGal, g.Template)
+			tplProbes = append(tplProbes, p.Template)
+		}
+	})
+	if tplErr != nil {
+		t.Fatal(tplErr)
+	}
+	return tplGal, tplProbes
+}
+
+func subjectID(i int) string { return fmt.Sprintf("subject-%04d", i) }
+
+// localRouter builds a router over n fresh local shards.
+func localRouter(t *testing.T, n int, opt Options) *Router {
+	t.Helper()
+	backends := make([]Backend, n)
+	for i := range backends {
+		backends[i] = NewLocal(fmt.Sprintf("shard-%d", i), gallery.New(nil))
+	}
+	r, err := New(backends, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRingDeterministicAndBalanced(t *testing.T) {
+	names := []string{"a", "b", "c", "d"}
+	r1 := newRing(names, 64)
+	r2 := newRing(names, 64)
+	counts := make([]int, len(names))
+	for i := 0; i < 10000; i++ {
+		id := subjectID(i)
+		o1, o2 := r1.owner(id), r2.owner(id)
+		if o1 != o2 {
+			t.Fatalf("ring not deterministic for %q: %d vs %d", id, o1, o2)
+		}
+		counts[o1]++
+	}
+	for i, c := range counts {
+		if c < 10000/len(names)/4 {
+			t.Fatalf("shard %d owns only %d of 10000 keys: %v", i, c, counts)
+		}
+	}
+}
+
+func TestRingBoundedMovementOnShardAdd(t *testing.T) {
+	before := newRing([]string{"a", "b", "c", "d"}, 64)
+	after := newRing([]string{"a", "b", "c", "d", "e"}, 64)
+	moved := 0
+	const keys = 10000
+	for i := 0; i < keys; i++ {
+		id := subjectID(i)
+		if before.owner(id) != after.owner(id) {
+			moved++
+		}
+	}
+	// Ideal movement is 1/5 of the keys; allow generous slack for hash
+	// variance, but far below the ~4/5 a modulo partition would move.
+	if frac := float64(moved) / keys; frac > 0.4 {
+		t.Fatalf("adding one shard moved %.0f%% of keys", 100*frac)
+	}
+}
+
+func TestNewRouterValidation(t *testing.T) {
+	if _, err := New(nil, Options{}); !errors.Is(err, ErrNoBackends) {
+		t.Fatalf("want ErrNoBackends, got %v", err)
+	}
+	dup := []Backend{
+		NewLocal("x", gallery.New(nil)),
+		NewLocal("x", gallery.New(nil)),
+	}
+	if _, err := New(dup, Options{}); !errors.Is(err, ErrDuplicateName) {
+		t.Fatalf("want ErrDuplicateName, got %v", err)
+	}
+}
+
+func TestEnrollRoutesToOwner(t *testing.T) {
+	gal, _ := fixtures(t)
+	r := localRouter(t, 3, Options{})
+	for i, tpl := range gal {
+		if err := r.Enroll(subjectID(i), "D0", tpl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Len() != len(gal) {
+		t.Fatalf("router Len = %d, want %d", r.Len(), len(gal))
+	}
+	for i := range gal {
+		id := subjectID(i)
+		owner := r.Owner(id)
+		for s, b := range r.Backends() {
+			_, err := b.Verify(id, gal[i])
+			if s == owner && err != nil {
+				t.Fatalf("owner shard %d missing %q: %v", s, id, err)
+			}
+			if s != owner && err == nil {
+				t.Fatalf("%q found on non-owner shard %d", id, s)
+			}
+		}
+	}
+}
+
+func TestEnrollBatchMatchesIndividualPlacement(t *testing.T) {
+	gal, _ := fixtures(t)
+	one := localRouter(t, 3, Options{})
+	batch := localRouter(t, 3, Options{})
+	items := make([]Enrollment, len(gal))
+	for i, tpl := range gal {
+		if err := one.Enroll(subjectID(i), "D0", tpl); err != nil {
+			t.Fatal(err)
+		}
+		items[i] = Enrollment{ID: subjectID(i), DeviceID: "D0", Template: tpl}
+	}
+	if err := batch.EnrollBatch(items); err != nil {
+		t.Fatal(err)
+	}
+	for s := range one.Backends() {
+		a, _ := one.Backends()[s].Len()
+		b, _ := batch.Backends()[s].Len()
+		if a != b {
+			t.Fatalf("shard %d: Enroll placed %d, EnrollBatch placed %d", s, a, b)
+		}
+	}
+}
+
+// TestShardedIdentifyBitIdenticalToSingleStore is the core contract:
+// with exhaustive per-shard search, the merged global top-k (IDs,
+// scores, order) must equal a single store holding the same
+// enrollments.
+func TestShardedIdentifyBitIdenticalToSingleStore(t *testing.T) {
+	gal, probes := fixtures(t)
+	single := gallery.New(nil)
+	for i, tpl := range gal {
+		if err := single.Enroll(subjectID(i), "D0", tpl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, shards := range []int{1, 2, 4, 7} {
+		r := localRouter(t, shards, Options{})
+		items := make([]Enrollment, len(gal))
+		for i, tpl := range gal {
+			items[i] = Enrollment{ID: subjectID(i), DeviceID: "D0", Template: tpl}
+		}
+		if err := r.EnrollBatch(items); err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{1, 5, 0, len(gal) + 10} {
+			for pi, probe := range probes[:6] {
+				want, err := single.Identify(probe, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, stats, err := r.IdentifyDetailed(probe, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("shards=%d k=%d probe=%d: %d candidates, want %d",
+						shards, k, pi, len(got), len(want))
+				}
+				for c := range want {
+					if got[c] != want[c] {
+						t.Fatalf("shards=%d k=%d probe=%d: candidate %d = %+v, want %+v",
+							shards, k, pi, c, got[c], want[c])
+					}
+				}
+				if stats.GallerySize != len(gal) {
+					t.Fatalf("aggregate gallery size %d, want %d", stats.GallerySize, len(gal))
+				}
+				if stats.ShardsQueried != shards || stats.Partial {
+					t.Fatalf("implausible stats: %+v", stats)
+				}
+			}
+		}
+	}
+}
+
+func TestIdentifyStatsAggregation(t *testing.T) {
+	gal, probes := fixtures(t)
+	r := localRouter(t, 4, Options{})
+	items := make([]Enrollment, len(gal))
+	for i, tpl := range gal {
+		items[i] = Enrollment{ID: subjectID(i), DeviceID: "D0", Template: tpl}
+	}
+	if err := r.EnrollBatch(items); err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := r.IdentifyDetailed(probes[0], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.PerShard) != 4 {
+		t.Fatalf("per-shard stats for %d shards", len(stats.PerShard))
+	}
+	sum := 0
+	for i, ps := range stats.PerShard {
+		if ps.Shard == "" || ps.Skipped || ps.Err != "" {
+			t.Fatalf("shard %d unexpectedly unhealthy: %+v", i, ps)
+		}
+		sum += ps.Stats.GallerySize
+	}
+	if sum != stats.GallerySize || sum != len(gal) {
+		t.Fatalf("per-shard sizes sum to %d, aggregate %d, want %d", sum, stats.GallerySize, len(gal))
+	}
+	// Exhaustive stores: every answering shard is a fallback, none indexed.
+	if stats.IndexedShards != 0 || stats.FallbackShards != 4 {
+		t.Fatalf("index accounting wrong: %+v", stats)
+	}
+	if stats.Scanned != len(gal) {
+		t.Fatalf("scanned %d, want full coverage %d", stats.Scanned, len(gal))
+	}
+}
+
+// flakyBackend wraps a Backend and fails identification on demand.
+type flakyBackend struct {
+	Backend
+	mu   sync.Mutex
+	fail bool
+	slow time.Duration
+}
+
+func (f *flakyBackend) setFail(v bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.fail = v
+}
+
+func (f *flakyBackend) broken() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fail
+}
+
+func (f *flakyBackend) IdentifyDetailed(probe *minutiae.Template, k int) ([]gallery.Candidate, gallery.IdentifyStats, error) {
+	if f.slow > 0 {
+		time.Sleep(f.slow)
+	}
+	if f.broken() {
+		return nil, gallery.IdentifyStats{}, errors.New("injected failure")
+	}
+	return f.Backend.IdentifyDetailed(probe, k)
+}
+
+func (f *flakyBackend) Len() (int, error) {
+	if f.broken() {
+		return 0, errors.New("injected failure")
+	}
+	return f.Backend.Len()
+}
+
+func TestHealthDegradationSkipAndRecovery(t *testing.T) {
+	gal, probes := fixtures(t)
+	flaky := &flakyBackend{Backend: NewLocal("flaky", gallery.New(nil))}
+	backends := []Backend{NewLocal("ok", gallery.New(nil)), flaky}
+	r, err := New(backends, Options{FailureThreshold: 2, Policy: SkipDegraded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tpl := range gal {
+		if err := r.Enroll(subjectID(i), "D0", tpl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flaky.setFail(true)
+	// Below the threshold the shard is still queried; each failure is
+	// partial coverage, and after two consecutive failures it degrades.
+	for attempt := 0; attempt < 2; attempt++ {
+		_, stats, err := r.IdentifyDetailed(probes[0], 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.ShardsFailed != 1 || !stats.Partial {
+			t.Fatalf("attempt %d: %+v", attempt, stats)
+		}
+	}
+	if got := r.Degraded(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("degraded = %v, want [1]", got)
+	}
+	// Degraded: skipped, not queried.
+	_, stats, err := r.IdentifyDetailed(probes[0], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ShardsSkipped != 1 || stats.ShardsFailed != 0 || !stats.Partial {
+		t.Fatalf("degraded shard not skipped: %+v", stats)
+	}
+	if !stats.PerShard[1].Skipped {
+		t.Fatalf("per-shard flag missing: %+v", stats.PerShard[1])
+	}
+
+	// Repair and re-probe: CheckHealth readmits the shard.
+	flaky.setFail(false)
+	errs := r.CheckHealth()
+	if errs[0] != nil || errs[1] != nil {
+		t.Fatalf("health probe after repair: %v", errs)
+	}
+	if got := r.Degraded(); len(got) != 0 {
+		t.Fatalf("still degraded after repair: %v", got)
+	}
+	_, stats, err = r.IdentifyDetailed(probes[0], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ShardsQueried != 2 || stats.Partial {
+		t.Fatalf("recovered shard not queried: %+v", stats)
+	}
+}
+
+func TestFailClosedPolicy(t *testing.T) {
+	gal, probes := fixtures(t)
+	flaky := &flakyBackend{Backend: NewLocal("flaky", gallery.New(nil))}
+	backends := []Backend{NewLocal("ok", gallery.New(nil)), flaky}
+	r, err := New(backends, Options{FailureThreshold: 1, Policy: FailClosed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tpl := range gal[:8] {
+		if err := r.Enroll(subjectID(i), "D0", tpl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flaky.setFail(true)
+	// First search: the shard fails mid-search → the search fails.
+	if _, _, err := r.IdentifyDetailed(probes[0], 3); err == nil {
+		t.Fatal("fail-closed search succeeded with a failing shard")
+	}
+	// The failure degraded the shard → subsequent searches fail fast.
+	if _, _, err := r.IdentifyDetailed(probes[0], 3); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("want ErrDegraded, got %v", err)
+	}
+}
+
+func TestShardTimeout(t *testing.T) {
+	gal, probes := fixtures(t)
+	slow := &flakyBackend{Backend: NewLocal("slow", gallery.New(nil)), slow: 300 * time.Millisecond}
+	backends := []Backend{NewLocal("fast", gallery.New(nil)), slow}
+	r, err := New(backends, Options{ShardTimeout: 30 * time.Millisecond, Policy: SkipDegraded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tpl := range gal[:8] {
+		if err := r.Enroll(subjectID(i), "D0", tpl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start := time.Now()
+	_, stats, err := r.IdentifyDetailed(probes[0], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ShardsFailed != 1 || !stats.Partial {
+		t.Fatalf("slow shard not timed out: %+v", stats)
+	}
+	if elapsed := time.Since(start); elapsed > 250*time.Millisecond {
+		t.Fatalf("search waited %v for the slow shard", elapsed)
+	}
+}
+
+func TestAllShardsFailedIsAnError(t *testing.T) {
+	_, probes := fixtures(t)
+	flaky := &flakyBackend{Backend: NewLocal("only", gallery.New(nil))}
+	r, err := New([]Backend{flaky}, Options{FailureThreshold: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky.setFail(true)
+	if _, _, err := r.IdentifyDetailed(probes[0], 1); err == nil {
+		t.Fatal("total outage reported as an empty result")
+	}
+}
+
+func TestVerifyAndRemoveRouting(t *testing.T) {
+	gal, probes := fixtures(t)
+	r := localRouter(t, 3, Options{})
+	for i, tpl := range gal[:6] {
+		if err := r.Enroll(subjectID(i), "D0", tpl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := r.Verify(subjectID(2), probes[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score <= 0 {
+		t.Fatalf("genuine verify score %v", res.Score)
+	}
+	if _, err := r.Verify("nobody", probes[0]); err == nil {
+		t.Fatal("verify of unknown ID succeeded")
+	}
+	if err := r.Remove(subjectID(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Remove(subjectID(2)); err == nil {
+		t.Fatal("double remove succeeded")
+	}
+	if r.Len() != 5 {
+		t.Fatalf("Len after remove = %d", r.Len())
+	}
+}
+
+func TestRouterPersistenceRoundTrip(t *testing.T) {
+	gal, probes := fixtures(t)
+	mk := func() *Router {
+		backends := make([]Backend, 3)
+		for i := range backends {
+			store := gallery.New(nil)
+			if err := store.EnableIndex(gallery.IndexOptions{MinCandidates: 1}); err != nil {
+				t.Fatal(err)
+			}
+			backends[i] = NewLocal(fmt.Sprintf("shard-%d", i), store)
+		}
+		r, err := New(backends, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	orig := mk()
+	// Normalize fixtures through the codec first: SaveTo/LoadFrom
+	// quantizes minutiae, so only codec-normalized templates make the
+	// pre-save and post-load routers byte-comparable.
+	items := make([]Enrollment, len(gal))
+	for i, tpl := range gal {
+		data, err := minutiae.Marshal(tpl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		norm, err := minutiae.Unmarshal(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		items[i] = Enrollment{ID: subjectID(i), DeviceID: "D0", Template: norm}
+	}
+	if err := orig.EnrollBatch(items); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := mk()
+	if err := restored.LoadFrom(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != len(gal) {
+		t.Fatalf("restored Len = %d, want %d", restored.Len(), len(gal))
+	}
+	// Per-shard retrieval indexes must be rebuilt on load.
+	for i, b := range restored.Backends() {
+		st, ok := b.(*Local).Store().IndexStats()
+		n, _ := b.Len()
+		if !ok || st.Templates != n {
+			t.Fatalf("shard %d index not rebuilt: ok=%v stats=%+v len=%d", i, ok, st, n)
+		}
+	}
+	for _, probe := range probes[:4] {
+		want, _, err := orig.IdentifyDetailed(probe, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := restored.IdentifyDetailed(probe, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("restored returned %d candidates, want %d", len(got), len(want))
+		}
+		for c := range want {
+			if got[c] != want[c] {
+				t.Fatalf("restored candidate %d = %+v, want %+v", c, got[c], want[c])
+			}
+		}
+	}
+
+	// Mismatched layouts are rejected.
+	two := localRouter(t, 2, Options{})
+	if err := two.LoadFrom(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrShardMismatch) {
+		t.Fatalf("want ErrShardMismatch, got %v", err)
+	}
+	if err := mk().LoadFrom(bytes.NewReader([]byte("FPGDxxxx"))); !errors.Is(err, ErrBadRouterFormat) {
+		t.Fatalf("want ErrBadRouterFormat, got %v", err)
+	}
+}
+
+func TestRouterConcurrentUse(t *testing.T) {
+	gal, probes := fixtures(t)
+	r := localRouter(t, 3, Options{})
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w * 6; i < (w+1)*6; i++ {
+				if err := r.Enroll(subjectID(i), "D0", gal[i]); err != nil {
+					errs <- err
+					return
+				}
+				if _, _, err := r.IdentifyDetailed(probes[i%len(probes)], 2); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if r.Len() != 24 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}

@@ -151,6 +151,26 @@ func Experiments() []Experiment {
 			},
 		},
 		{
+			ID:         "shard",
+			Title:      "Sharded vs single-store 1:N identification (extension)",
+			PaperClaim: "scatter-gather over a consistent-hash partition reproduces single-store rank-k exactly",
+			Run: func(ds *Dataset, sets *ScoreSets) (string, error) {
+				n := ds.NumSubjects()
+				if n > 150 {
+					n = 150 // two exhaustive sweeps are O(n²) matcher calls
+				}
+				var results []ShardedIdentificationResult
+				for _, probeID := range []string{"D0", "D1"} {
+					r, err := ShardedIdentification(ds, "D0", probeID, n, 5, 3)
+					if err != nil {
+						return "", err
+					}
+					results = append(results, r)
+				}
+				return RenderShardedIdentification(results), nil
+			},
+		},
+		{
 			ID:         "index",
 			Title:      "Indexed vs exhaustive 1:N identification (extension)",
 			PaperClaim: "a triplet-index shortlist keeps rank-1 within ~2pp of the exhaustive scan",

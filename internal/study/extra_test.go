@@ -73,8 +73,8 @@ func TestTable4AsymmetryNonNegative(t *testing.T) {
 func TestExperimentRegistry(t *testing.T) {
 	ds, sets := testStudy(t)
 	exps := Experiments()
-	if len(exps) != 13 {
-		t.Fatalf("registry has %d artifacts, want 13 (Tables 1-6 + Figures 1-5 + EER matrix + indexed 1:N)", len(exps))
+	if len(exps) != 14 {
+		t.Fatalf("registry has %d artifacts, want 14 (Tables 1-6 + Figures 1-5 + EER matrix + sharded 1:N + indexed 1:N)", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {

@@ -1,0 +1,61 @@
+package study
+
+import "testing"
+
+func TestShardedIdentificationMatchesSingleStore(t *testing.T) {
+	ds, err := BuildDataset(Config{Seed: 9, Subjects: 12, MaxDMI: 1, MaxDDMI: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, probeID := range []string{"D0", "D1"} {
+		r, err := ShardedIdentification(ds, "D0", probeID, 0, 5, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Mismatches != 0 {
+			t.Fatalf("%s probes: %d of %d sharded searches diverged from the single store",
+				probeID, r.Mismatches, r.Probes)
+		}
+		if len(r.Single) != len(r.Sharded) {
+			t.Fatalf("CMC lengths differ: %d vs %d", len(r.Single), len(r.Sharded))
+		}
+		for k := range r.Single {
+			if r.Single[k] != r.Sharded[k] {
+				t.Fatalf("%s probes: CMC diverged at rank %d: %v vs %v",
+					probeID, k+1, r.Single[k], r.Sharded[k])
+			}
+		}
+		if len(r.ShardSizes) != 3 {
+			t.Fatalf("shard sizes %v", r.ShardSizes)
+		}
+		total := 0
+		for _, s := range r.ShardSizes {
+			total += s
+		}
+		if total != r.Gallery {
+			t.Fatalf("shard sizes %v do not sum to gallery %d", r.ShardSizes, r.Gallery)
+		}
+	}
+}
+
+func TestShardExperimentRegistered(t *testing.T) {
+	e, ok := ExperimentByID("shard")
+	if !ok {
+		t.Fatal("shard experiment not in registry")
+	}
+	ds, err := BuildDataset(Config{Seed: 5, Subjects: 8, MaxDMI: 1, MaxDDMI: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets, err := GenerateScores(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Run(ds, sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == "" {
+		t.Fatal("empty artifact")
+	}
+}
