@@ -1,0 +1,101 @@
+// Command benchjson converts `go test -bench` output into a JSON
+// perf-trajectory file: a map from benchmark name to its measured
+// metrics (ns/op, B/op, allocs/op, and any custom b.ReportMetric
+// units). CI pipes the key benchmarks through it and uploads the result
+// (BENCH_PR4.json) so per-PR performance is diffable by machines, not
+// just eyeballs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime 1x . | go run ./cmd/benchjson -o BENCH.json
+//
+// Lines that are not benchmark results are ignored, so raw `go test`
+// output can be piped straight in.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Metrics is one benchmark's measurements, keyed by unit ("ns/op",
+// "B/op", "allocs/op", "shortlist/op", ...).
+type Metrics map[string]float64
+
+// benchLine matches a benchmark result row: name, iteration count, then
+// value/unit pairs.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+// cpuSuffix strips the trailing GOMAXPROCS marker (Benchmark-8 → Benchmark).
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+// parse extracts benchmark results from go test -bench output.
+func parse(r io.Reader) (map[string]Metrics, error) {
+	out := make(map[string]Metrics)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		name := cpuSuffix.ReplaceAllString(m[1], "")
+		fields := strings.Fields(m[3])
+		metrics := out[name]
+		if metrics == nil {
+			metrics = make(Metrics)
+			out[name] = metrics
+		}
+		iters, err := strconv.ParseFloat(m[2], 64)
+		if err == nil {
+			metrics["iterations"] = iters
+		}
+		// value unit pairs: "45300 ns/op 512 B/op 1 allocs/op".
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad value %q in %q", fields[i], sc.Text())
+			}
+			metrics[fields[i+1]] = v
+		}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	outPath := flag.String("o", "", "write JSON here instead of stdout")
+	flag.Parse()
+
+	results, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+	// Go maps marshal with sorted keys, so the output is already stable.
+	data, err := json.MarshalIndent(map[string]any{"benchmarks": results}, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *outPath == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(results), *outPath)
+}

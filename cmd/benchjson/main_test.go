@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	input := `goos: linux
+goarch: amd64
+pkg: fpinterop
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkHoughMatch/pooled-8         	   25000	     45300 ns/op	     512 B/op	       1 allocs/op
+BenchmarkHoughMatch/session-8        	   30000	     40100 ns/op	       0 B/op	       0 allocs/op
+BenchmarkExtensionIndexedIdentify/indexed/N=1000-8 	 100	  901234 ns/op	  64.0 shortlist/op
+PASS
+ok  	fpinterop	12.3s
+`
+	got, err := parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(got))
+	}
+	pooled := got["BenchmarkHoughMatch/pooled"]
+	if pooled == nil {
+		t.Fatalf("missing pooled entry (cpu suffix not stripped?): %v", got)
+	}
+	if pooled["ns/op"] != 45300 || pooled["allocs/op"] != 1 {
+		t.Fatalf("pooled metrics wrong: %v", pooled)
+	}
+	sess := got["BenchmarkHoughMatch/session"]
+	if sess["allocs/op"] != 0 {
+		t.Fatalf("session allocs/op = %v, want 0", sess["allocs/op"])
+	}
+	idx := got["BenchmarkExtensionIndexedIdentify/indexed/N=1000"]
+	if idx["shortlist/op"] != 64 {
+		t.Fatalf("custom metric lost: %v", idx)
+	}
+	if idx["iterations"] != 100 {
+		t.Fatalf("iterations lost: %v", idx)
+	}
+}
+
+func TestParseIgnoresGarbage(t *testing.T) {
+	got, err := parse(strings.NewReader("hello\nBenchmark notanumber ns/op\nok\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("parsed garbage: %v", got)
+	}
+}

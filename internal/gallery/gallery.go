@@ -34,6 +34,12 @@ type Entry struct {
 	DeviceID string
 	// Template is the enrolled minutiae template.
 	Template *minutiae.Template
+
+	// prep is the template preprocessed for the primary matcher's hot
+	// path (SoA layout + spatial grid), built once at enroll time so
+	// every probe against this enrollment skips the rebuild. Nil when
+	// the store runs a custom matcher.
+	prep *match.Prepared
 }
 
 // Store is a concurrent-safe in-memory enrollment database.
@@ -41,6 +47,10 @@ type Entry struct {
 type Store struct {
 	mu      sync.RWMutex
 	matcher match.Matcher
+	// hough is non-nil when matcher is the primary HoughMatcher: the
+	// store then caches per-entry preparations and scans with pooled
+	// zero-allocation match sessions.
+	hough   *match.HoughMatcher
 	entries map[string]*Entry
 	order   []string // insertion order for deterministic iteration
 
@@ -60,7 +70,8 @@ func New(m match.Matcher) *Store {
 	if m == nil {
 		m = &match.HoughMatcher{}
 	}
-	return &Store{matcher: m, entries: make(map[string]*Entry)}
+	hough, _ := m.(*match.HoughMatcher)
+	return &Store{matcher: m, hough: hough, entries: make(map[string]*Entry)}
 }
 
 // SetParallelism bounds the worker goroutines used to fan matcher
@@ -90,12 +101,16 @@ func (s *Store) Enroll(id, deviceID string, tpl *minutiae.Template) error {
 		return fmt.Errorf("enroll %q: %w", id, ErrDuplicate)
 	}
 	clone := tpl.Clone()
+	var prep *match.Prepared
+	if s.hough != nil {
+		prep = s.hough.Prepare(clone)
+	}
 	if s.idx != nil {
 		if err := s.idx.Add(id, clone); err != nil {
 			return fmt.Errorf("gallery: enroll %q: %w", id, err)
 		}
 	}
-	s.entries[id] = &Entry{ID: id, DeviceID: deviceID, Template: clone}
+	s.entries[id] = &Entry{ID: id, DeviceID: deviceID, Template: clone, prep: prep}
 	s.order = append(s.order, id)
 	return nil
 }
@@ -140,6 +155,9 @@ func (s *Store) Verify(id string, probe *minutiae.Template) (match.Result, error
 	s.mu.RUnlock()
 	if !ok {
 		return match.Result{}, fmt.Errorf("verify %q: %w", id, ErrNotFound)
+	}
+	if s.hough != nil && e.prep != nil {
+		return match.MatchPreparedOnce(s.hough, e.prep, probe)
 	}
 	return s.matcher.Match(e.Template, probe)
 }
@@ -337,10 +355,24 @@ func (s *Store) matchAll(entries []*Entry, probe *minutiae.Template) ([]float64,
 	if workers > len(entries) {
 		workers = len(entries)
 	}
+	// Each worker holds one pooled match session for its whole slice of
+	// the scan: the matcher hot path then runs with zero steady-state
+	// allocations against the preparations cached at enroll time.
+	matchOne := func(sess *match.Session, e *Entry) (match.Result, error) {
+		if sess != nil && e.prep != nil {
+			return sess.MatchPrepared(e.prep, probe)
+		}
+		return s.matcher.Match(e.Template, probe)
+	}
 	scores := make([]float64, len(entries))
 	if workers <= 1 {
+		var sess *match.Session
+		if s.hough != nil {
+			sess = match.AcquireSession(s.hough)
+			defer sess.Release()
+		}
 		for i, e := range entries {
-			res, err := s.matcher.Match(e.Template, probe)
+			res, err := matchOne(sess, e)
 			if err != nil {
 				return nil, fmt.Errorf("identify against %q: %w", e.ID, err)
 			}
@@ -359,6 +391,11 @@ func (s *Store) matchAll(entries []*Entry, probe *minutiae.Template) ([]float64,
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var sess *match.Session
+			if s.hough != nil {
+				sess = match.AcquireSession(s.hough)
+				defer sess.Release()
+			}
 			for {
 				mu.Lock()
 				i := next
@@ -367,7 +404,7 @@ func (s *Store) matchAll(entries []*Entry, probe *minutiae.Template) ([]float64,
 				if i >= len(entries) {
 					return
 				}
-				res, err := s.matcher.Match(entries[i].Template, probe)
+				res, err := matchOne(sess, entries[i])
 				if err != nil {
 					mu.Lock()
 					if errIdx == -1 || i < errIdx {

@@ -145,7 +145,12 @@ func (s *Store) LoadFrom(r io.Reader) error {
 		if _, dup := entries[id]; dup {
 			return fmt.Errorf("gallery: duplicate id %q in store", id)
 		}
-		entries[id] = &Entry{ID: id, DeviceID: dev, Template: tpl}
+		e := &Entry{ID: id, DeviceID: dev, Template: tpl}
+		if s.hough != nil {
+			// Rebuild the hot-path preparation Enroll would have cached.
+			e.prep = s.hough.Prepare(tpl)
+		}
+		entries[id] = e
 		order = append(order, id)
 	}
 	s.mu.Lock()

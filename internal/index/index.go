@@ -274,6 +274,19 @@ type Candidate struct {
 	Hits int
 }
 
+// voteScratch recycles the dense per-lookup vote accumulators, which
+// are sized by the gallery, not the probe: without pooling a 50k-
+// template index allocates (and zeroes) ~600 KiB per identification.
+// The all-zero invariant is restored via the touched list before a
+// scratch returns to the pool.
+type voteScratch struct {
+	scores  []float64
+	hits    []int32
+	touched []uint32
+}
+
+var votePool = sync.Pool{New: func() any { return new(voteScratch) }}
+
 // Candidates retrieves the shortlist for a probe: the fanout
 // highest-scoring templates (Options.Fanout when fanout <= 0), ordered
 // by descending score with deterministic ID tie-breaks. Safe for
@@ -292,9 +305,14 @@ func (ix *Index) Candidates(probe *minutiae.Template, fanout int) []Candidate {
 	// Dense accumulators keep the hot voting loop branch-free; the
 	// touched list bounds the collection pass by the number of
 	// templates actually hit, not the gallery size.
-	scores := make([]float64, len(ix.ids))
-	hits := make([]int32, len(ix.ids))
-	touched := make([]uint32, 0, 4*fanout)
+	vs := votePool.Get().(*voteScratch)
+	if cap(vs.scores) < len(ix.ids) {
+		vs.scores = make([]float64, len(ix.ids))
+		vs.hits = make([]int32, len(ix.ids))
+	}
+	scores := vs.scores[:cap(vs.scores)]
+	hits := vs.hits[:cap(vs.hits)]
+	touched := vs.touched[:0]
 	for _, key := range probeKeys {
 		bucket := ix.buckets[key]
 		if len(bucket) == 0 || len(bucket) > ix.opt.MaxBucket {
@@ -314,7 +332,11 @@ func (ix *Index) Candidates(probe *minutiae.Template, fanout int) []Candidate {
 		if int(hits[ref]) >= ix.opt.MinVotes {
 			out = append(out, Candidate{ID: ix.ids[ref], Score: scores[ref], Hits: int(hits[ref])})
 		}
+		scores[ref] = 0
+		hits[ref] = 0
 	}
+	vs.touched = touched[:0]
+	votePool.Put(vs)
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Score != out[j].Score {
 			return out[i].Score > out[j].Score

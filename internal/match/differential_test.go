@@ -1,0 +1,437 @@
+package match
+
+// Differential tests: the optimized Session path (flat accumulator,
+// spatial grid, bounded heap, pair arena) must return results
+// bit-identical to the reference matcher on arbitrary inputs — same
+// score, pair list, transform, and residual. Any divergence is a bug in
+// the optimization, never an acceptable approximation.
+
+import (
+	"math"
+	"testing"
+
+	"fpinterop/internal/geom"
+	"fpinterop/internal/minutiae"
+	"fpinterop/internal/population"
+	"fpinterop/internal/rng"
+	"fpinterop/internal/sensor"
+)
+
+// offsetTemplate builds a template whose minutiae cluster far from the
+// origin inside a huge capture window, pushing translation bins toward
+// the edges of packKey's offset 16-bit range.
+func offsetTemplate(seed uint64, n int, winPx int, offX, offY float64) *minutiae.Template {
+	src := rng.New(seed)
+	tpl := &minutiae.Template{Width: winPx, Height: winPx, DPI: 500}
+	for i := 0; i < n; i++ {
+		tpl.Minutiae = append(tpl.Minutiae, minutiae.Minutia{
+			X:       offX + src.Float64()*300,
+			Y:       offY + src.Float64()*300,
+			Angle:   src.Float64() * 2 * math.Pi,
+			Kind:    minutiae.Ending,
+			Quality: 50,
+		})
+	}
+	return tpl
+}
+
+// feq is bit-equality except that NaN equals NaN (non-finite inputs
+// legitimately produce NaN scores on both paths).
+func feq(a, b float64) bool {
+	return a == b || (math.IsNaN(a) && math.IsNaN(b))
+}
+
+func sameResult(t *testing.T, label string, want, got Result) {
+	t.Helper()
+	if !feq(want.Score, got.Score) {
+		t.Fatalf("%s: score %v != reference %v", label, got.Score, want.Score)
+	}
+	if want.Matched != got.Matched {
+		t.Fatalf("%s: matched %d != reference %d", label, got.Matched, want.Matched)
+	}
+	if !feq(want.MeanResidual, got.MeanResidual) {
+		t.Fatalf("%s: residual %v != reference %v", label, got.MeanResidual, want.MeanResidual)
+	}
+	if !feq(want.Transform.Theta, got.Transform.Theta) || !feq(want.Transform.T.X, got.Transform.T.X) ||
+		!feq(want.Transform.T.Y, got.Transform.T.Y) || want.Transform.S != got.Transform.S {
+		t.Fatalf("%s: transform %+v != reference %+v", label, got.Transform, want.Transform)
+	}
+	if len(want.Pairs) != len(got.Pairs) {
+		t.Fatalf("%s: %d pairs != reference %d", label, len(got.Pairs), len(want.Pairs))
+	}
+	for i := range want.Pairs {
+		if want.Pairs[i] != got.Pairs[i] {
+			t.Fatalf("%s: pair %d = %v != reference %v", label, i, got.Pairs[i], want.Pairs[i])
+		}
+	}
+}
+
+// diffCorpus returns (gallery, probe) pairs spanning the edge cases the
+// hot path has to survive: empty and single-minutia templates, genuine
+// transformed pairs, impostors, identical templates, and offset
+// clusters that stress the packed-key translation range.
+func diffCorpus() [][2]*minutiae.Template {
+	var corpus [][2]*minutiae.Template
+	empty := &minutiae.Template{Width: 300, Height: 300, DPI: 500}
+	one := syntheticTemplate(901, 1)
+	two := syntheticTemplate(902, 2)
+	corpus = append(corpus,
+		[2]*minutiae.Template{empty, syntheticTemplate(1, 20)},
+		[2]*minutiae.Template{syntheticTemplate(2, 20), empty},
+		[2]*minutiae.Template{one, one},
+		[2]*minutiae.Template{one, syntheticTemplate(903, 30)},
+		[2]*minutiae.Template{two, two},
+	)
+	// Random impostor pairs at several sizes.
+	for i := 0; i < 25; i++ {
+		a := syntheticTemplate(uint64(100+i), 5+i*2)
+		b := syntheticTemplate(uint64(500+i), 60-i*2)
+		corpus = append(corpus, [2]*minutiae.Template{a, b})
+	}
+	// Genuine pairs: rigid motions of the same template.
+	for i := 0; i < 15; i++ {
+		base := syntheticTemplate(uint64(700+i), 35)
+		tr := geom.Rigid{
+			Theta: float64(i-7) * 0.12,
+			T:     geom.Point{X: float64(i*4 - 30), Y: float64(25 - i*3)},
+			S:     1,
+		}
+		corpus = append(corpus, [2]*minutiae.Template{base, transformTemplate(base, tr)})
+	}
+	// Self matches.
+	for i := 0; i < 5; i++ {
+		tpl := syntheticTemplate(uint64(800+i), 10+i*12)
+		corpus = append(corpus, [2]*minutiae.Template{tpl, tpl})
+	}
+	// Large windows with far-offset clusters: translation bins in the
+	// thousands, exercising packKey's signed-offset packing well past
+	// the small-template regime.
+	for i := 0; i < 4; i++ {
+		g := offsetTemplate(uint64(950+i), 25, 6000, 5500, 200)
+		p := offsetTemplate(uint64(960+i), 25, 6000, 100, 5400)
+		corpus = append(corpus, [2]*minutiae.Template{g, p})
+	}
+	// Genuine pair across a big offset (tests negative translation bins).
+	far := offsetTemplate(970, 30, 6000, 5000, 5000)
+	corpus = append(corpus, [2]*minutiae.Template{far, transformTemplate(far, geom.Rigid{Theta: 0.3, T: geom.Point{X: -40, Y: 25}, S: 1})})
+	return corpus
+}
+
+func TestSessionMatchesReferenceBitForBit(t *testing.T) {
+	m := &HoughMatcher{}
+	sess := NewSession(m)
+	for ci, pair := range diffCorpus() {
+		g, p := pair[0], pair[1]
+		want, err := m.referenceMatch(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sess.Match(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, "session", want, got)
+
+		// The prepared path and the public pooled path must agree too.
+		prep := m.Prepare(g)
+		gotPrep, err := sess.MatchPrepared(prep, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, "prepared", want, gotPrep)
+
+		gotPub, err := m.Match(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, "pooled", want, gotPub)
+		_ = ci
+	}
+}
+
+func TestSessionMatchesReferenceNonDefaultParams(t *testing.T) {
+	// Non-default tolerances change bin geometry; identity must hold for
+	// any parameterization, including ones that make every pair vote
+	// into few cells.
+	for _, m := range []*HoughMatcher{
+		{DistTol: 7, AngleTol: 0.2, RotBins: 48, ShiftBin: 8, Candidates: 3},
+		{DistTol: 30, RotBins: 8, ShiftBin: 40, Candidates: 10},
+		{DistTol: 2, ShiftBin: 2},
+		// Pathological parameterizations: a negative ShiftBin flips the
+		// window arithmetic (must fall back to the reference), a
+		// negative DistTol still admits pairs within its magnitude
+		// (grid cells must be sized by |DistTol|).
+		{ShiftBin: -16},
+		{DistTol: -100, ShiftBin: 4},
+	} {
+		sess := NewSession(m)
+		for i := 0; i < 10; i++ {
+			g := syntheticTemplate(uint64(40+i), 30)
+			p := syntheticTemplate(uint64(60+i), 30)
+			want, _ := m.referenceMatch(g, p)
+			got, _ := sess.Match(g, p)
+			sameResult(t, "params", want, got)
+		}
+	}
+}
+
+func TestSessionScratchSurvivesReuse(t *testing.T) {
+	// Reusing one session across wildly different template sizes must
+	// not leak state between matches (stale votes, grid, or used-sets).
+	m := &HoughMatcher{}
+	sess := NewSession(m)
+	corpus := diffCorpus()
+	// Interleave: big, small, empty, big — twice — and verify against a
+	// fresh reference every time.
+	order := []int{5, 0, 40, 2, 6, 1, 41, 5, 40}
+	for _, idx := range order {
+		if idx >= len(corpus) {
+			continue
+		}
+		g, p := corpus[idx][0], corpus[idx][1]
+		want, _ := m.referenceMatch(g, p)
+		got, err := sess.Match(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, "reuse", want, got)
+	}
+}
+
+func TestPreparedParamsMismatchRebuilds(t *testing.T) {
+	// A Prepared built for one parameterization used under another must
+	// produce the session's parameterization, not the preparation's.
+	base := &HoughMatcher{}
+	other := &HoughMatcher{DistTol: 5, ShiftBin: 4}
+	g := syntheticTemplate(11, 30)
+	p := syntheticTemplate(12, 30)
+	prep := base.Prepare(g)
+	sess := NewSession(other)
+	want, _ := other.referenceMatch(g, p)
+	got, err := sess.MatchPrepared(prep, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "mismatched prep", want, got)
+}
+
+func TestSessionSteadyStateZeroAllocs(t *testing.T) {
+	// The acceptance bar: a warmed session performs zero heap
+	// allocations per match, prepared or not.
+	m := &HoughMatcher{}
+	sess := NewSession(m)
+	g := syntheticTemplate(21, 45)
+	p := transformTemplate(g, geom.Rigid{Theta: 0.2, T: geom.Point{X: 12, Y: -9}, S: 1})
+	prep := m.Prepare(g)
+	imp := syntheticTemplate(99, 40)
+	// Warm the scratch across the shapes the loop will see.
+	for _, probe := range []*minutiae.Template{p, imp} {
+		if _, err := sess.Match(g, probe); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sess.MatchPrepared(prep, probe); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if avg := testing.AllocsPerRun(50, func() {
+		if _, err := sess.Match(g, p); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("Session.Match allocates %v per op in steady state", avg)
+	}
+	if avg := testing.AllocsPerRun(50, func() {
+		if _, err := sess.MatchPrepared(prep, imp); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("Session.MatchPrepared allocates %v per op in steady state", avg)
+	}
+}
+
+func TestAccumulatorOverflowFallsBackToReference(t *testing.T) {
+	// A window too large for the flat accumulator must still match (via
+	// the reference fallback), not panic or truncate.
+	g := offsetTemplate(31, 15, 1<<20, 1000000, 1000000)
+	p := offsetTemplate(32, 15, 1<<20, 100, 100)
+	m := &HoughMatcher{}
+	sess := NewSession(m)
+	want, err := m.referenceMatch(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sess.Match(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "fallback", want, got)
+}
+
+func TestPrepareNilAndEmpty(t *testing.T) {
+	m := &HoughMatcher{}
+	if m.Prepare(nil) != nil {
+		t.Fatal("Prepare(nil) should return nil")
+	}
+	empty := &minutiae.Template{Width: 100, Height: 100, DPI: 500}
+	prep := m.Prepare(empty)
+	if prep == nil || prep.Template() != empty {
+		t.Fatal("Prepare(empty) should return a usable preparation")
+	}
+	sess := NewSession(m)
+	res, err := sess.MatchPrepared(prep, syntheticTemplate(1, 10))
+	if err != nil || res.Score != 0 {
+		t.Fatalf("empty prepared match: %v %v", res.Score, err)
+	}
+	if _, err := sess.MatchPrepared(nil, syntheticTemplate(1, 10)); err == nil {
+		t.Fatal("nil prepared should error")
+	}
+}
+
+func FuzzSessionMatchesReference(f *testing.F) {
+	f.Add(uint64(1), uint64(2), uint8(20), uint8(30), int16(0), int16(0))
+	f.Add(uint64(3), uint64(3), uint8(1), uint8(1), int16(500), int16(-500))
+	f.Add(uint64(7), uint64(11), uint8(0), uint8(45), int16(3000), int16(3000))
+	f.Add(uint64(13), uint64(17), uint8(64), uint8(64), int16(-200), int16(2500))
+	f.Fuzz(func(t *testing.T, seedA, seedB uint64, nA, nB uint8, offX, offY int16) {
+		// Bounded geometry: coordinates stay small enough for the flat
+		// accumulator path (the regime the fuzz is meant to stress).
+		ox := float64(offX) + 4000
+		oy := float64(offY) + 4000
+		g := offsetTemplate(seedA, int(nA%70), 9000, ox, oy)
+		p := offsetTemplate(seedB, int(nB%70), 9000, 8000-ox, 8000-oy)
+		m := &HoughMatcher{}
+		want, err1 := m.referenceMatch(g, p)
+		sess := NewSession(m)
+		got, err2 := sess.Match(g, p)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("error divergence: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			return
+		}
+		sameResult(t, "fuzz", want, got)
+	})
+}
+
+// sensorPair captures a realistic cross-device genuine pair (the same
+// workload as the top-level BenchmarkHoughMatch).
+func sensorPair(tb testing.TB) (g, p *minutiae.Template) {
+	tb.Helper()
+	cohort := population.NewCohort(rng.New(2013), population.CohortOptions{Size: 1})
+	d0, _ := sensor.ProfileByID("D0")
+	d1, _ := sensor.ProfileByID("D1")
+	gi, err := d0.CaptureSubject(cohort.Subjects[0], 0, sensor.CaptureOptions{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	pi, err := d1.CaptureSubject(cohort.Subjects[0], 0, sensor.CaptureOptions{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return gi.Template, pi.Template
+}
+
+// BenchmarkReferenceMatch times the pre-optimization algorithm on a
+// cross-device genuine pair — the before side of the hot-path rewrite.
+func BenchmarkReferenceMatch(b *testing.B) {
+	g, p := sensorPair(b)
+	m := &HoughMatcher{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.referenceMatch(g, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSessionMatchSensor times the optimized session path on the
+// same pair — the after side.
+func BenchmarkSessionMatchSensor(b *testing.B) {
+	g, p := sensorPair(b)
+	m := &HoughMatcher{}
+	sess := NewSession(m)
+	prep := m.Prepare(g)
+	if _, err := sess.MatchPrepared(prep, p); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.MatchPrepared(prep, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestNonFiniteCoordinatesStayTotal(t *testing.T) {
+	// NaN passes Template.Validate (its comparisons are all false), so
+	// the optimized path must stay total over non-finite geometry by
+	// falling back to the reference matcher instead of panicking.
+	m := &HoughMatcher{}
+	sess := NewSession(m)
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		g := syntheticTemplate(61, 20)
+		p := syntheticTemplate(62, 20)
+		g.Minutiae[3].X = bad
+		p.Minutiae[5].Angle = bad
+		want, err := m.referenceMatch(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sess.Match(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, "non-finite", want, got)
+		prep := m.Prepare(g)
+		gotPrep, err := sess.MatchPrepared(prep, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, "non-finite prepared", want, gotPrep)
+		// A clean pair afterwards proves no scratch corruption.
+		clean := syntheticTemplate(63, 20)
+		want2, _ := m.referenceMatch(clean, p)
+		_ = want2
+		got2, err := sess.Match(clean, syntheticTemplate(64, 20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want3, _ := m.referenceMatch(clean, syntheticTemplate(64, 20))
+		sameResult(t, "after non-finite", want3, got2)
+	}
+}
+
+func TestWideWindowPackKeyWrapFallsBack(t *testing.T) {
+	// Two gallery clusters whose translation bins differ by 2^16: the
+	// reference map merges their votes under one wrapped packKey while a
+	// flat accumulator would keep them distinct, so windows over 2^16
+	// bins per axis must take the reference path. x-span 2^16*16 px with
+	// a tiny y-span keeps the cell count under maxAccCells, exercising
+	// exactly the wrap guard rather than the size guard.
+	g := &minutiae.Template{Width: 1 << 21, Height: 400, DPI: 500}
+	p := &minutiae.Template{Width: 400, Height: 400, DPI: 500}
+	src := rng.New(7)
+	for i := 0; i < 6; i++ {
+		x := 50 + src.Float64()*100
+		y := 50 + src.Float64()*100
+		a := src.Float64() * 2 * math.Pi
+		g.Minutiae = append(g.Minutiae,
+			minutiae.Minutia{X: x, Y: y, Angle: a, Kind: minutiae.Ending, Quality: 50},
+			minutiae.Minutia{X: x + float64(1<<16)*16, Y: y, Angle: a, Kind: minutiae.Ending, Quality: 50})
+		p.Minutiae = append(p.Minutiae,
+			minutiae.Minutia{X: x, Y: y, Angle: a, Kind: minutiae.Ending, Quality: 50})
+	}
+	m := &HoughMatcher{}
+	sess := NewSession(m)
+	want, err := m.referenceMatch(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sess.Match(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "wide window", want, got)
+}

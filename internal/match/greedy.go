@@ -2,7 +2,7 @@ package match
 
 import (
 	"math"
-	"sort"
+	"sync"
 
 	"fpinterop/internal/geom"
 	"fpinterop/internal/minutiae"
@@ -22,7 +22,17 @@ type GreedyMatcher struct {
 
 var _ Matcher = (*GreedyMatcher)(nil)
 
-// Match implements Matcher.
+// greedyScratch follows the hot-path candidate-scratch convention:
+// slice-backed candidate and used-set buffers pooled across calls, with
+// distances kept squared until selection.
+type greedyScratch struct {
+	cands        []pairCand
+	usedG, usedQ []bool
+}
+
+var greedyPool = sync.Pool{New: func() any { return new(greedyScratch) }}
+
+// Match implements Matcher. It is safe for concurrent use.
 func (m *GreedyMatcher) Match(gallery, probe *minutiae.Template) (Result, error) {
 	if gallery == nil || probe == nil {
 		return Result{}, ErrNilTemplate
@@ -55,33 +65,35 @@ func (m *GreedyMatcher) Match(gallery, probe *minutiae.Template) (Result, error)
 		S: 1,
 	}
 
-	type cand struct {
-		d    float64
-		g, q int
-	}
-	var cands []cand
+	sc := greedyPool.Get().(*greedyScratch)
+	cands := sc.cands[:0]
+	tol2 := distTol * distTol
 	for j, b := range pr {
-		tp := tr.Apply(geom.Point{X: b.X, Y: b.Y})
+		tx := b.X*c - b.Y*s + tr.T.X
+		ty := b.X*s + b.Y*c + tr.T.Y
 		ta := b.Angle + theta
 		for i, a := range ga {
-			d := tp.Dist(geom.Point{X: a.X, Y: a.Y})
-			if d > distTol || angleDiff(ta, a.Angle) > angleTol {
+			dx := tx - a.X
+			dy := ty - a.Y
+			d2 := dx*dx + dy*dy
+			if d2 > tol2 || angleDiff(ta, a.Angle) > angleTol {
 				continue
 			}
-			cands = append(cands, cand{d, i, j})
+			cands = append(cands, pairCand{d2: d2, g: int32(i), q: int32(j)})
 		}
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].d != cands[j].d {
-			return cands[i].d < cands[j].d
-		}
-		if cands[i].g != cands[j].g {
-			return cands[i].g < cands[j].g
-		}
-		return cands[i].q < cands[j].q
-	})
-	usedG := make(map[int]bool)
-	usedQ := make(map[int]bool)
+	sc.cands = cands
+	sortPairCands(cands)
+	if cap(sc.usedG) < len(ga) {
+		sc.usedG = make([]bool, len(ga))
+	}
+	if cap(sc.usedQ) < len(pr) {
+		sc.usedQ = make([]bool, len(pr))
+	}
+	usedG := sc.usedG[:len(ga)]
+	usedQ := sc.usedQ[:len(pr)]
+	clear(usedG)
+	clear(usedQ)
 	var pairs [][2]int
 	sumD := 0.0
 	for _, cd := range cands {
@@ -90,9 +102,10 @@ func (m *GreedyMatcher) Match(gallery, probe *minutiae.Template) (Result, error)
 		}
 		usedG[cd.g] = true
 		usedQ[cd.q] = true
-		pairs = append(pairs, [2]int{cd.g, cd.q})
-		sumD += cd.d
+		pairs = append(pairs, [2]int{int(cd.g), int(cd.q)})
+		sumD += math.Sqrt(cd.d2)
 	}
+	greedyPool.Put(sc)
 	res := Result{Matched: len(pairs), Transform: tr, Pairs: pairs}
 	if len(pairs) > 0 {
 		res.MeanResidual = sumD / float64(len(pairs))

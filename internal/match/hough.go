@@ -2,7 +2,6 @@ package match
 
 import (
 	"math"
-	"sort"
 
 	"fpinterop/internal/geom"
 	"fpinterop/internal/minutiae"
@@ -12,6 +11,11 @@ import (
 // transform over candidate rigid alignments followed by tolerance-gated
 // greedy pairing and one least-squares refinement pass. The zero value is
 // ready to use with production defaults.
+//
+// Match borrows scratch from a shared session pool, so ad-hoc calls stay
+// allocation-light; hot loops that need zero steady-state allocations
+// (gallery scans, study workers, benchmarks) should hold a Session and
+// call Session.Match or Session.MatchPrepared directly.
 type HoughMatcher struct {
 	// DistTol is the pairing distance tolerance in pixels (default 14,
 	// ≈0.7 mm at 500 dpi — under two ridge periods).
@@ -62,191 +66,15 @@ func unpackKey(k uint64) (rot, tx, ty int32) {
 	return rot, tx, ty
 }
 
-// Match implements Matcher.
+// Match implements Matcher. It is safe for concurrent use; scratch
+// comes from the shared session pool and the returned pairs are copied
+// out, so the Result stays valid indefinitely.
 func (m *HoughMatcher) Match(gallery, probe *minutiae.Template) (Result, error) {
-	if gallery == nil || probe == nil {
-		return Result{}, ErrNilTemplate
-	}
-	p := m.params()
-	ga := gallery.Minutiae
-	pr := probe.Minutiae
-	if len(ga) == 0 || len(pr) == 0 {
-		return Result{}, nil
-	}
-
-	// --- Vote: every (probe, gallery) pair proposes the rigid transform
-	// that would map the probe minutia exactly onto the gallery one.
-	acc := make(map[uint64]int32, len(ga)*len(pr)/2)
-	rotStep := 2 * math.Pi / float64(p.RotBins)
-	// Precompute per-rotation-bin sin/cos once.
-	cosTab := make([]float64, p.RotBins)
-	sinTab := make([]float64, p.RotBins)
-	for b := 0; b < p.RotBins; b++ {
-		theta := (float64(b) + 0.5) * rotStep
-		cosTab[b] = math.Cos(theta)
-		sinTab[b] = math.Sin(theta)
-	}
-	invShift := 1 / p.ShiftBin
-	for _, b := range pr {
-		for _, a := range ga {
-			dTheta := a.Angle - b.Angle
-			// Normalize into [0, 2π).
-			if dTheta < 0 {
-				dTheta += 2 * math.Pi
-			}
-			if dTheta >= 2*math.Pi {
-				dTheta -= 2 * math.Pi
-			}
-			rotBin := int32(dTheta / rotStep)
-			if rotBin >= int32(p.RotBins) {
-				rotBin = int32(p.RotBins) - 1
-			}
-			c, s := cosTab[rotBin], sinTab[rotBin]
-			rx := b.X*c - b.Y*s
-			ry := b.X*s + b.Y*c
-			key := packKey(rotBin,
-				int32(math.Floor((a.X-rx)*invShift)),
-				int32(math.Floor((a.Y-ry)*invShift)))
-			acc[key]++
-		}
-	}
-
-	// --- Select the top-K most-voted cells with a single linear scan.
-	nCand := p.Candidates
-	topKeys := make([]uint64, 0, nCand)
-	topVotes := make([]int32, 0, nCand)
-	for k, v := range acc {
-		pos := -1
-		for i := range topVotes {
-			if v > topVotes[i] || (v == topVotes[i] && k < topKeys[i]) {
-				pos = i
-				break
-			}
-		}
-		switch {
-		case pos == -1 && len(topVotes) < nCand:
-			topKeys = append(topKeys, k)
-			topVotes = append(topVotes, v)
-		case pos >= 0:
-			if len(topVotes) < nCand {
-				topKeys = append(topKeys, 0)
-				topVotes = append(topVotes, 0)
-			}
-			copy(topKeys[pos+1:], topKeys[pos:])
-			copy(topVotes[pos+1:], topVotes[pos:])
-			topKeys[pos] = k
-			topVotes[pos] = v
-		}
-	}
-
-	best := Result{}
-	var scratch pairScratch
-	scratch.init(len(ga), len(pr))
-	for i := 0; i < len(topKeys); i++ {
-		rot, tx, ty := unpackKey(topKeys[i])
-		theta := (float64(rot) + 0.5) * rotStep
-		tr := geom.Rigid{
-			Theta: theta,
-			T: geom.Point{
-				X: (float64(tx) + 0.5) * p.ShiftBin,
-				Y: (float64(ty) + 0.5) * p.ShiftBin,
-			},
-			S: 1,
-		}
-		res := m.scorePairing(gallery, probe, tr, p, &scratch)
-		// One refinement round: re-estimate the transform from the pairs
-		// and re-pair. Helps recover from coarse accumulator bins.
-		if res.Matched >= 3 {
-			if refined, ok := estimateRigid(ga, pr, res.Pairs); ok {
-				res2 := m.scorePairing(gallery, probe, refined, p, &scratch)
-				if res2.Score > res.Score {
-					res = res2
-				}
-			}
-		}
-		if res.Score > best.Score || (best.Matched == 0 && res.Matched > 0) {
-			best = res
-		}
-	}
-	return best, nil
-}
-
-// pairScratch holds reusable buffers for the pairing inner loop.
-type pairScratch struct {
-	cands []pairCand
-	usedG []bool
-	usedQ []bool
-}
-
-type pairCand struct {
-	d    float64
-	g, q int32
-}
-
-func (s *pairScratch) init(ng, nq int) {
-	s.usedG = make([]bool, ng)
-	s.usedQ = make([]bool, nq)
-	s.cands = make([]pairCand, 0, ng+nq)
-}
-
-// scorePairing pairs minutiae under the transform and scores the pairing.
-func (m *HoughMatcher) scorePairing(gallery, probe *minutiae.Template, tr geom.Rigid, p HoughMatcher, scratch *pairScratch) Result {
-	ga, pr := gallery.Minutiae, probe.Minutiae
-	cands := scratch.cands[:0]
-	c0, s0 := math.Cos(tr.Theta), math.Sin(tr.Theta)
-	tol2 := p.DistTol * p.DistTol
-	for j, b := range pr {
-		tx := b.X*c0 - b.Y*s0 + tr.T.X
-		ty := b.X*s0 + b.Y*c0 + tr.T.Y
-		ta := b.Angle + tr.Theta
-		for i, a := range ga {
-			dx := tx - a.X
-			dy := ty - a.Y
-			d2 := dx*dx + dy*dy
-			if d2 > tol2 {
-				continue
-			}
-			if angleDiff(ta, a.Angle) > p.AngleTol {
-				continue
-			}
-			cands = append(cands, pairCand{d: math.Sqrt(d2), g: int32(i), q: int32(j)})
-		}
-	}
-	scratch.cands = cands
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].d != cands[j].d {
-			return cands[i].d < cands[j].d
-		}
-		if cands[i].g != cands[j].g {
-			return cands[i].g < cands[j].g
-		}
-		return cands[i].q < cands[j].q
-	})
-	usedG := scratch.usedG
-	usedQ := scratch.usedQ
-	for i := range usedG {
-		usedG[i] = false
-	}
-	for i := range usedQ {
-		usedQ[i] = false
-	}
-	var pairs [][2]int
-	sumD := 0.0
-	for _, c := range cands {
-		if usedG[c.g] || usedQ[c.q] {
-			continue
-		}
-		usedG[c.g] = true
-		usedQ[c.q] = true
-		pairs = append(pairs, [2]int{int(c.g), int(c.q)})
-		sumD += c.d
-	}
-	res := Result{Matched: len(pairs), Transform: tr, Pairs: pairs}
-	if len(pairs) > 0 {
-		res.MeanResidual = sumD / float64(len(pairs))
-	}
-	res.Score = scoreFromPairing(len(pairs), res.MeanResidual, p.DistTol, overlapDenom(gallery, probe, tr))
-	return res
+	s := AcquireSession(m)
+	res, err := s.Match(gallery, probe)
+	res = detachResult(res)
+	s.Release()
+	return res, err
 }
 
 // estimateRigid computes the least-squares rigid transform (rotation +

@@ -76,18 +76,33 @@ func scoreFromPairing(matched int, meanResidual, tol float64, denom int) float64
 // the smaller template count prevents tiny accidental overlaps from
 // inflating impostor scores.
 func overlapDenom(gallery, probe *minutiae.Template, tr geom.Rigid) int {
+	// Both loops inline geom.Rigid.Apply with the rotation hoisted: the
+	// per-point expressions (rotate, scale, translate) are unchanged, so
+	// the counts are identical, but the trig runs twice per call instead
+	// of twice per minutia — this sits inside the matcher's per-candidate
+	// scoring loop.
 	inv := tr.Invert()
+	ic, is := math.Cos(inv.Theta), math.Sin(inv.Theta)
+	pw, ph := float64(probe.Width), float64(probe.Height)
 	gIn := 0
 	for _, g := range gallery.Minutiae {
-		p := inv.Apply(geom.Point{X: g.X, Y: g.Y})
-		if p.X >= 0 && p.X < float64(probe.Width) && p.Y >= 0 && p.Y < float64(probe.Height) {
+		x := (g.X*ic-g.Y*is)*inv.S + inv.T.X
+		y := (g.X*is+g.Y*ic)*inv.S + inv.T.Y
+		if x >= 0 && x < pw && y >= 0 && y < ph {
 			gIn++
 		}
 	}
+	ts := tr.S
+	if ts == 0 {
+		ts = 1
+	}
+	tc, tsn := math.Cos(tr.Theta), math.Sin(tr.Theta)
+	gw, gh := float64(gallery.Width), float64(gallery.Height)
 	pIn := 0
 	for _, q := range probe.Minutiae {
-		p := tr.Apply(geom.Point{X: q.X, Y: q.Y})
-		if p.X >= 0 && p.X < float64(gallery.Width) && p.Y >= 0 && p.Y < float64(gallery.Height) {
+		x := (q.X*tc-q.Y*tsn)*ts + tr.T.X
+		y := (q.X*tsn+q.Y*tc)*ts + tr.T.Y
+		if x >= 0 && x < gw && y >= 0 && y < gh {
 			pIn++
 		}
 	}

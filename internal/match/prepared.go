@@ -1,0 +1,188 @@
+package match
+
+import (
+	"math"
+
+	"fpinterop/internal/minutiae"
+)
+
+// Prepared is a gallery-side template preprocessed for the Hough
+// matcher hot path: the minutiae in structure-of-arrays layout (x, y,
+// angle slices feed the voting loop sequentially instead of striding
+// over the Minutia struct), the bounding box that sizes the translation
+// accumulator window, and a spatial bucket grid (CSR layout) that
+// replaces the O(n·m) pairing scan with a 3×3 neighbourhood probe.
+//
+// A Prepared is immutable after Prepare returns and safe for concurrent
+// use by any number of Sessions. Galleries build one per enrollment so
+// repeated probes against the same template skip the rebuild.
+type Prepared struct {
+	tpl *minutiae.Template
+	p   HoughMatcher // resolved params the grid was sized for
+
+	// Structure-of-arrays copy of tpl.Minutiae.
+	x, y, angle []float64
+
+	// Minutiae bounding box (undefined when the template is empty).
+	minX, maxX, minY, maxY float64
+
+	// Spatial bucket grid over the minutiae, CSR layout: cellStart has
+	// cols*rows+1 entries; cellItems[cellStart[c]:cellStart[c+1]] are the
+	// minutia indices in cell c (row-major cells, ascending index within
+	// a cell). Cell sizes are at least DistTol on each axis, so every
+	// minutia within DistTol of a point lies in the 3×3 neighbourhood of
+	// the point's cell.
+	cellStart          []int32
+	cellItems          []int32
+	cols, rows         int
+	invCellX, invCellY float64
+}
+
+// maxGridDim bounds the bucket grid to ≈√n cells per axis: finer cells
+// stop paying once they hold under one minutia each, and the cap keeps
+// the per-template grid memory O(n) even for sparse, spread-out
+// templates.
+func gridDim(n int) float64 {
+	d := math.Ceil(math.Sqrt(float64(n)))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// Prepare preprocesses a gallery-side template for repeated matching
+// under this matcher's parameters. The returned value aliases tpl;
+// callers that mutate templates after enrollment must re-Prepare.
+func (m *HoughMatcher) Prepare(tpl *minutiae.Template) *Prepared {
+	if tpl == nil {
+		return nil
+	}
+	g := &Prepared{}
+	g.build(m.params(), tpl)
+	return g
+}
+
+// Template returns the template this preparation was built from.
+func (g *Prepared) Template() *minutiae.Template { return g.tpl }
+
+// build (re)fills g from tpl, reusing g's slices — Sessions call it on
+// their scratch Prepared to keep the unprepared path allocation-free.
+func (g *Prepared) build(p HoughMatcher, tpl *minutiae.Template) {
+	g.tpl = tpl
+	g.p = p
+	ms := tpl.Minutiae
+	n := len(ms)
+	g.x = growFloats(g.x, n)
+	g.y = growFloats(g.y, n)
+	g.angle = growFloats(g.angle, n)
+	if n == 0 {
+		g.cols, g.rows = 0, 0
+		return
+	}
+	g.minX, g.maxX = ms[0].X, ms[0].X
+	g.minY, g.maxY = ms[0].Y, ms[0].Y
+	finite := true
+	for i, m := range ms {
+		g.x[i] = m.X
+		g.y[i] = m.Y
+		g.angle[i] = m.Angle
+		finite = finite && isFinite(m.X) && isFinite(m.Y) && isFinite(m.Angle)
+		if m.X < g.minX {
+			g.minX = m.X
+		}
+		if m.X > g.maxX {
+			g.maxX = m.X
+		}
+		if m.Y < g.minY {
+			g.minY = m.Y
+		}
+		if m.Y > g.maxY {
+			g.maxY = m.Y
+		}
+	}
+
+	if !finite {
+		// Non-finite coordinates (NaN slips through Template.Validate —
+		// its comparisons are all false) cannot size a grid; leave the
+		// preparation gridless and let the session fall back to the
+		// reference matcher, which is total over arbitrary floats.
+		g.cols, g.rows = 0, 0
+		return
+	}
+
+	// Cell sizes: never below the pairing tolerance radius |DistTol|
+	// (the 3×3 coverage guarantee — the distance gate compares squared
+	// values, so a negative tolerance still admits pairs within its
+	// magnitude), never so fine that the grid outgrows the minutia
+	// count.
+	dim := gridDim(n)
+	tol := math.Abs(p.DistTol)
+	cellX := tol
+	if s := (g.maxX - g.minX) / dim; s > cellX {
+		cellX = s
+	}
+	cellY := tol
+	if s := (g.maxY - g.minY) / dim; s > cellY {
+		cellY = s
+	}
+	if !(cellX > 0) || !isFinite(cellX) || !(cellY > 0) || !isFinite(cellY) {
+		// Degenerate tolerance (NaN, or zero with a point-like bounding
+		// box): no usable grid; the session falls back to the reference
+		// matcher.
+		g.cols, g.rows = 0, 0
+		return
+	}
+	g.invCellX = 1 / cellX
+	g.invCellY = 1 / cellY
+	g.cols = int((g.maxX-g.minX)*g.invCellX) + 1
+	g.rows = int((g.maxY-g.minY)*g.invCellY) + 1
+
+	cells := g.cols * g.rows
+	if cap(g.cellStart) < cells+1 {
+		g.cellStart = make([]int32, cells+1)
+	} else {
+		g.cellStart = g.cellStart[:cells+1]
+		clear(g.cellStart)
+	}
+	g.cellItems = growInt32(g.cellItems, n)
+	// Counting sort into CSR: count, prefix-sum, place (which shifts the
+	// offsets one cell forward), then shift back.
+	for i := 0; i < n; i++ {
+		g.cellStart[g.cellOf(g.x[i], g.y[i])+1]++
+	}
+	for c := 1; c <= cells; c++ {
+		g.cellStart[c] += g.cellStart[c-1]
+	}
+	for i := 0; i < n; i++ {
+		c := g.cellOf(g.x[i], g.y[i])
+		g.cellItems[g.cellStart[c]] = int32(i)
+		g.cellStart[c]++
+	}
+	copy(g.cellStart[1:], g.cellStart[:cells])
+	g.cellStart[0] = 0
+}
+
+// cellOf maps an in-bounds minutia position to its grid cell.
+func (g *Prepared) cellOf(x, y float64) int {
+	cx := int((x - g.minX) * g.invCellX)
+	cy := int((y - g.minY) * g.invCellY)
+	return cy*g.cols + cx
+}
+
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}

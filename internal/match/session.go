@@ -1,0 +1,526 @@
+package match
+
+import (
+	"math"
+	"slices"
+	"sync"
+
+	"fpinterop/internal/geom"
+	"fpinterop/internal/minutiae"
+)
+
+// maxAccCells bounds the flat Hough accumulator (128 MiB of int32 at
+// the limit). Templates from real sensors stay thousands of times below
+// it; a pathological template whose window would exceed the bound falls
+// back to the sparse reference matcher, which computes the identical
+// result in O(pairs) memory.
+const maxAccCells = 1 << 25
+
+// Session holds every piece of scratch state the Hough matcher hot path
+// needs — flat vote accumulator, touched-cell list, per-probe rotation
+// tables, top-K heap, pairing grid and candidate buffers, used-sets,
+// and the pairs arena — so a steady-state match performs zero heap
+// allocations. A Session is NOT safe for concurrent use; run one per
+// goroutine (gallery scans, study workers, and service handlers each
+// hold their own), or borrow one from the shared pool with
+// AcquireSession/Release.
+//
+// Results returned by Session methods alias session-owned memory:
+// Result.Pairs is valid only until the session's next match. Callers
+// that retain pairs must copy them (HoughMatcher.Match does).
+type Session struct {
+	p        HoughMatcher // resolved params
+	rotStep  float64
+	invShift float64
+	cosTab   []float64
+	sinTab   []float64
+
+	// Voting scratch.
+	rotX, rotY []float64 // rotated probe coords, [probe index][rot bin]
+	votes      []int32   // flat accumulator, all-zero between matches
+	touched    []int32   // flat indices of non-zero cells this match
+	top        []accCell // bounded min-heap, then sorted candidates
+
+	// Gallery-side scratch for the unprepared path.
+	scratch Prepared
+
+	// Pairing scratch.
+	cands        []pairCand
+	usedG, usedQ []bool
+	arena        [][2]int // backing storage for every Result.Pairs this match
+}
+
+// accCell is one accumulator candidate: its packed (rot, tx, ty) key
+// and vote count.
+type accCell struct {
+	key   uint64
+	votes int32
+}
+
+// pairCand is one tolerance-gated pairing candidate. Distances are kept
+// squared; the square root is taken only for the pairs that survive
+// greedy selection.
+type pairCand struct {
+	d2   float64
+	g, q int32
+}
+
+// NewSession returns a dedicated session for the given matcher's
+// parameters (nil means production defaults). Dedicated sessions suit
+// long-lived single-goroutine loops; for ad-hoc concurrent use prefer
+// AcquireSession.
+func NewSession(m *HoughMatcher) *Session {
+	if m == nil {
+		m = &HoughMatcher{}
+	}
+	s := &Session{}
+	s.configure(m.params())
+	return s
+}
+
+var sessionPool = sync.Pool{New: func() any { return &Session{} }}
+
+// AcquireSession borrows a session configured for m from the shared
+// pool. Return it with Release when done; any Result obtained from it
+// becomes invalid at that point.
+func AcquireSession(m *HoughMatcher) *Session {
+	if m == nil {
+		m = &HoughMatcher{}
+	}
+	s := sessionPool.Get().(*Session)
+	if p := m.params(); s.p != p {
+		s.configure(p)
+	}
+	return s
+}
+
+// maxRetainedCells bounds the accumulator capacity a pooled session
+// keeps between uses (16 MiB of int32). One spread-out template may
+// legitimately demand a window up to maxAccCells for its own match,
+// but letting every session retain that forever would pin
+// GOMAXPROCS × 128 MiB after a handful of outliers; typical sensor
+// templates need well under a megabyte.
+const maxRetainedCells = 1 << 22
+
+// Release returns the session to the shared pool.
+func (s *Session) Release() {
+	if cap(s.votes) > maxRetainedCells {
+		s.votes = nil
+	}
+	sessionPool.Put(s)
+}
+
+// detachResult copies the scratch-aliasing state (Pairs) out of a
+// session Result so it stays valid after the session is reused or
+// released. Every acquire-match-release wrapper must go through this.
+func detachResult(res Result) Result {
+	if len(res.Pairs) > 0 {
+		res.Pairs = append([][2]int(nil), res.Pairs...)
+	}
+	return res
+}
+
+// MatchPreparedOnce runs a single comparison against a prepared
+// gallery template on a pooled session and returns a detached Result
+// that stays valid indefinitely. Hot loops should hold a Session and
+// call MatchPrepared directly instead.
+func MatchPreparedOnce(m *HoughMatcher, gallery *Prepared, probe *minutiae.Template) (Result, error) {
+	s := AcquireSession(m)
+	res, err := s.MatchPrepared(gallery, probe)
+	res = detachResult(res)
+	s.Release()
+	return res, err
+}
+
+// configure resolves parameters and rebuilds the rotation tables. The
+// accumulator and pairing scratch carry over; they are sized per match.
+func (s *Session) configure(p HoughMatcher) {
+	s.p = p
+	s.rotStep = 2 * math.Pi / float64(p.RotBins)
+	s.invShift = 1 / p.ShiftBin
+	s.cosTab = growFloats(s.cosTab, p.RotBins)
+	s.sinTab = growFloats(s.sinTab, p.RotBins)
+	for b := 0; b < p.RotBins; b++ {
+		theta := (float64(b) + 0.5) * s.rotStep
+		s.cosTab[b] = math.Cos(theta)
+		s.sinTab[b] = math.Sin(theta)
+	}
+}
+
+// Match compares gallery and probe like HoughMatcher.Match, reusing the
+// session's scratch. Result.Pairs aliases session memory and is valid
+// only until the next call on this session.
+func (s *Session) Match(gallery, probe *minutiae.Template) (Result, error) {
+	if gallery == nil || probe == nil {
+		return Result{}, ErrNilTemplate
+	}
+	if len(gallery.Minutiae) == 0 || len(probe.Minutiae) == 0 {
+		return Result{}, nil
+	}
+	s.scratch.build(s.p, gallery)
+	return s.run(&s.scratch, probe)
+}
+
+// MatchPrepared is Match with the gallery-side preprocessing already
+// done (see HoughMatcher.Prepare). A preparation built under different
+// matcher parameters is rebuilt into session scratch, so the result is
+// always the session's own parameterization.
+func (s *Session) MatchPrepared(gallery *Prepared, probe *minutiae.Template) (Result, error) {
+	if gallery == nil || gallery.tpl == nil || probe == nil {
+		return Result{}, ErrNilTemplate
+	}
+	if len(gallery.tpl.Minutiae) == 0 || len(probe.Minutiae) == 0 {
+		return Result{}, nil
+	}
+	if gallery.p != s.p {
+		s.scratch.build(s.p, gallery.tpl)
+		return s.run(&s.scratch, probe)
+	}
+	return s.run(gallery, probe)
+}
+
+// run is the optimized hot path. It must return results bit-identical
+// to referenceMatch (the differential tests enforce this): identical
+// vote binning arithmetic, identical top-K selection order (votes
+// descending, packed key ascending), identical candidate ordering in
+// the pairing, and the same refinement and best-result tie-breaks.
+func (s *Session) run(g *Prepared, probe *minutiae.Template) (Result, error) {
+	ga := g.tpl.Minutiae
+	pr := probe.Minutiae
+	p := s.p
+	rotBins := p.RotBins
+
+	// --- Accumulator window: translations are bounded by the gallery
+	// minutiae bounding box ± the probe's maximal rotation radius. One
+	// guard bin on each side absorbs last-ulp rounding of the rotated
+	// coordinates.
+	maxR2 := 0.0
+	for _, b := range pr {
+		r2 := b.X*b.X + b.Y*b.Y
+		if !(r2 < math.Inf(1)) || !isFinite(b.Angle) {
+			// Non-finite probe geometry would index the accumulator and
+			// rotation tables with garbage; the reference matcher is
+			// total over arbitrary floats.
+			m := s.p
+			return m.referenceMatch(g.tpl, probe)
+		}
+		if r2 > maxR2 {
+			maxR2 = r2
+		}
+	}
+	r := math.Sqrt(maxR2)
+	txLo := math.Floor((g.minX - r) * s.invShift)
+	txHi := math.Floor((g.maxX + r) * s.invShift)
+	tyLo := math.Floor((g.minY - r) * s.invShift)
+	tyHi := math.Floor((g.maxY + r) * s.invShift)
+	// Gridless preparations (non-finite coordinates), non-positive or
+	// non-finite bin sizes (invShift must be a positive finite scale for
+	// the window arithmetic to mean anything), and windows whose bin
+	// bounds are non-finite or would overflow int32 go to the reference
+	// matcher, which is total over arbitrary floats; the int32
+	// conversions below are well-defined only inside this guard.
+	const binRange = 1 << 30
+	if g.cols == 0 || !(s.invShift > 0) || !isFinite(s.invShift) ||
+		!(txLo >= -binRange && txHi <= binRange && tyLo >= -binRange && tyHi <= binRange) {
+		m := s.p
+		return m.referenceMatch(g.tpl, probe)
+	}
+	txMin := int32(txLo) - 1
+	txMax := int32(txHi) + 1
+	tyMin := int32(tyLo) - 1
+	tyMax := int32(tyHi) + 1
+	txBins := int(txMax-txMin) + 1
+	tyBins := int(tyMax-tyMin) + 1
+	if txBins > 1<<16 || tyBins > 1<<16 {
+		// packKey wraps translation bins into 16 bits: the reference's
+		// map accumulator merges bins 2^16 apart while the flat layout
+		// would keep them distinct, so wider windows must take the
+		// reference path to preserve identity.
+		m := s.p
+		return m.referenceMatch(g.tpl, probe)
+	}
+	if cells := int64(rotBins) * int64(txBins) * int64(tyBins); cells > maxAccCells || cells <= 0 {
+		m := s.p
+		return m.referenceMatch(g.tpl, probe)
+	}
+	cells := rotBins * txBins * tyBins
+	if cap(s.votes) < cells {
+		s.votes = make([]int32, cells) // zeroed; the invariant below keeps it so
+	} else {
+		s.votes = s.votes[:cells]
+	}
+
+	// --- Per-probe-minutia rotated coordinates, one entry per rotation
+	// bin: the voting inner loop then rotates by table lookup. The
+	// expressions mirror referenceMatch exactly.
+	nRot := len(pr) * rotBins
+	s.rotX = growFloats(s.rotX, nRot)
+	s.rotY = growFloats(s.rotY, nRot)
+	for j, b := range pr {
+		base := j * rotBins
+		for rb := 0; rb < rotBins; rb++ {
+			c, sn := s.cosTab[rb], s.sinTab[rb]
+			s.rotX[base+rb] = b.X*c - b.Y*sn
+			s.rotY[base+rb] = b.X*sn + b.Y*c
+		}
+	}
+
+	// --- Vote. Every (probe, gallery) pair proposes the rigid transform
+	// mapping the probe minutia exactly onto the gallery one. The
+	// touched list records first-time cells so reset cost is O(votes),
+	// not O(window).
+	twoPi := 2 * math.Pi
+	gx, gy, gAngle := g.x, g.y, g.angle
+	touched := s.touched[:0]
+	for j, b := range pr {
+		base := j * rotBins
+		ba := b.Angle
+		for i := range gx {
+			dTheta := gAngle[i] - ba
+			if dTheta < 0 {
+				dTheta += twoPi
+			}
+			if dTheta >= twoPi {
+				dTheta -= twoPi
+			}
+			rot := int(dTheta / s.rotStep)
+			if rot >= rotBins {
+				rot = rotBins - 1
+			}
+			tx := int32(math.Floor((gx[i] - s.rotX[base+rot]) * s.invShift))
+			ty := int32(math.Floor((gy[i] - s.rotY[base+rot]) * s.invShift))
+			idx := (rot*tyBins+int(ty-tyMin))*txBins + int(tx-txMin)
+			if s.votes[idx] == 0 {
+				touched = append(touched, int32(idx))
+			}
+			s.votes[idx]++
+		}
+	}
+	s.touched = touched
+
+	// --- Top-K cells via a bounded min-heap ordered worst-first (fewest
+	// votes, then largest key): a touched cell with fewer votes than the
+	// root is rejected without even computing its key.
+	nCand := p.Candidates
+	planeSize := txBins * tyBins
+	keyOf := func(idx int32) uint64 {
+		rot := int(idx) / planeSize
+		rem := int(idx) - rot*planeSize
+		ty := int32(rem/txBins) + tyMin
+		tx := int32(rem%txBins) + txMin
+		return packKey(int32(rot), tx, ty)
+	}
+	top := s.top[:0]
+	for _, idx := range touched {
+		v := s.votes[idx]
+		if len(top) < nCand {
+			top = append(top, accCell{key: keyOf(idx), votes: v})
+			siftUp(top, len(top)-1)
+			continue
+		}
+		if v < top[0].votes {
+			continue
+		}
+		k := keyOf(idx)
+		if v == top[0].votes && k > top[0].key {
+			continue
+		}
+		top[0] = accCell{key: k, votes: v}
+		siftDown(top, 0)
+	}
+	s.top = top
+
+	// Restore the all-zero accumulator invariant before scoring.
+	for _, idx := range touched {
+		s.votes[idx] = 0
+	}
+	s.touched = touched[:0]
+
+	// Order candidates exactly as the reference's sorted scan: votes
+	// descending, packed key ascending.
+	slices.SortFunc(top, func(a, b accCell) int {
+		if a.votes != b.votes {
+			return int(b.votes - a.votes)
+		}
+		if a.key < b.key {
+			return -1
+		}
+		if a.key > b.key {
+			return 1
+		}
+		return 0
+	})
+
+	// --- Pairing scratch: the arena must hold every scoring round's
+	// pairs of this match without reallocating, so Results handed out
+	// earlier in the loop stay intact.
+	maxPairs := len(ga)
+	if len(pr) < maxPairs {
+		maxPairs = len(pr)
+	}
+	if need := 2 * len(top) * maxPairs; cap(s.arena) < need {
+		s.arena = make([][2]int, 0, need)
+	}
+	s.arena = s.arena[:0]
+	if cap(s.usedG) < len(ga) {
+		s.usedG = make([]bool, len(ga))
+	}
+	if cap(s.usedQ) < len(pr) {
+		s.usedQ = make([]bool, len(pr))
+	}
+
+	best := Result{}
+	for _, cell := range top {
+		rot, tx, ty := unpackKey(cell.key)
+		tr := geom.Rigid{
+			Theta: (float64(rot) + 0.5) * s.rotStep,
+			T: geom.Point{
+				X: (float64(tx) + 0.5) * p.ShiftBin,
+				Y: (float64(ty) + 0.5) * p.ShiftBin,
+			},
+			S: 1,
+		}
+		res := s.scorePairing(g, probe, tr)
+		// One refinement round: re-estimate the transform from the pairs
+		// and re-pair. Helps recover from coarse accumulator bins.
+		if res.Matched >= 3 {
+			if refined, ok := estimateRigid(ga, pr, res.Pairs); ok {
+				res2 := s.scorePairing(g, probe, refined)
+				if res2.Score > res.Score {
+					res = res2
+				}
+			}
+		}
+		if res.Score > best.Score || (best.Matched == 0 && res.Matched > 0) {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+// scorePairing pairs minutiae under the transform and scores the
+// pairing, probing the gallery grid 3×3 instead of scanning every
+// gallery minutia. Pairs are appended to the session arena.
+func (s *Session) scorePairing(g *Prepared, probe *minutiae.Template, tr geom.Rigid) Result {
+	ga, pr := g.tpl.Minutiae, probe.Minutiae
+	cands := s.cands[:0]
+	c0, s0 := math.Cos(tr.Theta), math.Sin(tr.Theta)
+	tol2 := s.p.DistTol * s.p.DistTol
+	for j, b := range pr {
+		tx := b.X*c0 - b.Y*s0 + tr.T.X
+		ty := b.X*s0 + b.Y*c0 + tr.T.Y
+		ta := b.Angle + tr.Theta
+		cx := int(math.Floor((tx - g.minX) * g.invCellX))
+		cy := int(math.Floor((ty - g.minY) * g.invCellY))
+		for row := cy - 1; row <= cy+1; row++ {
+			if row < 0 || row >= g.rows {
+				continue
+			}
+			lo, hi := cx-1, cx+1
+			if lo < 0 {
+				lo = 0
+			}
+			if hi >= g.cols {
+				hi = g.cols - 1
+			}
+			if lo > hi {
+				continue
+			}
+			// Row-major CSR: the row's 3-cell neighbourhood is one
+			// contiguous item range.
+			rowBase := row * g.cols
+			for _, gi := range g.cellItems[g.cellStart[rowBase+lo]:g.cellStart[rowBase+hi+1]] {
+				dx := tx - g.x[gi]
+				dy := ty - g.y[gi]
+				d2 := dx*dx + dy*dy
+				if d2 > tol2 {
+					continue
+				}
+				if angleDiff(ta, g.angle[gi]) > s.p.AngleTol {
+					continue
+				}
+				cands = append(cands, pairCand{d2: d2, g: gi, q: int32(j)})
+			}
+		}
+	}
+	s.cands = cands
+	sortPairCands(cands)
+	usedG := s.usedG[:len(ga)]
+	usedQ := s.usedQ[:len(pr)]
+	clear(usedG)
+	clear(usedQ)
+	start := len(s.arena)
+	sumD := 0.0
+	for _, c := range cands {
+		if usedG[c.g] || usedQ[c.q] {
+			continue
+		}
+		usedG[c.g] = true
+		usedQ[c.q] = true
+		s.arena = append(s.arena, [2]int{int(c.g), int(c.q)})
+		sumD += math.Sqrt(c.d2)
+	}
+	var pairs [][2]int
+	if n := len(s.arena) - start; n > 0 {
+		pairs = s.arena[start:len(s.arena):len(s.arena)]
+	}
+	res := Result{Matched: len(pairs), Transform: tr, Pairs: pairs}
+	if len(pairs) > 0 {
+		res.MeanResidual = sumD / float64(len(pairs))
+	}
+	res.Score = scoreFromPairing(len(pairs), res.MeanResidual, s.p.DistTol, overlapDenom(g.tpl, probe, tr))
+	return res
+}
+
+// sortPairCands orders candidates by squared distance with (gallery,
+// probe) index tie-breaks — the same total order the reference sort
+// produces, since x ↦ x² is monotone.
+func sortPairCands(cands []pairCand) {
+	slices.SortFunc(cands, func(a, b pairCand) int {
+		if a.d2 != b.d2 {
+			if a.d2 < b.d2 {
+				return -1
+			}
+			return 1
+		}
+		if a.g != b.g {
+			return int(a.g - b.g)
+		}
+		return int(a.q - b.q)
+	})
+}
+
+// worse reports whether a should sit below b in the worst-first heap:
+// fewer votes, or equal votes and a larger packed key.
+func worse(a, b accCell) bool {
+	return a.votes < b.votes || (a.votes == b.votes && a.key > b.key)
+}
+
+func siftUp(h []accCell, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !worse(h[i], h[parent]) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func siftDown(h []accCell, i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		w := l
+		if r := l + 1; r < len(h) && worse(h[r], h[l]) {
+			w = r
+		}
+		if !worse(h[w], h[i]) {
+			return
+		}
+		h[i], h[w] = h[w], h[i]
+		i = w
+	}
+}

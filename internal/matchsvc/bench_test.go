@@ -1,0 +1,93 @@
+package matchsvc
+
+// Allocation-reporting benchmarks for the RPC hot path: the shard
+// router fans every 1:N search across remote backends, so per-RPC
+// garbage on client and server multiplies by the shard count. The
+// frame-buffer pooling keeps the framing layer allocation-free; what
+// remains is the decoded template and the result payloads.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// benchService boots a loopback server with n enrollments and returns a
+// connected client.
+func benchService(b *testing.B, n int) *Client {
+	b.Helper()
+	srv := NewServer(nil, nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx) }()
+	b.Cleanup(func() {
+		cancel()
+		srv.Close()
+		<-done
+	})
+	cli, err := Dial(addr, 5*time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { cli.Close() })
+	tpls := testImpressions(b, n, "D0", 0)
+	items := make([]Enrollment, n)
+	for i, tpl := range tpls {
+		items[i] = Enrollment{ID: fmt.Sprintf("subj-%04d", i), DeviceID: "D0", Template: tpl}
+	}
+	if _, err := cli.EnrollBatch(items); err != nil {
+		b.Fatal(err)
+	}
+	return cli
+}
+
+// BenchmarkVerifyRPC measures one 1:1 verification round trip,
+// reporting allocations across client framing, server framing, decode,
+// and the pooled matcher session.
+func BenchmarkVerifyRPC(b *testing.B) {
+	cli := benchService(b, 8)
+	probe := testImpressions(b, 1, "D0", 1)[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cli.Verify(fmt.Sprintf("subj-%04d", i%8), probe); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIdentifyRPC measures one 1:N identification round trip
+// against a small gallery.
+func BenchmarkIdentifyRPC(b *testing.B) {
+	cli := benchService(b, 32)
+	probe := testImpressions(b, 1, "D0", 1)[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cands, err := cli.Identify(probe, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cands) == 0 {
+			b.Fatal("no candidates")
+		}
+	}
+}
+
+// BenchmarkPingRPC isolates the framing layer: after warm-up a ping
+// performs no per-request client-side allocations.
+func BenchmarkPingRPC(b *testing.B) {
+	cli := benchService(b, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cli.Ping(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -24,6 +24,10 @@ type Client struct {
 	broken      bool
 	closed      bool
 	timeout     time.Duration
+	// recv is the response frame buffer, reused across requests. Safe
+	// because responses are decoded under mu, before the next request
+	// can overwrite it.
+	recv []byte
 }
 
 // SetRequestTimeout bounds each round trip; zero (the default) means no
@@ -54,21 +58,24 @@ func (c *Client) Close() error {
 	return c.conn.Close()
 }
 
-// roundTrip sends one request and decodes the response payload. A
-// request over a connection broken by an earlier failure redials first;
-// the failure that broke the connection was already reported to its
-// caller, and a response frame can never be mistaken for a request's
-// because requests are serialized under the mutex.
-func (c *Client) roundTrip(op byte, payload []byte) (*payloadReader, error) {
+// roundTrip sends one request and decodes the response payload with
+// decode (nil when the caller only needs the status). The decode runs
+// under the client mutex because the response buffer is pooled: it must
+// not retain the reader or its bytes. A request over a connection
+// broken by an earlier failure redials first; the failure that broke
+// the connection was already reported to its caller, and a response
+// frame can never be mistaken for a request's because requests are
+// serialized under the mutex.
+func (c *Client) roundTrip(op byte, payload []byte, decode func(*payloadReader) error) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
-		return nil, fmt.Errorf("matchsvc: client closed")
+		return fmt.Errorf("matchsvc: client closed")
 	}
 	if c.broken {
 		conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
 		if err != nil {
-			return nil, fmt.Errorf("matchsvc: redial %s: %w", c.addr, err)
+			return fmt.Errorf("matchsvc: redial %s: %w", c.addr, err)
 		}
 		c.conn.Close()
 		c.conn = conn
@@ -76,39 +83,44 @@ func (c *Client) roundTrip(op byte, payload []byte) (*payloadReader, error) {
 	}
 	if c.timeout > 0 {
 		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
-			return nil, fmt.Errorf("matchsvc: set deadline: %w", err)
+			return fmt.Errorf("matchsvc: set deadline: %w", err)
 		}
 	}
 	if err := writeFrame(c.conn, op, payload); err != nil {
 		c.broken = true
-		return nil, err
+		return err
 	}
-	status, resp, err := readFrame(c.conn)
+	status, resp, err := readFrameInto(c.conn, c.recv)
 	if err != nil {
 		// Includes deadline expiry: a late response arriving after the
 		// caller gave up must not be read as the answer to the next
 		// request, so the connection is replaced, not reused.
 		c.broken = true
-		return nil, fmt.Errorf("matchsvc: read response: %w", err)
+		return fmt.Errorf("matchsvc: read response: %w", err)
 	}
-	r := &payloadReader{buf: resp}
+	if cap(resp) > cap(c.recv) {
+		c.recv = resp[:0]
+	}
+	r := payloadReader{buf: resp}
 	if status == StatusError {
 		msg, err := r.string()
 		if err != nil {
 			msg = "(malformed error payload)"
 		}
-		return nil, fmt.Errorf("%w: %s", ErrRemote, msg)
+		return fmt.Errorf("%w: %s", ErrRemote, msg)
 	}
 	if status != StatusOK {
-		return nil, fmt.Errorf("matchsvc: unknown status 0x%02x", status)
+		return fmt.Errorf("matchsvc: unknown status 0x%02x", status)
 	}
-	return r, nil
+	if decode == nil {
+		return nil
+	}
+	return decode(&r)
 }
 
 // Ping checks liveness.
 func (c *Client) Ping() error {
-	_, err := c.roundTrip(OpPing, nil)
-	return err
+	return c.roundTrip(OpPing, nil, nil)
 }
 
 // MatchResult is the service-side comparison outcome.
@@ -131,34 +143,36 @@ func decodeMatch(r *payloadReader) (MatchResult, error) {
 
 // Match compares two templates on the server.
 func (c *Client) Match(g, p *minutiae.Template) (MatchResult, error) {
-	var w payloadWriter
-	if err := w.template(g); err != nil {
+	fs := acquireFrameScratch()
+	defer releaseFrameScratch(fs)
+	if err := fs.w.template(g); err != nil {
 		return MatchResult{}, err
 	}
-	if err := w.template(p); err != nil {
+	if err := fs.w.template(p); err != nil {
 		return MatchResult{}, err
 	}
-	r, err := c.roundTrip(OpMatch, w.buf)
-	if err != nil {
-		return MatchResult{}, err
-	}
-	return decodeMatch(r)
+	var res MatchResult
+	err := c.roundTrip(OpMatch, fs.w.buf, func(r *payloadReader) (derr error) {
+		res, derr = decodeMatch(r)
+		return derr
+	})
+	return res, err
 }
 
 // Enroll registers a template under id.
 func (c *Client) Enroll(id, deviceID string, tpl *minutiae.Template) error {
-	var w payloadWriter
-	if err := w.string(id); err != nil {
+	fs := acquireFrameScratch()
+	defer releaseFrameScratch(fs)
+	if err := fs.w.string(id); err != nil {
 		return err
 	}
-	if err := w.string(deviceID); err != nil {
+	if err := fs.w.string(deviceID); err != nil {
 		return err
 	}
-	if err := w.template(tpl); err != nil {
+	if err := fs.w.template(tpl); err != nil {
 		return err
 	}
-	_, err := c.roundTrip(OpEnroll, w.buf)
-	return err
+	return c.roundTrip(OpEnroll, fs.w.buf, nil)
 }
 
 // Enrollment is one EnrollBatch item.
@@ -191,16 +205,17 @@ func (c *Client) enrollBatchChunked(items []Enrollment, budget int) (int, error)
 		if len(encoded) == 0 {
 			return nil
 		}
-		var w payloadWriter
-		w.uint32(uint32(len(encoded)))
+		fs := acquireFrameScratch()
+		defer releaseFrameScratch(fs)
+		fs.w.uint32(uint32(len(encoded)))
 		for _, e := range encoded {
-			w.buf = append(w.buf, e...)
+			fs.w.buf = append(fs.w.buf, e...)
 		}
-		r, err := c.roundTrip(OpEnrollBatch, w.buf)
-		if err != nil {
-			return err
-		}
-		n, err := r.uint32()
+		var n uint32
+		err := c.roundTrip(OpEnrollBatch, fs.w.buf, func(r *payloadReader) (derr error) {
+			n, derr = r.uint32()
+			return derr
+		})
 		if err != nil {
 			return err
 		}
@@ -239,60 +254,73 @@ func (c *Client) enrollBatchChunked(items []Enrollment, budget int) (int, error)
 
 // Verify compares a probe against one enrollment.
 func (c *Client) Verify(id string, probe *minutiae.Template) (MatchResult, error) {
-	var w payloadWriter
-	if err := w.string(id); err != nil {
+	fs := acquireFrameScratch()
+	defer releaseFrameScratch(fs)
+	if err := fs.w.string(id); err != nil {
 		return MatchResult{}, err
 	}
-	if err := w.template(probe); err != nil {
+	if err := fs.w.template(probe); err != nil {
 		return MatchResult{}, err
 	}
-	r, err := c.roundTrip(OpVerify, w.buf)
-	if err != nil {
-		return MatchResult{}, err
-	}
-	return decodeMatch(r)
+	var res MatchResult
+	err := c.roundTrip(OpVerify, fs.w.buf, func(r *payloadReader) (derr error) {
+		res, derr = decodeMatch(r)
+		return derr
+	})
+	return res, err
 }
 
 // Identify searches the gallery and returns the top-k candidates.
 func (c *Client) Identify(probe *minutiae.Template, k int) ([]gallery.Candidate, error) {
-	var w payloadWriter
-	w.uint32(uint32(k))
-	if err := w.template(probe); err != nil {
+	fs := acquireFrameScratch()
+	defer releaseFrameScratch(fs)
+	fs.w.uint32(uint32(k))
+	if err := fs.w.template(probe); err != nil {
 		return nil, err
 	}
-	r, err := c.roundTrip(OpIdentify, w.buf)
+	var cands []gallery.Candidate
+	err := c.roundTrip(OpIdentify, fs.w.buf, func(r *payloadReader) (derr error) {
+		cands, derr = decodeCandidates(r)
+		return derr
+	})
 	if err != nil {
 		return nil, err
 	}
-	return decodeCandidates(r)
+	return cands, nil
 }
 
 // IdentifyEx is Identify plus the server's retrieval statistics: how
 // large the gallery was, how many candidates the triplet index
 // shortlisted, and whether the indexed path served the search.
 func (c *Client) IdentifyEx(probe *minutiae.Template, k int) ([]gallery.Candidate, gallery.IdentifyStats, error) {
-	var w payloadWriter
-	w.uint32(uint32(k))
-	if err := w.template(probe); err != nil {
-		return nil, gallery.IdentifyStats{}, err
-	}
-	r, err := c.roundTrip(OpIdentifyEx, w.buf)
-	if err != nil {
+	fs := acquireFrameScratch()
+	defer releaseFrameScratch(fs)
+	fs.w.uint32(uint32(k))
+	if err := fs.w.template(probe); err != nil {
 		return nil, gallery.IdentifyStats{}, err
 	}
 	var stats gallery.IdentifyStats
-	var vals [4]uint32
-	for i := range vals {
-		if vals[i], err = r.uint32(); err != nil {
-			return nil, gallery.IdentifyStats{}, err
+	var cands []gallery.Candidate
+	err := c.roundTrip(OpIdentifyEx, fs.w.buf, func(r *payloadReader) error {
+		var vals [4]uint32
+		for i := range vals {
+			var derr error
+			if vals[i], derr = r.uint32(); derr != nil {
+				return derr
+			}
 		}
+		stats.GallerySize = int(vals[0])
+		stats.Shortlist = int(vals[1])
+		stats.Scanned = int(vals[2])
+		stats.Indexed = vals[3] != 0
+		var derr error
+		cands, derr = decodeCandidates(r)
+		return derr
+	})
+	if err != nil {
+		return nil, gallery.IdentifyStats{}, err
 	}
-	stats.GallerySize = int(vals[0])
-	stats.Shortlist = int(vals[1])
-	stats.Scanned = int(vals[2])
-	stats.Indexed = vals[3] != 0
-	cands, err := decodeCandidates(r)
-	return cands, stats, err
+	return cands, stats, nil
 }
 
 func decodeCandidates(r *payloadReader) ([]gallery.Candidate, error) {
@@ -300,7 +328,14 @@ func decodeCandidates(r *payloadReader) ([]gallery.Candidate, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]gallery.Candidate, 0, n)
+	// A candidate occupies at least 12 payload bytes; clamp the
+	// preallocation so a malformed count cannot demand gigabytes before
+	// the short-payload error surfaces.
+	capHint := n
+	if max := uint32(len(r.buf)-r.off) / 12; capHint > max {
+		capHint = max
+	}
+	out := make([]gallery.Candidate, 0, capHint)
 	for i := uint32(0); i < n; i++ {
 		id, err := r.string()
 		if err != nil {
@@ -321,21 +356,21 @@ func decodeCandidates(r *payloadReader) ([]gallery.Candidate, error) {
 
 // Remove deletes an enrollment.
 func (c *Client) Remove(id string) error {
-	var w payloadWriter
-	if err := w.string(id); err != nil {
+	fs := acquireFrameScratch()
+	defer releaseFrameScratch(fs)
+	if err := fs.w.string(id); err != nil {
 		return err
 	}
-	_, err := c.roundTrip(OpRemove, w.buf)
-	return err
+	return c.roundTrip(OpRemove, fs.w.buf, nil)
 }
 
 // Count returns the number of enrollments.
 func (c *Client) Count() (int, error) {
-	r, err := c.roundTrip(OpCount, nil)
-	if err != nil {
-		return 0, err
-	}
-	n, err := r.uint32()
+	var n uint32
+	err := c.roundTrip(OpCount, nil, func(r *payloadReader) (derr error) {
+		n, derr = r.uint32()
+		return derr
+	})
 	if err != nil {
 		return 0, err
 	}

@@ -32,7 +32,8 @@ func TestDispatchNeverPanics(t *testing.T) {
 				t.Fatalf("dispatch(0x%02x) panicked: %v", op, r)
 			}
 		}()
-		status, _ := srv.dispatch(op, payload)
+		var w payloadWriter
+		status, _ := srv.dispatch(op, payload, &w)
 		return status == StatusOK || status == StatusError
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {

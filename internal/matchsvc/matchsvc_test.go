@@ -47,7 +47,7 @@ func startServer(t *testing.T) (*Client, *Server) {
 }
 
 // testImpressions captures a small cohort on a device.
-func testImpressions(t *testing.T, n int, deviceID string, sample int) []*minutiae.Template {
+func testImpressions(t testing.TB, n int, deviceID string, sample int) []*minutiae.Template {
 	t.Helper()
 	cohort := population.NewCohort(rng.New(999), population.CohortOptions{Size: n})
 	dev, _ := sensor.ProfileByID(deviceID)

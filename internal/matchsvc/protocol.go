@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"fpinterop/internal/minutiae"
 )
@@ -91,8 +92,15 @@ func writeFrame(w io.Writer, op byte, payload []byte) error {
 	return nil
 }
 
-// readFrame reads one frame.
+// readFrame reads one frame into a fresh buffer.
 func readFrame(r io.Reader) (op byte, payload []byte, err error) {
+	return readFrameInto(r, nil)
+}
+
+// readFrameInto reads one frame, reusing buf's backing array when it is
+// large enough. The returned payload aliases the (possibly grown)
+// buffer; callers own its lifecycle.
+func readFrameInto(r io.Reader, buf []byte) (op byte, payload []byte, err error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err // EOF passes through for clean shutdown
@@ -101,12 +109,43 @@ func readFrame(r io.Reader) (op byte, payload []byte, err error) {
 	if n > maxFrame {
 		return 0, nil, ErrFrameTooLarge
 	}
-	payload = make([]byte, n)
+	if uint32(cap(buf)) >= n {
+		payload = buf[:n]
+	} else {
+		payload = make([]byte, n)
+	}
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return 0, nil, fmt.Errorf("matchsvc: read payload: %w", err)
 	}
 	return hdr[4], payload, nil
 }
+
+// frameScratch recycles the per-RPC frame state — an inbound payload
+// buffer and an outbound payload writer — so steady-state request
+// handling and request building stop allocating per message. Servers
+// hold one per connection; clients borrow one per request.
+type frameScratch struct {
+	in []byte
+	w  payloadWriter
+}
+
+var framePool = sync.Pool{New: func() any { return new(frameScratch) }}
+
+// acquireFrameScratch returns a scratch with an empty writer.
+func acquireFrameScratch() *frameScratch {
+	fs := framePool.Get().(*frameScratch)
+	fs.w.buf = fs.w.buf[:0]
+	return fs
+}
+
+// keep retains a (possibly regrown) inbound payload buffer for reuse.
+func (fs *frameScratch) keep(payload []byte) {
+	if cap(payload) > cap(fs.in) {
+		fs.in = payload[:0]
+	}
+}
+
+func releaseFrameScratch(fs *frameScratch) { framePool.Put(fs) }
 
 // payloadWriter accumulates a request/response payload.
 type payloadWriter struct {

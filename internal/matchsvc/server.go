@@ -160,19 +160,27 @@ func (s *Server) Close() error {
 
 // handle serves one connection until EOF. Each request frame must
 // arrive — completely — within the idle timeout, so neither a silent
-// peer nor one dribbling a byte at a time can hold the handler.
+// peer nor one dribbling a byte at a time can hold the handler. Request
+// and response buffers come from the shared frame pool and are reused
+// across the connection's requests, so steady-state serving does not
+// allocate per RPC at the framing layer (decoded templates and result
+// payloads still do).
 func (s *Server) handle(conn net.Conn) error {
+	fs := acquireFrameScratch()
+	defer releaseFrameScratch(fs)
 	for {
 		if s.idleTimeout > 0 {
 			if err := conn.SetReadDeadline(time.Now().Add(s.idleTimeout)); err != nil {
 				return fmt.Errorf("matchsvc: set read deadline: %w", err)
 			}
 		}
-		op, payload, err := readFrame(conn)
+		op, payload, err := readFrameInto(conn, fs.in)
 		if err != nil {
 			return err
 		}
-		status, resp := s.dispatch(op, payload)
+		fs.keep(payload)
+		fs.w.buf = fs.w.buf[:0]
+		status, resp := s.dispatch(op, payload, &fs.w)
 		if s.idleTimeout > 0 {
 			// The response write gets the same bound: a peer that never
 			// drains its receive buffer must not pin the handler either.
@@ -186,10 +194,14 @@ func (s *Server) handle(conn net.Conn) error {
 	}
 }
 
-// dispatch executes one request and builds the response payload.
-func (s *Server) dispatch(op byte, payload []byte) (byte, []byte) {
+// dispatch executes one request and builds the response payload into w
+// (arriving empty; dispatch must not retain payload or w.buf past the
+// return — both are connection-scoped scratch).
+func (s *Server) dispatch(op byte, payload []byte, w *payloadWriter) (byte, []byte) {
 	fail := func(err error) (byte, []byte) {
-		var w payloadWriter
+		// A branch may have written part of a success payload before
+		// failing; the error response starts clean.
+		w.buf = w.buf[:0]
 		// Error strings are bounded by the frame cap; truncate defensively.
 		msg := err.Error()
 		if len(msg) > 1024 {
@@ -218,7 +230,6 @@ func (s *Server) dispatch(op byte, payload []byte) (byte, []byte) {
 		if err != nil {
 			return fail(err)
 		}
-		var w payloadWriter
 		w.float64(res.Score)
 		w.uint32(uint32(res.Matched))
 		return StatusOK, w.buf
@@ -254,7 +265,6 @@ func (s *Server) dispatch(op byte, payload []byte) (byte, []byte) {
 		if err != nil {
 			return fail(err)
 		}
-		var w payloadWriter
 		w.float64(res.Score)
 		w.uint32(uint32(res.Matched))
 		return StatusOK, w.buf
@@ -276,7 +286,6 @@ func (s *Server) dispatch(op byte, payload []byte) (byte, []byte) {
 			s.logger.Printf("identify: shortlist %d of %d enrollments (scanned %d)",
 				stats.Shortlist, stats.GallerySize, stats.Scanned)
 		}
-		var w payloadWriter
 		if op == OpIdentifyEx {
 			w.uint32(uint32(stats.GallerySize))
 			w.uint32(uint32(stats.Shortlist))
@@ -322,7 +331,6 @@ func (s *Server) dispatch(op byte, payload []byte) (byte, []byte) {
 				return fail(fmt.Errorf("batch item %d (%d enrolled): %w", i, i, err))
 			}
 		}
-		var w payloadWriter
 		w.uint32(n)
 		return StatusOK, w.buf
 
@@ -337,7 +345,6 @@ func (s *Server) dispatch(op byte, payload []byte) (byte, []byte) {
 		return StatusOK, nil
 
 	case OpCount:
-		var w payloadWriter
 		w.uint32(uint32(s.store.Len()))
 		return StatusOK, w.buf
 

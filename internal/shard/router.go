@@ -98,6 +98,17 @@ type Router struct {
 	ring     *ring
 	opt      Options
 	health   []*health
+
+	// scratch recycles per-identification fan-out state (answer slots
+	// and target lists) across searches; the per-worker matcher scratch
+	// itself lives in each local shard's gallery sessions.
+	scratch sync.Pool
+}
+
+// identifyScratch is the reusable fan-out state of one identification.
+type identifyScratch struct {
+	answers []shardAnswer
+	targets []int
 }
 
 // New builds a router over the given backends. Backend names must be
@@ -381,7 +392,21 @@ func (r *Router) IdentifyDetailed(probe *minutiae.Template, k int) ([]gallery.Ca
 	}
 	n := len(r.backends)
 	stats := IdentifyStats{PerShard: make([]ShardIdentifyStats, n)}
-	targets := make([]int, 0, n)
+	sc, _ := r.scratch.Get().(*identifyScratch)
+	if sc == nil {
+		sc = &identifyScratch{}
+	}
+	if cap(sc.answers) < n {
+		sc.answers = make([]shardAnswer, n)
+	}
+	defer func() {
+		// Drop candidate references before pooling so a recycled scratch
+		// cannot pin a previous search's shortlists in memory.
+		clear(sc.answers[:cap(sc.answers)])
+		sc.targets = sc.targets[:0]
+		r.scratch.Put(sc)
+	}()
+	targets := sc.targets[:0]
 	for i := range r.backends {
 		stats.PerShard[i].Shard = r.backends[i].Name()
 		if r.isDegraded(i) {
@@ -395,8 +420,9 @@ func (r *Router) IdentifyDetailed(probe *minutiae.Template, k int) ([]gallery.Ca
 		}
 		targets = append(targets, i)
 	}
+	sc.targets = targets
 
-	answers := make([]shardAnswer, n)
+	answers := sc.answers[:n]
 	var (
 		wg   sync.WaitGroup
 		mu   sync.Mutex

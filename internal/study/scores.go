@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"fpinterop/internal/match"
 	"fpinterop/internal/nfiq"
 	"fpinterop/internal/rng"
 )
@@ -147,6 +148,11 @@ func GenerateScores(ds *Dataset) (*ScoreSets, error) {
 	}
 
 	scores := make([]Score, len(jobs))
+	// When the study runs the primary matcher, each worker holds one
+	// pooled match session for its whole chunk: the hot path then does
+	// zero allocations per comparison (only Score is read, so the
+	// session-scoped Result aliasing is safe).
+	hough, _ := cfg.Matcher.(*match.HoughMatcher)
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
@@ -165,11 +171,22 @@ func GenerateScores(ds *Dataset) (*ScoreSets, error) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			var sess *match.Session
+			if hough != nil {
+				sess = match.AcquireSession(hough)
+				defer sess.Release()
+			}
 			for i := lo; i < hi; i++ {
 				j := jobs[i]
 				g := ds.Impression(j.subjG, j.devG, j.sampG)
 				p := ds.Impression(j.subjP, j.devP, j.sampP)
-				res, err := cfg.Matcher.Match(g.Template, p.Template)
+				var res match.Result
+				var err error
+				if sess != nil {
+					res, err = sess.Match(g.Template, p.Template)
+				} else {
+					res, err = cfg.Matcher.Match(g.Template, p.Template)
+				}
 				if err != nil {
 					// Keep working through the chunk: a bailing worker
 					// would silently leave every remaining comparison as a
