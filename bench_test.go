@@ -12,6 +12,7 @@ package fpinterop
 // for quick runs.
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strconv"
@@ -837,12 +838,12 @@ func shardBenchRouter(b *testing.B, n, shards int) (*shard.Router, []*minutiae.T
 		items[i] = shard.Enrollment{ID: fmt.Sprintf("subject-%06d", i), DeviceID: "D0", Template: idxBenchTpls[i]}
 	}
 	start := time.Now()
-	if err := router.EnrollBatch(items); err != nil {
+	if err := router.EnrollBatch(context.Background(), items); err != nil {
 		b.Fatal(err)
 	}
 	sizes := make([]string, shards)
 	for i, bk := range router.Backends() {
-		sz, _ := bk.Len()
+		sz, _ := bk.Len(context.Background())
 		sizes[i] = fmt.Sprintf("%d", sz)
 	}
 	printArtifact(key, fmt.Sprintf(
@@ -868,7 +869,7 @@ func BenchmarkExtensionShardedIdentify(b *testing.B) {
 				b.ResetTimer()
 				scannedSum := 0
 				for i := 0; i < b.N; i++ {
-					cands, stats, err := router.IdentifyDetailed(probes[i%len(probes)], 5)
+					cands, stats, err := router.IdentifyDetailed(context.Background(), probes[i%len(probes)], 5)
 					if err != nil {
 						b.Fatal(err)
 					}

@@ -22,6 +22,11 @@
 // fanning every identification out to all healthy shards. The two are
 // mutually exclusive; a remote front leaves indexing (-index) and
 // persistence (-store) to the shard processes that own the data.
+//
+// matchd is the serving side of the public identity-service API:
+// consumers reach everything it hosts through fpis.Dial (one matchd)
+// or fpis.New with fpis.WithShards (a fleet of them), with per-request
+// deadlines and cancellation carried by context.Context.
 package main
 
 import (
@@ -106,10 +111,13 @@ func run(args []string) error {
 			if a == "" {
 				continue
 			}
-			cli, err := matchsvc.Dial(a, 5*time.Second)
+			dialCtx, dialCancel := context.WithTimeout(context.Background(), 5*time.Second)
+			cli, err := matchsvc.DialContext(dialCtx, a)
+			dialCancel()
 			if err != nil {
 				return fmt.Errorf("dial shard %s: %w", a, err)
 			}
+			cli.SetRedialTimeout(5 * time.Second)
 			defer cli.Close()
 			// A hung shard must not wedge the front: bound every round
 			// trip so abandoned scatter calls unwind instead of piling
@@ -194,7 +202,7 @@ func run(args []string) error {
 			}
 		}
 		if router != nil {
-			if err := router.EnrollBatch(items); err != nil {
+			if err := router.EnrollBatch(context.Background(), items); err != nil {
 				return fmt.Errorf("preload: %w", err)
 			}
 		} else {
@@ -215,7 +223,7 @@ func run(args []string) error {
 	}
 	if router != nil {
 		for i, b := range router.Backends() {
-			n, err := b.Len()
+			n, err := b.Len(context.Background())
 			if err != nil {
 				logger.Printf("shard %d (%s): unreachable: %v", i, b.Name(), err)
 				continue
@@ -246,7 +254,7 @@ func run(args []string) error {
 				case <-ctx.Done():
 					return
 				case <-ticker.C:
-					for i, err := range router.CheckHealth() {
+					for i, err := range router.CheckHealth(ctx) {
 						if err != nil {
 							logger.Printf("health probe: shard %d (%s): %v",
 								i, router.Backends()[i].Name(), err)

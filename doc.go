@@ -9,7 +9,17 @@
 // README.md for the architecture overview, DESIGN.md for the system
 // inventory, and EXPERIMENTS.md for paper-vs-measured results.
 //
-// The root package intentionally exports nothing; the implementation
-// lives under internal/ and is exercised through cmd/, examples/ and the
-// benchmark harness in bench_test.go.
+// The public API lives in the fpis subpackage: one context-aware
+// fpis.Service interface (Enroll, EnrollBatch, Remove, Verify,
+// Identify, IdentifyDetailed, Stats, Close) served by three
+// interchangeable implementations — a local in-process gallery
+// (fpis.New), a sharded scatter-gather tier (fpis.New with
+// fpis.WithLocalShards or fpis.WithShards), and a remote matchd
+// connection (fpis.Dial). Every call takes a context.Context first;
+// deadlines and cancellation propagate end to end, down to the
+// parallel exhaustive scan and the wire round trip.
+//
+// This root package itself exports nothing: the measurement apparatus
+// stays under internal/ and is exercised through fpis, cmd/, examples/
+// and the benchmark harness in bench_test.go.
 package fpinterop

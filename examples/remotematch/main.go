@@ -1,20 +1,25 @@
 // Remote matching: the deployment shape the paper's discussion section
 // contemplates — a central matcher and gallery behind a network service,
 // with heterogeneous capture devices at the edge. This example starts the
-// service in-process, enrolls travellers captured on one sensor, then
-// verifies and identifies them from a *different* sensor over the wire.
-// It then preloads a larger gallery into two services — one exhaustive,
-// one with the minutia-triplet retrieval index — and contrasts their
-// identification latency (p50/p99 over the wire).
+// service in-process, then drives it purely through the public
+// fpis.Service facade: an enrollment desk and a verification kiosk each
+// hold an fpis.Dial connection, every request carries a context
+// deadline, and a deliberately tight deadline shows an in-flight 1:N
+// search being cancelled mid-scan. It then preloads a larger gallery
+// into two services — one exhaustive, one with the minutia-triplet
+// retrieval index — and contrasts their identification latency
+// (p50/p99 over the wire).
 package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"sort"
 	"time"
 
+	"fpinterop/fpis"
 	"fpinterop/internal/gallery"
 	"fpinterop/internal/matchsvc"
 	"fpinterop/internal/minutiae"
@@ -23,9 +28,10 @@ import (
 	"fpinterop/internal/sensor"
 )
 
-// startServer serves a store in-process and returns a connected client
-// plus a shutdown func.
-func startServer(store *gallery.Store) (*matchsvc.Client, func()) {
+// startServer serves a store in-process and returns its address plus a
+// shutdown func. This is the serving side (what cmd/matchd runs);
+// everything below it speaks fpis.
+func startServer(store *gallery.Store) (string, func()) {
 	srv := matchsvc.NewServer(store, nil)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
@@ -34,13 +40,7 @@ func startServer(store *gallery.Store) (*matchsvc.Client, func()) {
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ctx) }()
-	cli, err := matchsvc.Dial(addr, 2*time.Second)
-	if err != nil {
-		log.Fatal(err)
-	}
-	cli.SetRequestTimeout(time.Minute)
-	return cli, func() {
-		cli.Close()
+	return addr, func() {
 		cancel()
 		srv.Close()
 		<-done
@@ -98,13 +98,21 @@ func indexedIdentifyDemo(gallerySize, probeCount int) {
 		name  string
 		store *gallery.Store
 	}{{"exhaustive", exhaustive}, {"indexed", indexed}} {
-		cli, shutdown := startServer(cfg.store)
+		addr, shutdown := startServer(cfg.store)
+		svc, err := fpis.Dial(context.Background(), addr, fpis.WithRequestTimeout(time.Minute))
+		if err != nil {
+			log.Fatal(err)
+		}
 		lats := make([]time.Duration, 0, len(probes))
 		hits := 0
 		shortlistSum := 0
 		for i, probe := range probes {
+			// Each search gets its own deadline — the per-request
+			// control a central service needs under heavy traffic.
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 			start := time.Now()
-			cands, stats, err := cli.IdentifyEx(probe, 1)
+			cands, stats, err := svc.IdentifyDetailed(ctx, probe, 1)
+			cancel()
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -114,6 +122,7 @@ func indexedIdentifyDemo(gallerySize, probeCount int) {
 			}
 			shortlistSum += stats.Shortlist
 		}
+		svc.Close()
 		shutdown()
 		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 		fmt.Printf("%-12s %10v %10v %5d/%-2d %10.1f\n",
@@ -129,48 +138,46 @@ func main() {
 	log.SetFlags(0)
 
 	// Central service.
-	srv := matchsvc.NewServer(gallery.New(nil), nil)
-	addr, err := srv.Listen("127.0.0.1:0")
-	if err != nil {
-		log.Fatal(err)
-	}
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
-	done := make(chan error, 1)
-	go func() { done <- srv.Serve(ctx) }()
-	defer func() {
-		srv.Close()
-		<-done
-	}()
+	addr, shutdown := startServer(gallery.New(nil))
+	defer shutdown()
 	fmt.Printf("match service listening on %s\n", addr)
 
-	// Edge station 1: enrollment desk with a Guardian R2.
+	// Edge station 1: enrollment desk with a Guardian R2, connected
+	// through the public facade.
 	cohort := population.NewCohort(rng.New(365), population.CohortOptions{Size: 8})
 	enrollDev, _ := sensor.ProfileByID("D0")
-	enrollStation, err := matchsvc.Dial(addr, 2*time.Second)
+	dialCtx, dialCancel := context.WithTimeout(context.Background(), 2*time.Second)
+	enrollStation, err := fpis.Dial(dialCtx, addr, fpis.WithRequestTimeout(time.Minute))
+	dialCancel()
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer enrollStation.Close()
+	items := make([]fpis.Enrollment, len(cohort.Subjects))
 	for i, subj := range cohort.Subjects {
 		imp, err := enrollDev.CaptureSubject(subj, 0, sensor.CaptureOptions{})
 		if err != nil {
 			log.Fatal(err)
 		}
-		id := fmt.Sprintf("traveller-%02d", i)
-		if err := enrollStation.Enroll(id, enrollDev.ID, imp.Template); err != nil {
-			log.Fatal(err)
+		items[i] = fpis.Enrollment{
+			ID:       fmt.Sprintf("traveller-%02d", i),
+			DeviceID: enrollDev.ID,
+			Template: imp.Template,
 		}
 	}
-	n, err := enrollStation.Count()
+	ctx := context.Background()
+	if err := enrollStation.EnrollBatch(ctx, items); err != nil {
+		log.Fatal(err)
+	}
+	st, err := enrollStation.Stats(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("enrolled %d travellers on %s\n\n", n, enrollDev.Model)
+	fmt.Printf("enrolled %d travellers on %s\n\n", st.Enrollments, enrollDev.Model)
 
 	// Edge station 2: verification kiosk with a different sensor.
 	verifyDev, _ := sensor.ProfileByID("D3")
-	kiosk, err := matchsvc.Dial(addr, 2*time.Second)
+	kiosk, err := fpis.Dial(ctx, addr, fpis.WithRequestTimeout(time.Minute))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -185,11 +192,13 @@ func main() {
 			log.Fatal(err)
 		}
 		id := fmt.Sprintf("traveller-%02d", i)
-		res, err := kiosk.Verify(id, imp.Template)
+		reqCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		res, err := kiosk.Verify(reqCtx, id, imp.Template)
 		if err != nil {
 			log.Fatal(err)
 		}
-		cands, err := kiosk.Identify(imp.Template, 1)
+		cands, err := kiosk.Identify(reqCtx, imp.Template, 1)
+		cancel()
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -203,6 +212,19 @@ func main() {
 		fmt.Printf("%-14s %10.2f %8v %14s\n", id, res.Score, res.Score >= 7, top)
 	}
 	fmt.Printf("\nrank-1 identification across devices: %d/%d\n", hits, len(cohort.Subjects))
+
+	// Cancellation: an already-expired deadline unblocks immediately
+	// with the context's error instead of paying for the search.
+	expired, cancel := context.WithDeadline(ctx, time.Now().Add(-time.Millisecond))
+	probe, err := verifyDev.CaptureSubject(cohort.Subjects[0], 1, sensor.CaptureOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	_, err = kiosk.Identify(expired, probe.Template, 1)
+	cancel()
+	fmt.Printf("expired-deadline identify: err=%v (is deadline: %v) after %v\n",
+		err, errors.Is(err, context.DeadlineExceeded), time.Since(start).Round(time.Millisecond))
 
 	// Scale the gallery up and let the retrieval index earn its keep.
 	indexedIdentifyDemo(400, 25)

@@ -4,21 +4,23 @@
 // with per-device-pair thresholds, showing how per-pair calibration
 // equalizes FNMR across the fleet — one of the architecture questions the
 // paper's discussion section raises. It then enrolls the whole fleet
-// into a sharded central gallery (a consistent-hash router over three
-// shards) and shows scatter-gather identification returning the same
-// rank-1 answers as one monolithic store.
+// into a sharded central gallery — the public fpis.Service facade over
+// a consistent-hash router of three shards — and shows scatter-gather
+// identification returning the same rank-1 answers as the same facade
+// over one monolithic store.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
-	"fpinterop/internal/gallery"
+	"fpinterop/fpis"
 	"fpinterop/internal/match"
 	"fpinterop/internal/population"
 	"fpinterop/internal/rng"
 	"fpinterop/internal/sensor"
-	"fpinterop/internal/shard"
 	"fpinterop/internal/stats"
 )
 
@@ -113,41 +115,41 @@ func main() {
 
 	// --- Sharded central gallery -------------------------------------
 	// The fleet's enrollment device is D0 (first sample of everyone);
-	// the central gallery is partitioned across three shards. EnrollBatch
+	// the central gallery is the public fpis.Service facade, once over a
+	// single store and once partitioned across three shards. EnrollBatch
 	// groups the fleet's templates by owning shard, so a remote
 	// deployment ships one batch per shard instead of one round trip per
-	// subject.
+	// subject; every call carries a context deadline.
 	const shards = 3
-	backends := make([]shard.Backend, shards)
-	for i := range backends {
-		backends[i] = shard.NewLocal(fmt.Sprintf("shard-%d", i), gallery.New(nil))
-	}
-	router, err := shard.New(backends, shard.Options{})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	sharded, err := fpis.New(ctx, fpis.WithLocalShards(shards), fpis.WithShardTimeout(time.Minute))
 	if err != nil {
 		log.Fatal(err)
 	}
-	single := gallery.New(nil)
-	items := make([]shard.Enrollment, cohortSize)
+	defer sharded.Close()
+	single, err := fpis.New(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer single.Close()
+	items := make([]fpis.Enrollment, cohortSize)
 	for i := 0; i < cohortSize; i++ {
 		tpl := impressions["D0"][i][0].Template
 		id := fmt.Sprintf("subject-%04d", i)
-		items[i] = shard.Enrollment{ID: id, DeviceID: "D0", Template: tpl}
-		if err := single.Enroll(id, "D0", tpl); err != nil {
-			log.Fatal(err)
-		}
+		items[i] = fpis.Enrollment{ID: id, DeviceID: "D0", Template: tpl}
 	}
-	if err := router.EnrollBatch(items); err != nil {
+	if err := single.EnrollBatch(ctx, items); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nSharded central gallery: %d subjects across %d shards (", cohortSize, shards)
-	for i, b := range router.Backends() {
-		n, _ := b.Len()
-		if i > 0 {
-			fmt.Print("/")
-		}
-		fmt.Print(n)
+	if err := sharded.EnrollBatch(ctx, items); err != nil {
+		log.Fatal(err)
 	}
-	fmt.Println(" per shard)")
+	st, err := sharded.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nSharded central gallery: %d subjects across %d shards\n", st.Enrollments, st.Shards)
 
 	// Search cross-device probes (digID Mini second samples) through
 	// both paths; scatter-gather must reproduce the single store's
@@ -156,11 +158,11 @@ func main() {
 	agree, hits := 0, 0
 	for i := 0; i < probeN; i++ {
 		probe := impressions["D1"][i][1].Template
-		want, err := single.Identify(probe, 1)
+		want, err := single.Identify(ctx, probe, 1)
 		if err != nil {
 			log.Fatal(err)
 		}
-		got, stats, err := router.IdentifyDetailed(probe, 1)
+		got, stats, err := sharded.IdentifyDetailed(ctx, probe, 1)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,99 @@
+package fpis
+
+import (
+	"context"
+
+	"fpinterop/internal/gallery"
+	"fpinterop/internal/index"
+)
+
+// localService serves the facade from one in-process gallery store.
+type localService struct {
+	store *gallery.Store
+}
+
+// indexOptions translates the facade's index knobs to the store's.
+func indexOptions(c config) gallery.IndexOptions {
+	return gallery.IndexOptions{Index: index.Options{Fanout: c.indexFanout}}
+}
+
+func newLocal(cfg config) (Service, error) {
+	store := gallery.New(nil)
+	if cfg.setParallelism {
+		store.SetParallelism(cfg.parallelism)
+	}
+	if cfg.index {
+		if err := store.EnableIndex(indexOptions(cfg)); err != nil {
+			return nil, err
+		}
+	}
+	return &localService{store: store}, nil
+}
+
+func (s *localService) Enroll(ctx context.Context, id, deviceID string, tpl *Template) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return s.store.Enroll(id, deviceID, tpl)
+}
+
+func (s *localService) EnrollBatch(ctx context.Context, items []Enrollment) error {
+	for _, it := range items {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := s.store.Enroll(it.ID, it.DeviceID, it.Template); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *localService) Remove(ctx context.Context, id string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return s.store.Remove(id)
+}
+
+func (s *localService) Verify(ctx context.Context, id string, probe *Template) (MatchResult, error) {
+	return s.store.VerifyContext(ctx, id, probe)
+}
+
+func (s *localService) Identify(ctx context.Context, probe *Template, k int) ([]Candidate, error) {
+	return s.store.IdentifyContext(ctx, probe, k)
+}
+
+func (s *localService) IdentifyDetailed(ctx context.Context, probe *Template, k int) ([]Candidate, IdentifyStats, error) {
+	cands, st, err := s.store.IdentifyDetailedContext(ctx, probe, k)
+	if err != nil {
+		return nil, IdentifyStats{}, err
+	}
+	return cands, foldGalleryStats(st), nil
+}
+
+// foldGalleryStats lifts single-store retrieval statistics into the
+// facade shape (one shard, queried, full coverage).
+func foldGalleryStats(st gallery.IdentifyStats) IdentifyStats {
+	return IdentifyStats{
+		GallerySize:   st.GallerySize,
+		Shortlist:     st.Shortlist,
+		Scanned:       st.Scanned,
+		Indexed:       st.Indexed,
+		ShardsQueried: 1,
+	}
+}
+
+func (s *localService) Stats(ctx context.Context) (Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return Stats{}, err
+	}
+	_, indexed := s.store.IndexStats()
+	return Stats{
+		Enrollments: s.store.Len(),
+		Shards:      1,
+		Indexed:     indexed,
+	}, nil
+}
+
+func (s *localService) Close() error { return nil }

@@ -1,0 +1,204 @@
+package fpis
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Option configures Service construction (New and Dial). Options that
+// do not apply to the requested deployment shape are rejected at
+// construction time rather than silently ignored.
+type Option func(*config) error
+
+// config collects the functional options; set* flags distinguish "left
+// at default" from "explicitly configured" for applicability checks.
+type config struct {
+	index       bool
+	indexFanout int
+
+	localShards  int
+	remoteShards []string
+
+	parallelism    int
+	setParallelism bool
+
+	shardTimeout    time.Duration
+	setShardTimeout bool
+
+	requestTimeout    time.Duration
+	setRequestTimeout bool
+
+	dialTimeout    time.Duration
+	setDialTimeout bool
+
+	failClosed bool
+}
+
+// WithIndex enables the minutia-triplet retrieval index, so 1:N
+// identification searches a candidate shortlist instead of the whole
+// gallery. fanout is the shortlist size (<= 0 for the library
+// default). Applies to local stores — including each shard under
+// WithLocalShards — not to remote connections, where the index lives
+// in the serving process.
+func WithIndex(fanout int) Option {
+	return func(c *config) error {
+		if fanout < 0 {
+			return fmt.Errorf("fpis: WithIndex fanout must be >= 0, got %d", fanout)
+		}
+		c.index = true
+		c.indexFanout = fanout
+		return nil
+	}
+}
+
+// WithLocalShards partitions the gallery across n in-process stores
+// behind a consistent-hash router. Mutually exclusive with WithShards.
+func WithLocalShards(n int) Option {
+	return func(c *config) error {
+		if n <= 0 {
+			return fmt.Errorf("fpis: WithLocalShards needs n > 0, got %d", n)
+		}
+		c.localShards = n
+		return nil
+	}
+}
+
+// WithShards scatter-gathers over remote matchd processes at the given
+// addresses, routing enrollments by subject ID. Mutually exclusive
+// with WithLocalShards and WithIndex (indexing belongs to the shard
+// processes that own the data).
+func WithShards(addrs ...string) Option {
+	return func(c *config) error {
+		if len(addrs) == 0 {
+			return errors.New("fpis: WithShards needs at least one address")
+		}
+		c.remoteShards = append([]string(nil), addrs...)
+		return nil
+	}
+}
+
+// WithParallelism bounds the worker goroutines used for parallel work:
+// the exhaustive-scan fan-out inside each local store and the
+// scatter-gather fan-out across shards. n <= 0 restores the defaults
+// (GOMAXPROCS per store; one worker per shard).
+func WithParallelism(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			n = 0
+		}
+		c.parallelism = n
+		c.setParallelism = true
+		return nil
+	}
+}
+
+// WithShardTimeout bounds each shard's share of an identification; a
+// shard that misses the deadline is abandoned (and counts toward
+// degradation) while the healthy shards' answers are merged. Requires
+// a sharded deployment. 0 disables the per-shard deadline.
+func WithShardTimeout(d time.Duration) Option {
+	return func(c *config) error {
+		if d < 0 {
+			return fmt.Errorf("fpis: WithShardTimeout must be >= 0, got %v", d)
+		}
+		c.shardTimeout = d
+		c.setShardTimeout = true
+		return nil
+	}
+}
+
+// WithRequestTimeout sets the fallback wire round-trip bound used when
+// a call's context carries no deadline of its own. Applies to remote
+// connections (Dial and WithShards). 0 disables the fallback.
+func WithRequestTimeout(d time.Duration) Option {
+	return func(c *config) error {
+		if d < 0 {
+			return fmt.Errorf("fpis: WithRequestTimeout must be >= 0, got %v", d)
+		}
+		c.requestTimeout = d
+		c.setRequestTimeout = true
+		return nil
+	}
+}
+
+// WithDialTimeout bounds the transparent reconnects a remote
+// connection performs after a transport failure (the initial dial is
+// bounded by the constructor's context). Applies to remote
+// connections. 0 leaves reconnects bounded only by the request
+// context.
+func WithDialTimeout(d time.Duration) Option {
+	return func(c *config) error {
+		if d < 0 {
+			return fmt.Errorf("fpis: WithDialTimeout must be >= 0, got %v", d)
+		}
+		c.dialTimeout = d
+		c.setDialTimeout = true
+		return nil
+	}
+}
+
+// WithFailClosed makes sharded identification refuse to serve while
+// any shard is degraded or failing, instead of returning reduced
+// coverage flagged Partial — the integrity-first posture. Requires a
+// sharded deployment.
+func WithFailClosed() Option {
+	return func(c *config) error {
+		c.failClosed = true
+		return nil
+	}
+}
+
+func buildConfig(opts []Option) (config, error) {
+	var c config
+	for _, o := range opts {
+		if err := o(&c); err != nil {
+			return config{}, err
+		}
+	}
+	return c, nil
+}
+
+// checkNewConfig rejects option combinations meaningless for New's
+// deployment shapes.
+func checkNewConfig(c config) error {
+	if c.localShards > 0 && len(c.remoteShards) > 0 {
+		return errors.New("fpis: WithLocalShards and WithShards are mutually exclusive")
+	}
+	if len(c.remoteShards) > 0 && c.index {
+		return errors.New("fpis: WithIndex belongs on the shard processes, not the WithShards front")
+	}
+	if c.localShards == 0 && len(c.remoteShards) == 0 {
+		if c.setShardTimeout {
+			return errors.New("fpis: WithShardTimeout requires WithLocalShards or WithShards")
+		}
+		if c.failClosed {
+			return errors.New("fpis: WithFailClosed requires WithLocalShards or WithShards")
+		}
+	}
+	if len(c.remoteShards) == 0 && (c.setRequestTimeout || c.setDialTimeout) {
+		return errors.New("fpis: WithRequestTimeout/WithDialTimeout apply to remote connections only")
+	}
+	return nil
+}
+
+// checkDialConfig rejects options meaningless for a single remote
+// connection.
+func checkDialConfig(c config) error {
+	if c.index {
+		return errors.New("fpis: WithIndex belongs on the serving process, not a Dial client")
+	}
+	if c.localShards > 0 || len(c.remoteShards) > 0 {
+		return errors.New("fpis: WithLocalShards/WithShards do not apply to Dial; use New")
+	}
+	if c.setShardTimeout {
+		return errors.New("fpis: WithShardTimeout does not apply to Dial")
+	}
+	if c.failClosed {
+		return errors.New("fpis: WithFailClosed does not apply to Dial")
+	}
+	if c.setParallelism {
+		return errors.New("fpis: WithParallelism is a serving-side knob; it does not apply to Dial")
+	}
+	return nil
+}

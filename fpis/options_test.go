@@ -1,0 +1,116 @@
+package fpis
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestOptionValidation pins the construction-time rejection of
+// inapplicable or contradictory options.
+func TestOptionValidation(t *testing.T) {
+	ctx := context.Background()
+	rejected := []struct {
+		name string
+		do   func() error
+	}{
+		{"local shards and remote shards", func() error {
+			_, err := New(ctx, WithLocalShards(2), WithShards("127.0.0.1:1"))
+			return err
+		}},
+		{"index on remote-shard front", func() error {
+			_, err := New(ctx, WithShards("127.0.0.1:1"), WithIndex(0))
+			return err
+		}},
+		{"shard timeout without shards", func() error {
+			_, err := New(ctx, WithShardTimeout(time.Second))
+			return err
+		}},
+		{"fail-closed without shards", func() error {
+			_, err := New(ctx, WithFailClosed())
+			return err
+		}},
+		{"request timeout on local service", func() error {
+			_, err := New(ctx, WithRequestTimeout(time.Second))
+			return err
+		}},
+		{"zero local shards", func() error {
+			_, err := New(ctx, WithLocalShards(0))
+			return err
+		}},
+		{"empty shard list", func() error {
+			_, err := New(ctx, WithShards())
+			return err
+		}},
+		{"negative index fanout", func() error {
+			_, err := New(ctx, WithIndex(-1))
+			return err
+		}},
+		{"dial with shards", func() error {
+			_, err := Dial(ctx, "127.0.0.1:1", WithLocalShards(2))
+			return err
+		}},
+		{"dial with index", func() error {
+			_, err := Dial(ctx, "127.0.0.1:1", WithIndex(0))
+			return err
+		}},
+		{"dial with shard timeout", func() error {
+			_, err := Dial(ctx, "127.0.0.1:1", WithShardTimeout(time.Second))
+			return err
+		}},
+		{"dial with parallelism", func() error {
+			_, err := Dial(ctx, "127.0.0.1:1", WithParallelism(2))
+			return err
+		}},
+	}
+	for _, tc := range rejected {
+		if err := tc.do(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// TestRemoteShardedService runs the facade's scatter-gather shape over
+// real matchd servers end to end and checks it against the local
+// golden ranking.
+func TestRemoteShardedService(t *testing.T) {
+	gal, probes := confFixtures(t)
+	addrs := []string{bootMatchd(t, false), bootMatchd(t, false), bootMatchd(t, false)}
+	svc, err := New(context.Background(),
+		WithShards(addrs...),
+		WithShardTimeout(time.Minute),
+		WithRequestTimeout(time.Minute),
+		WithDialTimeout(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ctx := context.Background()
+	items := make([]Enrollment, len(gal))
+	for i, tpl := range gal {
+		items[i] = Enrollment{ID: confID(i), DeviceID: "D0", Template: tpl}
+	}
+	if err := svc.EnrollBatch(ctx, items); err != nil {
+		t.Fatal(err)
+	}
+	st, err := svc.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Enrollments != len(gal) || st.Shards != 3 {
+		t.Fatalf("stats: %+v", st)
+	}
+	want := golden(t, gal, probes[0], nil)
+	got, stats, err := svc.IdentifyDetailed(ctx, probes[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Partial || stats.ShardsQueried != 3 {
+		t.Fatalf("scatter stats: %+v", stats)
+	}
+	sameCandidates(t, "remote-sharded full ranking", got, want)
+	if _, err := svc.Verify(ctx, "nobody", probes[0]); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("verify unknown through remote shards: %v", err)
+	}
+}

@@ -1,0 +1,117 @@
+package fpis
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"fpinterop/internal/matchsvc"
+)
+
+// Dial connects to one remote matchd instance and returns a Service
+// speaking the wire protocol to it. The context bounds the connection
+// establishment: a pre-cancelled context fails fast without dialing.
+// Per-call deadlines derive from each call's own context (with the
+// WithRequestTimeout fallback when a context has no deadline).
+func Dial(ctx context.Context, addr string, opts ...Option) (Service, error) {
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkDialConfig(cfg); err != nil {
+		return nil, err
+	}
+	cli, err := matchsvc.DialContext(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	configureClient(cli, cfg)
+	return &remoteService{cli: cli}, nil
+}
+
+// configureClient applies the remote-connection options shared by Dial
+// and WithShards.
+func configureClient(cli *matchsvc.Client, cfg config) {
+	if cfg.setRequestTimeout {
+		cli.SetRequestTimeout(cfg.requestTimeout)
+	}
+	if cfg.setDialTimeout {
+		cli.SetRedialTimeout(cfg.dialTimeout)
+	}
+}
+
+// remoteService serves the facade over one matchsvc connection.
+type remoteService struct {
+	cli *matchsvc.Client
+}
+
+// mapRemoteErr lifts server-reported failures onto the facade's
+// sentinel errors, so errors.Is(err, fpis.ErrNotFound) behaves
+// identically across local and remote implementations. The server
+// reports errors as strings; the gallery layer always wraps a sentinel
+// as the final error in the chain, so the sentinel text is the message
+// suffix — matched as such, because enrollment IDs (quoted mid-string)
+// could embed sentinel text and fool a substring match.
+func mapRemoteErr(err error) error {
+	if err == nil || !errors.Is(err, matchsvc.ErrRemote) {
+		return err
+	}
+	msg := err.Error()
+	switch {
+	case strings.HasSuffix(msg, ErrNotFound.Error()):
+		return fmt.Errorf("%w (%v)", ErrNotFound, err)
+	case strings.HasSuffix(msg, ErrDuplicate.Error()):
+		return fmt.Errorf("%w (%v)", ErrDuplicate, err)
+	}
+	return err
+}
+
+func (s *remoteService) Enroll(ctx context.Context, id, deviceID string, tpl *Template) error {
+	return mapRemoteErr(s.cli.Enroll(ctx, id, deviceID, tpl))
+}
+
+func (s *remoteService) EnrollBatch(ctx context.Context, items []Enrollment) error {
+	_, err := s.cli.EnrollBatch(ctx, items)
+	return mapRemoteErr(err)
+}
+
+func (s *remoteService) Remove(ctx context.Context, id string) error {
+	return mapRemoteErr(s.cli.Remove(ctx, id))
+}
+
+func (s *remoteService) Verify(ctx context.Context, id string, probe *Template) (MatchResult, error) {
+	res, err := s.cli.Verify(ctx, id, probe)
+	if err != nil {
+		return MatchResult{}, mapRemoteErr(err)
+	}
+	return MatchResult{Score: res.Score, Matched: res.Matched}, nil
+}
+
+func (s *remoteService) Identify(ctx context.Context, probe *Template, k int) ([]Candidate, error) {
+	out, _, err := s.IdentifyDetailed(ctx, probe, k)
+	return out, err
+}
+
+func (s *remoteService) IdentifyDetailed(ctx context.Context, probe *Template, k int) ([]Candidate, IdentifyStats, error) {
+	if k < 0 {
+		// The facade's k <= 0 contract, applied before k crosses the
+		// wire unsigned.
+		k = 0
+	}
+	cands, st, err := s.cli.IdentifyEx(ctx, probe, k)
+	if err != nil {
+		return nil, IdentifyStats{}, mapRemoteErr(err)
+	}
+	return cands, foldGalleryStats(st), nil
+}
+
+func (s *remoteService) Stats(ctx context.Context) (Stats, error) {
+	n, err := s.cli.Count(ctx)
+	if err != nil {
+		return Stats{}, mapRemoteErr(err)
+	}
+	return Stats{Enrollments: n, Shards: 1}, nil
+}
+
+func (s *remoteService) Close() error { return s.cli.Close() }

@@ -1,0 +1,156 @@
+package fpis
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+
+	"fpinterop/internal/gallery"
+	"fpinterop/internal/matchsvc"
+	"fpinterop/internal/shard"
+)
+
+// shardedService serves the facade from a consistent-hash router over
+// local or remote shards.
+type shardedService struct {
+	router *shard.Router
+	// indexed records whether every (local) shard carries a retrieval
+	// index; remote shards own their index state, so a remote-sharded
+	// service reports false.
+	indexed bool
+	// closers are the remote connections the constructor dialed; Close
+	// owns their lifecycle.
+	closers []io.Closer
+}
+
+func routerOptions(cfg config) shard.Options {
+	opt := shard.Options{ShardTimeout: cfg.shardTimeout}
+	if cfg.setParallelism && cfg.parallelism > 0 {
+		opt.Workers = cfg.parallelism
+	}
+	if cfg.failClosed {
+		opt.Policy = shard.FailClosed
+	}
+	return opt
+}
+
+func newLocalSharded(cfg config) (Service, error) {
+	backends := make([]shard.Backend, cfg.localShards)
+	for i := range backends {
+		store := gallery.New(nil)
+		if cfg.setParallelism {
+			store.SetParallelism(cfg.parallelism)
+		}
+		if cfg.index {
+			if err := store.EnableIndex(indexOptions(cfg)); err != nil {
+				return nil, fmt.Errorf("fpis: enable index on shard %d: %w", i, err)
+			}
+		}
+		backends[i] = shard.NewLocal(fmt.Sprintf("shard-%d", i), store)
+	}
+	router, err := shard.New(backends, routerOptions(cfg))
+	if err != nil {
+		return nil, err
+	}
+	return &shardedService{router: router, indexed: cfg.index}, nil
+}
+
+func newRemoteSharded(ctx context.Context, cfg config) (Service, error) {
+	var closers []io.Closer
+	closeAll := func() {
+		for _, c := range closers {
+			c.Close()
+		}
+	}
+	backends := make([]shard.Backend, 0, len(cfg.remoteShards))
+	for _, addr := range cfg.remoteShards {
+		cli, err := matchsvc.DialContext(ctx, addr)
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("fpis: dial shard %s: %w", addr, err)
+		}
+		configureClient(cli, cfg)
+		closers = append(closers, cli)
+		backends = append(backends, shard.NewRemote(addr, cli))
+	}
+	router, err := shard.New(backends, routerOptions(cfg))
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	return &shardedService{router: router, closers: closers}, nil
+}
+
+func (s *shardedService) Enroll(ctx context.Context, id, deviceID string, tpl *Template) error {
+	return mapRemoteErr(s.router.Enroll(ctx, id, deviceID, tpl))
+}
+
+func (s *shardedService) EnrollBatch(ctx context.Context, items []Enrollment) error {
+	return mapRemoteErr(s.router.EnrollBatch(ctx, items))
+}
+
+func (s *shardedService) Remove(ctx context.Context, id string) error {
+	return mapRemoteErr(s.router.Remove(ctx, id))
+}
+
+func (s *shardedService) Verify(ctx context.Context, id string, probe *Template) (MatchResult, error) {
+	res, err := s.router.Verify(ctx, id, probe)
+	return res, mapRemoteErr(err)
+}
+
+func (s *shardedService) Identify(ctx context.Context, probe *Template, k int) ([]Candidate, error) {
+	out, _, err := s.IdentifyDetailed(ctx, probe, k)
+	return out, err
+}
+
+func (s *shardedService) IdentifyDetailed(ctx context.Context, probe *Template, k int) ([]Candidate, IdentifyStats, error) {
+	cands, st, err := s.router.IdentifyDetailed(ctx, probe, k)
+	if err != nil {
+		return nil, IdentifyStats{}, mapRemoteErr(err)
+	}
+	return cands, foldShardStats(st), nil
+}
+
+// foldShardStats lifts scatter-gather statistics into the facade
+// shape.
+func foldShardStats(st shard.IdentifyStats) IdentifyStats {
+	return IdentifyStats{
+		GallerySize:   st.GallerySize,
+		Shortlist:     st.Shortlist,
+		Scanned:       st.Scanned,
+		Indexed:       st.IndexedShards > 0 && st.FallbackShards == 0,
+		ShardsQueried: st.ShardsQueried,
+		ShardsSkipped: st.ShardsSkipped,
+		ShardsFailed:  st.ShardsFailed,
+		Partial:       st.Partial,
+	}
+}
+
+func (s *shardedService) Stats(ctx context.Context) (Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return Stats{}, err
+	}
+	st := Stats{
+		Enrollments: s.router.Len(ctx),
+		Shards:      len(s.router.Backends()),
+		Indexed:     s.indexed,
+	}
+	if err := ctx.Err(); err != nil {
+		return Stats{}, err
+	}
+	for _, i := range s.router.Degraded() {
+		st.DegradedShards = append(st.DegradedShards, s.router.Backends()[i].Name())
+	}
+	return st, nil
+}
+
+func (s *shardedService) Close() error {
+	var errs []error
+	for _, c := range s.closers {
+		if err := c.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}

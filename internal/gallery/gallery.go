@@ -8,6 +8,7 @@
 package gallery
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -150,6 +151,15 @@ func (s *Store) Len() int {
 
 // Verify performs a 1:1 comparison of the probe against one enrollment.
 func (s *Store) Verify(id string, probe *minutiae.Template) (match.Result, error) {
+	return s.VerifyContext(context.Background(), id, probe)
+}
+
+// VerifyContext is Verify honoring ctx: a cancelled or expired context
+// fails fast with ctx.Err() before the comparison runs.
+func (s *Store) VerifyContext(ctx context.Context, id string, probe *minutiae.Template) (match.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return match.Result{}, err
+	}
 	s.mu.RLock()
 	e, ok := s.entries[id]
 	s.mu.RUnlock()
@@ -239,21 +249,46 @@ type IdentifyStats struct {
 }
 
 // Identify searches the probe against the gallery and returns the top-k
-// candidates by score (all of them when k <= 0), ordered by descending
-// score with deterministic ID tie-breaks. k larger than the gallery is
-// clamped to the gallery size; an empty store yields an empty (non-nil)
-// candidate list. With an index enabled and k > 0, only the retrieval
-// shortlist is scored by the full matcher; pass k <= 0 (or disable the
-// index) for an exhaustive ranking.
+// candidates by score (every negative or zero k requests the full
+// ranking), ordered by descending score with deterministic ID
+// tie-breaks. k larger than the gallery is clamped to the gallery size;
+// an empty store yields an empty (non-nil) candidate list. With an
+// index enabled and k > 0, only the retrieval shortlist is scored by
+// the full matcher; pass k <= 0 (or disable the index) for an
+// exhaustive ranking.
 func (s *Store) Identify(probe *minutiae.Template, k int) ([]Candidate, error) {
 	out, _, err := s.IdentifyDetailed(probe, k)
 	return out, err
 }
 
+// IdentifyContext is Identify honoring ctx (see
+// IdentifyDetailedContext).
+func (s *Store) IdentifyContext(ctx context.Context, probe *minutiae.Template, k int) ([]Candidate, error) {
+	out, _, err := s.IdentifyDetailedContext(ctx, probe, k)
+	return out, err
+}
+
 // IdentifyDetailed is Identify plus retrieval statistics.
 func (s *Store) IdentifyDetailed(probe *minutiae.Template, k int) ([]Candidate, IdentifyStats, error) {
+	return s.IdentifyDetailedContext(context.Background(), probe, k)
+}
+
+// IdentifyDetailedContext is IdentifyDetailed honoring ctx: the
+// exhaustive scan polls the context between matcher comparisons, so a
+// cancelled or expired context unblocks an in-flight search within one
+// comparison's latency and returns ctx.Err().
+func (s *Store) IdentifyDetailedContext(ctx context.Context, probe *minutiae.Template, k int) ([]Candidate, IdentifyStats, error) {
 	if probe == nil {
 		return nil, IdentifyStats{}, match.ErrNilTemplate
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, IdentifyStats{}, err
+	}
+	if k < 0 {
+		// Every degenerate k means the same thing — a full ranking — so
+		// local, sharded, and remote searches agree on the wire (where k
+		// travels unsigned) and in the merge math.
+		k = 0
 	}
 	s.mu.RLock()
 	idx := s.idx
@@ -287,7 +322,7 @@ func (s *Store) IdentifyDetailed(probe *minutiae.Template, k int) ([]Candidate, 
 			}
 			stats.GallerySize = len(s.order)
 			s.mu.RUnlock()
-			out, err := s.scoreEntries(entries, probe)
+			out, err := s.scoreEntries(ctx, entries, probe)
 			if err != nil {
 				return nil, stats, err
 			}
@@ -309,7 +344,7 @@ func (s *Store) IdentifyDetailed(probe *minutiae.Template, k int) ([]Candidate, 
 	}
 	stats.GallerySize = len(entries)
 	s.mu.RUnlock()
-	out, err := s.scoreEntries(entries, probe)
+	out, err := s.scoreEntries(ctx, entries, probe)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -325,8 +360,8 @@ func (s *Store) IdentifyDetailed(probe *minutiae.Template, k int) ([]Candidate, 
 // descending score with ID tie-breaks. Workers write only their own
 // result slot, so the output is deterministic regardless of scheduling;
 // on matcher failure the error from the lowest entry index wins.
-func (s *Store) scoreEntries(entries []*Entry, probe *minutiae.Template) ([]Candidate, error) {
-	scores, err := s.matchAll(entries, probe)
+func (s *Store) scoreEntries(ctx context.Context, entries []*Entry, probe *minutiae.Template) ([]Candidate, error) {
+	scores, err := s.matchAll(ctx, entries, probe)
 	if err != nil {
 		return nil, err
 	}
@@ -344,8 +379,11 @@ func (s *Store) scoreEntries(entries []*Entry, probe *minutiae.Template) ([]Cand
 }
 
 // matchAll computes the matcher score of the probe against every entry
-// on at most s.parallelism workers.
-func (s *Store) matchAll(entries []*Entry, probe *minutiae.Template) ([]float64, error) {
+// on at most s.parallelism workers. Workers poll ctx between
+// comparisons: a cancelled context stops the scan within one matcher
+// call's latency and matchAll returns ctx.Err(), which outranks any
+// matcher error (a half-cancelled scan's failures are not meaningful).
+func (s *Store) matchAll(ctx context.Context, entries []*Entry, probe *minutiae.Template) ([]float64, error) {
 	s.mu.RLock()
 	workers := s.parallelism
 	s.mu.RUnlock()
@@ -364,6 +402,18 @@ func (s *Store) matchAll(entries []*Entry, probe *minutiae.Template) ([]float64,
 		}
 		return s.matcher.Match(e.Template, probe)
 	}
+	done := ctx.Done()
+	cancelled := func() bool {
+		if done == nil {
+			return false
+		}
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
 	scores := make([]float64, len(entries))
 	if workers <= 1 {
 		var sess *match.Session
@@ -372,6 +422,9 @@ func (s *Store) matchAll(entries []*Entry, probe *minutiae.Template) ([]float64,
 			defer sess.Release()
 		}
 		for i, e := range entries {
+			if cancelled() {
+				return nil, ctx.Err()
+			}
 			res, err := matchOne(sess, e)
 			if err != nil {
 				return nil, fmt.Errorf("identify against %q: %w", e.ID, err)
@@ -397,6 +450,9 @@ func (s *Store) matchAll(entries []*Entry, probe *minutiae.Template) ([]float64,
 				defer sess.Release()
 			}
 			for {
+				if cancelled() {
+					return
+				}
 				mu.Lock()
 				i := next
 				next++
@@ -419,6 +475,9 @@ func (s *Store) matchAll(entries []*Entry, probe *minutiae.Template) ([]float64,
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if first != nil {
 		return nil, first
 	}
@@ -448,7 +507,7 @@ func (s *Store) Rank(probe *minutiae.Template, trueID string) (int, error) {
 		}
 	}
 	s.mu.RUnlock()
-	scores, err := s.matchAll(entries, probe)
+	scores, err := s.matchAll(context.Background(), entries, probe)
 	if err != nil {
 		return 0, err
 	}

@@ -1,9 +1,12 @@
 package gallery
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"fpinterop/internal/index"
 	"fpinterop/internal/match"
@@ -597,5 +600,107 @@ func TestIdentifyClampedKOnIndexedStore(t *testing.T) {
 	}
 	if stats.Scanned != 6 {
 		t.Fatalf("full ranking must scan the whole gallery: %+v", stats)
+	}
+}
+
+// TestIdentifyNegativeKMatchesZero pins the degenerate-k contract:
+// every k <= 0 requests the same full ranking, on plain and indexed
+// stores alike.
+func TestIdentifyNegativeKMatchesZero(t *testing.T) {
+	s, probes, _ := enrolledStore(t, 5, "D0", "D0")
+	for _, indexed := range []bool{false, true} {
+		if indexed {
+			if err := s.EnableIndex(IndexOptions{MinCandidates: 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, wantStats, err := s.IdentifyDetailed(probes[0], 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{-1, -5, -1000} {
+			got, stats, err := s.IdentifyDetailed(probes[0], k)
+			if err != nil {
+				t.Fatalf("indexed=%v k=%d: %v", indexed, k, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("indexed=%v k=%d: %d candidates, want %d", indexed, k, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("indexed=%v k=%d: candidate %d = %+v, want %+v", indexed, k, i, got[i], want[i])
+				}
+			}
+			if stats != wantStats {
+				t.Fatalf("indexed=%v k=%d: stats %+v, want %+v", indexed, k, stats, wantStats)
+			}
+		}
+	}
+}
+
+// slowMatcher blocks each comparison until the delay elapses, making
+// scan latency deterministic for cancellation tests.
+type slowMatcher struct {
+	delay time.Duration
+}
+
+func (m *slowMatcher) Match(g, p *minutiae.Template) (match.Result, error) {
+	time.Sleep(m.delay)
+	return match.Result{Score: 1}, nil
+}
+
+// TestIdentifyContextCancellationUnblocksScan proves a cancelled
+// context stops the parallel exhaustive scan within one comparison's
+// latency rather than running the gallery to completion, and that the
+// store stays usable afterward.
+func TestIdentifyContextCancellationUnblocksScan(t *testing.T) {
+	cohort := population.NewCohort(rng.New(515), population.CohortOptions{Size: 1})
+	d0, _ := sensor.ProfileByID("D0")
+	imp, err := d0.CaptureSubject(cohort.Subjects[0], 0, sensor.CaptureOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	perMatch := 20 * time.Millisecond
+	s := New(&slowMatcher{delay: perMatch})
+	s.SetParallelism(2)
+	for i := 0; i < n; i++ {
+		if err := s.Enroll(fmt.Sprintf("subject-%03d", i), "D0", imp.Template); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Uncancelled, the scan costs n/workers * perMatch = 640ms; cancel
+	// at 50ms and require the return well under the full-scan cost.
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, _, err = s.IdentifyDetailedContext(ctx, imp.Template, 0)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if elapsed > 400*time.Millisecond {
+		t.Fatalf("cancelled scan returned after %v", elapsed)
+	}
+	// Pre-cancelled contexts fail fast on every context-aware entry
+	// point.
+	pre, preCancel := context.WithCancel(context.Background())
+	preCancel()
+	if _, _, err := s.IdentifyDetailedContext(pre, imp.Template, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("IdentifyDetailedContext pre-cancelled: %v", err)
+	}
+	if _, err := s.VerifyContext(pre, "subject-000", imp.Template); !errors.Is(err, context.Canceled) {
+		t.Fatalf("VerifyContext pre-cancelled: %v", err)
+	}
+	// The store remains fully usable after a cancelled scan.
+	cands, err := s.IdentifyContext(context.Background(), imp.Template, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 3 {
+		t.Fatalf("post-cancel identify returned %d candidates", len(cands))
 	}
 }

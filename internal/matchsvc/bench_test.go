@@ -40,7 +40,7 @@ func benchService(b *testing.B, n int) *Client {
 	for i, tpl := range tpls {
 		items[i] = Enrollment{ID: fmt.Sprintf("subj-%04d", i), DeviceID: "D0", Template: tpl}
 	}
-	if _, err := cli.EnrollBatch(items); err != nil {
+	if _, err := cli.EnrollBatch(context.Background(), items); err != nil {
 		b.Fatal(err)
 	}
 	return cli
@@ -55,7 +55,7 @@ func BenchmarkVerifyRPC(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := cli.Verify(fmt.Sprintf("subj-%04d", i%8), probe); err != nil {
+		if _, err := cli.Verify(context.Background(), fmt.Sprintf("subj-%04d", i%8), probe); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -69,7 +69,7 @@ func BenchmarkIdentifyRPC(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cands, err := cli.Identify(probe, 5)
+		cands, err := cli.Identify(context.Background(), probe, 5)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -86,7 +86,7 @@ func BenchmarkPingRPC(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := cli.Ping(); err != nil {
+		if err := cli.Ping(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}

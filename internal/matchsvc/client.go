@@ -1,6 +1,8 @@
 package matchsvc
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -16,6 +18,11 @@ import (
 // at its read deadline — the next request transparently redials, so a
 // long-lived client (e.g. a shard router front) survives quiet periods
 // and server restarts.
+//
+// Every request takes a context.Context: its deadline bounds the whole
+// wire round trip (connection deadlines are derived from it), and
+// cancellation interrupts in-flight I/O. When the context carries no
+// deadline, the SetRequestTimeout fallback applies.
 type Client struct {
 	mu          sync.Mutex
 	addr        string
@@ -30,23 +37,66 @@ type Client struct {
 	recv []byte
 }
 
-// SetRequestTimeout bounds each round trip; zero (the default) means no
-// deadline. Identification over a large gallery can legitimately take
-// seconds — size the timeout to the gallery.
+// SetRequestTimeout sets the fallback round-trip bound used when a
+// request's context has no deadline of its own; zero (the default)
+// means no fallback deadline. Identification over a large gallery can
+// legitimately take seconds — size the timeout to the gallery.
 func (c *Client) SetRequestTimeout(d time.Duration) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.timeout = d
 }
 
-// Dial connects to a server address with the given timeout (also used
-// for later reconnects).
-func Dial(addr string, timeout time.Duration) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+// SetRedialTimeout bounds the transparent reconnect attempted after a
+// transport failure, independently of the triggering request's
+// context; zero leaves reconnects bounded by that context alone.
+// Dial seeds it with its own timeout; DialContext leaves it zero.
+func (c *Client) SetRedialTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dialTimeout = d
+}
+
+// DialContext connects to a server address under the given context: a
+// pre-cancelled or expired context fails fast without touching the
+// network, and cancellation mid-handshake aborts the dial. Reconnects
+// after transport failures are bounded by the context of the request
+// that triggers them.
+func DialContext(ctx context.Context, addr string) (*Client, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
 		return nil, fmt.Errorf("matchsvc: dial %s: %w", addr, err)
 	}
-	return &Client{addr: addr, dialTimeout: timeout, conn: conn}, nil
+	return &Client{addr: addr, conn: conn}, nil
+}
+
+// Dial connects to a server address with the given timeout (also used
+// to bound later reconnects).
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	c, err := DialContext(ctx, addr)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			// The expired context is Dial's own timeout, not a caller's:
+			// keep the address in the diagnostic as Dial always has.
+			return nil, fmt.Errorf("matchsvc: dial %s: %w", addr, err)
+		}
+		return nil, err
+	}
+	c.dialTimeout = timeout
+	return c, nil
 }
 
 // Close shuts the connection down; subsequent requests fail instead of
@@ -66,37 +116,84 @@ func (c *Client) Close() error {
 // the connection was already reported to its caller, and a response
 // frame can never be mistaken for a request's because requests are
 // serialized under the mutex.
-func (c *Client) roundTrip(op byte, payload []byte, decode func(*payloadReader) error) error {
+//
+// The per-call I/O deadline comes from ctx when it has one, else from
+// the SetRequestTimeout fallback; with neither, the deadline is
+// cleared, so a stale bound from an earlier call cannot leak into this
+// one. A context that can be cancelled is additionally watched for the
+// duration of the call, and cancellation yanks the connection deadline
+// to interrupt blocked I/O; the context's error then outranks the I/O
+// error it provoked.
+func (c *Client) roundTrip(ctx context.Context, op byte, payload []byte, decode func(*payloadReader) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
 		return fmt.Errorf("matchsvc: client closed")
 	}
 	if c.broken {
-		conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
+		d := net.Dialer{Timeout: c.dialTimeout}
+		if d.Timeout == 0 && c.timeout > 0 {
+			// A DialContext-created client has no redial timeout of its
+			// own; without this, a deadline-free request context would
+			// leave the reconnect bounded only by the OS connect timeout.
+			d.Timeout = c.timeout
+		}
+		conn, err := d.DialContext(ctx, "tcp", c.addr)
 		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
 			return fmt.Errorf("matchsvc: redial %s: %w", c.addr, err)
 		}
 		c.conn.Close()
 		c.conn = conn
 		c.broken = false
 	}
-	if c.timeout > 0 {
-		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
-			return fmt.Errorf("matchsvc: set deadline: %w", err)
-		}
+	var deadline time.Time // zero clears any previous call's deadline
+	if d, ok := ctx.Deadline(); ok {
+		// Padded past the context deadline: the watcher below interrupts
+		// I/O the instant ctx.Done() fires, so by the time the connection
+		// deadline could trip on its own the context is definitely
+		// expired and the caller sees ctx.Err(), not a raw I/O timeout.
+		deadline = d.Add(10 * time.Millisecond)
+	} else if c.timeout > 0 {
+		deadline = time.Now().Add(c.timeout)
 	}
-	if err := writeFrame(c.conn, op, payload); err != nil {
-		c.broken = true
-		return err
+	if err := c.conn.SetDeadline(deadline); err != nil {
+		return fmt.Errorf("matchsvc: set deadline: %w", err)
 	}
-	status, resp, err := readFrameInto(c.conn, c.recv)
-	if err != nil {
+	if ctx.Done() != nil {
+		conn := c.conn
+		stop := context.AfterFunc(ctx, func() { conn.SetDeadline(time.Now()) })
+		// Runs before the mutex is released. A false return means the
+		// interrupt already started and may yank the deadline after this
+		// call returns — retire the connection rather than let a later
+		// request race it.
+		defer func() {
+			if !stop() {
+				c.broken = true
+			}
+		}()
+	}
+	fail := func(err error) error {
 		// Includes deadline expiry: a late response arriving after the
 		// caller gave up must not be read as the answer to the next
 		// request, so the connection is replaced, not reused.
 		c.broken = true
-		return fmt.Errorf("matchsvc: read response: %w", err)
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		return err
+	}
+	if err := writeFrame(c.conn, op, payload); err != nil {
+		return fail(err)
+	}
+	status, resp, err := readFrameInto(c.conn, c.recv)
+	if err != nil {
+		return fail(fmt.Errorf("matchsvc: read response: %w", err))
 	}
 	if cap(resp) > cap(c.recv) {
 		c.recv = resp[:0]
@@ -119,8 +216,8 @@ func (c *Client) roundTrip(op byte, payload []byte, decode func(*payloadReader) 
 }
 
 // Ping checks liveness.
-func (c *Client) Ping() error {
-	return c.roundTrip(OpPing, nil, nil)
+func (c *Client) Ping(ctx context.Context) error {
+	return c.roundTrip(ctx, OpPing, nil, nil)
 }
 
 // MatchResult is the service-side comparison outcome.
@@ -142,7 +239,7 @@ func decodeMatch(r *payloadReader) (MatchResult, error) {
 }
 
 // Match compares two templates on the server.
-func (c *Client) Match(g, p *minutiae.Template) (MatchResult, error) {
+func (c *Client) Match(ctx context.Context, g, p *minutiae.Template) (MatchResult, error) {
 	fs := acquireFrameScratch()
 	defer releaseFrameScratch(fs)
 	if err := fs.w.template(g); err != nil {
@@ -152,7 +249,7 @@ func (c *Client) Match(g, p *minutiae.Template) (MatchResult, error) {
 		return MatchResult{}, err
 	}
 	var res MatchResult
-	err := c.roundTrip(OpMatch, fs.w.buf, func(r *payloadReader) (derr error) {
+	err := c.roundTrip(ctx, OpMatch, fs.w.buf, func(r *payloadReader) (derr error) {
 		res, derr = decodeMatch(r)
 		return derr
 	})
@@ -160,7 +257,7 @@ func (c *Client) Match(g, p *minutiae.Template) (MatchResult, error) {
 }
 
 // Enroll registers a template under id.
-func (c *Client) Enroll(id, deviceID string, tpl *minutiae.Template) error {
+func (c *Client) Enroll(ctx context.Context, id, deviceID string, tpl *minutiae.Template) error {
 	fs := acquireFrameScratch()
 	defer releaseFrameScratch(fs)
 	if err := fs.w.string(id); err != nil {
@@ -172,7 +269,7 @@ func (c *Client) Enroll(id, deviceID string, tpl *minutiae.Template) error {
 	if err := fs.w.template(tpl); err != nil {
 		return err
 	}
-	return c.roundTrip(OpEnroll, fs.w.buf, nil)
+	return c.roundTrip(ctx, OpEnroll, fs.w.buf, nil)
 }
 
 // Enrollment is one EnrollBatch item.
@@ -190,14 +287,14 @@ const enrollBatchBudget = maxFrame - 4096
 // not atomic: on error, items from already-shipped chunks (and items
 // preceding the failure inside its chunk, which the server reports)
 // remain enrolled.
-func (c *Client) EnrollBatch(items []Enrollment) (int, error) {
-	return c.enrollBatchChunked(items, enrollBatchBudget)
+func (c *Client) EnrollBatch(ctx context.Context, items []Enrollment) (int, error) {
+	return c.enrollBatchChunked(ctx, items, enrollBatchBudget)
 }
 
 // enrollBatchChunked is EnrollBatch with an explicit per-frame payload
 // budget (separated out so tests can force multi-frame chunking without
 // megabyte fixtures).
-func (c *Client) enrollBatchChunked(items []Enrollment, budget int) (int, error) {
+func (c *Client) enrollBatchChunked(ctx context.Context, items []Enrollment, budget int) (int, error) {
 	enrolled := 0
 	encoded := make([][]byte, 0, len(items))
 	size := 0
@@ -212,7 +309,7 @@ func (c *Client) enrollBatchChunked(items []Enrollment, budget int) (int, error)
 			fs.w.buf = append(fs.w.buf, e...)
 		}
 		var n uint32
-		err := c.roundTrip(OpEnrollBatch, fs.w.buf, func(r *payloadReader) (derr error) {
+		err := c.roundTrip(ctx, OpEnrollBatch, fs.w.buf, func(r *payloadReader) (derr error) {
 			n, derr = r.uint32()
 			return derr
 		})
@@ -253,7 +350,7 @@ func (c *Client) enrollBatchChunked(items []Enrollment, budget int) (int, error)
 }
 
 // Verify compares a probe against one enrollment.
-func (c *Client) Verify(id string, probe *minutiae.Template) (MatchResult, error) {
+func (c *Client) Verify(ctx context.Context, id string, probe *minutiae.Template) (MatchResult, error) {
 	fs := acquireFrameScratch()
 	defer releaseFrameScratch(fs)
 	if err := fs.w.string(id); err != nil {
@@ -263,15 +360,16 @@ func (c *Client) Verify(id string, probe *minutiae.Template) (MatchResult, error
 		return MatchResult{}, err
 	}
 	var res MatchResult
-	err := c.roundTrip(OpVerify, fs.w.buf, func(r *payloadReader) (derr error) {
+	err := c.roundTrip(ctx, OpVerify, fs.w.buf, func(r *payloadReader) (derr error) {
 		res, derr = decodeMatch(r)
 		return derr
 	})
 	return res, err
 }
 
-// Identify searches the gallery and returns the top-k candidates.
-func (c *Client) Identify(probe *minutiae.Template, k int) ([]gallery.Candidate, error) {
+// Identify searches the gallery and returns the top-k candidates
+// (k <= 0 requests the full ranking).
+func (c *Client) Identify(ctx context.Context, probe *minutiae.Template, k int) ([]gallery.Candidate, error) {
 	fs := acquireFrameScratch()
 	defer releaseFrameScratch(fs)
 	fs.w.uint32(uint32(k))
@@ -279,7 +377,7 @@ func (c *Client) Identify(probe *minutiae.Template, k int) ([]gallery.Candidate,
 		return nil, err
 	}
 	var cands []gallery.Candidate
-	err := c.roundTrip(OpIdentify, fs.w.buf, func(r *payloadReader) (derr error) {
+	err := c.roundTrip(ctx, OpIdentify, fs.w.buf, func(r *payloadReader) (derr error) {
 		cands, derr = decodeCandidates(r)
 		return derr
 	})
@@ -292,7 +390,7 @@ func (c *Client) Identify(probe *minutiae.Template, k int) ([]gallery.Candidate,
 // IdentifyEx is Identify plus the server's retrieval statistics: how
 // large the gallery was, how many candidates the triplet index
 // shortlisted, and whether the indexed path served the search.
-func (c *Client) IdentifyEx(probe *minutiae.Template, k int) ([]gallery.Candidate, gallery.IdentifyStats, error) {
+func (c *Client) IdentifyEx(ctx context.Context, probe *minutiae.Template, k int) ([]gallery.Candidate, gallery.IdentifyStats, error) {
 	fs := acquireFrameScratch()
 	defer releaseFrameScratch(fs)
 	fs.w.uint32(uint32(k))
@@ -301,7 +399,7 @@ func (c *Client) IdentifyEx(probe *minutiae.Template, k int) ([]gallery.Candidat
 	}
 	var stats gallery.IdentifyStats
 	var cands []gallery.Candidate
-	err := c.roundTrip(OpIdentifyEx, fs.w.buf, func(r *payloadReader) error {
+	err := c.roundTrip(ctx, OpIdentifyEx, fs.w.buf, func(r *payloadReader) error {
 		var vals [4]uint32
 		for i := range vals {
 			var derr error
@@ -355,19 +453,19 @@ func decodeCandidates(r *payloadReader) ([]gallery.Candidate, error) {
 }
 
 // Remove deletes an enrollment.
-func (c *Client) Remove(id string) error {
+func (c *Client) Remove(ctx context.Context, id string) error {
 	fs := acquireFrameScratch()
 	defer releaseFrameScratch(fs)
 	if err := fs.w.string(id); err != nil {
 		return err
 	}
-	return c.roundTrip(OpRemove, fs.w.buf, nil)
+	return c.roundTrip(ctx, OpRemove, fs.w.buf, nil)
 }
 
 // Count returns the number of enrollments.
-func (c *Client) Count() (int, error) {
+func (c *Client) Count(ctx context.Context) (int, error) {
 	var n uint32
-	err := c.roundTrip(OpCount, nil, func(r *payloadReader) (derr error) {
+	err := c.roundTrip(ctx, OpCount, nil, func(r *payloadReader) (derr error) {
 		n, derr = r.uint32()
 		return derr
 	})

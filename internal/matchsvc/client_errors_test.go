@@ -13,6 +13,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -57,7 +58,7 @@ func TestClientServerStatusError(t *testing.T) {
 		_ = w.string("synthetic failure")
 		_ = writeFrame(conn, StatusError, w.buf)
 	})
-	err := dialFake(t, addr).Ping()
+	err := dialFake(t, addr).Ping(context.Background())
 	if !errors.Is(err, ErrRemote) {
 		t.Fatalf("want ErrRemote, got %v", err)
 	}
@@ -72,7 +73,7 @@ func TestClientMalformedErrorPayload(t *testing.T) {
 	addr := fakeServer(t, func(conn net.Conn) {
 		_ = writeFrame(conn, StatusError, []byte{0xff})
 	})
-	err := dialFake(t, addr).Ping()
+	err := dialFake(t, addr).Ping(context.Background())
 	if !errors.Is(err, ErrRemote) {
 		t.Fatalf("want ErrRemote, got %v", err)
 	}
@@ -85,7 +86,7 @@ func TestClientUnknownStatus(t *testing.T) {
 	addr := fakeServer(t, func(conn net.Conn) {
 		_ = writeFrame(conn, 0x7e, nil)
 	})
-	err := dialFake(t, addr).Ping()
+	err := dialFake(t, addr).Ping(context.Background())
 	if err == nil || !strings.Contains(err.Error(), "unknown status") {
 		t.Fatalf("want unknown-status error, got %v", err)
 	}
@@ -100,7 +101,7 @@ func TestClientOversizeResponseRejected(t *testing.T) {
 		hdr[4] = StatusOK
 		_, _ = conn.Write(hdr[:])
 	})
-	err := dialFake(t, addr).Ping()
+	err := dialFake(t, addr).Ping(context.Background())
 	if !errors.Is(err, ErrFrameTooLarge) {
 		t.Fatalf("want ErrFrameTooLarge, got %v", err)
 	}
@@ -115,7 +116,7 @@ func TestClientTruncatedResponse(t *testing.T) {
 		_, _ = conn.Write(hdr[:])
 		_, _ = conn.Write(make([]byte, 10))
 	})
-	err := dialFake(t, addr).Ping()
+	err := dialFake(t, addr).Ping(context.Background())
 	if err == nil || !strings.Contains(err.Error(), "read response") {
 		t.Fatalf("want read-response error, got %v", err)
 	}
@@ -125,7 +126,7 @@ func TestClientConnClosedMidResponse(t *testing.T) {
 	addr := fakeServer(t, func(conn net.Conn) {
 		// Close without replying at all.
 	})
-	if _, err := dialFake(t, addr).Count(); err == nil {
+	if _, err := dialFake(t, addr).Count(context.Background()); err == nil {
 		t.Fatal("count over a closed connection succeeded")
 	}
 }
@@ -135,7 +136,7 @@ func TestClientShortResultPayload(t *testing.T) {
 	addr := fakeServer(t, func(conn net.Conn) {
 		_ = writeFrame(conn, StatusOK, []byte{0, 0})
 	})
-	if _, err := dialFake(t, addr).Count(); !errors.Is(err, errShortPayload) {
+	if _, err := dialFake(t, addr).Count(context.Background()); !errors.Is(err, errShortPayload) {
 		t.Fatalf("want short-payload error, got %v", err)
 	}
 }
@@ -165,23 +166,23 @@ func TestClientRedialsAfterIdleDrop(t *testing.T) {
 	}
 	defer cli.Close()
 	cli.SetRequestTimeout(2 * time.Second)
-	if err := cli.Ping(); err != nil {
+	if err := cli.Ping(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	time.Sleep(400 * time.Millisecond) // server drops the idle connection
 	// One request may surface the broken connection; within two requests
 	// the client must be healthy again.
-	if err := cli.Ping(); err != nil {
-		if err := cli.Ping(); err != nil {
+	if err := cli.Ping(context.Background()); err != nil {
+		if err := cli.Ping(context.Background()); err != nil {
 			t.Fatalf("client did not recover after idle drop: %v", err)
 		}
 	}
-	if _, err := cli.Count(); err != nil {
+	if _, err := cli.Count(context.Background()); err != nil {
 		t.Fatalf("count after recovery: %v", err)
 	}
 	// A closed client stays closed — no zombie redials.
 	cli.Close()
-	if err := cli.Ping(); err == nil {
+	if err := cli.Ping(context.Background()); err == nil {
 		t.Fatal("request on a closed client succeeded")
 	}
 }
@@ -229,7 +230,7 @@ func TestServerIdleTimeoutDropsStalledConnection(t *testing.T) {
 	}
 	defer cli.Close()
 	for i := 0; i < 3; i++ {
-		if err := cli.Ping(); err != nil {
+		if err := cli.Ping(context.Background()); err != nil {
 			t.Fatalf("ping %d over live connection: %v", i, err)
 		}
 		time.Sleep(50 * time.Millisecond)
@@ -255,7 +256,7 @@ func TestEnrollBatchChunksUnderFrameBudget(t *testing.T) {
 			itemSize = len(w.buf)
 		}
 	}
-	n, err := cli.enrollBatchChunked(items, itemSize+8)
+	n, err := cli.enrollBatchChunked(context.Background(), items, itemSize+8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +268,7 @@ func TestEnrollBatchChunksUnderFrameBudget(t *testing.T) {
 	}
 
 	// One item alone over the budget is rejected up front.
-	if _, err := cli.enrollBatchChunked(items[:1], 16); err == nil {
+	if _, err := cli.enrollBatchChunked(context.Background(), items[:1], 16); err == nil {
 		t.Fatal("oversized single item accepted")
 	}
 }
@@ -280,7 +281,7 @@ func TestEnrollBatchPartialFailure(t *testing.T) {
 		items[i] = Enrollment{ID: fmt.Sprintf("p-%d", i), DeviceID: "D0", Template: tpl}
 	}
 	items[2].ID = "p-0" // duplicate → server fails at item 2
-	n, err := cli.EnrollBatch(items)
+	n, err := cli.EnrollBatch(context.Background(), items)
 	if !errors.Is(err, ErrRemote) {
 		t.Fatalf("want ErrRemote, got %v", err)
 	}
@@ -296,7 +297,7 @@ func TestEnrollBatchPartialFailure(t *testing.T) {
 
 func TestEnrollBatchEmpty(t *testing.T) {
 	cli, _ := startServer(t)
-	n, err := cli.EnrollBatch(nil)
+	n, err := cli.EnrollBatch(context.Background(), nil)
 	if err != nil || n != 0 {
 		t.Fatalf("empty batch: n=%d err=%v", n, err)
 	}
@@ -310,7 +311,7 @@ func TestEnrollBatchConcurrentWithIdentify(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		seed[i] = Enrollment{ID: fmt.Sprintf("s-%d", i), DeviceID: "D0", Template: tpls[i]}
 	}
-	if _, err := cli.EnrollBatch(seed); err != nil {
+	if _, err := cli.EnrollBatch(context.Background(), seed); err != nil {
 		t.Fatal(err)
 	}
 	addr := srv.listener.Addr().String()
@@ -329,14 +330,14 @@ func TestEnrollBatchConcurrentWithIdentify(t *testing.T) {
 		for i := 0; i < 3; i++ {
 			rest[i] = Enrollment{ID: fmt.Sprintf("t-%d", i), DeviceID: "D0", Template: tpls[3+i]}
 		}
-		if _, err := c.EnrollBatch(rest); err != nil {
+		if _, err := c.EnrollBatch(context.Background(), rest); err != nil {
 			errs <- err
 		}
 	}()
 	go func() {
 		defer wg.Done()
 		for i := 0; i < 5; i++ {
-			if _, err := cli.Identify(probes[i%len(probes)], 1); err != nil {
+			if _, err := cli.Identify(context.Background(), probes[i%len(probes)], 1); err != nil {
 				errs <- err
 				return
 			}
@@ -347,7 +348,126 @@ func TestEnrollBatchConcurrentWithIdentify(t *testing.T) {
 	for err := range errs {
 		t.Fatal(err)
 	}
-	if n, err := cli.Count(); err != nil || n != 6 {
+	if n, err := cli.Count(context.Background()); err != nil || n != 6 {
 		t.Fatalf("count = %d, %v", n, err)
+	}
+}
+
+// countingListener counts accepted connections so tests can prove a
+// dial never reached the network.
+func countingListener(t *testing.T) (net.Listener, *int32) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	var accepts int32
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			atomic.AddInt32(&accepts, 1)
+			conn.Close()
+		}
+	}()
+	return ln, &accepts
+}
+
+// TestDialContextPreCancelledFailsFastWithoutDialing is the satellite
+// contract: a context cancelled before DialContext is called fails
+// immediately with the context's error and never opens a connection.
+func TestDialContextPreCancelledFailsFastWithoutDialing(t *testing.T) {
+	ln, accepts := countingListener(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	cli, err := DialContext(ctx, ln.Addr().String())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v (client=%v)", err, cli)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("pre-cancelled dial took %v", elapsed)
+	}
+	// Give a would-be connection time to surface, then require none.
+	time.Sleep(50 * time.Millisecond)
+	if n := atomic.LoadInt32(accepts); n != 0 {
+		t.Fatalf("pre-cancelled dial reached the listener %d times", n)
+	}
+}
+
+// TestDialContextConnects sanity-checks the happy path against a real
+// server.
+func TestDialContextConnects(t *testing.T) {
+	_, srv := startServer(t)
+	addr := srv.listener.Addr().String()
+	cli, err := DialContext(context.Background(), addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if err := cli.Ping(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRequestCancellationInterruptsBlockedIO proves an in-flight
+// request blocked on a mute server unblocks promptly with ctx.Err()
+// when its context is cancelled — no fallback timeout required — and
+// that the client recovers on the next request.
+func TestRequestCancellationInterruptsBlockedIO(t *testing.T) {
+	// A server that accepts and reads but never replies.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				buf := make([]byte, 1024)
+				for {
+					if _, err := conn.Read(buf); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	cli, err := DialContext(context.Background(), ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err = cli.Ping(ctx)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("cancelled request returned after %v", elapsed)
+	}
+	// A context deadline bounds the round trip the same way.
+	dctx, dcancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer dcancel()
+	start = time.Now()
+	if err := cli.Ping(dctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline-bounded request returned after %v", elapsed)
 	}
 }

@@ -64,7 +64,7 @@ func testImpressions(t testing.TB, n int, deviceID string, sample int) []*minuti
 
 func TestPing(t *testing.T) {
 	cli, _ := startServer(t)
-	if err := cli.Ping(); err != nil {
+	if err := cli.Ping(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -73,11 +73,11 @@ func TestRemoteMatch(t *testing.T) {
 	cli, _ := startServer(t)
 	tpls := testImpressions(t, 2, "D0", 0)
 	probes := testImpressions(t, 2, "D0", 1)
-	genuine, err := cli.Match(tpls[0], probes[0])
+	genuine, err := cli.Match(context.Background(), tpls[0], probes[0])
 	if err != nil {
 		t.Fatal(err)
 	}
-	impostor, err := cli.Match(tpls[0], probes[1])
+	impostor, err := cli.Match(context.Background(), tpls[0], probes[1])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,21 +95,21 @@ func TestEnrollVerifyIdentifyRemove(t *testing.T) {
 	probes := testImpressions(t, 3, "D1", 1) // cross-device probes
 	ids := []string{"alice", "bob", "carol"}
 	for i, tpl := range gallery {
-		if err := cli.Enroll(ids[i], "D0", tpl); err != nil {
+		if err := cli.Enroll(context.Background(), ids[i], "D0", tpl); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if n, err := cli.Count(); err != nil || n != 3 {
+	if n, err := cli.Count(context.Background()); err != nil || n != 3 {
 		t.Fatalf("count = %d, %v", n, err)
 	}
-	res, err := cli.Verify("alice", probes[0])
+	res, err := cli.Verify(context.Background(), "alice", probes[0])
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Score <= 0 {
 		t.Fatalf("verify score %v", res.Score)
 	}
-	cands, err := cli.Identify(probes[1], 2)
+	cands, err := cli.Identify(context.Background(), probes[1], 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,10 +122,10 @@ func TestEnrollVerifyIdentifyRemove(t *testing.T) {
 	if cands[0].DeviceID != "D0" {
 		t.Fatal("device metadata lost in transit")
 	}
-	if err := cli.Remove("bob"); err != nil {
+	if err := cli.Remove(context.Background(), "bob"); err != nil {
 		t.Fatal(err)
 	}
-	if n, _ := cli.Count(); n != 2 {
+	if n, _ := cli.Count(context.Background()); n != 2 {
 		t.Fatalf("count after remove = %d", n)
 	}
 }
@@ -134,13 +134,13 @@ func TestRemoteErrors(t *testing.T) {
 	cli, _ := startServer(t)
 	tpl := testImpressions(t, 1, "D0", 0)[0]
 	// Verify against unknown ID → remote error.
-	if _, err := cli.Verify("ghost", tpl); !errors.Is(err, ErrRemote) {
+	if _, err := cli.Verify(context.Background(), "ghost", tpl); !errors.Is(err, ErrRemote) {
 		t.Fatalf("want ErrRemote, got %v", err)
 	}
-	if err := cli.Enroll("a", "D0", tpl); err != nil {
+	if err := cli.Enroll(context.Background(), "a", "D0", tpl); err != nil {
 		t.Fatal(err)
 	}
-	if err := cli.Enroll("a", "D0", tpl); !errors.Is(err, ErrRemote) {
+	if err := cli.Enroll(context.Background(), "a", "D0", tpl); !errors.Is(err, ErrRemote) {
 		t.Fatalf("duplicate enroll: want ErrRemote, got %v", err)
 	}
 }
@@ -149,7 +149,7 @@ func TestConcurrentClients(t *testing.T) {
 	cli, srv := startServer(t)
 	tpls := testImpressions(t, 4, "D0", 0)
 	for i, tpl := range tpls {
-		if err := cli.Enroll(string(rune('a'+i)), "D0", tpl); err != nil {
+		if err := cli.Enroll(context.Background(), string(rune('a'+i)), "D0", tpl); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -167,7 +167,7 @@ func TestConcurrentClients(t *testing.T) {
 			}
 			defer c.Close()
 			for i := 0; i < 3; i++ {
-				if _, err := c.Identify(tpls[w], 1); err != nil {
+				if _, err := c.Identify(context.Background(), tpls[w], 1); err != nil {
 					errs <- err
 					return
 				}
@@ -279,12 +279,12 @@ func TestServeBeforeListen(t *testing.T) {
 
 func TestServerCloseIdempotentShutdown(t *testing.T) {
 	cli, srv := startServer(t)
-	_ = cli.Ping()
+	_ = cli.Ping(context.Background())
 	if err := srv.Close(); err != nil {
 		t.Fatal(err)
 	}
 	// After close, client requests fail.
-	if err := cli.Ping(); err == nil {
+	if err := cli.Ping(context.Background()); err == nil {
 		t.Fatal("ping succeeded after server close")
 	}
 }
@@ -317,7 +317,7 @@ func TestClientRequestTimeout(t *testing.T) {
 	defer cli.Close()
 	cli.SetRequestTimeout(100 * time.Millisecond)
 	start := time.Now()
-	if err := cli.Ping(); err == nil {
+	if err := cli.Ping(context.Background()); err == nil {
 		t.Fatal("ping to mute server succeeded")
 	}
 	if time.Since(start) > 2*time.Second {
@@ -355,11 +355,11 @@ func TestIdentifyExStatsOverIndexedStore(t *testing.T) {
 	tpls := testImpressions(t, 20, "D0", 0)
 	probes := testImpressions(t, 20, "D0", 1)
 	for i, tpl := range tpls {
-		if err := cli.Enroll(fmt.Sprintf("subj-%02d", i), "D0", tpl); err != nil {
+		if err := cli.Enroll(context.Background(), fmt.Sprintf("subj-%02d", i), "D0", tpl); err != nil {
 			t.Fatal(err)
 		}
 	}
-	cands, stats, err := cli.IdentifyEx(probes[4], 1)
+	cands, stats, err := cli.IdentifyEx(context.Background(), probes[4], 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -382,11 +382,11 @@ func TestIdentifyExStatsOverPlainStore(t *testing.T) {
 	tpls := testImpressions(t, 3, "D0", 0)
 	probes := testImpressions(t, 3, "D0", 1)
 	for i, tpl := range tpls {
-		if err := cli.Enroll(fmt.Sprintf("p-%d", i), "D0", tpl); err != nil {
+		if err := cli.Enroll(context.Background(), fmt.Sprintf("p-%d", i), "D0", tpl); err != nil {
 			t.Fatal(err)
 		}
 	}
-	cands, stats, err := cli.IdentifyEx(probes[1], 2)
+	cands, stats, err := cli.IdentifyEx(context.Background(), probes[1], 2)
 	if err != nil {
 		t.Fatal(err)
 	}

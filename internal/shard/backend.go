@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"io"
 
 	"fpinterop/internal/gallery"
@@ -16,23 +17,26 @@ type Enrollment = matchsvc.Enrollment
 
 // Backend is one shard of the partitioned gallery: a local
 // gallery.Store, or a remote matchd reached through matchsvc.Client.
-// Implementations must be safe for concurrent use.
+// Every call takes a context.Context first — a shard is potentially a
+// network hop away, so callers must be able to bound and cancel each
+// operation. Implementations must be safe for concurrent use and
+// return promptly (with ctx.Err()) once the context is done.
 type Backend interface {
 	// Name identifies the shard on the ring (a label for local shards,
 	// typically the address for remote ones). Names must be unique and
 	// stable: the ring hashes them, so renaming a shard moves its keys.
 	Name() string
-	Enroll(id, deviceID string, tpl *minutiae.Template) error
+	Enroll(ctx context.Context, id, deviceID string, tpl *minutiae.Template) error
 	// EnrollBatch registers many templates, ideally in fewer round trips
 	// than one-by-one Enroll. Not atomic: a failure may leave a prefix of
 	// the batch enrolled.
-	EnrollBatch(items []Enrollment) error
-	Remove(id string) error
-	Verify(id string, probe *minutiae.Template) (match.Result, error)
-	IdentifyDetailed(probe *minutiae.Template, k int) ([]gallery.Candidate, gallery.IdentifyStats, error)
+	EnrollBatch(ctx context.Context, items []Enrollment) error
+	Remove(ctx context.Context, id string) error
+	Verify(ctx context.Context, id string, probe *minutiae.Template) (match.Result, error)
+	IdentifyDetailed(ctx context.Context, probe *minutiae.Template, k int) ([]gallery.Candidate, gallery.IdentifyStats, error)
 	// Len returns the shard's enrollment count; the error reports an
 	// unreachable shard (always nil for local shards).
-	Len() (int, error)
+	Len(ctx context.Context) (int, error)
 }
 
 // Saver is implemented by backends whose gallery can be serialized
@@ -66,12 +70,18 @@ func (l *Local) Store() *gallery.Store { return l.store }
 
 func (l *Local) Name() string { return l.name }
 
-func (l *Local) Enroll(id, deviceID string, tpl *minutiae.Template) error {
+func (l *Local) Enroll(ctx context.Context, id, deviceID string, tpl *minutiae.Template) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	return l.store.Enroll(id, deviceID, tpl)
 }
 
-func (l *Local) EnrollBatch(items []Enrollment) error {
+func (l *Local) EnrollBatch(ctx context.Context, items []Enrollment) error {
 	for _, it := range items {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if err := l.store.Enroll(it.ID, it.DeviceID, it.Template); err != nil {
 			return err
 		}
@@ -79,17 +89,27 @@ func (l *Local) EnrollBatch(items []Enrollment) error {
 	return nil
 }
 
-func (l *Local) Remove(id string) error { return l.store.Remove(id) }
-
-func (l *Local) Verify(id string, probe *minutiae.Template) (match.Result, error) {
-	return l.store.Verify(id, probe)
+func (l *Local) Remove(ctx context.Context, id string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return l.store.Remove(id)
 }
 
-func (l *Local) IdentifyDetailed(probe *minutiae.Template, k int) ([]gallery.Candidate, gallery.IdentifyStats, error) {
-	return l.store.IdentifyDetailed(probe, k)
+func (l *Local) Verify(ctx context.Context, id string, probe *minutiae.Template) (match.Result, error) {
+	return l.store.VerifyContext(ctx, id, probe)
 }
 
-func (l *Local) Len() (int, error) { return l.store.Len(), nil }
+func (l *Local) IdentifyDetailed(ctx context.Context, probe *minutiae.Template, k int) ([]gallery.Candidate, gallery.IdentifyStats, error) {
+	return l.store.IdentifyDetailedContext(ctx, probe, k)
+}
+
+func (l *Local) Len(ctx context.Context) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return l.store.Len(), nil
+}
 
 func (l *Local) SaveTo(w io.Writer) error   { return l.store.SaveTo(w) }
 func (l *Local) LoadFrom(r io.Reader) error { return l.store.LoadFrom(r) }
@@ -111,27 +131,27 @@ func NewRemote(name string, cli *matchsvc.Client) *Remote {
 
 func (r *Remote) Name() string { return r.name }
 
-func (r *Remote) Enroll(id, deviceID string, tpl *minutiae.Template) error {
-	return r.cli.Enroll(id, deviceID, tpl)
+func (r *Remote) Enroll(ctx context.Context, id, deviceID string, tpl *minutiae.Template) error {
+	return r.cli.Enroll(ctx, id, deviceID, tpl)
 }
 
-func (r *Remote) EnrollBatch(items []Enrollment) error {
-	_, err := r.cli.EnrollBatch(items)
+func (r *Remote) EnrollBatch(ctx context.Context, items []Enrollment) error {
+	_, err := r.cli.EnrollBatch(ctx, items)
 	return err
 }
 
-func (r *Remote) Remove(id string) error { return r.cli.Remove(id) }
+func (r *Remote) Remove(ctx context.Context, id string) error { return r.cli.Remove(ctx, id) }
 
-func (r *Remote) Verify(id string, probe *minutiae.Template) (match.Result, error) {
-	res, err := r.cli.Verify(id, probe)
+func (r *Remote) Verify(ctx context.Context, id string, probe *minutiae.Template) (match.Result, error) {
+	res, err := r.cli.Verify(ctx, id, probe)
 	if err != nil {
 		return match.Result{}, err
 	}
 	return match.Result{Score: res.Score, Matched: res.Matched}, nil
 }
 
-func (r *Remote) IdentifyDetailed(probe *minutiae.Template, k int) ([]gallery.Candidate, gallery.IdentifyStats, error) {
-	return r.cli.IdentifyEx(probe, k)
+func (r *Remote) IdentifyDetailed(ctx context.Context, probe *minutiae.Template, k int) ([]gallery.Candidate, gallery.IdentifyStats, error) {
+	return r.cli.IdentifyEx(ctx, probe, k)
 }
 
-func (r *Remote) Len() (int, error) { return r.cli.Count() }
+func (r *Remote) Len(ctx context.Context) (int, error) { return r.cli.Count(ctx) }

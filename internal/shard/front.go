@@ -1,7 +1,10 @@
 package shard
 
 import (
+	"context"
+
 	"fpinterop/internal/gallery"
+	"fpinterop/internal/match"
 	"fpinterop/internal/minutiae"
 )
 
@@ -20,13 +23,29 @@ func (s IdentifyStats) Fold() gallery.IdentifyStats {
 
 // Front adapts a Router to the matchsvc.Gallery interface, letting a
 // matchd process serve a sharded gallery through the same wire protocol
-// as a single store. Everything but IdentifyDetailed promotes from the
-// embedded router; IdentifyDetailed folds the per-shard statistics.
+// as a single store. The wire protocol carries no caller deadline, so
+// front calls run under context.Background(); the router's ShardTimeout
+// is the serving-side bound. IdentifyDetailed folds the per-shard
+// statistics into the single-store shape.
 type Front struct {
 	*Router
 }
 
+func (f Front) Enroll(id, deviceID string, tpl *minutiae.Template) error {
+	return f.Router.Enroll(context.Background(), id, deviceID, tpl)
+}
+
+func (f Front) Remove(id string) error {
+	return f.Router.Remove(context.Background(), id)
+}
+
+func (f Front) Verify(id string, probe *minutiae.Template) (match.Result, error) {
+	return f.Router.Verify(context.Background(), id, probe)
+}
+
 func (f Front) IdentifyDetailed(probe *minutiae.Template, k int) ([]gallery.Candidate, gallery.IdentifyStats, error) {
-	cands, st, err := f.Router.IdentifyDetailed(probe, k)
+	cands, st, err := f.Router.IdentifyDetailed(context.Background(), probe, k)
 	return cands, st.Fold(), err
 }
+
+func (f Front) Len() int { return f.Router.Len(context.Background()) }

@@ -12,6 +12,7 @@
 package shard
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -62,9 +63,9 @@ type Options struct {
 	Workers int
 	// ShardTimeout is the per-shard identification deadline; a shard
 	// that misses it counts as failed for that search (and toward
-	// degradation). 0 disables the deadline. The abandoned call keeps
-	// its goroutine until the backend returns; the router only stops
-	// waiting.
+	// degradation). 0 disables the deadline. On expiry the router stops
+	// waiting and cancels the shard's context, so a context-honoring
+	// backend unwinds promptly instead of running to completion.
 	ShardTimeout time.Duration
 	// FailureThreshold is how many consecutive failures mark a shard
 	// degraded (default 3).
@@ -147,7 +148,11 @@ func (r *Router) Backends() []Backend { return r.backends }
 // Owner returns the position of the shard owning id.
 func (r *Router) Owner(id string) int { return r.ring.owner(id) }
 
-// record updates a shard's health after one backend call.
+// record updates a shard's health after one backend call. A failure
+// caused by the caller's own context — cancellation or an expired
+// caller deadline — says nothing about the shard, so it neither counts
+// toward degradation nor resets the failure streak (recordCtx filters
+// those out before delegating here).
 func (r *Router) record(i int, err error) {
 	h := r.health[i]
 	h.mu.Lock()
@@ -161,6 +166,15 @@ func (r *Router) record(i int, err error) {
 	if h.consecFails >= r.opt.FailureThreshold {
 		h.degraded = true
 	}
+}
+
+// recordCtx is record unless the failure is the caller's context
+// error.
+func (r *Router) recordCtx(ctx context.Context, i int, err error) {
+	if err != nil && ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+		return
+	}
+	r.record(i, err)
 }
 
 func (r *Router) isDegraded(i int) bool {
@@ -184,12 +198,18 @@ func (r *Router) Degraded() []int {
 // CheckHealth probes every shard (a Len round trip) and resets the
 // health of responsive ones, letting degraded shards rejoin the
 // scatter set; errs[i] is non-nil for shards that failed the probe.
-// Call it periodically, or after repairing a shard.
-func (r *Router) CheckHealth() (errs []error) {
+// Call it periodically, or after repairing a shard. A cancelled
+// context aborts the sweep; unprobed shards report ctx.Err() without a
+// health penalty.
+func (r *Router) CheckHealth(ctx context.Context) (errs []error) {
 	errs = make([]error, len(r.backends))
 	for i, b := range r.backends {
-		_, err := b.Len()
-		r.record(i, err)
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			continue
+		}
+		_, err := b.Len(ctx)
+		r.recordCtx(ctx, i, err)
 		errs[i] = err
 	}
 	return errs
@@ -206,10 +226,10 @@ func routingErr(b Backend, err error) error {
 // Enroll routes the template to the shard owning id. Enrollment always
 // targets the owner — there is no failover, because a mis-placed
 // enrollment would be invisible to Remove/Verify routing.
-func (r *Router) Enroll(id, deviceID string, tpl *minutiae.Template) error {
+func (r *Router) Enroll(ctx context.Context, id, deviceID string, tpl *minutiae.Template) error {
 	i := r.ring.owner(id)
-	err := r.backends[i].Enroll(id, deviceID, tpl)
-	r.record(i, err)
+	err := r.backends[i].Enroll(ctx, id, deviceID, tpl)
+	r.recordCtx(ctx, i, err)
 	return routingErr(r.backends[i], err)
 }
 
@@ -218,9 +238,12 @@ func (r *Router) Enroll(id, deviceID string, tpl *minutiae.Template) error {
 // to frame-cap chunking), fanning the per-shard batches out in
 // parallel. Not atomic: a shard failure leaves that shard's prefix (and
 // every other shard's full group) enrolled.
-func (r *Router) EnrollBatch(items []Enrollment) error {
+func (r *Router) EnrollBatch(ctx context.Context, items []Enrollment) error {
 	if len(items) == 0 {
 		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	groups := make([][]Enrollment, len(r.backends))
 	for _, it := range items {
@@ -239,6 +262,9 @@ func (r *Router) EnrollBatch(items []Enrollment) error {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				mu.Lock()
 				i := next
 				next++
@@ -249,8 +275,8 @@ func (r *Router) EnrollBatch(items []Enrollment) error {
 				if len(groups[i]) == 0 {
 					continue
 				}
-				err := r.backends[i].EnrollBatch(groups[i])
-				r.record(i, err)
+				err := r.backends[i].EnrollBatch(ctx, groups[i])
+				r.recordCtx(ctx, i, err)
 				if err != nil {
 					mu.Lock()
 					errs = append(errs, routingErr(r.backends[i], err))
@@ -260,33 +286,35 @@ func (r *Router) EnrollBatch(items []Enrollment) error {
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	return errors.Join(errs...)
 }
 
 // Remove routes the deletion to the shard owning id.
-func (r *Router) Remove(id string) error {
+func (r *Router) Remove(ctx context.Context, id string) error {
 	i := r.ring.owner(id)
-	err := r.backends[i].Remove(id)
-	r.record(i, err)
+	err := r.backends[i].Remove(ctx, id)
+	r.recordCtx(ctx, i, err)
 	return routingErr(r.backends[i], err)
 }
 
 // Verify routes the 1:1 comparison to the shard owning id.
-func (r *Router) Verify(id string, probe *minutiae.Template) (match.Result, error) {
+func (r *Router) Verify(ctx context.Context, id string, probe *minutiae.Template) (match.Result, error) {
 	i := r.ring.owner(id)
-	res, err := r.backends[i].Verify(id, probe)
-	r.record(i, err)
+	res, err := r.backends[i].Verify(ctx, id, probe)
+	r.recordCtx(ctx, i, err)
 	return res, routingErr(r.backends[i], err)
 }
 
 // Len sums the enrollment counts of the reachable shards (unreachable
-// shards contribute zero), satisfying the matchsvc.Gallery contract so
-// a router can sit directly behind a matchd front.
-func (r *Router) Len() int {
+// shards contribute zero).
+func (r *Router) Len(ctx context.Context) int {
 	total := 0
 	for i, b := range r.backends {
-		n, err := b.Len()
-		r.record(i, err)
+		n, err := b.Len(ctx)
+		r.recordCtx(ctx, i, err)
 		if err == nil {
 			total += n
 		}
@@ -349,25 +377,37 @@ func (r *Router) fanout(n int) int {
 	return w
 }
 
-// callIdentify runs one shard search under the per-shard deadline. On
-// timeout the call is abandoned (its goroutine finishes into a buffered
-// channel) and reported as ErrShardTimeout.
-func (r *Router) callIdentify(b Backend, probe *minutiae.Template, k int) shardAnswer {
-	if r.opt.ShardTimeout <= 0 {
-		cands, stats, err := b.IdentifyDetailed(probe, k)
+// callIdentify runs one shard search under the per-shard deadline and
+// the caller's context. When neither can fire, the backend is called
+// synchronously. Otherwise the call runs in its own goroutine so the
+// router can stop waiting the moment the shard deadline or the caller's
+// context expires: a missed shard deadline reports ErrShardTimeout, a
+// done caller context reports ctx.Err(). Either way the shard's derived
+// context is cancelled, so a context-honoring backend unwinds promptly
+// (the abandoning goroutine drains into a buffered channel regardless).
+func (r *Router) callIdentify(ctx context.Context, b Backend, probe *minutiae.Template, k int) shardAnswer {
+	sctx := ctx
+	if r.opt.ShardTimeout > 0 {
+		var cancel context.CancelFunc
+		sctx, cancel = context.WithTimeout(ctx, r.opt.ShardTimeout)
+		defer cancel()
+	}
+	if sctx.Done() == nil {
+		cands, stats, err := b.IdentifyDetailed(sctx, probe, k)
 		return shardAnswer{cands: cands, stats: stats, err: err}
 	}
 	ch := make(chan shardAnswer, 1)
 	go func() {
-		cands, stats, err := b.IdentifyDetailed(probe, k)
+		cands, stats, err := b.IdentifyDetailed(sctx, probe, k)
 		ch <- shardAnswer{cands: cands, stats: stats, err: err}
 	}()
-	timer := time.NewTimer(r.opt.ShardTimeout)
-	defer timer.Stop()
 	select {
 	case ans := <-ch:
 		return ans
-	case <-timer.C:
+	case <-sctx.Done():
+		if err := ctx.Err(); err != nil {
+			return shardAnswer{err: err}
+		}
 		return shardAnswer{err: ErrShardTimeout}
 	}
 }
@@ -375,8 +415,8 @@ func (r *Router) callIdentify(b Backend, probe *minutiae.Template, k int) shardA
 // Identify scatter-gathers the probe across the shards and returns the
 // global top-k candidates (all of them when k <= 0), ordered by
 // descending score with deterministic ID tie-breaks.
-func (r *Router) Identify(probe *minutiae.Template, k int) ([]gallery.Candidate, error) {
-	out, _, err := r.IdentifyDetailed(probe, k)
+func (r *Router) Identify(ctx context.Context, probe *minutiae.Template, k int) ([]gallery.Candidate, error) {
+	out, _, err := r.IdentifyDetailed(ctx, probe, k)
 	return out, err
 }
 
@@ -386,9 +426,23 @@ func (r *Router) Identify(probe *minutiae.Template, k int) ([]gallery.Candidate,
 // because any candidate in the global top-k is necessarily in its own
 // shard's top-k. Under SkipDegraded, failed or skipped shards reduce
 // coverage (stats.Partial); under FailClosed they fail the search.
-func (r *Router) IdentifyDetailed(probe *minutiae.Template, k int) ([]gallery.Candidate, IdentifyStats, error) {
+//
+// A cancelled or expired ctx unblocks the scatter promptly — in-flight
+// shard calls are cancelled and abandoned — and the search returns
+// ctx.Err() without penalizing any shard's health. The router remains
+// reusable for subsequent searches.
+func (r *Router) IdentifyDetailed(ctx context.Context, probe *minutiae.Template, k int) ([]gallery.Candidate, IdentifyStats, error) {
 	if probe == nil {
 		return nil, IdentifyStats{}, match.ErrNilTemplate
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, IdentifyStats{}, err
+	}
+	if k < 0 {
+		// The same full-ranking normalization gallery.Store applies, so
+		// degenerate k means one thing on every serving path (and never
+		// reaches the wire, where k travels unsigned).
+		k = 0
 	}
 	n := len(r.backends)
 	stats := IdentifyStats{PerShard: make([]ShardIdentifyStats, n)}
@@ -434,6 +488,9 @@ func (r *Router) IdentifyDetailed(probe *minutiae.Template, k int) ([]gallery.Ca
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				mu.Lock()
 				t := next
 				next++
@@ -442,12 +499,15 @@ func (r *Router) IdentifyDetailed(probe *minutiae.Template, k int) ([]gallery.Ca
 					return
 				}
 				i := targets[t]
-				answers[i] = r.callIdentify(r.backends[i], probe, k)
-				r.record(i, answers[i].err)
+				answers[i] = r.callIdentify(ctx, r.backends[i], probe, k)
+				r.recordCtx(ctx, i, answers[i].err)
 			}
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
+	}
 
 	var merged []gallery.Candidate
 	for _, i := range targets {

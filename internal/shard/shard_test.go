@@ -2,8 +2,10 @@ package shard
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -24,6 +26,10 @@ var (
 )
 
 const tplCount = 24
+
+// ctx is the background context shared by tests that exercise no
+// cancellation behavior of their own.
+var ctx = context.Background()
 
 func fixtures(t *testing.T) (gal, probes []*minutiae.Template) {
 	t.Helper()
@@ -123,18 +129,18 @@ func TestEnrollRoutesToOwner(t *testing.T) {
 	gal, _ := fixtures(t)
 	r := localRouter(t, 3, Options{})
 	for i, tpl := range gal {
-		if err := r.Enroll(subjectID(i), "D0", tpl); err != nil {
+		if err := r.Enroll(ctx, subjectID(i), "D0", tpl); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if r.Len() != len(gal) {
-		t.Fatalf("router Len = %d, want %d", r.Len(), len(gal))
+	if r.Len(ctx) != len(gal) {
+		t.Fatalf("router Len = %d, want %d", r.Len(ctx), len(gal))
 	}
 	for i := range gal {
 		id := subjectID(i)
 		owner := r.Owner(id)
 		for s, b := range r.Backends() {
-			_, err := b.Verify(id, gal[i])
+			_, err := b.Verify(ctx, id, gal[i])
 			if s == owner && err != nil {
 				t.Fatalf("owner shard %d missing %q: %v", s, id, err)
 			}
@@ -151,17 +157,17 @@ func TestEnrollBatchMatchesIndividualPlacement(t *testing.T) {
 	batch := localRouter(t, 3, Options{})
 	items := make([]Enrollment, len(gal))
 	for i, tpl := range gal {
-		if err := one.Enroll(subjectID(i), "D0", tpl); err != nil {
+		if err := one.Enroll(ctx, subjectID(i), "D0", tpl); err != nil {
 			t.Fatal(err)
 		}
 		items[i] = Enrollment{ID: subjectID(i), DeviceID: "D0", Template: tpl}
 	}
-	if err := batch.EnrollBatch(items); err != nil {
+	if err := batch.EnrollBatch(ctx, items); err != nil {
 		t.Fatal(err)
 	}
 	for s := range one.Backends() {
-		a, _ := one.Backends()[s].Len()
-		b, _ := batch.Backends()[s].Len()
+		a, _ := one.Backends()[s].Len(ctx)
+		b, _ := batch.Backends()[s].Len(ctx)
 		if a != b {
 			t.Fatalf("shard %d: Enroll placed %d, EnrollBatch placed %d", s, a, b)
 		}
@@ -186,7 +192,7 @@ func TestShardedIdentifyBitIdenticalToSingleStore(t *testing.T) {
 		for i, tpl := range gal {
 			items[i] = Enrollment{ID: subjectID(i), DeviceID: "D0", Template: tpl}
 		}
-		if err := r.EnrollBatch(items); err != nil {
+		if err := r.EnrollBatch(ctx, items); err != nil {
 			t.Fatal(err)
 		}
 		for _, k := range []int{1, 5, 0, len(gal) + 10} {
@@ -195,7 +201,7 @@ func TestShardedIdentifyBitIdenticalToSingleStore(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				got, stats, err := r.IdentifyDetailed(probe, k)
+				got, stats, err := r.IdentifyDetailed(ctx, probe, k)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -227,10 +233,10 @@ func TestIdentifyStatsAggregation(t *testing.T) {
 	for i, tpl := range gal {
 		items[i] = Enrollment{ID: subjectID(i), DeviceID: "D0", Template: tpl}
 	}
-	if err := r.EnrollBatch(items); err != nil {
+	if err := r.EnrollBatch(ctx, items); err != nil {
 		t.Fatal(err)
 	}
-	_, stats, err := r.IdentifyDetailed(probes[0], 3)
+	_, stats, err := r.IdentifyDetailed(ctx, probes[0], 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,21 +282,28 @@ func (f *flakyBackend) broken() bool {
 	return f.fail
 }
 
-func (f *flakyBackend) IdentifyDetailed(probe *minutiae.Template, k int) ([]gallery.Candidate, gallery.IdentifyStats, error) {
-	if f.slow > 0 {
-		time.Sleep(f.slow)
+func (f *flakyBackend) IdentifyDetailed(ctx context.Context, probe *minutiae.Template, k int) ([]gallery.Candidate, gallery.IdentifyStats, error) {
+	f.mu.Lock()
+	slow := f.slow
+	f.mu.Unlock()
+	if slow > 0 {
+		select {
+		case <-time.After(slow):
+		case <-ctx.Done():
+			return nil, gallery.IdentifyStats{}, ctx.Err()
+		}
 	}
 	if f.broken() {
 		return nil, gallery.IdentifyStats{}, errors.New("injected failure")
 	}
-	return f.Backend.IdentifyDetailed(probe, k)
+	return f.Backend.IdentifyDetailed(ctx, probe, k)
 }
 
-func (f *flakyBackend) Len() (int, error) {
+func (f *flakyBackend) Len(ctx context.Context) (int, error) {
 	if f.broken() {
 		return 0, errors.New("injected failure")
 	}
-	return f.Backend.Len()
+	return f.Backend.Len(ctx)
 }
 
 func TestHealthDegradationSkipAndRecovery(t *testing.T) {
@@ -302,7 +315,7 @@ func TestHealthDegradationSkipAndRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, tpl := range gal {
-		if err := r.Enroll(subjectID(i), "D0", tpl); err != nil {
+		if err := r.Enroll(ctx, subjectID(i), "D0", tpl); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -310,7 +323,7 @@ func TestHealthDegradationSkipAndRecovery(t *testing.T) {
 	// Below the threshold the shard is still queried; each failure is
 	// partial coverage, and after two consecutive failures it degrades.
 	for attempt := 0; attempt < 2; attempt++ {
-		_, stats, err := r.IdentifyDetailed(probes[0], 3)
+		_, stats, err := r.IdentifyDetailed(ctx, probes[0], 3)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -322,7 +335,7 @@ func TestHealthDegradationSkipAndRecovery(t *testing.T) {
 		t.Fatalf("degraded = %v, want [1]", got)
 	}
 	// Degraded: skipped, not queried.
-	_, stats, err := r.IdentifyDetailed(probes[0], 3)
+	_, stats, err := r.IdentifyDetailed(ctx, probes[0], 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -335,14 +348,14 @@ func TestHealthDegradationSkipAndRecovery(t *testing.T) {
 
 	// Repair and re-probe: CheckHealth readmits the shard.
 	flaky.setFail(false)
-	errs := r.CheckHealth()
+	errs := r.CheckHealth(ctx)
 	if errs[0] != nil || errs[1] != nil {
 		t.Fatalf("health probe after repair: %v", errs)
 	}
 	if got := r.Degraded(); len(got) != 0 {
 		t.Fatalf("still degraded after repair: %v", got)
 	}
-	_, stats, err = r.IdentifyDetailed(probes[0], 3)
+	_, stats, err = r.IdentifyDetailed(ctx, probes[0], 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -360,17 +373,17 @@ func TestFailClosedPolicy(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, tpl := range gal[:8] {
-		if err := r.Enroll(subjectID(i), "D0", tpl); err != nil {
+		if err := r.Enroll(ctx, subjectID(i), "D0", tpl); err != nil {
 			t.Fatal(err)
 		}
 	}
 	flaky.setFail(true)
 	// First search: the shard fails mid-search → the search fails.
-	if _, _, err := r.IdentifyDetailed(probes[0], 3); err == nil {
+	if _, _, err := r.IdentifyDetailed(ctx, probes[0], 3); err == nil {
 		t.Fatal("fail-closed search succeeded with a failing shard")
 	}
 	// The failure degraded the shard → subsequent searches fail fast.
-	if _, _, err := r.IdentifyDetailed(probes[0], 3); !errors.Is(err, ErrDegraded) {
+	if _, _, err := r.IdentifyDetailed(ctx, probes[0], 3); !errors.Is(err, ErrDegraded) {
 		t.Fatalf("want ErrDegraded, got %v", err)
 	}
 }
@@ -384,12 +397,12 @@ func TestShardTimeout(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, tpl := range gal[:8] {
-		if err := r.Enroll(subjectID(i), "D0", tpl); err != nil {
+		if err := r.Enroll(ctx, subjectID(i), "D0", tpl); err != nil {
 			t.Fatal(err)
 		}
 	}
 	start := time.Now()
-	_, stats, err := r.IdentifyDetailed(probes[0], 3)
+	_, stats, err := r.IdentifyDetailed(ctx, probes[0], 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -409,7 +422,7 @@ func TestAllShardsFailedIsAnError(t *testing.T) {
 		t.Fatal(err)
 	}
 	flaky.setFail(true)
-	if _, _, err := r.IdentifyDetailed(probes[0], 1); err == nil {
+	if _, _, err := r.IdentifyDetailed(ctx, probes[0], 1); err == nil {
 		t.Fatal("total outage reported as an empty result")
 	}
 }
@@ -418,28 +431,28 @@ func TestVerifyAndRemoveRouting(t *testing.T) {
 	gal, probes := fixtures(t)
 	r := localRouter(t, 3, Options{})
 	for i, tpl := range gal[:6] {
-		if err := r.Enroll(subjectID(i), "D0", tpl); err != nil {
+		if err := r.Enroll(ctx, subjectID(i), "D0", tpl); err != nil {
 			t.Fatal(err)
 		}
 	}
-	res, err := r.Verify(subjectID(2), probes[2])
+	res, err := r.Verify(ctx, subjectID(2), probes[2])
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Score <= 0 {
 		t.Fatalf("genuine verify score %v", res.Score)
 	}
-	if _, err := r.Verify("nobody", probes[0]); err == nil {
+	if _, err := r.Verify(ctx, "nobody", probes[0]); err == nil {
 		t.Fatal("verify of unknown ID succeeded")
 	}
-	if err := r.Remove(subjectID(2)); err != nil {
+	if err := r.Remove(ctx, subjectID(2)); err != nil {
 		t.Fatal(err)
 	}
-	if err := r.Remove(subjectID(2)); err == nil {
+	if err := r.Remove(ctx, subjectID(2)); err == nil {
 		t.Fatal("double remove succeeded")
 	}
-	if r.Len() != 5 {
-		t.Fatalf("Len after remove = %d", r.Len())
+	if r.Len(ctx) != 5 {
+		t.Fatalf("Len after remove = %d", r.Len(ctx))
 	}
 }
 
@@ -476,7 +489,7 @@ func TestRouterPersistenceRoundTrip(t *testing.T) {
 		}
 		items[i] = Enrollment{ID: subjectID(i), DeviceID: "D0", Template: norm}
 	}
-	if err := orig.EnrollBatch(items); err != nil {
+	if err := orig.EnrollBatch(ctx, items); err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
@@ -488,23 +501,23 @@ func TestRouterPersistenceRoundTrip(t *testing.T) {
 	if err := restored.LoadFrom(bytes.NewReader(buf.Bytes())); err != nil {
 		t.Fatal(err)
 	}
-	if restored.Len() != len(gal) {
-		t.Fatalf("restored Len = %d, want %d", restored.Len(), len(gal))
+	if restored.Len(ctx) != len(gal) {
+		t.Fatalf("restored Len = %d, want %d", restored.Len(ctx), len(gal))
 	}
 	// Per-shard retrieval indexes must be rebuilt on load.
 	for i, b := range restored.Backends() {
 		st, ok := b.(*Local).Store().IndexStats()
-		n, _ := b.Len()
+		n, _ := b.Len(ctx)
 		if !ok || st.Templates != n {
 			t.Fatalf("shard %d index not rebuilt: ok=%v stats=%+v len=%d", i, ok, st, n)
 		}
 	}
 	for _, probe := range probes[:4] {
-		want, _, err := orig.IdentifyDetailed(probe, 5)
+		want, _, err := orig.IdentifyDetailed(ctx, probe, 5)
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, _, err := restored.IdentifyDetailed(probe, 5)
+		got, _, err := restored.IdentifyDetailed(ctx, probe, 5)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -538,11 +551,11 @@ func TestRouterConcurrentUse(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := w * 6; i < (w+1)*6; i++ {
-				if err := r.Enroll(subjectID(i), "D0", gal[i]); err != nil {
+				if err := r.Enroll(ctx, subjectID(i), "D0", gal[i]); err != nil {
 					errs <- err
 					return
 				}
-				if _, _, err := r.IdentifyDetailed(probes[i%len(probes)], 2); err != nil {
+				if _, _, err := r.IdentifyDetailed(ctx, probes[i%len(probes)], 2); err != nil {
 					errs <- err
 					return
 				}
@@ -554,7 +567,130 @@ func TestRouterConcurrentUse(t *testing.T) {
 	for err := range errs {
 		t.Fatal(err)
 	}
-	if r.Len() != 24 {
-		t.Fatalf("Len = %d", r.Len())
+	if r.Len(ctx) != 24 {
+		t.Fatalf("Len = %d", r.Len(ctx))
+	}
+}
+
+// TestDegenerateKMatchesSingleStore pins the satellite contract: for
+// any k <= 0 the router and a single store holding the same
+// enrollments return the identical full ranking, and a k beyond the
+// gallery clamps the same way on both paths.
+func TestDegenerateKMatchesSingleStore(t *testing.T) {
+	gal, probes := fixtures(t)
+	single := gallery.New(nil)
+	r := localRouter(t, 3, Options{})
+	for i, tpl := range gal {
+		if err := single.Enroll(subjectID(i), "D0", tpl); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Enroll(ctx, subjectID(i), "D0", tpl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, k := range []int{-1000, -7, -1, 0, len(gal), len(gal) + 13} {
+		for pi, probe := range probes[:3] {
+			want, err := single.Identify(probe, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := r.Identify(ctx, probe, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) || len(got) != len(gal) {
+				t.Fatalf("k=%d probe=%d: router %d candidates, single %d, want %d",
+					k, pi, len(got), len(want), len(gal))
+			}
+			for c := range want {
+				if got[c] != want[c] {
+					t.Fatalf("k=%d probe=%d: candidate %d = %+v, want %+v", k, pi, c, got[c], want[c])
+				}
+			}
+		}
+	}
+}
+
+// TestIdentifyCancellationPromptAndRouterReusable proves the
+// scatter-gather satellite contract: cancelling the context of an
+// in-flight IdentifyDetailed returns ctx.Err() well before the slowest
+// shard would have answered, charges no shard a health penalty, leaks
+// no workers, and leaves the router serving subsequent searches.
+func TestIdentifyCancellationPromptAndRouterReusable(t *testing.T) {
+	gal, probes := fixtures(t)
+	slow := &flakyBackend{Backend: NewLocal("slow", gallery.New(nil)), slow: 10 * time.Second}
+	backends := []Backend{NewLocal("fast", gallery.New(nil)), slow}
+	// FailureThreshold 1 makes any wrongly-recorded failure degrade the
+	// shard immediately, so the post-cancel assertions would catch it.
+	r, err := New(backends, Options{FailureThreshold: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tpl := range gal[:8] {
+		if err := r.Enroll(ctx, subjectID(i), "D0", tpl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := runtime.NumGoroutine()
+	cctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, _, err = r.IdentifyDetailed(cctx, probes[0], 3)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("cancelled scatter returned after %v", elapsed)
+	}
+	// The caller's cancellation is not the shard's fault.
+	if got := r.Degraded(); len(got) != 0 {
+		t.Fatalf("cancellation degraded shards %v", got)
+	}
+	// Abandoned workers drain (the slow backend honors its context).
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Fatalf("worker leak: %d goroutines before, %d after", before, now)
+	}
+	// The router stays usable: clear the slowdown and search again.
+	slow.mu.Lock()
+	slow.slow = 0
+	slow.mu.Unlock()
+	got, stats, err := r.IdentifyDetailed(ctx, probes[0], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Partial || stats.ShardsQueried != 2 {
+		t.Fatalf("router degraded after cancellation: %+v", stats)
+	}
+	if len(got) == 0 {
+		t.Fatal("no candidates after recovery")
+	}
+}
+
+// TestIdentifyPreCancelledContext fails fast without querying any
+// shard.
+func TestIdentifyPreCancelledContext(t *testing.T) {
+	_, probes := fixtures(t)
+	r := localRouter(t, 2, Options{})
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := r.IdentifyDetailed(pre, probes[0], 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if _, err := r.Verify(pre, "x", probes[0]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("verify: want context.Canceled, got %v", err)
+	}
+	if err := r.Enroll(pre, "x", "D0", probes[0]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("enroll: want context.Canceled, got %v", err)
+	}
+	if got := r.Degraded(); len(got) != 0 {
+		t.Fatalf("pre-cancelled calls degraded shards %v", got)
 	}
 }

@@ -101,14 +101,14 @@ func TestShardSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := router.EnrollBatch(items); err != nil {
+	if err := router.EnrollBatch(ctx, items); err != nil {
 		t.Fatal(err)
 	}
-	if got := router.Len(); got != n {
+	if got := router.Len(ctx); got != n {
 		t.Fatalf("router Len = %d, want %d", got, n)
 	}
 	for i, b := range backends {
-		ln, err := b.Len()
+		ln, err := b.Len(ctx)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -137,7 +137,7 @@ func TestShardSmoke(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, stats, err := router.IdentifyDetailed(imp.Template, 5)
+		got, stats, err := router.IdentifyDetailed(ctx, imp.Template, 5)
 		if err != nil {
 			t.Fatal(err)
 		}

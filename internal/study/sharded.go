@@ -1,6 +1,7 @@
 package study
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -64,7 +65,7 @@ func ShardedIdentification(ds *Dataset, galleryID, probeID string, n, maxRank, s
 	for s := 0; s < n; s++ {
 		items[s] = shard.Enrollment{ID: ids[s], DeviceID: galleryID, Template: ds.Impression(s, mustDeviceIndex(ds, galleryID), 0).Template}
 	}
-	if err := router.EnrollBatch(items); err != nil {
+	if err := router.EnrollBatch(context.Background(), items); err != nil {
 		return ShardedIdentificationResult{}, fmt.Errorf("study: sharded enroll: %w", err)
 	}
 
@@ -76,7 +77,7 @@ func ShardedIdentification(ds *Dataset, galleryID, probeID string, n, maxRank, s
 		Probes:        n,
 	}
 	for _, b := range router.Backends() {
-		sz, err := b.Len()
+		sz, err := b.Len(context.Background())
 		if err != nil {
 			return ShardedIdentificationResult{}, err
 		}
@@ -93,7 +94,7 @@ func ShardedIdentification(ds *Dataset, galleryID, probeID string, n, maxRank, s
 		}
 		out.SingleNanos += time.Since(t0).Nanoseconds()
 		t1 := time.Now()
-		got, stats, err := router.IdentifyDetailed(probe, maxRank)
+		got, stats, err := router.IdentifyDetailed(context.Background(), probe, maxRank)
 		if err != nil {
 			return ShardedIdentificationResult{}, fmt.Errorf("study: sharded identify: %w", err)
 		}
