@@ -1,0 +1,86 @@
+// Command fpvet runs the repository's invariant analyzers over the
+// module: context flow, pool safety, hot-path allocations, sentinel
+// error identity, and lock discipline. It is the static half of the
+// contracts the benchmarks and race tests check dynamically, and CI
+// runs it on every change.
+//
+// Usage:
+//
+//	go run ./cmd/fpvet [-only ctxflow,poolsafe,...] [packages]
+//
+// Packages default to ./... relative to the current directory. Exit
+// status is 0 when the module is clean, 1 when findings are reported,
+// and 2 when loading or type-checking fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fpinterop/internal/analysis"
+	"fpinterop/internal/analysis/ctxflow"
+	"fpinterop/internal/analysis/hotpathalloc"
+	"fpinterop/internal/analysis/locksafe"
+	"fpinterop/internal/analysis/poolsafe"
+	"fpinterop/internal/analysis/sentinelerr"
+)
+
+// suite returns every analyzer in its repository-default
+// configuration.
+func suite() []analysis.Analyzer {
+	return []analysis.Analyzer{
+		ctxflow.New(),
+		poolsafe.New(),
+		hotpathalloc.New(),
+		sentinelerr.New(),
+		locksafe.New(),
+	}
+}
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	analyzers := suite()
+	if *only != "" {
+		keep := make(map[string]bool)
+		for _, name := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var filtered []analysis.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name()] {
+				filtered = append(filtered, a)
+				delete(keep, a.Name())
+			}
+		}
+		for name := range keep {
+			fmt.Fprintf(os.Stderr, "fpvet: unknown analyzer %q\n", name)
+			os.Exit(2)
+		}
+		analyzers = filtered
+	}
+
+	patterns := flag.Args()
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fpvet: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fpvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	findings := analysis.Run(pkgs, analyzers)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "fpvet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

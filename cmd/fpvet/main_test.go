@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fpinterop/internal/analysis"
+)
+
+// moduleRoot walks up from the working directory to the go.mod that
+// defines the fpinterop module.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above the test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestRepositoryIsClean runs the full analyzer suite over the module
+// exactly as CI does and requires zero findings: every invariant
+// violation is either fixed or carries an //fpvet:allow annotation
+// with a reason. A finding here means a regression slipped in — run
+// `go run ./cmd/fpvet ./...` for the same report with file positions.
+func TestRepositoryIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short runs")
+	}
+	root := moduleRoot(t)
+	pkgs, err := analysis.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded from module root")
+	}
+	findings := analysis.Run(pkgs, suite())
+	for _, f := range findings {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}

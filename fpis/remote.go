@@ -60,9 +60,9 @@ func mapRemoteErr(err error) error {
 	msg := err.Error()
 	switch {
 	case strings.HasSuffix(msg, ErrNotFound.Error()):
-		return fmt.Errorf("%w (%v)", ErrNotFound, err)
+		return fmt.Errorf("%w (%w)", ErrNotFound, err)
 	case strings.HasSuffix(msg, ErrDuplicate.Error()):
-		return fmt.Errorf("%w (%v)", ErrDuplicate, err)
+		return fmt.Errorf("%w (%w)", ErrDuplicate, err)
 	}
 	return err
 }

@@ -1,0 +1,102 @@
+package fpis
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"fpinterop/internal/matchsvc"
+)
+
+// remoteErr builds the error shape a client-side RPC failure has: the
+// server-reported message wrapped in matchsvc.ErrRemote.
+func remoteErr(msg string) error {
+	return fmt.Errorf("%w: %s", matchsvc.ErrRemote, msg)
+}
+
+// TestMapRemoteErr pins the suffix→sentinel translation against the
+// literal sentinel strings internal/gallery defines. The texts are
+// spelled out rather than derived from ErrNotFound.Error() on purpose:
+// if the gallery messages ever drift, this table breaks loudly instead
+// of the translation silently matching a new suffix.
+func TestMapRemoteErr(t *testing.T) {
+	cases := []struct {
+		name string
+		msg  string
+		want error // nil means the error passes through untranslated
+	}{
+		{
+			name: "bare not-found",
+			msg:  "gallery: enrollment not found",
+			want: ErrNotFound,
+		},
+		{
+			name: "wrapped not-found keeps the sentinel as suffix",
+			msg:  `verify "alice": gallery: enrollment not found`,
+			want: ErrNotFound,
+		},
+		{
+			name: "bare duplicate",
+			msg:  "gallery: enrollment ID already exists",
+			want: ErrDuplicate,
+		},
+		{
+			name: "wrapped duplicate",
+			msg:  `enroll "alice": gallery: enrollment ID already exists`,
+			want: ErrDuplicate,
+		},
+		{
+			name: "sentinel text embedded mid-string must not map",
+			msg:  `enroll "gallery: enrollment not found": invalid template`,
+			want: nil,
+		},
+		{
+			name: "duplicate text embedded mid-string must not map",
+			msg:  `remove "gallery: enrollment ID already exists" failed: busy`,
+			want: nil,
+		},
+		{
+			name: "unrelated server error passes through",
+			msg:  "matchsvc: malformed frame",
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := remoteErr(tc.msg)
+			out := mapRemoteErr(in)
+			if tc.want != nil {
+				if !errors.Is(out, tc.want) {
+					t.Fatalf("mapRemoteErr(%q) = %v; want errors.Is(..., %v)", tc.msg, out, tc.want)
+				}
+				// The original remote diagnostic must survive translation.
+				if !errors.Is(out, matchsvc.ErrRemote) {
+					t.Fatalf("mapRemoteErr(%q) dropped the ErrRemote chain: %v", tc.msg, out)
+				}
+				return
+			}
+			if !errors.Is(out, in) && out != in {
+				t.Fatalf("mapRemoteErr(%q) = %v; want the input unchanged", tc.msg, out)
+			}
+			if errors.Is(out, ErrNotFound) || errors.Is(out, ErrDuplicate) {
+				t.Fatalf("mapRemoteErr(%q) = %v; must not map to a sentinel", tc.msg, out)
+			}
+		})
+	}
+}
+
+// TestMapRemoteErrPassthrough pins the guards around the translation:
+// nil stays nil, and errors outside the ErrRemote chain are returned
+// untouched even when their text ends in a sentinel message.
+func TestMapRemoteErrPassthrough(t *testing.T) {
+	if got := mapRemoteErr(nil); got != nil {
+		t.Fatalf("mapRemoteErr(nil) = %v; want nil", got)
+	}
+	local := errors.New("local: gallery: enrollment not found")
+	if got := mapRemoteErr(local); got != local {
+		t.Fatalf("mapRemoteErr(non-remote) = %v; want the input unchanged", got)
+	}
+	if errors.Is(mapRemoteErr(local), ErrNotFound) {
+		t.Fatal("non-remote error must not be lifted onto a sentinel")
+	}
+}

@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strings"
+)
+
+// moduleRoot locates the repository root from this source file's
+// location, so analyzer self-tests resolve testdata packages no matter
+// which directory `go test` runs them from.
+func moduleRoot() (string, error) {
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		return "", fmt.Errorf("analysis: cannot locate module root")
+	}
+	// file is <root>/internal/analysis/analysistest.go.
+	return filepath.Dir(filepath.Dir(filepath.Dir(file))), nil
+}
+
+// wantRe matches expectation markers in testdata sources:
+//
+//	// want ctxflow "context.Background"
+//
+// meaning: this line must produce a ctxflow finding whose message
+// contains the quoted substring.
+var wantRe = regexp.MustCompile(`// want ([a-z]+) "([^"]+)"`)
+
+type expectation struct {
+	file     string
+	line     int
+	analyzer string
+	substr   string
+}
+
+// RunTestdata loads the given testdata package path (relative to the
+// module root, e.g. "./internal/analysis/ctxflow/testdata/src/a"), runs
+// the analyzers over it, and diffs the findings against the package's
+// `// want <analyzer> "substr"` markers. It returns one error message
+// per mismatch: a marker no finding satisfied, or a finding no marker
+// expected. The marker-bearing line must produce the finding (allow
+// annotations are honored first, exactly as in production runs).
+func RunTestdata(pattern string, analyzers ...Analyzer) ([]string, error) {
+	root, err := moduleRoot()
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := Load(root, pattern)
+	if err != nil {
+		return nil, err
+	}
+	if len(pkgs) != 1 {
+		return nil, fmt.Errorf("analysis: pattern %q matched %d packages, want 1", pattern, len(pkgs))
+	}
+	p := pkgs[0]
+
+	var wants []expectation
+	for _, file := range p.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					pos := p.Position(c.Pos())
+					wants = append(wants, expectation{
+						file:     pos.Filename,
+						line:     pos.Line,
+						analyzer: m[1],
+						substr:   m[2],
+					})
+				}
+			}
+		}
+	}
+
+	findings := Run([]*Pkg{p}, analyzers)
+	matchedF := make([]bool, len(findings))
+	var problems []string
+	for _, w := range wants {
+		found := false
+		for i, f := range findings {
+			if matchedF[i] || f.Analyzer != w.analyzer || f.Pos.Filename != w.file ||
+				f.Pos.Line != w.line || !strings.Contains(f.Message, w.substr) {
+				continue
+			}
+			matchedF[i] = true
+			found = true
+			break
+		}
+		if !found {
+			problems = append(problems, fmt.Sprintf("%s:%d: no %s finding containing %q",
+				filepath.Base(w.file), w.line, w.analyzer, w.substr))
+		}
+	}
+	for i, f := range findings {
+		if !matchedF[i] {
+			problems = append(problems, fmt.Sprintf("unexpected finding: %s", f))
+		}
+	}
+	return problems, nil
+}
+
+// FuncScopes returns every function-shaped body in the file — declared
+// functions and methods plus function literals — paired with the node
+// that owns it. Analyzers that reason about defer or return semantics
+// must treat each scope independently: a defer inside a function
+// literal runs at the literal's exit, not the enclosing function's.
+func FuncScopes(file *ast.File) []FuncScope {
+	var out []FuncScope
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				out = append(out, FuncScope{Decl: fn, Body: fn.Body})
+			}
+		case *ast.FuncLit:
+			out = append(out, FuncScope{Lit: fn, Body: fn.Body})
+		}
+		return true
+	})
+	return out
+}
+
+// FuncScope is one function-shaped region (exactly one of Decl or Lit
+// is set).
+type FuncScope struct {
+	Decl *ast.FuncDecl
+	Lit  *ast.FuncLit
+	Body *ast.BlockStmt
+}
+
+// Name returns a human-readable label for the scope.
+func (s FuncScope) Name() string {
+	if s.Decl != nil {
+		return s.Decl.Name.Name
+	}
+	return "func literal"
+}
+
+// InspectShallow walks the scope's body like ast.Inspect but does not
+// descend into nested function literals, so defer/return reasoning
+// stays within one function's semantics.
+func (s FuncScope) InspectShallow(fn func(ast.Node) bool) {
+	ast.Inspect(s.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit != s.Lit {
+			return false
+		}
+		return fn(n)
+	})
+}

@@ -1,0 +1,37 @@
+package ctxflow
+
+import (
+	"testing"
+
+	"fpinterop/internal/analysis"
+)
+
+// TestTestdataViolations proves the analyzer flags exactly the corpus's
+// marked lines — no misses, no extras — with the testdata package
+// force-scoped in.
+func TestTestdataViolations(t *testing.T) {
+	a := &Analyzer{Packages: []string{"fpinterop/internal/analysis/ctxflow/testdata/src/a"}}
+	problems, err := analysis.RunTestdata("./internal/analysis/ctxflow/testdata/src/a", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
+
+// TestOutOfScopePackageIgnored proves package scoping: the same corpus
+// produces nothing when it is not in the analyzer's package list.
+func TestOutOfScopePackageIgnored(t *testing.T) {
+	a := New() // repository default scope; testdata path is not in it
+	problems, err := analysis.RunTestdata("./internal/analysis/ctxflow/testdata/src/a", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every want-marker should be reported missing, and no findings at all.
+	for _, p := range problems {
+		if len(p) >= len("unexpected") && p[:len("unexpected")] == "unexpected" {
+			t.Errorf("out-of-scope package still produced: %s", p)
+		}
+	}
+}

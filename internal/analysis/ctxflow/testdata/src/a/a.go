@@ -1,0 +1,71 @@
+// Package a is the ctxflow violation corpus: every construct the
+// analyzer must flag, next to the shapes it must leave alone.
+package a
+
+import "context"
+
+// Bad fabricates a root context in library code.
+func Bad() error {
+	ctx := context.Background() // want ctxflow "context.Background"
+	return ctx.Err()
+}
+
+// BadTODO fabricates a TODO context.
+func BadTODO() error {
+	return context.TODO().Err() // want ctxflow "context.TODO"
+}
+
+// Allowed is a genuine root; the annotation carries its reason.
+func Allowed() error {
+	ctx := context.Background() //fpvet:allow ctxflow deprecated wrapper kept for compatibility
+	return ctx.Err()
+}
+
+// AllowedPrecedingLine is silenced from the line above.
+func AllowedPrecedingLine() error {
+	//fpvet:allow ctxflow testdata root
+	ctx := context.Background()
+	return ctx.Err()
+}
+
+// AllowedWholeFunc is silenced for its whole body.
+//
+//fpvet:allow ctxflow the entire function is a compatibility shim
+func AllowedWholeFunc() error {
+	a := context.Background()
+	b := context.TODO()
+	return errJoin(a.Err(), b.Err())
+}
+
+// MisplacedCtx takes a context, but not first.
+func MisplacedCtx(id string, ctx context.Context) error { // want ctxflow "context must come first"
+	return ctx.Err()
+}
+
+// CtxFirst is the required shape.
+func CtxFirst(ctx context.Context, id string) error {
+	return ctx.Err()
+}
+
+// Iface holds the interface-method variants.
+type Iface interface {
+	// Good takes ctx first.
+	Good(ctx context.Context, id string) error
+	// Misplaced takes ctx second.
+	Misplaced(id string, ctx context.Context) error // want ctxflow "context must come first"
+}
+
+// unexportedMisplaced is not part of the public API surface; only
+// exported signatures are held to the ctx-first convention.
+func unexportedMisplaced(id string, ctx context.Context) error {
+	return ctx.Err()
+}
+
+func errJoin(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

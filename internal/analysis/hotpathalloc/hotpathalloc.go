@@ -1,0 +1,230 @@
+// Package hotpathalloc enforces the zero-allocation contract on
+// functions annotated //fpvet:hotpath. The PR-4 matcher rebuild pays
+// for its flat accumulators and pooled sessions only if the per-probe
+// code stays off the heap, so annotated functions reject the
+// allocating constructs that have crept back in before:
+//
+//   - any fmt.* call (Sprintf/Errorf always allocate);
+//   - map literals and make(map[...]...);
+//   - slice composite literals ([]T{...} — array literals are fine,
+//     and make([]T, n) stays legal because guarded growth paths need
+//     it);
+//   - function literals that capture enclosing variables (the closure
+//     context escapes to the heap);
+//   - implicit interface boxing: passing, returning, or assigning a
+//     concrete value where an interface is expected.
+//
+// The ban list is deliberately about constructs that *always* allocate
+// or force escapes; it is not an escape analysis. A construct the
+// repo's benchmarks prove harmless can be annotated
+// //fpvet:allow hotpathalloc <reason>.
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/types"
+
+	"fpinterop/internal/analysis"
+)
+
+// Analyzer is the hotpathalloc checker.
+type Analyzer struct{}
+
+// New returns the checker.
+func New() *Analyzer { return &Analyzer{} }
+
+func (a *Analyzer) Name() string { return "hotpathalloc" }
+
+// Check implements analysis.Analyzer.
+func (a *Analyzer) Check(p *analysis.Pkg) []analysis.Finding {
+	var out []analysis.Finding
+	for _, fd := range p.HotpathFuncs() {
+		out = append(out, a.checkFunc(p, fd)...)
+	}
+	return out
+}
+
+func (a *Analyzer) checkFunc(p *analysis.Pkg, fd *ast.FuncDecl) []analysis.Finding {
+	var out []analysis.Finding
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			out = append(out, a.checkCall(p, fd, node)...)
+		case *ast.CompositeLit:
+			t := p.Info.TypeOf(node)
+			if t == nil {
+				break
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				out = append(out, analysis.Findingf(p, a, node.Pos(),
+					"hot path %s allocates a map literal", fd.Name.Name))
+			case *types.Slice:
+				out = append(out, analysis.Findingf(p, a, node.Pos(),
+					"hot path %s allocates a slice literal (use a caller-provided or pooled buffer)", fd.Name.Name))
+			}
+		case *ast.FuncLit:
+			if captured := capturedVars(p.Info, node); len(captured) > 0 {
+				out = append(out, analysis.Findingf(p, a, node.Pos(),
+					"hot path %s creates a closure capturing %s (the context escapes to the heap); hoist it to a named function", fd.Name.Name, captured[0]))
+			}
+		case *ast.ReturnStmt:
+			out = append(out, a.checkReturn(p, fd, node)...)
+		case *ast.AssignStmt:
+			out = append(out, a.checkAssign(p, fd, node)...)
+		}
+		return true
+	})
+	return out
+}
+
+func (a *Analyzer) checkCall(p *analysis.Pkg, fd *ast.FuncDecl, call *ast.CallExpr) []analysis.Finding {
+	var out []analysis.Finding
+	if analysis.CalleePkgPath(p.Info, call) == "fmt" {
+		return append(out, analysis.Findingf(p, a, call.Pos(),
+			"hot path %s calls fmt.%s, which allocates", fd.Name.Name, analysis.CalleeName(call)))
+	}
+	// make(map[...]...) allocates; make([]T, n) is deliberately legal.
+	if obj := analysis.CalleeObject(p.Info, call); obj != nil {
+		if b, ok := obj.(*types.Builtin); ok && b.Name() == "make" && len(call.Args) > 0 {
+			if t := p.Info.TypeOf(call.Args[0]); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					out = append(out, analysis.Findingf(p, a, call.Pos(),
+						"hot path %s allocates a map with make", fd.Name.Name))
+				}
+			}
+		}
+	}
+	// Implicit boxing at call arguments: a concrete value passed where
+	// the (instantiated) signature wants an interface.
+	sig, ok := p.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return out // conversion, builtin, or unresolvable
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (i < params.Len() && !sig.Variadic()):
+			pt = params.At(i).Type()
+		case sig.Variadic() && params.Len() > 0:
+			if call.Ellipsis.IsValid() {
+				pt = params.At(params.Len() - 1).Type()
+			} else if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		}
+		if pt == nil {
+			continue
+		}
+		if boxes(p.Info.TypeOf(arg), pt) {
+			out = append(out, analysis.Findingf(p, a, arg.Pos(),
+				"hot path %s boxes a concrete %s into interface %s at a call argument", fd.Name.Name, p.Info.TypeOf(arg), pt))
+		}
+	}
+	return out
+}
+
+func (a *Analyzer) checkReturn(p *analysis.Pkg, fd *ast.FuncDecl, ret *ast.ReturnStmt) []analysis.Finding {
+	var out []analysis.Finding
+	results := fd.Type.Results
+	if results == nil || len(ret.Results) == 0 {
+		return nil
+	}
+	var resultTypes []types.Type
+	for _, field := range results.List {
+		t := p.Info.TypeOf(field.Type)
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		for j := 0; j < n; j++ {
+			resultTypes = append(resultTypes, t)
+		}
+	}
+	if len(ret.Results) != len(resultTypes) {
+		return nil // multi-value call return; boxing happens at the callee
+	}
+	for i, res := range ret.Results {
+		if boxes(p.Info.TypeOf(res), resultTypes[i]) {
+			out = append(out, analysis.Findingf(p, a, res.Pos(),
+				"hot path %s boxes a concrete %s into interface %s at return", fd.Name.Name, p.Info.TypeOf(res), resultTypes[i]))
+		}
+	}
+	return out
+}
+
+func (a *Analyzer) checkAssign(p *analysis.Pkg, fd *ast.FuncDecl, assign *ast.AssignStmt) []analysis.Finding {
+	var out []analysis.Finding
+	if len(assign.Lhs) != len(assign.Rhs) {
+		return nil
+	}
+	for i := range assign.Lhs {
+		lt := p.Info.TypeOf(assign.Lhs[i])
+		rt := p.Info.TypeOf(assign.Rhs[i])
+		// := defines the LHS with the RHS type, so only = can box.
+		if assign.Tok.String() == "=" && boxes(rt, lt) {
+			out = append(out, analysis.Findingf(p, a, assign.Rhs[i].Pos(),
+				"hot path %s boxes a concrete %s into interface %s at assignment", fd.Name.Name, rt, lt))
+		}
+	}
+	return out
+}
+
+// boxes reports whether assigning a value of type from to a slot of
+// type to implicitly boxes: to is an interface and from is a concrete
+// type the runtime cannot store directly in the interface word.
+// Pointer-shaped types (pointers, channels, maps, funcs) convert
+// without allocating, so handing a pooled *scratch to sync.Pool.Put
+// stays legal.
+func boxes(from, to types.Type) bool {
+	if from == nil || to == nil {
+		return false
+	}
+	if _, ok := to.Underlying().(*types.Interface); !ok {
+		return false
+	}
+	switch u := from.Underlying().(type) {
+	case *types.Interface:
+		return false // interface-to-interface conversions do not re-box
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false // direct interface types: the data word is the value
+	case *types.Basic:
+		switch u.Kind() {
+		case types.UntypedNil, types.UnsafePointer:
+			return false
+		}
+	}
+	return true
+}
+
+// capturedVars returns the names of enclosing-function variables the
+// literal captures (package-level objects and the literal's own
+// parameters and locals do not count).
+func capturedVars(info *types.Info, lit *ast.FuncLit) []string {
+	var out []string
+	seen := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		ident, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[ident]
+		v, ok := obj.(*types.Var)
+		if !ok || seen[v] || v.IsField() {
+			return true
+		}
+		// Declared inside the literal (params or locals) — not captured.
+		if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+			return true
+		}
+		// Package-level variables live in static storage.
+		if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return true
+		}
+		seen[v] = true
+		out = append(out, v.Name())
+		return true
+	})
+	return out
+}

@@ -1,0 +1,19 @@
+package hotpathalloc
+
+import (
+	"testing"
+
+	"fpinterop/internal/analysis"
+)
+
+// TestTestdataViolations proves the analyzer flags exactly the corpus's
+// marked lines — no misses, no extras.
+func TestTestdataViolations(t *testing.T) {
+	problems, err := analysis.RunTestdata("./internal/analysis/hotpathalloc/testdata/src/a", New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}

@@ -1,0 +1,124 @@
+// Package a is the hotpathalloc violation corpus.
+package a
+
+import "fmt"
+
+var global int
+
+func sinkAny(v any)   { _ = v }
+func sinkInt(v int)   { _ = v }
+func sinkErr(e error) { _ = e }
+
+type myErr struct{}
+
+func (myErr) Error() string { return "my error" }
+
+// FmtCall formats in a hot path.
+//
+//fpvet:hotpath
+func FmtCall(n int) string {
+	return fmt.Sprintf("%d", n) // want hotpathalloc "fmt.Sprintf"
+}
+
+// MapConstructs builds maps in a hot path.
+//
+//fpvet:hotpath
+func MapConstructs() int {
+	m := map[string]int{"a": 1} // want hotpathalloc "map literal"
+	n := make(map[int]int)      // want hotpathalloc "map with make"
+	return len(m) + len(n)
+}
+
+// SliceLiteral allocates a fresh backing array per call.
+//
+//fpvet:hotpath
+func SliceLiteral() int {
+	s := []int{1, 2, 3} // want hotpathalloc "slice literal"
+	return len(s)
+}
+
+// ArrayAndMake shows the legal shapes: array literals live on the
+// stack and make([]T, n) backs guarded growth paths.
+//
+//fpvet:hotpath
+func ArrayAndMake(n int) int {
+	a := [3]int{1, 2, 3}
+	s := make([]int, n)
+	return len(s) + a[0]
+}
+
+// CapturingClosure builds a closure over a local.
+//
+//fpvet:hotpath
+func CapturingClosure(n int) func() int {
+	return func() int { return n } // want hotpathalloc "closure capturing"
+}
+
+// FreeClosure captures nothing from the enclosing frame; its func
+// value is static.
+//
+//fpvet:hotpath
+func FreeClosure() func(int) int {
+	return func(v int) int { return v + global }
+}
+
+// BoxArg passes a concrete int where an interface is expected.
+//
+//fpvet:hotpath
+func BoxArg(n int) {
+	sinkAny(n) // want hotpathalloc "call argument"
+	sinkInt(n)
+}
+
+// BoxReturn returns a concrete error value through the error
+// interface.
+//
+//fpvet:hotpath
+func BoxReturn() error {
+	return myErr{} // want hotpathalloc "at return"
+}
+
+// BoxAssign stores a concrete value into an interface variable.
+//
+//fpvet:hotpath
+func BoxAssign(n int) {
+	var v any
+	v = n // want hotpathalloc "at assignment"
+	_ = v
+}
+
+// InterfacePassthrough re-passes an interface value: no re-boxing.
+//
+//fpvet:hotpath
+func InterfacePassthrough(e error) {
+	sinkErr(e)
+	sinkErr(nil)
+}
+
+// PointerShaped hands pointer-shaped values to interfaces: the runtime
+// stores them directly in the interface word, no allocation.
+//
+//fpvet:hotpath
+func PointerShaped(p *int, m map[int]int) {
+	sinkAny(p)
+	sinkAny(m)
+}
+
+// Allowed documents a benchmark-proven exception.
+//
+//fpvet:hotpath
+func Allowed(n int) string {
+	return fmt.Sprintf("%d", n) //fpvet:allow hotpathalloc cold error path, proven off the steady state
+}
+
+// Unannotated allocates freely; only annotated functions are checked.
+func Unannotated(n int) string {
+	m := map[int]int{n: n}
+	return fmt.Sprint(len(m))
+}
+
+// Misplaced markers do not silently mark nothing.
+func Misplaced() {
+	//fpvet:hotpath // want annotation "doc comment"
+	_ = global
+}

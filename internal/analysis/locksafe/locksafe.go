@@ -1,0 +1,246 @@
+// Package locksafe enforces the repository's lock-discipline
+// invariant: mutexes guard memory, not time. The gallery store and the
+// shard router serve concurrent identification traffic, so a blocking
+// operation under one of their mutexes stalls every other caller.
+// While a sync.Mutex/RWMutex is held, the checker rejects:
+//
+//   - channel sends, receives, and select statements;
+//   - calls that take a context.Context argument (a ctx parameter
+//     signals the callee may wait on it), except calls into package
+//     context itself, which only derive or inspect;
+//   - blocking net-package calls (Dial, DialContext, Accept, Read,
+//     Write, ReadFrom, WriteTo, Listen — Close is non-blocking and
+//     stays legal);
+//   - time.Sleep and sync.WaitGroup.Wait.
+//
+// It also rejects lock copies: methods or parameters that take a
+// lock-bearing type by value.
+//
+// Regions are tracked lexically within one function scope: a Lock/
+// RLock opens a region that the next Unlock/RUnlock on the same
+// receiver closes; a deferred unlock holds to the end of the scope.
+// Blocking work a design genuinely serializes under a lock needs an
+// explicit //fpvet:allow locksafe <reason>.
+package locksafe
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"fpinterop/internal/analysis"
+)
+
+// blockingNetCalls are the net-package method/function names that can
+// block on the network.
+var blockingNetCalls = map[string]bool{
+	"Dial": true, "DialContext": true, "Accept": true,
+	"Read": true, "Write": true, "ReadFrom": true, "WriteTo": true,
+	"Listen": true,
+}
+
+// Analyzer is the locksafe checker.
+type Analyzer struct{}
+
+// New returns the checker.
+func New() *Analyzer { return &Analyzer{} }
+
+func (a *Analyzer) Name() string { return "locksafe" }
+
+// region is one lexical span during which a mutex is held.
+type region struct {
+	recv  string // receiver expression, e.g. "s.mu"
+	start token.Pos
+	end   token.Pos
+}
+
+// blockingOp is one operation that must not run under a lock.
+type blockingOp struct {
+	pos  token.Pos
+	what string
+}
+
+// Check implements analysis.Analyzer.
+func (a *Analyzer) Check(p *analysis.Pkg) []analysis.Finding {
+	var out []analysis.Finding
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				out = append(out, a.checkCopies(p, fd)...)
+			}
+		}
+		for _, scope := range analysis.FuncScopes(file) {
+			out = append(out, a.checkScope(p, scope)...)
+		}
+	}
+	return out
+}
+
+// checkCopies flags value receivers and parameters of lock-bearing
+// types.
+func (a *Analyzer) checkCopies(p *analysis.Pkg, fd *ast.FuncDecl) []analysis.Finding {
+	var out []analysis.Finding
+	check := func(field *ast.Field, role string) {
+		t := p.Info.TypeOf(field.Type)
+		if t == nil {
+			return
+		}
+		if _, isPtr := t.(*types.Pointer); isPtr {
+			return
+		}
+		if analysis.ContainsLock(t, nil) {
+			out = append(out, analysis.Findingf(p, a, field.Pos(),
+				"%s of %s copies lock-bearing %s by value; pass a pointer", role, fd.Name.Name, t))
+		}
+	}
+	if fd.Recv != nil {
+		for _, field := range fd.Recv.List {
+			check(field, "receiver")
+		}
+	}
+	for _, field := range fd.Type.Params.List {
+		check(field, "parameter")
+	}
+	return out
+}
+
+func (a *Analyzer) checkScope(p *analysis.Pkg, scope analysis.FuncScope) []analysis.Finding {
+	var (
+		locks   []region // open at collection, end filled below
+		unlocks []region // recv + position of each inline unlock
+		ops     []blockingOp
+	)
+	scope.InspectShallow(func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.DeferStmt:
+			// A deferred unlock is not an inline release point (the lock
+			// holds to scope end, which is the no-unlock default below),
+			// and the deferred body runs at exit, outside the region walk.
+			return false
+		case *ast.SendStmt:
+			ops = append(ops, blockingOp{node.Pos(), "a channel send"})
+		case *ast.UnaryExpr:
+			if node.Op == token.ARROW {
+				ops = append(ops, blockingOp{node.Pos(), "a channel receive"})
+			}
+		case *ast.SelectStmt:
+			// The select is the blocking point; its comm clauses are not
+			// separate findings.
+			ops = append(ops, blockingOp{node.Pos(), "a select"})
+			return false
+		case *ast.CallExpr:
+			recv, kind := mutexCall(p.Info, node)
+			switch kind {
+			case mutexLock:
+				locks = append(locks, region{recv: recv, start: node.Pos()})
+				return true
+			case mutexUnlock:
+				unlocks = append(unlocks, region{recv: recv, start: node.Pos()})
+				return true
+			}
+			if what, blocking := blockingCall(p.Info, node); blocking {
+				ops = append(ops, blockingOp{node.Pos(), what})
+			}
+		}
+		return true
+	})
+	if len(locks) == 0 {
+		return nil
+	}
+
+	// Close each region at the first same-receiver unlock after it; a
+	// deferred unlock (or none at all) holds to the end of the scope.
+	for i := range locks {
+		locks[i].end = scope.Body.End()
+		for _, u := range unlocks {
+			if u.recv == locks[i].recv && u.start > locks[i].start && u.start < locks[i].end {
+				locks[i].end = u.start
+			}
+		}
+	}
+
+	var out []analysis.Finding
+	flagged := make(map[token.Pos]bool)
+	for _, lk := range locks {
+		for _, op := range ops {
+			if op.pos > lk.start && op.pos < lk.end && !flagged[op.pos] {
+				flagged[op.pos] = true
+				out = append(out, analysis.Findingf(p, a, op.pos,
+					"%s while holding %s blocks every other %s user", op.what, lk.recv, lk.recv))
+			}
+		}
+	}
+	return out
+}
+
+type mutexCallKind int
+
+const (
+	notMutex mutexCallKind = iota
+	mutexLock
+	mutexUnlock
+)
+
+// mutexCall classifies a call as a sync mutex Lock/RLock or
+// Unlock/RUnlock and names its receiver expression.
+func mutexCall(info *types.Info, call *ast.CallExpr) (string, mutexCallKind) {
+	obj := analysis.CalleeObject(info, call)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", notMutex
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", notMutex
+	}
+	recv := exprString(sel.X)
+	switch obj.Name() {
+	case "Lock", "RLock":
+		return recv, mutexLock
+	case "Unlock", "RUnlock":
+		return recv, mutexUnlock
+	}
+	return "", notMutex
+}
+
+// blockingCall classifies calls that can wait: sleeps, WaitGroup
+// waits, blocking net I/O, and anything handed a context to wait on.
+func blockingCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	pkg := analysis.CalleePkgPath(info, call)
+	name := analysis.CalleeName(call)
+	switch {
+	case pkg == "time" && name == "Sleep":
+		return "time.Sleep", true
+	case pkg == "sync" && name == "Wait":
+		return "WaitGroup.Wait", true
+	case pkg == "net" && blockingNetCalls[name]:
+		return fmt.Sprintf("network I/O (%s)", name), true
+	case pkg != "context":
+		for _, arg := range call.Args {
+			if t := info.TypeOf(arg); t != nil && analysis.IsContextType(t) {
+				return fmt.Sprintf("a call to %s with a cancellable context", name), true
+			}
+		}
+	}
+	return "", false
+}
+
+// exprString renders a receiver expression (identifiers, selectors,
+// parens, derefs) for region matching and messages.
+func exprString(expr ast.Expr) string {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.StarExpr:
+		return exprString(e.X)
+	case *ast.UnaryExpr:
+		return exprString(e.X)
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	}
+	return "?"
+}

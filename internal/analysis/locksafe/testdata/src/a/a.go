@@ -1,0 +1,136 @@
+// Package a is the locksafe violation corpus.
+package a
+
+import (
+	"context"
+	"net"
+	"sync"
+	"time"
+)
+
+type store struct {
+	mu    sync.Mutex
+	state sync.RWMutex
+	wg    sync.WaitGroup
+	ch    chan int
+	conn  net.Conn
+	n     int
+}
+
+func wait(ctx context.Context) { <-ctx.Done() }
+
+// SendUnderLock performs a channel send while holding the mutex.
+func (s *store) SendUnderLock() {
+	s.mu.Lock()
+	s.ch <- 1 // want locksafe "channel send"
+	s.mu.Unlock()
+}
+
+// ReceiveUnderDeferredLock holds to scope end via defer.
+func (s *store) ReceiveUnderDeferredLock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.ch // want locksafe "channel receive"
+}
+
+// SelectUnderLock selects while holding a read lock.
+func (s *store) SelectUnderLock() {
+	s.state.RLock()
+	select { // want locksafe "select"
+	case v := <-s.ch:
+		s.n = v
+	default:
+	}
+	s.state.RUnlock()
+}
+
+// SleepUnderLock sleeps while holding the mutex.
+func (s *store) SleepUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want locksafe "time.Sleep"
+	s.mu.Unlock()
+}
+
+// WaitUnderLock parks on the WaitGroup while holding the mutex.
+func (s *store) WaitUnderLock() {
+	s.mu.Lock()
+	s.wg.Wait() // want locksafe "WaitGroup.Wait"
+	s.mu.Unlock()
+}
+
+// NetUnderLock does network I/O while holding the mutex.
+func (s *store) NetUnderLock(buf []byte) {
+	s.mu.Lock()
+	s.conn.Read(buf) // want locksafe "network I/O"
+	s.mu.Unlock()
+}
+
+// CtxCallUnderLock hands a cancellable context to a callee that may
+// wait on it.
+func (s *store) CtxCallUnderLock(ctx context.Context) {
+	s.mu.Lock()
+	wait(ctx) // want locksafe "cancellable context"
+	s.mu.Unlock()
+}
+
+// AfterUnlock runs the blocking work outside the region.
+func (s *store) AfterUnlock() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	s.ch <- s.n
+	time.Sleep(time.Millisecond)
+}
+
+// DistinctMutexes tracks regions per receiver: the send happens after
+// both locks are released, and neither region swallows the other's.
+func (s *store) DistinctMutexes() {
+	s.state.Lock()
+	s.n++
+	s.state.Unlock()
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	s.ch <- s.n
+}
+
+// ContextDerivation is legal: package context only derives, it does
+// not wait.
+func (s *store) ContextDerivation(ctx context.Context) context.CancelFunc {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, cancel := context.WithCancel(ctx)
+	return cancel
+}
+
+// GoroutineUnderLock is legal in this model: the literal is its own
+// scope and the go statement itself does not block.
+func (s *store) GoroutineUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.ch <- 1
+	}()
+}
+
+// Allowed documents deliberate serialization under the lock.
+func (s *store) Allowed(buf []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.conn.Write(buf) //fpvet:allow locksafe requests are serialized over one connection by design
+}
+
+// CopyReceiver takes the lock-bearing store by value.
+func (s store) CopyReceiver() int { // want locksafe "copies lock-bearing"
+	return s.n
+}
+
+// CopyParam takes a lock-bearing argument by value.
+func CopyParam(s store) int { // want locksafe "copies lock-bearing"
+	return s.n
+}
+
+// PointerParam is the legal shape.
+func PointerParam(s *store) int {
+	return s.n
+}

@@ -1,0 +1,253 @@
+// Package poolsafe enforces the repository's pooled-scratch invariant:
+// every value borrowed from a pool goes back, on every return path, and
+// is never touched after it does. The matcher sessions
+// (match.AcquireSession), the frame scratch (framePool), the greedy and
+// vote scratches, and the router's identify scratch all follow the same
+// protocol, so the checker recognizes acquisition shapes generically:
+//
+//   - a call to a function named Acquire*/acquire* whose result is
+//     bound to a variable, or
+//   - a sync.Pool Get (with or without the usual type assertion).
+//
+// A matching release is a v.Release() call, a Release*/release*(v)
+// helper, or a pool .Put(v) — directly, deferred, or inside a deferred
+// function literal. Functions that return the acquired value are
+// acquire-wrappers (ownership transfers to the caller) and are exempt.
+//
+// Return-path coverage is checked lexically: a return statement after
+// the acquisition must have a release before it (or a deferred release
+// anywhere in the function). This is a conservative approximation of
+// dominance — good enough for the straight-line acquire/release
+// protocol the repo uses, and wrong code it cannot prove clean needs an
+// explicit //fpvet:allow poolsafe <reason>.
+package poolsafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"fpinterop/internal/analysis"
+)
+
+// Analyzer is the poolsafe checker. It runs over every package.
+type Analyzer struct{}
+
+// New returns the checker.
+func New() *Analyzer { return &Analyzer{} }
+
+func (a *Analyzer) Name() string { return "poolsafe" }
+
+// acquisition is one pooled value bound to a variable.
+type acquisition struct {
+	obj  types.Object // the variable holding the pooled value
+	pos  token.Pos    // acquisition site
+	what string       // human label of the acquire call
+}
+
+// Check implements analysis.Analyzer.
+func (a *Analyzer) Check(p *analysis.Pkg) []analysis.Finding {
+	var out []analysis.Finding
+	for _, file := range p.Files {
+		for _, scope := range analysis.FuncScopes(file) {
+			out = append(out, a.checkScope(p, scope)...)
+		}
+	}
+	return out
+}
+
+func (a *Analyzer) checkScope(p *analysis.Pkg, scope analysis.FuncScope) []analysis.Finding {
+	var acquisitions []acquisition
+	scope.InspectShallow(func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 {
+			return true
+		}
+		rhs := ast.Unparen(assign.Rhs[0])
+		if ta, ok := rhs.(*ast.TypeAssertExpr); ok {
+			rhs = ast.Unparen(ta.X)
+		}
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		label, acquires := classifyAcquire(p.Info, call)
+		if !acquires {
+			return true
+		}
+		ident, ok := assign.Lhs[0].(*ast.Ident)
+		if !ok || ident.Name == "_" {
+			return true
+		}
+		obj := p.Info.Defs[ident]
+		if obj == nil {
+			obj = p.Info.Uses[ident]
+		}
+		if obj == nil {
+			return true
+		}
+		acquisitions = append(acquisitions, acquisition{obj: obj, pos: assign.Pos(), what: label})
+		return true
+	})
+	if len(acquisitions) == 0 {
+		return nil
+	}
+
+	var out []analysis.Finding
+	for _, acq := range acquisitions {
+		out = append(out, a.checkAcquisition(p, scope, acq)...)
+	}
+	return out
+}
+
+func (a *Analyzer) checkAcquisition(p *analysis.Pkg, scope analysis.FuncScope, acq acquisition) []analysis.Finding {
+	var (
+		deferred    bool
+		releases    []token.Pos // non-deferred release sites (End positions)
+		returns     []*ast.ReturnStmt
+		escapes     bool
+		lastRelease token.Pos = token.NoPos
+	)
+	scope.InspectShallow(func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.DeferStmt:
+			if releasesVar(p.Info, node.Call, acq.obj) {
+				deferred = true
+			} else if lit, ok := node.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok && releasesVar(p.Info, call, acq.obj) {
+						deferred = true
+					}
+					return true
+				})
+			}
+			return false // a deferred call body is not a linear release site
+		case *ast.CallExpr:
+			if releasesVar(p.Info, node, acq.obj) {
+				releases = append(releases, node.End())
+				if node.End() > lastRelease {
+					lastRelease = node.End()
+				}
+			}
+		case *ast.ReturnStmt:
+			if node.Pos() > acq.pos {
+				returns = append(returns, node)
+			}
+			// Only returning the variable itself transfers ownership;
+			// returning something derived from it (a length, a field) does
+			// not.
+			for _, res := range node.Results {
+				if id, ok := ast.Unparen(res).(*ast.Ident); ok && p.Info.Uses[id] == acq.obj {
+					escapes = true
+				}
+			}
+		}
+		return true
+	})
+	if escapes {
+		// Ownership transfers to the caller (acquire-wrapper shape).
+		return nil
+	}
+	if deferred {
+		// Deferred release covers every return path and runs last, so
+		// neither the path check nor use-after-release applies.
+		return nil
+	}
+	var out []analysis.Finding
+	if len(releases) == 0 {
+		return append(out, analysis.Findingf(p, a, acq.pos,
+			"%s acquired in %s is never released", acq.what, scope.Name()))
+	}
+	for _, ret := range returns {
+		covered := false
+		for _, rel := range releases {
+			if rel < ret.Pos() {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			out = append(out, analysis.Findingf(p, a, ret.Pos(),
+				"return without releasing %s acquired in %s", acq.what, scope.Name()))
+		}
+	}
+	// Use-after-release: any use of the variable after the last
+	// non-deferred release (uses inside the release calls themselves sit
+	// before each call's End and are excluded by construction).
+	scope.InspectShallow(func(n ast.Node) bool {
+		ident, ok := n.(*ast.Ident)
+		if !ok || ident.Pos() <= lastRelease {
+			return true
+		}
+		if p.Info.Uses[ident] == acq.obj {
+			out = append(out, analysis.Findingf(p, a, ident.Pos(),
+				"%s used after it was released", acq.what))
+		}
+		return true
+	})
+	return out
+}
+
+// classifyAcquire reports whether the call is a pool acquisition and
+// labels it.
+func classifyAcquire(info *types.Info, call *ast.CallExpr) (string, bool) {
+	name := analysis.CalleeName(call)
+	if strings.HasPrefix(name, "Acquire") || strings.HasPrefix(name, "acquire") {
+		return name, true
+	}
+	if name == "Get" && len(call.Args) == 0 && isPoolMethod(info, call) {
+		return "sync.Pool value", true
+	}
+	return "", false
+}
+
+// isPoolMethod reports whether the call's receiver is a sync.Pool.
+func isPoolMethod(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "Pool"
+}
+
+// releasesVar reports whether the call gives the acquired variable back:
+// v.Release(), Release*(v)/release*(v)/Put-like helper taking v, or a
+// sync.Pool Put(v).
+func releasesVar(info *types.Info, call *ast.CallExpr, obj types.Object) bool {
+	name := analysis.CalleeName(call)
+	switch {
+	case name == "Release" || strings.HasPrefix(name, "Release") || strings.HasPrefix(name, "release"):
+		// Method form: receiver is the variable.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && info.Uses[id] == obj {
+				return true
+			}
+		}
+		// Helper form: the variable is an argument.
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && info.Uses[id] == obj {
+				return true
+			}
+		}
+	case name == "Put" && isPoolMethod(info, call):
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && info.Uses[id] == obj {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,100 @@
+// Package a is the poolsafe violation corpus.
+package a
+
+import "sync"
+
+type scratch struct {
+	buf []byte
+}
+
+var pool = sync.Pool{New: func() any { return new(scratch) }}
+
+// acquireScratch is an acquire-wrapper: it returns the pooled value, so
+// ownership transfers to the caller and the wrapper itself is exempt.
+func acquireScratch() *scratch {
+	sc := pool.Get().(*scratch)
+	sc.buf = sc.buf[:0]
+	return sc
+}
+
+func releaseScratch(sc *scratch) { pool.Put(sc) }
+
+// Leak gets a scratch and never gives it back.
+func Leak() int {
+	sc := pool.Get().(*scratch) // want poolsafe "never released"
+	return len(sc.buf)
+}
+
+// LeakAcquire leaks through the acquire helper.
+func LeakAcquire() int {
+	sc := acquireScratch() // want poolsafe "never released"
+	return len(sc.buf)
+}
+
+// EarlyReturn releases on the fall-through path but not the early one.
+func EarlyReturn(fail bool) int {
+	sc := pool.Get().(*scratch)
+	if fail {
+		return 0 // want poolsafe "return without releasing"
+	}
+	n := len(sc.buf)
+	pool.Put(sc)
+	return n
+}
+
+// UseAfterRelease touches the scratch after putting it back.
+func UseAfterRelease() int {
+	sc := pool.Get().(*scratch)
+	pool.Put(sc)
+	return len(sc.buf) // want poolsafe "used after it was released"
+}
+
+// DeferredRelease is the canonical clean shape.
+func DeferredRelease() int {
+	sc := pool.Get().(*scratch)
+	defer pool.Put(sc)
+	return len(sc.buf)
+}
+
+// DeferredHelper releases through the helper, deferred.
+func DeferredHelper() int {
+	sc := acquireScratch()
+	defer releaseScratch(sc)
+	return len(sc.buf)
+}
+
+// DeferredClosure releases inside a deferred function literal (the
+// shard router's scratch recycling shape).
+func DeferredClosure() int {
+	sc := pool.Get().(*scratch)
+	defer func() {
+		sc.buf = sc.buf[:0]
+		pool.Put(sc)
+	}()
+	return len(sc.buf)
+}
+
+// StraightLine releases before its only return.
+func StraightLine() int {
+	sc := pool.Get().(*scratch)
+	n := len(sc.buf)
+	pool.Put(sc)
+	return n
+}
+
+// InnerLiteral holds its own acquire/release; the literal is checked as
+// its own scope, independent of the enclosing function.
+func InnerLiteral() func() int {
+	return func() int {
+		sc := pool.Get().(*scratch) // want poolsafe "never released"
+		return len(sc.buf)
+	}
+}
+
+var retained *scratch
+
+// Allowed documents a deliberate protocol break with its reason.
+func Allowed() {
+	sc := pool.Get().(*scratch) //fpvet:allow poolsafe retained in a package cache by design
+	retained = sc
+}

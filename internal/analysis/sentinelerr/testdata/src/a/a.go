@@ -1,0 +1,69 @@
+// Package a is the sentinelerr violation corpus.
+package a
+
+import (
+	"errors"
+	"io"
+	"strings"
+)
+
+// ErrGone is a package-level sentinel, like gallery.ErrNotFound.
+var ErrGone = errors.New("identity not enrolled")
+
+// IdentityCompare uses == against the sentinel.
+func IdentityCompare(err error) bool {
+	return err == ErrGone // want sentinelerr "use errors.Is"
+}
+
+// IdentityCompareFlipped puts the sentinel on the left with !=.
+func IdentityCompareFlipped(err error) bool {
+	return ErrGone != err // want sentinelerr "use errors.Is"
+}
+
+// NilChecks are not sentinel comparisons.
+func NilChecks(err error) bool {
+	return err == nil || nil != err
+}
+
+// ProperIs is the required shape.
+func ProperIs(err error) bool {
+	return errors.Is(err, ErrGone)
+}
+
+// TextMatch greps the error text.
+func TextMatch(err error) bool {
+	return strings.Contains(err.Error(), "not enrolled") // want sentinelerr "strings.Contains"
+}
+
+// TextSuffix matches a sentinel's rendered text.
+func TextSuffix(err error) bool {
+	return strings.HasSuffix(err.Error(), ErrGone.Error()) // want sentinelerr "strings.HasSuffix"
+}
+
+// TextEquality compares rendered error text directly.
+func TextEquality(err error) bool {
+	return err.Error() == "identity not enrolled" // want sentinelerr "compares error text"
+}
+
+// PlainStrings leaves ordinary string work alone.
+func PlainStrings(s string) bool {
+	return strings.Contains(s, "x") || s == "y"
+}
+
+// StdlibSentinel is idiomatic: io.Reader contractually returns io.EOF
+// unwrapped, so identity comparison against stdlib sentinels is legal.
+func StdlibSentinel(err error) bool {
+	return err == io.EOF
+}
+
+// LocalCompare compares a locally created error; only package-level
+// sentinels are governed.
+func LocalCompare(err error) bool {
+	local := errors.New("scratch")
+	return err == local
+}
+
+// Allowed documents a deliberate identity comparison.
+func Allowed(err error) bool {
+	return err == ErrGone //fpvet:allow sentinelerr pointer identity is the contract in this table
+}

@@ -1,0 +1,17 @@
+package a
+
+import "strings"
+
+// TranslateRemote mirrors the fpis/remote.go wire-boundary site: this
+// file is on the analyzer's AllowIn list in the self-test, so its text
+// matching is the sanctioned translation mechanism and produces no
+// findings.
+func TranslateRemote(err error) error {
+	if err == nil {
+		return nil
+	}
+	if strings.HasSuffix(err.Error(), ErrGone.Error()) {
+		return ErrGone
+	}
+	return err
+}

@@ -150,8 +150,12 @@ func (s *Store) Len() int {
 }
 
 // Verify performs a 1:1 comparison of the probe against one enrollment.
+//
+// Deprecated: use VerifyContext so cancellation reaches the matcher;
+// this wrapper survives only for callers with no context to thread
+// (the matchsvc wire protocol carries no deadline).
 func (s *Store) Verify(id string, probe *minutiae.Template) (match.Result, error) {
-	return s.VerifyContext(context.Background(), id, probe)
+	return s.VerifyContext(context.Background(), id, probe) //fpvet:allow ctxflow deprecated non-ctx wrapper is a genuine root
 }
 
 // VerifyContext is Verify honoring ctx: a cancelled or expired context
@@ -256,6 +260,10 @@ type IdentifyStats struct {
 // index enabled and k > 0, only the retrieval shortlist is scored by
 // the full matcher; pass k <= 0 (or disable the index) for an
 // exhaustive ranking.
+//
+// Deprecated: use IdentifyContext so cancellation reaches the
+// exhaustive scan; this wrapper survives only for callers with no
+// context to thread (the matchsvc wire protocol carries no deadline).
 func (s *Store) Identify(probe *minutiae.Template, k int) ([]Candidate, error) {
 	out, _, err := s.IdentifyDetailed(probe, k)
 	return out, err
@@ -269,8 +277,12 @@ func (s *Store) IdentifyContext(ctx context.Context, probe *minutiae.Template, k
 }
 
 // IdentifyDetailed is Identify plus retrieval statistics.
+//
+// Deprecated: use IdentifyDetailedContext so cancellation reaches the
+// exhaustive scan; this wrapper survives only for callers with no
+// context to thread (the matchsvc wire protocol carries no deadline).
 func (s *Store) IdentifyDetailed(probe *minutiae.Template, k int) ([]Candidate, IdentifyStats, error) {
-	return s.IdentifyDetailedContext(context.Background(), probe, k)
+	return s.IdentifyDetailedContext(context.Background(), probe, k) //fpvet:allow ctxflow deprecated non-ctx wrapper is a genuine root
 }
 
 // IdentifyDetailedContext is IdentifyDetailed honoring ctx: the
@@ -486,10 +498,20 @@ func (s *Store) matchAll(ctx context.Context, entries []*Entry, probe *minutiae.
 
 // Rank returns the 1-based rank at which trueID appears in a full
 // (exhaustive) identification of the probe, or 0 when it is not
-// enrolled. The rank is computed in one pass — count the enrollments
-// scoring strictly better, with the ID tie-break — without sorting the
-// candidate list.
+// enrolled.
+//
+// Deprecated: use RankContext so cancellation reaches the exhaustive
+// scan; this wrapper survives only for callers with no context to
+// thread.
 func (s *Store) Rank(probe *minutiae.Template, trueID string) (int, error) {
+	return s.RankContext(context.Background(), probe, trueID) //fpvet:allow ctxflow deprecated non-ctx wrapper is a genuine root
+}
+
+// RankContext is Rank honoring ctx. The rank is computed in one pass —
+// count the enrollments scoring strictly better, with the ID tie-break
+// — without sorting the candidate list; cancellation unblocks the scan
+// within one comparison's latency.
+func (s *Store) RankContext(ctx context.Context, probe *minutiae.Template, trueID string) (int, error) {
 	if probe == nil {
 		return 0, match.ErrNilTemplate
 	}
@@ -507,7 +529,7 @@ func (s *Store) Rank(probe *minutiae.Template, trueID string) (int, error) {
 		}
 	}
 	s.mu.RUnlock()
-	scores, err := s.matchAll(context.Background(), entries, probe)
+	scores, err := s.matchAll(ctx, entries, probe)
 	if err != nil {
 		return 0, err
 	}
@@ -527,7 +549,18 @@ type CMC []float64
 
 // ComputeCMC runs identification for every (probe, trueID) pair and
 // accumulates the rank histogram up to maxRank.
+//
+// Deprecated: use ComputeCMCContext so a long study sweep can be
+// cancelled between probes; this wrapper survives only for callers
+// with no context to thread.
 func ComputeCMC(s *Store, probes []*minutiae.Template, trueIDs []string, maxRank int) (CMC, error) {
+	return ComputeCMCContext(context.Background(), s, probes, trueIDs, maxRank) //fpvet:allow ctxflow deprecated non-ctx wrapper is a genuine root
+}
+
+// ComputeCMCContext is ComputeCMC honoring ctx: the context is checked
+// on every probe, so cancellation stops a sweep within one
+// identification's latency.
+func ComputeCMCContext(ctx context.Context, s *Store, probes []*minutiae.Template, trueIDs []string, maxRank int) (CMC, error) {
 	if len(probes) != len(trueIDs) {
 		return nil, fmt.Errorf("gallery: %d probes vs %d labels", len(probes), len(trueIDs))
 	}
@@ -539,7 +572,7 @@ func ComputeCMC(s *Store, probes []*minutiae.Template, trueIDs []string, maxRank
 	}
 	hits := make([]int, maxRank)
 	for i, probe := range probes {
-		rank, err := s.Rank(probe, trueIDs[i])
+		rank, err := s.RankContext(ctx, probe, trueIDs[i])
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,46 @@
+package index
+
+import (
+	"testing"
+
+	"fpinterop/internal/population"
+	"fpinterop/internal/rng"
+)
+
+// TestCandidatesAppendZeroAllocs is the asserting form of the PR-4 vote
+// benchmarks: once the pooled accumulators and the caller's candidate
+// buffer are warm, one full vote accumulation — probe key extraction,
+// dense voting, shortlist collection, and the final sort — performs
+// zero heap allocations. Candidate IDs are string headers copied out of
+// the index's id table, not fresh strings, so the collection pass is
+// covered too.
+func TestCandidatesAppendZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; asserted in non-race builds")
+	}
+	cohort := population.NewCohort(rng.New(21), population.CohortOptions{Size: 12})
+	tpls := captureGallery(t, cohort, "D0")
+	ix := New(Options{})
+	for i, tpl := range tpls {
+		if err := ix.Add(subjectID(i), tpl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	probe := tpls[0]
+	dst := make([]Candidate, 0, 32)
+
+	lookup := func() {
+		dst = ix.CandidatesAppend(dst[:0], probe, 8)
+		if len(dst) == 0 {
+			t.Fatal("probe retrieved no candidates")
+		}
+	}
+
+	// Warm the vote pool and let dst reach its steady-state capacity.
+	for i := 0; i < 10; i++ {
+		lookup()
+	}
+	if allocs := testing.AllocsPerRun(100, lookup); allocs != 0 {
+		t.Fatalf("vote accumulation allocates %.1f times per run; want 0", allocs)
+	}
+}

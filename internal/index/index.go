@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"sync"
 
@@ -283,6 +284,8 @@ type voteScratch struct {
 	scores  []float64
 	hits    []int32
 	touched []uint32
+	keys    []uint64       // probe key scratch, reused across lookups
+	trip    tripletScratch // triplet enumeration scratch, reused likewise
 }
 
 var votePool = sync.Pool{New: func() any { return new(voteScratch) }}
@@ -296,7 +299,24 @@ func (ix *Index) Candidates(probe *minutiae.Template, fanout int) []Candidate {
 	if probe == nil {
 		return nil
 	}
-	probeKeys := ix.opt.probeKeys(probe.Minutiae)
+	if fanout <= 0 {
+		fanout = ix.opt.Fanout
+	}
+	return ix.CandidatesAppend(make([]Candidate, 0, fanout), probe, fanout)
+}
+
+// CandidatesAppend is Candidates appending into dst, so hot loops that
+// reuse a caller-owned buffer accumulate votes with zero steady-state
+// allocations: the dense accumulators and the probe key scratch come
+// from the shared pool, and dst grows only when its capacity is short.
+//
+//fpvet:hotpath
+func (ix *Index) CandidatesAppend(dst []Candidate, probe *minutiae.Template, fanout int) []Candidate {
+	if probe == nil {
+		return dst
+	}
+	vs := votePool.Get().(*voteScratch)
+	vs.keys = ix.opt.appendProbeKeysScratch(vs.keys[:0], probe.Minutiae, &vs.trip)
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	if fanout <= 0 {
@@ -305,7 +325,6 @@ func (ix *Index) Candidates(probe *minutiae.Template, fanout int) []Candidate {
 	// Dense accumulators keep the hot voting loop branch-free; the
 	// touched list bounds the collection pass by the number of
 	// templates actually hit, not the gallery size.
-	vs := votePool.Get().(*voteScratch)
 	if cap(vs.scores) < len(ix.ids) {
 		vs.scores = make([]float64, len(ix.ids))
 		vs.hits = make([]int32, len(ix.ids))
@@ -313,7 +332,7 @@ func (ix *Index) Candidates(probe *minutiae.Template, fanout int) []Candidate {
 	scores := vs.scores[:cap(vs.scores)]
 	hits := vs.hits[:cap(vs.hits)]
 	touched := vs.touched[:0]
-	for _, key := range probeKeys {
+	for _, key := range vs.keys {
 		bucket := ix.buckets[key]
 		if len(bucket) == 0 || len(bucket) > ix.opt.MaxBucket {
 			continue
@@ -327,26 +346,42 @@ func (ix *Index) Candidates(probe *minutiae.Template, fanout int) []Candidate {
 			hits[p.ref]++
 		}
 	}
-	out := make([]Candidate, 0, fanout)
+	start := len(dst)
 	for _, ref := range touched {
 		if int(hits[ref]) >= ix.opt.MinVotes {
-			out = append(out, Candidate{ID: ix.ids[ref], Score: scores[ref], Hits: int(hits[ref])})
+			dst = append(dst, Candidate{ID: ix.ids[ref], Score: scores[ref], Hits: int(hits[ref])})
 		}
 		scores[ref] = 0
 		hits[ref] = 0
 	}
 	vs.touched = touched[:0]
 	votePool.Put(vs)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].ID < out[j].ID
-	})
+	out := dst[start:]
+	slices.SortFunc(out, compareCandidates)
 	if len(out) > fanout {
-		out = out[:fanout]
+		dst = dst[:start+fanout]
 	}
-	return out
+	return dst
+}
+
+// compareCandidates orders by descending score with deterministic ID
+// tie-breaks — the shortlist order Candidates has always produced.
+//
+//fpvet:hotpath
+func compareCandidates(a, b Candidate) int {
+	if a.Score != b.Score {
+		if a.Score > b.Score {
+			return -1
+		}
+		return 1
+	}
+	if a.ID < b.ID {
+		return -1
+	}
+	if a.ID > b.ID {
+		return 1
+	}
+	return 0
 }
 
 // Stats summarizes index occupancy (for logging and benchmarks).
@@ -385,6 +420,18 @@ type triplet struct {
 // degenerate or over-spread triangles. Vertices are ordered by the
 // length of their opposite side (descending), which is invariant to
 // rotation, translation, and input order.
+// vertexBefore reports whether vertex x sorts before vertex y under
+// the canonical triplet order: descending opposite side, ascending
+// vertex index on ties.
+//
+//fpvet:hotpath
+func vertexBefore(opp [3]float64, x, y int) bool {
+	if opp[x] != opp[y] {
+		return opp[x] > opp[y]
+	}
+	return x < y
+}
+
 func (o Options) features(a, b, c minutiae.Minutia) (triplet, bool) {
 	dab := a.Dist(b)
 	dac := a.Dist(c)
@@ -392,14 +439,19 @@ func (o Options) features(a, b, c minutiae.Minutia) (triplet, bool) {
 	// opp[i] is the side opposite vertex i of (a, b, c).
 	v := [3]minutiae.Minutia{a, b, c}
 	opp := [3]float64{dbc, dac, dab}
+	// Descending opposite side with index tie-breaks, via a fixed
+	// three-element sorting network: sort.Slice here would put its
+	// reflect machinery on the heap once per enumerated triplet.
 	order := [3]int{0, 1, 2}
-	sort.Slice(order[:], func(i, j int) bool {
-		oi, oj := order[i], order[j]
-		if opp[oi] != opp[oj] {
-			return opp[oi] > opp[oj]
+	if vertexBefore(opp, order[1], order[0]) {
+		order[0], order[1] = order[1], order[0]
+	}
+	if vertexBefore(opp, order[2], order[1]) {
+		order[1], order[2] = order[2], order[1]
+		if vertexBefore(opp, order[1], order[0]) {
+			order[0], order[1] = order[1], order[0]
 		}
-		return oi < oj
-	})
+	}
 	var t triplet
 	for i, vi := range order {
 		t.sides[i] = opp[vi]
@@ -497,19 +549,50 @@ func binOptions(v, step, margin float64, out *[2]int) int {
 // triplets enumerates the template's local triplets in deterministic
 // order: each minutia combined with pairs of its NeighborK nearest
 // neighbours, deduplicated, capped at MaxTriplets.
-func (o Options) triplets(ms []minutiae.Minutia, visit func(a, b, c minutiae.Minutia) bool) {
+// tripletScratch holds the buffers one triplet enumeration needs, so
+// hot probe paths can reuse them across calls instead of reallocating
+// the neighbor table and the dedup set per probe.
+type tripletScratch struct {
+	neigh []tripletNeighbor
+	seen  map[uint64]struct{}
+}
+
+// tripletNeighbor is one candidate neighbor in the K-nearest scan.
+type tripletNeighbor struct {
+	d   float64
+	idx int
+}
+
+// compareNeighbors orders by ascending distance with index tie-breaks.
+//
+//fpvet:hotpath
+func compareNeighbors(a, b tripletNeighbor) int {
+	if a.d != b.d {
+		if a.d < b.d {
+			return -1
+		}
+		return 1
+	}
+	return a.idx - b.idx
+}
+
+func (o Options) triplets(ms []minutiae.Minutia, ts *tripletScratch, visit func(a, b, c minutiae.Minutia) bool) {
 	o = o.withDefaults()
 	n := len(ms)
 	if n < 3 {
 		return
 	}
-	type neighbor struct {
-		d   float64
-		idx int
-	}
-	neigh := make([]neighbor, 0, n-1)
 	k := o.NeighborK
-	seen := make(map[uint64]struct{}, n*k*(k-1)/2)
+	if ts == nil {
+		ts = &tripletScratch{}
+	}
+	neigh := ts.neigh[:0]
+	if ts.seen == nil {
+		ts.seen = make(map[uint64]struct{}, n*k*(k-1)/2)
+	} else {
+		clear(ts.seen)
+	}
+	seen := ts.seen
 	emitted := 0
 	for i := 0; i < n && emitted < o.MaxTriplets; i++ {
 		neigh = neigh[:0]
@@ -519,14 +602,9 @@ func (o Options) triplets(ms []minutiae.Minutia, visit func(a, b, c minutiae.Min
 			}
 			dx := ms[i].X - ms[j].X
 			dy := ms[i].Y - ms[j].Y
-			neigh = append(neigh, neighbor{d: dx*dx + dy*dy, idx: j})
+			neigh = append(neigh, tripletNeighbor{d: dx*dx + dy*dy, idx: j})
 		}
-		sort.Slice(neigh, func(x, y int) bool {
-			if neigh[x].d != neigh[y].d {
-				return neigh[x].d < neigh[y].d
-			}
-			return neigh[x].idx < neigh[y].idx
-		})
+		slices.SortFunc(neigh, compareNeighbors)
 		kk := k
 		if kk > len(neigh) {
 			kk = len(neigh)
@@ -555,13 +633,14 @@ func (o Options) triplets(ms []minutiae.Minutia, visit func(a, b, c minutiae.Min
 			}
 		}
 	}
+	ts.neigh = neigh
 }
 
 // templateKeys computes the primary keys a template is indexed under.
 func (o Options) templateKeys(ms []minutiae.Minutia) []uint64 {
 	o = o.withDefaults()
 	keys := make([]uint64, 0, o.MaxTriplets)
-	o.triplets(ms, func(a, b, c minutiae.Minutia) bool {
+	o.triplets(ms, nil, func(a, b, c minutiae.Minutia) bool {
 		t, ok := o.features(a, b, c)
 		if !ok {
 			return false
@@ -574,17 +653,33 @@ func (o Options) templateKeys(ms []minutiae.Minutia) []uint64 {
 
 // probeKeys computes the multi-probed key set a probe votes with.
 func (o Options) probeKeys(ms []minutiae.Minutia) []uint64 {
+	return o.appendProbeKeys(nil, ms)
+}
+
+// appendProbeKeys appends the probe's lookup keys to dst, reusing its
+// capacity; CandidatesAppend feeds it the pooled key scratch so the
+// enumeration stays off the heap in the steady state.
+func (o Options) appendProbeKeys(dst []uint64, ms []minutiae.Minutia) []uint64 {
+	return o.appendProbeKeysScratch(dst, ms, nil)
+}
+
+// appendProbeKeysScratch is appendProbeKeys reusing a caller-owned
+// triplet enumeration scratch, so pooled lookup paths stay
+// allocation-free.
+func (o Options) appendProbeKeysScratch(dst []uint64, ms []minutiae.Minutia, ts *tripletScratch) []uint64 {
 	o = o.withDefaults()
-	keys := make([]uint64, 0, 4*o.MaxTriplets)
-	o.triplets(ms, func(a, b, c minutiae.Minutia) bool {
+	if dst == nil {
+		dst = make([]uint64, 0, 4*o.MaxTriplets)
+	}
+	o.triplets(ms, ts, func(a, b, c minutiae.Minutia) bool {
 		t, ok := o.features(a, b, c)
 		if !ok {
 			return false
 		}
-		keys = o.probeKeysFor(t, keys)
+		dst = o.probeKeysFor(t, dst)
 		return true
 	})
-	return keys
+	return dst
 }
 
 func clampInt(v, lo, hi int) int {

@@ -184,6 +184,8 @@ func (s *Session) MatchPrepared(gallery *Prepared, probe *minutiae.Template) (Re
 // vote binning arithmetic, identical top-K selection order (votes
 // descending, packed key ascending), identical candidate ordering in
 // the pairing, and the same refinement and best-result tie-breaks.
+//
+//fpvet:hotpath
 func (s *Session) run(g *Prepared, probe *minutiae.Template) (Result, error) {
 	ga := g.tpl.Minutiae
 	pr := probe.Minutiae
@@ -303,25 +305,18 @@ func (s *Session) run(g *Prepared, probe *minutiae.Template) (Result, error) {
 	// root is rejected without even computing its key.
 	nCand := p.Candidates
 	planeSize := txBins * tyBins
-	keyOf := func(idx int32) uint64 {
-		rot := int(idx) / planeSize
-		rem := int(idx) - rot*planeSize
-		ty := int32(rem/txBins) + tyMin
-		tx := int32(rem%txBins) + txMin
-		return packKey(int32(rot), tx, ty)
-	}
 	top := s.top[:0]
 	for _, idx := range touched {
 		v := s.votes[idx]
 		if len(top) < nCand {
-			top = append(top, accCell{key: keyOf(idx), votes: v})
+			top = append(top, accCell{key: cellKey(idx, planeSize, txBins, txMin, tyMin), votes: v})
 			siftUp(top, len(top)-1)
 			continue
 		}
 		if v < top[0].votes {
 			continue
 		}
-		k := keyOf(idx)
+		k := cellKey(idx, planeSize, txBins, txMin, tyMin)
 		if v == top[0].votes && k > top[0].key {
 			continue
 		}
@@ -398,9 +393,24 @@ func (s *Session) run(g *Prepared, probe *minutiae.Template) (Result, error) {
 	return best, nil
 }
 
+// cellKey recovers the packed (rot, tx, ty) accumulator key from a
+// flat cell index; a standalone function (not a closure over the
+// window geometry) so the voting loop stays heap-free.
+//
+//fpvet:hotpath
+func cellKey(idx int32, planeSize, txBins int, txMin, tyMin int32) uint64 {
+	rot := int(idx) / planeSize
+	rem := int(idx) - rot*planeSize
+	ty := int32(rem/txBins) + tyMin
+	tx := int32(rem%txBins) + txMin
+	return packKey(int32(rot), tx, ty)
+}
+
 // scorePairing pairs minutiae under the transform and scores the
 // pairing, probing the gallery grid 3×3 instead of scanning every
 // gallery minutia. Pairs are appended to the session arena.
+//
+//fpvet:hotpath
 func (s *Session) scorePairing(g *Prepared, probe *minutiae.Template, tr geom.Rigid) Result {
 	ga, pr := g.tpl.Minutiae, probe.Minutiae
 	cands := s.cands[:0]
@@ -475,6 +485,8 @@ func (s *Session) scorePairing(g *Prepared, probe *minutiae.Template, tr geom.Ri
 // sortPairCands orders candidates by squared distance with (gallery,
 // probe) index tie-breaks — the same total order the reference sort
 // produces, since x ↦ x² is monotone.
+//
+//fpvet:hotpath
 func sortPairCands(cands []pairCand) {
 	slices.SortFunc(cands, func(a, b pairCand) int {
 		if a.d2 != b.d2 {
@@ -492,10 +504,13 @@ func sortPairCands(cands []pairCand) {
 
 // worse reports whether a should sit below b in the worst-first heap:
 // fewer votes, or equal votes and a larger packed key.
+//
+//fpvet:hotpath
 func worse(a, b accCell) bool {
 	return a.votes < b.votes || (a.votes == b.votes && a.key > b.key)
 }
 
+//fpvet:hotpath
 func siftUp(h []accCell, i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -507,6 +522,7 @@ func siftUp(h []accCell, i int) {
 	}
 }
 
+//fpvet:hotpath
 func siftDown(h []accCell, i int) {
 	for {
 		l := 2*i + 1

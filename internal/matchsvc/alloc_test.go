@@ -1,0 +1,67 @@
+package matchsvc
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestFrameRoundTripZeroAllocs is the asserting form of the PR-4 frame
+// benchmarks: once the pooled scratch and the reused transport buffers
+// are warm, building a numeric payload, framing it, reading the frame
+// back, and decoding it performs zero heap allocations. String and
+// template fields are excluded by design — string decoding converts
+// (allocates) and templates go through minutiae.Marshal — so this test
+// covers exactly the //fpvet:hotpath codec surface in protocol.go.
+func TestFrameRoundTripZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; asserted in non-race builds")
+	}
+	var wire bytes.Buffer
+	in := make([]byte, 0, 256)
+	raw := []byte{0xde, 0xad, 0xbe, 0xef}
+
+	roundTrip := func() {
+		fs := acquireFrameScratch()
+		fs.w.uint32(42)
+		fs.w.float64(0.5)
+		fs.w.bytes(raw)
+
+		wire.Reset()
+		if err := writeFrameHdr(&wire, OpPing, fs.w.buf, &fs.hdr); err != nil {
+			t.Fatalf("writeFrame: %v", err)
+		}
+		op, payload, err := readFrameIntoHdr(&wire, in[:0], &fs.hdr)
+		if err != nil {
+			t.Fatalf("readFrameInto: %v", err)
+		}
+		if op != OpPing {
+			t.Fatalf("op = %#x, want OpPing", op)
+		}
+		if cap(payload) > cap(in) {
+			in = payload[:0]
+		}
+
+		r := payloadReader{buf: payload}
+		u, err := r.uint32()
+		if err != nil || u != 42 {
+			t.Fatalf("uint32 = %d, %v; want 42", u, err)
+		}
+		f, err := r.float64()
+		if err != nil || f != 0.5 {
+			t.Fatalf("float64 = %v, %v; want 0.5", f, err)
+		}
+		b, err := r.bytes()
+		if err != nil || !bytes.Equal(b, raw) {
+			t.Fatalf("bytes = %x, %v; want %x", b, err, raw)
+		}
+		releaseFrameScratch(fs)
+	}
+
+	// Warm the pool, the frame buffers, and bytes.Buffer's capacity.
+	for i := 0; i < 10; i++ {
+		roundTrip()
+	}
+	if allocs := testing.AllocsPerRun(100, roundTrip); allocs != 0 {
+		t.Fatalf("frame round-trip allocates %.1f times per run; want 0", allocs)
+	}
+}

@@ -35,6 +35,9 @@ type Client struct {
 	// because responses are decoded under mu, before the next request
 	// can overwrite it.
 	recv []byte
+	// hdr is the frame-header scratch for writeFrameHdr/readFrameIntoHdr,
+	// reused under mu for the same reason.
+	hdr [5]byte
 }
 
 // SetRequestTimeout sets the fallback round-trip bound used when a
@@ -80,7 +83,7 @@ func DialContext(ctx context.Context, addr string) (*Client, error) {
 // Dial connects to a server address with the given timeout (also used
 // to bound later reconnects).
 func Dial(addr string, timeout time.Duration) (*Client, error) {
-	ctx := context.Background()
+	ctx := context.Background() //fpvet:allow ctxflow non-ctx constructor is a genuine root; the timeout below is its only bound
 	if timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)
@@ -141,7 +144,7 @@ func (c *Client) roundTrip(ctx context.Context, op byte, payload []byte, decode 
 			// leave the reconnect bounded only by the OS connect timeout.
 			d.Timeout = c.timeout
 		}
-		conn, err := d.DialContext(ctx, "tcp", c.addr)
+		conn, err := d.DialContext(ctx, "tcp", c.addr) //fpvet:allow locksafe requests are serialized under c.mu by design; the redial is part of the serialized request
 		if err != nil {
 			if cerr := ctx.Err(); cerr != nil {
 				return cerr
@@ -188,10 +191,10 @@ func (c *Client) roundTrip(ctx context.Context, op byte, payload []byte, decode 
 		}
 		return err
 	}
-	if err := writeFrame(c.conn, op, payload); err != nil {
+	if err := writeFrameHdr(c.conn, op, payload, &c.hdr); err != nil {
 		return fail(err)
 	}
-	status, resp, err := readFrameInto(c.conn, c.recv)
+	status, resp, err := readFrameIntoHdr(c.conn, c.recv, &c.hdr)
 	if err != nil {
 		return fail(fmt.Errorf("matchsvc: read response: %w", err))
 	}

@@ -75,10 +75,19 @@ var (
 
 // writeFrame emits one frame.
 func writeFrame(w io.Writer, op byte, payload []byte) error {
+	var hdr [5]byte
+	return writeFrameHdr(w, op, payload, &hdr)
+}
+
+// writeFrameHdr is writeFrame building the header in the caller's
+// buffer: a local header array escapes through the io.Writer call, so
+// steady-state transports (the client under its mutex, the server's
+// per-connection scratch) pass a long-lived buffer to stay off the
+// heap.
+func writeFrameHdr(w io.Writer, op byte, payload []byte, hdr *[5]byte) error {
 	if len(payload) > maxFrame {
 		return ErrFrameTooLarge
 	}
-	var hdr [5]byte
 	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
 	hdr[4] = op
 	if _, err := w.Write(hdr[:]); err != nil {
@@ -102,6 +111,12 @@ func readFrame(r io.Reader) (op byte, payload []byte, err error) {
 // buffer; callers own its lifecycle.
 func readFrameInto(r io.Reader, buf []byte) (op byte, payload []byte, err error) {
 	var hdr [5]byte
+	return readFrameIntoHdr(r, buf, &hdr)
+}
+
+// readFrameIntoHdr is readFrameInto with a caller-owned header buffer
+// (see writeFrameHdr).
+func readFrameIntoHdr(r io.Reader, buf []byte, hdr *[5]byte) (op byte, payload []byte, err error) {
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err // EOF passes through for clean shutdown
 	}
@@ -125,8 +140,9 @@ func readFrameInto(r io.Reader, buf []byte) (op byte, payload []byte, err error)
 // handling and request building stop allocating per message. Servers
 // hold one per connection; clients borrow one per request.
 type frameScratch struct {
-	in []byte
-	w  payloadWriter
+	in  []byte
+	w   payloadWriter
+	hdr [5]byte // frame header scratch for writeFrameHdr/readFrameIntoHdr
 }
 
 var framePool = sync.Pool{New: func() any { return new(frameScratch) }}
@@ -147,7 +163,11 @@ func (fs *frameScratch) keep(payload []byte) {
 
 func releaseFrameScratch(fs *frameScratch) { framePool.Put(fs) }
 
-// payloadWriter accumulates a request/response payload.
+// payloadWriter accumulates a request/response payload. The numeric
+// and raw-bytes appenders are hot-path (//fpvet:hotpath): with a
+// pooled frameScratch they reuse the retained buffer and stay off the
+// heap; only string (conversion) and template (marshal) allocate by
+// design.
 type payloadWriter struct {
 	buf []byte
 }
@@ -163,6 +183,7 @@ func (p *payloadWriter) string(s string) error {
 	return nil
 }
 
+//fpvet:hotpath
 func (p *payloadWriter) bytes(b []byte) {
 	var l [4]byte
 	binary.BigEndian.PutUint32(l[:], uint32(len(b)))
@@ -179,12 +200,14 @@ func (p *payloadWriter) template(t *minutiae.Template) error {
 	return nil
 }
 
+//fpvet:hotpath
 func (p *payloadWriter) uint32(v uint32) {
 	var b [4]byte
 	binary.BigEndian.PutUint32(b[:], v)
 	p.buf = append(p.buf, b[:]...)
 }
 
+//fpvet:hotpath
 func (p *payloadWriter) float64(v float64) {
 	var b [8]byte
 	binary.BigEndian.PutUint64(b[:], math.Float64bits(v))
@@ -199,6 +222,7 @@ type payloadReader struct {
 
 var errShortPayload = errors.New("matchsvc: short payload")
 
+//fpvet:hotpath
 func (p *payloadReader) take(n int) ([]byte, error) {
 	if p.off+n > len(p.buf) {
 		return nil, errShortPayload
@@ -220,6 +244,7 @@ func (p *payloadReader) string() (string, error) {
 	return string(b), nil
 }
 
+//fpvet:hotpath
 func (p *payloadReader) bytes() ([]byte, error) {
 	l, err := p.take(4)
 	if err != nil {
@@ -236,6 +261,7 @@ func (p *payloadReader) template() (*minutiae.Template, error) {
 	return minutiae.Unmarshal(data)
 }
 
+//fpvet:hotpath
 func (p *payloadReader) uint32() (uint32, error) {
 	b, err := p.take(4)
 	if err != nil {
@@ -244,6 +270,7 @@ func (p *payloadReader) uint32() (uint32, error) {
 	return binary.BigEndian.Uint32(b), nil
 }
 
+//fpvet:hotpath
 func (p *payloadReader) float64() (float64, error) {
 	b, err := p.take(8)
 	if err != nil {

@@ -1,0 +1,9 @@
+//go:build !race
+
+package matchsvc
+
+// raceEnabled reports whether the race detector instruments this
+// build. AllocsPerRun assertions are skipped under the detector: its
+// instrumentation allocates on paths that are allocation-free in
+// production builds.
+const raceEnabled = false

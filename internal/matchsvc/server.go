@@ -174,7 +174,7 @@ func (s *Server) handle(conn net.Conn) error {
 				return fmt.Errorf("matchsvc: set read deadline: %w", err)
 			}
 		}
-		op, payload, err := readFrameInto(conn, fs.in)
+		op, payload, err := readFrameIntoHdr(conn, fs.in, &fs.hdr)
 		if err != nil {
 			return err
 		}
@@ -188,7 +188,7 @@ func (s *Server) handle(conn net.Conn) error {
 				return fmt.Errorf("matchsvc: set write deadline: %w", err)
 			}
 		}
-		if err := writeFrame(conn, status, resp); err != nil {
+		if err := writeFrameHdr(conn, status, resp, &fs.hdr); err != nil {
 			return err
 		}
 	}

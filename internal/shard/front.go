@@ -24,28 +24,36 @@ func (s IdentifyStats) Fold() gallery.IdentifyStats {
 // Front adapts a Router to the matchsvc.Gallery interface, letting a
 // matchd process serve a sharded gallery through the same wire protocol
 // as a single store. The wire protocol carries no caller deadline, so
-// front calls run under context.Background(); the router's ShardTimeout
-// is the serving-side bound. IdentifyDetailed folds the per-shard
-// statistics into the single-store shape.
+// the Front is a genuine context root: each call starts from
+// context.Background() (annotated for fpvet). Identification is still
+// bounded on the serving side by the router's ShardTimeout, which caps
+// each shard's scatter leg; enroll, remove, verify, and len legs run
+// unbounded, exactly as they do for a single local store behind the
+// same protocol. Callers that need end-to-end deadlines use the
+// context-aware fpis.Service path instead of the wire front.
+// IdentifyDetailed folds the per-shard statistics into the
+// single-store shape.
 type Front struct {
 	*Router
 }
 
 func (f Front) Enroll(id, deviceID string, tpl *minutiae.Template) error {
-	return f.Router.Enroll(context.Background(), id, deviceID, tpl)
+	return f.Router.Enroll(context.Background(), id, deviceID, tpl) //fpvet:allow ctxflow wire protocol carries no caller deadline
 }
 
 func (f Front) Remove(id string) error {
-	return f.Router.Remove(context.Background(), id)
+	return f.Router.Remove(context.Background(), id) //fpvet:allow ctxflow wire protocol carries no caller deadline
 }
 
 func (f Front) Verify(id string, probe *minutiae.Template) (match.Result, error) {
-	return f.Router.Verify(context.Background(), id, probe)
+	return f.Router.Verify(context.Background(), id, probe) //fpvet:allow ctxflow wire protocol carries no caller deadline
 }
 
 func (f Front) IdentifyDetailed(probe *minutiae.Template, k int) ([]gallery.Candidate, gallery.IdentifyStats, error) {
-	cands, st, err := f.Router.IdentifyDetailed(context.Background(), probe, k)
+	cands, st, err := f.Router.IdentifyDetailed(context.Background(), probe, k) //fpvet:allow ctxflow wire protocol carries no caller deadline
 	return cands, st.Fold(), err
 }
 
-func (f Front) Len() int { return f.Router.Len(context.Background()) }
+func (f Front) Len() int {
+	return f.Router.Len(context.Background()) //fpvet:allow ctxflow wire protocol carries no caller deadline
+}

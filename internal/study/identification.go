@@ -1,6 +1,7 @@
 package study
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -61,7 +62,7 @@ func Identification(ds *Dataset, galleryID, probeID string, n, maxRank int) (Ide
 	if err != nil {
 		return IdentificationResult{}, err
 	}
-	cmc, err := gallery.ComputeCMC(store, probes, ids, maxRank)
+	cmc, err := gallery.ComputeCMCContext(context.Background(), store, probes, ids, maxRank)
 	if err != nil {
 		return IdentificationResult{}, fmt.Errorf("study: identification CMC: %w", err)
 	}
@@ -110,7 +111,7 @@ func IndexedIdentification(ds *Dataset, galleryID, probeID string, n, maxRank in
 	if err != nil {
 		return IndexedIdentificationResult{}, err
 	}
-	exhaustive, err := gallery.ComputeCMC(store, probes, ids, maxRank)
+	exhaustive, err := gallery.ComputeCMCContext(context.Background(), store, probes, ids, maxRank)
 	if err != nil {
 		return IndexedIdentificationResult{}, fmt.Errorf("study: exhaustive CMC: %w", err)
 	}
@@ -127,7 +128,7 @@ func IndexedIdentification(ds *Dataset, galleryID, probeID string, n, maxRank in
 	hits := make([]int, maxRank)
 	var shortlistSum, scannedSum int
 	for i, probe := range probes {
-		cands, stats, err := store.IdentifyDetailed(probe, maxRank)
+		cands, stats, err := store.IdentifyDetailedContext(context.Background(), probe, maxRank)
 		if err != nil {
 			return IndexedIdentificationResult{}, fmt.Errorf("study: indexed identify: %w", err)
 		}

@@ -88,7 +88,7 @@ func ShardedIdentification(ds *Dataset, galleryID, probeID string, n, maxRank, s
 	shardedHits := make([]int, maxRank)
 	for i, probe := range probes {
 		t0 := time.Now()
-		want, err := single.Identify(probe, maxRank)
+		want, err := single.IdentifyContext(context.Background(), probe, maxRank)
 		if err != nil {
 			return ShardedIdentificationResult{}, fmt.Errorf("study: single identify: %w", err)
 		}
