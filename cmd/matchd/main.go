@@ -8,12 +8,24 @@
 //	matchd [-addr 127.0.0.1:7070] [-preload N] [-seed N] [-device D0]
 //	       [-index] [-index-fanout N] [-idle-timeout 2m]
 //	       [-local-shards N | -shards addr1,addr2,...] [-shard-timeout D]
+//	       [-wal-dir DIR] [-compact-every N]
 //
 // -preload enrolls N synthetic subjects at startup so the service is
 // immediately searchable (useful for demos and load tests). -index
 // enables the minutia-triplet retrieval index, so identification
 // searches a candidate shortlist instead of the whole gallery; each
 // indexed search logs its shortlist size.
+//
+// Durability: -wal-dir routes every mutation through a write-ahead log
+// rooted at DIR, so an acknowledged enrollment survives even a SIGKILL
+// of the process; startup replays the log (after restoring the latest
+// compaction snapshot) and logs what recovery found. -compact-every N
+// folds the log into a snapshot after every N mutations, bounding
+// replay work at the next startup; the log is also compacted on clean
+// shutdown. Each shard of a -local-shards deployment logs into its own
+// subdirectory of DIR. -wal-dir supersedes -store (continuous
+// durability versus a shutdown-time snapshot); the two are mutually
+// exclusive.
 //
 // Sharding: -local-shards N partitions the gallery across N in-process
 // stores behind a consistent-hash router (each shard indexed when
@@ -31,11 +43,13 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -47,6 +61,7 @@ import (
 	"fpinterop/internal/rng"
 	"fpinterop/internal/sensor"
 	"fpinterop/internal/shard"
+	"fpinterop/internal/wal"
 )
 
 func main() {
@@ -69,6 +84,8 @@ func run(args []string) error {
 	localShards := fs.Int("local-shards", 0, "partition the gallery across N in-process shards")
 	shardAddrs := fs.String("shards", "", "comma-separated remote matchd addresses to scatter-gather over")
 	shardTimeout := fs.Duration("shard-timeout", 0, "per-shard identification deadline (0 = none)")
+	walDir := fs.String("wal-dir", "", "write-ahead-log directory: mutations are durable and replayed at startup")
+	compactEvery := fs.Int("compact-every", 0, "compact the WAL into a snapshot after every N mutations (0 = only on shutdown)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -93,16 +110,42 @@ func run(args []string) error {
 	if *shardTimeout != 0 && *localShards == 0 && *shardAddrs == "" {
 		return fmt.Errorf("-shard-timeout requires -local-shards or -shards")
 	}
+	if *compactEvery < 0 {
+		return fmt.Errorf("-compact-every must be >= 0, got %d", *compactEvery)
+	}
+	if *compactEvery > 0 && *walDir == "" {
+		return fmt.Errorf("-compact-every requires -wal-dir")
+	}
+	if *walDir != "" && *storePath != "" {
+		return fmt.Errorf("-wal-dir and -store are mutually exclusive persistence mechanisms")
+	}
+	if *walDir != "" && *shardAddrs != "" {
+		return fmt.Errorf("-wal-dir belongs on the shard processes, not the -shards front")
+	}
 
 	logger := log.New(os.Stderr, "matchd: ", log.LstdFlags)
 	indexOpt := gallery.IndexOptions{Index: index.Options{Fanout: *indexFanout}}
 
-	// The served backend is either a single store or a shard router.
+	// The served backend is either a single store or a shard router,
+	// either one optionally fronted by a write-ahead log.
 	var (
-		backend matchsvc.Gallery
-		store   *gallery.Store
-		router  *shard.Router
+		backend   matchsvc.Gallery
+		store     *gallery.Store
+		router    *shard.Router
+		walStores []*wal.Store
 	)
+	walOpt := wal.Options{CompactEvery: *compactEvery}
+	openWAL := func(dir string, st *gallery.Store) (*wal.Store, error) {
+		ws, err := wal.Open(dir, st, walOpt)
+		if err != nil {
+			return nil, fmt.Errorf("open WAL %s: %w", dir, err)
+		}
+		walStores = append(walStores, ws)
+		rec := ws.Recovery()
+		logger.Printf("wal %s: recovered %d from snapshot, replayed %d records (torn tail: %v, %d bytes truncated)",
+			dir, rec.SnapshotEntries, rec.Replayed, rec.TornTail, rec.TruncatedBytes)
+		return ws, nil
+	}
 	switch {
 	case *shardAddrs != "":
 		var backends []shard.Backend
@@ -140,13 +183,22 @@ func run(args []string) error {
 	case *localShards > 0:
 		backends := make([]shard.Backend, *localShards)
 		for i := range backends {
+			name := fmt.Sprintf("shard-%d", i)
 			st := gallery.New(nil)
 			if *useIndex {
 				if err := st.EnableIndex(indexOpt); err != nil {
 					return fmt.Errorf("enable index on shard %d: %w", i, err)
 				}
 			}
-			backends[i] = shard.NewLocal(fmt.Sprintf("shard-%d", i), st)
+			if *walDir != "" {
+				ws, err := openWAL(filepath.Join(*walDir, name), st)
+				if err != nil {
+					return err
+				}
+				backends[i] = shard.NewDurableLocal(name, ws)
+				continue
+			}
+			backends[i] = shard.NewLocal(name, st)
 		}
 		var err error
 		router, err = shard.New(backends, shard.Options{ShardTimeout: *shardTimeout})
@@ -164,6 +216,15 @@ func run(args []string) error {
 			}
 		}
 		backend = store
+		if *walDir != "" {
+			ws, err := openWAL(*walDir, store)
+			if err != nil {
+				return err
+			}
+			// The durable store shadows the mutating methods, so served
+			// enrollments and removals hit the log before they are acked.
+			backend = ws
+		}
 	}
 
 	if *storePath != "" {
@@ -201,18 +262,41 @@ func run(args []string) error {
 				Template: imp.Template,
 			}
 		}
-		if router != nil {
-			if err := router.EnrollBatch(context.Background(), items); err != nil {
-				return fmt.Errorf("preload: %w", err)
-			}
-		} else {
+		if len(walStores) > 0 {
+			// A durable gallery may already hold recovered subjects; the
+			// preload tops it up to N instead of failing on the overlap.
+			fresh := 0
 			for _, it := range items {
-				if err := store.Enroll(it.ID, it.DeviceID, it.Template); err != nil {
+				var err error
+				if router != nil {
+					err = router.Enroll(context.Background(), it.ID, it.DeviceID, it.Template)
+				} else {
+					err = backend.Enroll(it.ID, it.DeviceID, it.Template)
+				}
+				if errors.Is(err, gallery.ErrDuplicate) {
+					continue
+				}
+				if err != nil {
 					return fmt.Errorf("preload enroll %q: %w", it.ID, err)
 				}
+				fresh++
 			}
+			logger.Printf("preloaded %d enrollments from %s (%d already recovered)",
+				fresh, dev.Model, len(items)-fresh)
+		} else {
+			if router != nil {
+				if err := router.EnrollBatch(context.Background(), items); err != nil {
+					return fmt.Errorf("preload: %w", err)
+				}
+			} else {
+				for _, it := range items {
+					if err := store.Enroll(it.ID, it.DeviceID, it.Template); err != nil {
+						return fmt.Errorf("preload enroll %q: %w", it.ID, err)
+					}
+				}
+			}
+			logger.Printf("preloaded %d enrollments from %s", *preload, dev.Model)
 		}
-		logger.Printf("preloaded %d enrollments from %s", *preload, dev.Model)
 	}
 
 	if store != nil {
@@ -268,22 +352,31 @@ func run(args []string) error {
 		return err
 	}
 	if *storePath != "" {
-		f, err := os.Create(*storePath)
-		if err != nil {
-			return fmt.Errorf("create gallery %s: %w", *storePath, err)
-		}
+		// Staged in a temp file and renamed into place, so a crash
+		// mid-save can never clobber the previous good snapshot.
+		var err error
 		if router != nil {
-			err = router.SaveTo(f)
+			err = router.SaveFile(*storePath)
 		} else {
-			err = store.SaveTo(f)
-		}
-		if cerr := f.Close(); err == nil {
-			err = cerr
+			err = store.SaveFile(*storePath)
 		}
 		if err != nil {
 			return fmt.Errorf("save gallery %s: %w", *storePath, err)
 		}
 		logger.Printf("saved %d enrollments to %s", backend.Len(), *storePath)
+	}
+	for _, ws := range walStores {
+		// A clean shutdown leaves only a snapshot behind, so the next
+		// startup replays nothing.
+		if err := ws.Compact(); err != nil {
+			return fmt.Errorf("compact WAL: %w", err)
+		}
+		if err := ws.Close(); err != nil {
+			return fmt.Errorf("close WAL: %w", err)
+		}
+	}
+	if len(walStores) > 0 {
+		logger.Printf("compacted %d WAL store(s); %d enrollments durable", len(walStores), backend.Len())
 	}
 	logger.Printf("shut down")
 	return nil

@@ -102,6 +102,31 @@ type Stats struct {
 	// locally-sharded implementations; remote servers own their index
 	// state and do not expose it).
 	Indexed bool
+	// WAL summarizes write-ahead-log durability for services built with
+	// WithWAL; nil otherwise (including remote connections, whose
+	// durability lives in the serving process).
+	WAL *WALStats
+}
+
+// WALStats aggregates write-ahead-log state across every shard of a
+// durable service: what the startup crash recovery found and how much
+// un-compacted log currently sits on disk.
+type WALStats struct {
+	// SnapshotEntries is the number of enrollments restored from
+	// compaction snapshots at startup.
+	SnapshotEntries int
+	// Replayed is the number of log records re-applied past the
+	// snapshots during crash recovery.
+	Replayed int
+	// TruncatedBytes counts torn-tail bytes discarded during recovery —
+	// the unreadable remainder of writes interrupted by the crash.
+	TruncatedBytes int64
+	// TornTails is how many shards' logs ended mid-record (each was
+	// truncated back to its last intact record).
+	TornTails int
+	// LogBytes is the current total log size across shards; compaction
+	// resets it.
+	LogBytes int64
 }
 
 // Service is the identity-service facade. Every method takes a

@@ -5,11 +5,17 @@ import (
 
 	"fpinterop/internal/gallery"
 	"fpinterop/internal/index"
+	"fpinterop/internal/wal"
 )
 
-// localService serves the facade from one in-process gallery store.
+// localService serves the facade from one in-process gallery store,
+// optionally made durable by a write-ahead log.
 type localService struct {
 	store *gallery.Store
+	// wal is non-nil when the service was built with WithWAL; every
+	// mutation then routes through it so acknowledgements imply
+	// durability. Reads go straight to the store either way.
+	wal *wal.Store
 }
 
 // indexOptions translates the facade's index knobs to the store's.
@@ -23,21 +29,46 @@ func newLocal(cfg config) (Service, error) {
 		store.SetParallelism(cfg.parallelism)
 	}
 	if cfg.index {
+		// Enabled before recovery so the WAL replay's bulk load builds
+		// the index once instead of record by record.
 		if err := store.EnableIndex(indexOptions(cfg)); err != nil {
 			return nil, err
 		}
 	}
-	return &localService{store: store}, nil
+	svc := &localService{store: store}
+	if cfg.walDir != "" {
+		ws, err := wal.Open(cfg.walDir, store, wal.Options{CompactEvery: cfg.compactEvery})
+		if err != nil {
+			return nil, err
+		}
+		svc.wal = ws
+	}
+	return svc, nil
 }
 
 func (s *localService) Enroll(ctx context.Context, id, deviceID string, tpl *Template) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	if s.wal != nil {
+		return s.wal.Enroll(id, deviceID, tpl)
+	}
 	return s.store.Enroll(id, deviceID, tpl)
 }
 
 func (s *localService) EnrollBatch(ctx context.Context, items []Enrollment) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if s.wal != nil {
+		// The WAL's group commit makes the whole batch one fsync — and,
+		// unlike the plain path, atomic.
+		exports := make([]gallery.Export, len(items))
+		for i, it := range items {
+			exports[i] = gallery.Export{ID: it.ID, DeviceID: it.DeviceID, Template: it.Template}
+		}
+		return s.wal.EnrollBatch(exports)
+	}
 	for _, it := range items {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -52,6 +83,9 @@ func (s *localService) EnrollBatch(ctx context.Context, items []Enrollment) erro
 func (s *localService) Remove(ctx context.Context, id string) error {
 	if err := ctx.Err(); err != nil {
 		return err
+	}
+	if s.wal != nil {
+		return s.wal.Remove(id)
 	}
 	return s.store.Remove(id)
 }
@@ -89,11 +123,45 @@ func (s *localService) Stats(ctx context.Context) (Stats, error) {
 		return Stats{}, err
 	}
 	_, indexed := s.store.IndexStats()
-	return Stats{
+	st := Stats{
 		Enrollments: s.store.Len(),
 		Shards:      1,
 		Indexed:     indexed,
-	}, nil
+	}
+	if s.wal != nil {
+		ws, err := foldWALStats([]*wal.Store{s.wal})
+		if err != nil {
+			return Stats{}, err
+		}
+		st.WAL = ws
+	}
+	return st, nil
 }
 
-func (s *localService) Close() error { return nil }
+// foldWALStats aggregates per-shard recovery and log state into the
+// facade's WAL summary.
+func foldWALStats(stores []*wal.Store) (*WALStats, error) {
+	var out WALStats
+	for _, ws := range stores {
+		rec := ws.Recovery()
+		out.SnapshotEntries += rec.SnapshotEntries
+		out.Replayed += rec.Replayed
+		out.TruncatedBytes += rec.TruncatedBytes
+		if rec.TornTail {
+			out.TornTails++
+		}
+		size, err := ws.LogSize()
+		if err != nil {
+			return nil, err
+		}
+		out.LogBytes += size
+	}
+	return &out, nil
+}
+
+func (s *localService) Close() error {
+	if s.wal != nil {
+		return s.wal.Close()
+	}
+	return nil
+}

@@ -20,6 +20,10 @@ type config struct {
 	localShards  int
 	remoteShards []string
 
+	walDir          string
+	compactEvery    int
+	setCompactEvery bool
+
 	parallelism    int
 	setParallelism bool
 
@@ -48,6 +52,40 @@ func WithIndex(fanout int) Option {
 		}
 		c.index = true
 		c.indexFanout = fanout
+		return nil
+	}
+}
+
+// WithWAL makes every mutation durable through a per-shard write-ahead
+// log rooted at dir: an acknowledged Enroll or Remove survives a crash
+// of the process, and construction replays the log (after restoring the
+// latest compaction snapshot) before the service accepts its first
+// request. Each shard of a WithLocalShards deployment logs into its own
+// subdirectory of dir, so growing the shard count later reuses nothing
+// stale. Applies to in-process galleries — a single local store or
+// WithLocalShards — not to remote connections, where durability belongs
+// to the serving process (run matchd with -wal-dir there).
+func WithWAL(dir string) Option {
+	return func(c *config) error {
+		if dir == "" {
+			return errors.New("fpis: WithWAL needs a directory")
+		}
+		c.walDir = dir
+		return nil
+	}
+}
+
+// WithWALCompactEvery compacts each shard's write-ahead log into a
+// snapshot after every n logged mutations, bounding replay work on the
+// next startup. n <= 0 disables automatic compaction (the log grows
+// until the service is rebuilt). Requires WithWAL.
+func WithWALCompactEvery(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			n = 0
+		}
+		c.compactEvery = n
+		c.setCompactEvery = true
 		return nil
 	}
 }
@@ -168,6 +206,12 @@ func checkNewConfig(c config) error {
 	if len(c.remoteShards) > 0 && c.index {
 		return errors.New("fpis: WithIndex belongs on the shard processes, not the WithShards front")
 	}
+	if len(c.remoteShards) > 0 && c.walDir != "" {
+		return errors.New("fpis: WithWAL belongs on the shard processes, not the WithShards front")
+	}
+	if c.setCompactEvery && c.walDir == "" {
+		return errors.New("fpis: WithWALCompactEvery requires WithWAL")
+	}
 	if c.localShards == 0 && len(c.remoteShards) == 0 {
 		if c.setShardTimeout {
 			return errors.New("fpis: WithShardTimeout requires WithLocalShards or WithShards")
@@ -193,6 +237,9 @@ func checkDialConfig(c config) error {
 	}
 	if c.setShardTimeout {
 		return errors.New("fpis: WithShardTimeout does not apply to Dial")
+	}
+	if c.walDir != "" || c.setCompactEvery {
+		return errors.New("fpis: WithWAL applies to in-process galleries; run matchd with -wal-dir instead")
 	}
 	if c.failClosed {
 		return errors.New("fpis: WithFailClosed does not apply to Dial")

@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"path/filepath"
 
 	"fpinterop/internal/gallery"
 	"fpinterop/internal/matchsvc"
 	"fpinterop/internal/shard"
+	"fpinterop/internal/wal"
 )
 
 // shardedService serves the facade from a consistent-hash router over
@@ -22,6 +24,10 @@ type shardedService struct {
 	// closers are the remote connections the constructor dialed; Close
 	// owns their lifecycle.
 	closers []io.Closer
+	// walStores are the per-shard durable stores when the service was
+	// built with WithWAL (local shards only); Close owns them, and Stats
+	// aggregates their recovery and log state.
+	walStores []*wal.Store
 }
 
 func routerOptions(cfg config) shard.Options {
@@ -37,23 +43,45 @@ func routerOptions(cfg config) shard.Options {
 
 func newLocalSharded(cfg config) (Service, error) {
 	backends := make([]shard.Backend, cfg.localShards)
+	var walStores []*wal.Store
+	closeWALs := func() {
+		for _, ws := range walStores {
+			ws.Close()
+		}
+	}
 	for i := range backends {
+		name := fmt.Sprintf("shard-%d", i)
 		store := gallery.New(nil)
 		if cfg.setParallelism {
 			store.SetParallelism(cfg.parallelism)
 		}
 		if cfg.index {
+			// Enabled before recovery so each shard's WAL replay builds
+			// the index once in bulk.
 			if err := store.EnableIndex(indexOptions(cfg)); err != nil {
+				closeWALs()
 				return nil, fmt.Errorf("fpis: enable index on shard %d: %w", i, err)
 			}
 		}
-		backends[i] = shard.NewLocal(fmt.Sprintf("shard-%d", i), store)
+		if cfg.walDir != "" {
+			ws, err := wal.Open(filepath.Join(cfg.walDir, name), store,
+				wal.Options{CompactEvery: cfg.compactEvery})
+			if err != nil {
+				closeWALs()
+				return nil, fmt.Errorf("fpis: open WAL for shard %d: %w", i, err)
+			}
+			walStores = append(walStores, ws)
+			backends[i] = shard.NewDurableLocal(name, ws)
+			continue
+		}
+		backends[i] = shard.NewLocal(name, store)
 	}
 	router, err := shard.New(backends, routerOptions(cfg))
 	if err != nil {
+		closeWALs()
 		return nil, err
 	}
-	return &shardedService{router: router, indexed: cfg.index}, nil
+	return &shardedService{router: router, indexed: cfg.index, walStores: walStores}, nil
 }
 
 func newRemoteSharded(ctx context.Context, cfg config) (Service, error) {
@@ -142,6 +170,13 @@ func (s *shardedService) Stats(ctx context.Context) (Stats, error) {
 	for _, i := range s.router.Degraded() {
 		st.DegradedShards = append(st.DegradedShards, s.router.Backends()[i].Name())
 	}
+	if len(s.walStores) > 0 {
+		ws, err := foldWALStats(s.walStores)
+		if err != nil {
+			return Stats{}, err
+		}
+		st.WAL = ws
+	}
 	return st, nil
 }
 
@@ -149,6 +184,11 @@ func (s *shardedService) Close() error {
 	var errs []error
 	for _, c := range s.closers {
 		if err := c.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	for _, ws := range s.walStores {
+		if err := ws.Close(); err != nil {
 			errs = append(errs, err)
 		}
 	}

@@ -1,0 +1,65 @@
+// Package atomicio provides crash-safe file replacement: content is
+// staged in a temporary file in the destination's directory, flushed to
+// stable storage, and renamed over the destination in one step. A crash
+// at any point leaves either the old file or the new file — never a
+// truncated hybrid. The gallery snapshot, the sharded-router container,
+// and the WAL compaction snapshot all persist through this path, so no
+// reader can ever observe a half-written store.
+package atomicio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with the bytes produced by write.
+// The temporary file lives in path's own directory (rename is only
+// atomic within one filesystem), is fsynced before the rename, and the
+// directory is fsynced after it so the new name itself is durable. On
+// any failure the temporary file is removed and the destination is
+// untouched.
+func WriteFile(path string, perm os.FileMode, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("atomicio: stage %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return fmt.Errorf("atomicio: write %s: %w", path, err)
+	}
+	if err = tmp.Chmod(perm); err != nil {
+		return fmt.Errorf("atomicio: chmod %s: %w", path, err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("atomicio: sync %s: %w", path, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("atomicio: close %s: %w", path, err)
+	}
+	if err = os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("atomicio: rename %s: %w", path, err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+// Filesystems that refuse directory fsync (some network mounts) degrade
+// gracefully: the rename itself was still atomic.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	d.Sync()
+	return nil
+}

@@ -6,7 +6,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
+	"runtime"
+	"sync"
 
+	"fpinterop/internal/atomicio"
 	"fpinterop/internal/minutiae"
 )
 
@@ -83,27 +87,38 @@ func (s *Store) SaveTo(w io.Writer) error {
 	return nil
 }
 
-// LoadFrom replaces the store's contents with the serialized gallery
-// read from r.
-func (s *Store) LoadFrom(r io.Reader) error {
+// SaveFile serializes the store to path crash-safely: the stream is
+// staged in a temporary file in the same directory and atomically
+// renamed into place, so a crash mid-snapshot can never leave a
+// truncated gallery on disk.
+func (s *Store) SaveFile(path string) error {
+	return atomicio.WriteFile(path, 0o644, s.SaveTo)
+}
+
+// ReadEntries decodes a serialized gallery stream (the SaveTo format)
+// into its entries without touching any store — the decode half of
+// LoadFrom, split out so WAL recovery can merge a snapshot with
+// replayed log records before building a store from the survivors in
+// one pass.
+func ReadEntries(r io.Reader) ([]Export, error) {
 	br := bufio.NewReader(r)
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return fmt.Errorf("gallery: read magic: %w", err)
+		return nil, fmt.Errorf("gallery: read magic: %w", err)
 	}
 	if magic != storeMagic {
-		return ErrBadStoreFormat
+		return nil, ErrBadStoreFormat
 	}
 	var u16 [2]byte
 	var u32 [4]byte
 	if _, err := io.ReadFull(br, u16[:]); err != nil {
-		return fmt.Errorf("gallery: read version: %w", err)
+		return nil, fmt.Errorf("gallery: read version: %w", err)
 	}
 	if v := binary.BigEndian.Uint16(u16[:]); v != storeVersion {
-		return fmt.Errorf("gallery: unsupported store version %d", v)
+		return nil, fmt.Errorf("gallery: unsupported store version %d", v)
 	}
 	if _, err := io.ReadFull(br, u32[:]); err != nil {
-		return fmt.Errorf("gallery: read count: %w", err)
+		return nil, fmt.Errorf("gallery: read count: %w", err)
 	}
 	count := binary.BigEndian.Uint32(u32[:])
 	readStr := func() (string, error) {
@@ -116,56 +131,131 @@ func (s *Store) LoadFrom(r io.Reader) error {
 		}
 		return string(buf), nil
 	}
-	entries := make(map[string]*Entry, count)
-	order := make([]string, 0, count)
+	out := make([]Export, 0, count)
 	for i := uint32(0); i < count; i++ {
 		id, err := readStr()
 		if err != nil {
-			return fmt.Errorf("gallery: read entry %d id: %w", i, err)
+			return nil, fmt.Errorf("gallery: read entry %d id: %w", i, err)
 		}
 		dev, err := readStr()
 		if err != nil {
-			return fmt.Errorf("gallery: read entry %d device: %w", i, err)
+			return nil, fmt.Errorf("gallery: read entry %d device: %w", i, err)
 		}
 		if _, err := io.ReadFull(br, u32[:]); err != nil {
-			return fmt.Errorf("gallery: read entry %d length: %w", i, err)
+			return nil, fmt.Errorf("gallery: read entry %d length: %w", i, err)
 		}
 		n := binary.BigEndian.Uint32(u32[:])
 		if n > 1<<20 {
-			return fmt.Errorf("gallery: entry %d template of %d bytes exceeds cap", i, n)
+			return nil, fmt.Errorf("gallery: entry %d template of %d bytes exceeds cap", i, n)
 		}
 		data := make([]byte, n)
 		if _, err := io.ReadFull(br, data); err != nil {
-			return fmt.Errorf("gallery: read entry %d template: %w", i, err)
+			return nil, fmt.Errorf("gallery: read entry %d template: %w", i, err)
 		}
 		tpl, err := minutiae.Unmarshal(data)
 		if err != nil {
-			return fmt.Errorf("gallery: decode entry %d (%q): %w", i, id, err)
+			return nil, fmt.Errorf("gallery: decode entry %d (%q): %w", i, id, err)
 		}
-		if _, dup := entries[id]; dup {
-			return fmt.Errorf("gallery: duplicate id %q in store", id)
+		out = append(out, Export{ID: id, DeviceID: dev, Template: tpl})
+	}
+	return out, nil
+}
+
+// LoadFrom replaces the store's contents with the serialized gallery
+// read from r.
+func (s *Store) LoadFrom(r io.Reader) error {
+	entries, err := ReadEntries(r)
+	if err != nil {
+		return err
+	}
+	if err := s.ReplaceAll(entries); err != nil {
+		return fmt.Errorf("gallery: load: %w", err)
+	}
+	return nil
+}
+
+// ReplaceAll swaps the store's contents for the given entries in one
+// bulk pass: matcher preparations are rebuilt across all CPUs and the
+// retrieval index (when enabled) is rebuilt exactly once, instead of
+// re-deriving both per record the way replaying a log through Enroll
+// would. The store takes ownership of the templates — they come from a
+// decode or a migration stream, so the defensive clone Enroll performs
+// is skipped. On error the store is left untouched.
+func (s *Store) ReplaceAll(entries []Export) error {
+	seen := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		if e.Template == nil {
+			return fmt.Errorf("gallery: replace %q: nil template", e.ID)
 		}
-		e := &Entry{ID: id, DeviceID: dev, Template: tpl}
-		if s.hough != nil {
-			// Rebuild the hot-path preparation Enroll would have cached.
-			e.prep = s.hough.Prepare(tpl)
+		if seen[e.ID] {
+			return fmt.Errorf("gallery: duplicate id %q in store", e.ID)
 		}
-		entries[id] = e
-		order = append(order, id)
+		seen[e.ID] = true
+	}
+	built := make([]*Entry, len(entries))
+	for i, e := range entries {
+		built[i] = &Entry{ID: e.ID, DeviceID: e.DeviceID, Template: e.Template}
+	}
+	if s.hough != nil && len(built) > 0 {
+		// One parallel preparation pass over the whole load — the bulk
+		// analogue of the per-enrollment Prepare cache.
+		workers := runtime.GOMAXPROCS(0)
+		if workers > len(built) {
+			workers = len(built)
+		}
+		var (
+			wg   sync.WaitGroup
+			mu   sync.Mutex
+			next int
+		)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					mu.Lock()
+					i := next
+					next++
+					mu.Unlock()
+					if i >= len(built) {
+						return
+					}
+					built[i].prep = s.hough.Prepare(built[i].Template)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	byID := make(map[string]*Entry, len(built))
+	order := make([]string, len(built))
+	for i, e := range built {
+		byID[e.ID] = e
+		order[i] = e.ID
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.entries = entries
-	s.order = order
 	if s.idx != nil {
 		// The retrieval index must mirror the enrolled set exactly;
-		// rebuild it from the loaded entries.
+		// rebuild it once from the new entries.
 		s.idx.Reset()
 		for _, id := range order {
-			if err := s.idx.Add(id, entries[id].Template); err != nil {
+			if err := s.idx.Add(id, byID[id].Template); err != nil {
 				return fmt.Errorf("gallery: index rebuild: %w", err)
 			}
 		}
 	}
+	s.entries = byID
+	s.order = order
 	return nil
+}
+
+// LoadFile loads a gallery snapshot from path (a file written by
+// SaveFile or SaveTo).
+func (s *Store) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("gallery: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return s.LoadFrom(f)
 }

@@ -455,6 +455,68 @@ func decodeCandidates(r *payloadReader) ([]gallery.Candidate, error) {
 	return out, nil
 }
 
+// Has reports whether id is enrolled on the server.
+func (c *Client) Has(ctx context.Context, id string) (bool, error) {
+	fs := acquireFrameScratch()
+	defer releaseFrameScratch(fs)
+	if err := fs.w.string(id); err != nil {
+		return false, err
+	}
+	var v uint32
+	err := c.roundTrip(ctx, OpHas, fs.w.buf, func(r *payloadReader) (derr error) {
+		v, derr = r.uint32()
+		return derr
+	})
+	return v != 0, err
+}
+
+// Scan returns up to max enrollments whose ID sorts strictly after
+// afterID, in ID order. The server may return fewer than max to respect
+// the frame cap; callers page by passing the last returned ID as the
+// next afterID, and an empty page means the scan is complete.
+func (c *Client) Scan(ctx context.Context, afterID string, max int) ([]gallery.Export, error) {
+	fs := acquireFrameScratch()
+	defer releaseFrameScratch(fs)
+	if err := fs.w.string(afterID); err != nil {
+		return nil, err
+	}
+	fs.w.uint32(uint32(max))
+	var out []gallery.Export
+	err := c.roundTrip(ctx, OpScan, fs.w.buf, func(r *payloadReader) error {
+		n, derr := r.uint32()
+		if derr != nil {
+			return derr
+		}
+		// An item occupies at least 8 payload bytes; clamp the
+		// preallocation against malformed counts.
+		capHint := n
+		if max := uint32(len(r.buf)-r.off) / 8; capHint > max {
+			capHint = max
+		}
+		out = make([]gallery.Export, 0, capHint)
+		for i := uint32(0); i < n; i++ {
+			id, derr := r.string()
+			if derr != nil {
+				return derr
+			}
+			dev, derr := r.string()
+			if derr != nil {
+				return derr
+			}
+			tpl, derr := r.template()
+			if derr != nil {
+				return derr
+			}
+			out = append(out, gallery.Export{ID: id, DeviceID: dev, Template: tpl})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // Remove deletes an enrollment.
 func (c *Client) Remove(ctx context.Context, id string) error {
 	fs := acquireFrameScratch()

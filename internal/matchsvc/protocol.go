@@ -53,6 +53,16 @@ const (
 	// failure the server reports an error after having enrolled the
 	// items preceding the failing one.
 	OpEnrollBatch = 0x09
+	// OpScan pages through enrollments in ID order for shard migration:
+	// the request carries a cursor (exclusive lower bound on ID) and a
+	// uint32 max. The response holds uint32 count then per item (id,
+	// device id, template); the server may return fewer than max to
+	// respect the frame cap, and an empty page means the scan is done.
+	OpScan = 0x0A
+	// OpHas asks whether an ID is enrolled: string id in, uint32 0/1
+	// out. Routers use it as the duplicate guard on keys whose
+	// ownership is mid-migration.
+	OpHas = 0x0B
 )
 
 // Response status codes.
@@ -65,6 +75,10 @@ const (
 
 // maxFrame bounds a frame payload (1 MiB — a template is ≤ ~32 KiB).
 const maxFrame = 1 << 20
+
+// scanBudget leaves headroom under the frame cap for a scan response's
+// count prefix and per-item framing.
+const scanBudget = maxFrame - 4096
 
 var (
 	// ErrFrameTooLarge reports an oversized frame.

@@ -2,6 +2,7 @@ package matchsvc
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -25,6 +26,19 @@ type Gallery interface {
 	Verify(id string, probe *minutiae.Template) (match.Result, error)
 	IdentifyDetailed(probe *minutiae.Template, k int) ([]gallery.Candidate, gallery.IdentifyStats, error)
 	Len() int
+}
+
+// Scanner is the optional capability behind OpScan: backends that can
+// page their enrollments out in ID order (gallery.Store does) let a
+// shard rebalancer stream them to a joining shard. Backends without it
+// simply refuse the op.
+type Scanner interface {
+	Scan(afterID string, max int) []gallery.Export
+}
+
+// Haser is the optional capability behind OpHas.
+type Haser interface {
+	Has(id string) bool
 }
 
 // defaultIdleTimeout bounds how long a connection may sit between (or
@@ -346,6 +360,66 @@ func (s *Server) dispatch(op byte, payload []byte, w *payloadWriter) (byte, []by
 
 	case OpCount:
 		w.uint32(uint32(s.store.Len()))
+		return StatusOK, w.buf
+
+	case OpHas:
+		h, ok := s.store.(Haser)
+		if !ok {
+			return fail(errors.New("matchsvc: backend does not support has"))
+		}
+		id, err := r.string()
+		if err != nil {
+			return fail(err)
+		}
+		v := uint32(0)
+		if h.Has(id) {
+			v = 1
+		}
+		w.uint32(v)
+		return StatusOK, w.buf
+
+	case OpScan:
+		sc, ok := s.store.(Scanner)
+		if !ok {
+			return fail(errors.New("matchsvc: backend does not support scan"))
+		}
+		afterID, err := r.string()
+		if err != nil {
+			return fail(err)
+		}
+		max, err := r.uint32()
+		if err != nil {
+			return fail(err)
+		}
+		exports := sc.Scan(afterID, int(max))
+		// Pack items under the frame budget; the count prefix is
+		// patched once the cut is known. Fewer than max items is a
+		// legal page — the client advances its cursor and asks again —
+		// but an empty page with entries pending would end the scan
+		// early, so a first item too large to ship is an error.
+		w.uint32(0)
+		count := uint32(0)
+		for _, e := range exports {
+			mark := len(w.buf)
+			if err := w.string(e.ID); err != nil {
+				return fail(err)
+			}
+			if err := w.string(e.DeviceID); err != nil {
+				return fail(err)
+			}
+			if err := w.template(e.Template); err != nil {
+				return fail(err)
+			}
+			if len(w.buf) > scanBudget {
+				if count == 0 {
+					return fail(fmt.Errorf("matchsvc: scan item %q exceeds frame budget", e.ID))
+				}
+				w.buf = w.buf[:mark]
+				break
+			}
+			count++
+		}
+		binary.BigEndian.PutUint32(w.buf[:4], count)
 		return StatusOK, w.buf
 
 	default:

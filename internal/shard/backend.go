@@ -32,6 +32,16 @@ type Backend interface {
 	// the batch enrolled.
 	EnrollBatch(ctx context.Context, items []Enrollment) error
 	Remove(ctx context.Context, id string) error
+	// Has reports whether id is enrolled on this shard. The router uses
+	// it as the duplicate guard and read director for keys whose
+	// ownership is mid-migration.
+	Has(ctx context.Context, id string) (bool, error)
+	// Scan returns up to max enrollments whose ID sorts strictly after
+	// afterID, in ID order; an empty page ends the scan. May return
+	// fewer than max (remote shards respect the frame cap), so callers
+	// page by cursor, not by count. The rebalancer streams a shard's
+	// ring-moved subjects out with it while the shard keeps serving.
+	Scan(ctx context.Context, afterID string, max int) ([]gallery.Export, error)
 	Verify(ctx context.Context, id string, probe *minutiae.Template) (match.Result, error)
 	IdentifyDetailed(ctx context.Context, probe *minutiae.Template, k int) ([]gallery.Candidate, gallery.IdentifyStats, error)
 	// Len returns the shard's enrollment count; the error reports an
@@ -96,6 +106,20 @@ func (l *Local) Remove(ctx context.Context, id string) error {
 	return l.store.Remove(id)
 }
 
+func (l *Local) Has(ctx context.Context, id string) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	return l.store.Has(id), nil
+}
+
+func (l *Local) Scan(ctx context.Context, afterID string, max int) ([]gallery.Export, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return l.store.Scan(afterID, max), nil
+}
+
 func (l *Local) Verify(ctx context.Context, id string, probe *minutiae.Template) (match.Result, error) {
 	return l.store.VerifyContext(ctx, id, probe)
 }
@@ -141,6 +165,12 @@ func (r *Remote) EnrollBatch(ctx context.Context, items []Enrollment) error {
 }
 
 func (r *Remote) Remove(ctx context.Context, id string) error { return r.cli.Remove(ctx, id) }
+
+func (r *Remote) Has(ctx context.Context, id string) (bool, error) { return r.cli.Has(ctx, id) }
+
+func (r *Remote) Scan(ctx context.Context, afterID string, max int) ([]gallery.Export, error) {
+	return r.cli.Scan(ctx, afterID, max)
+}
 
 func (r *Remote) Verify(ctx context.Context, id string, probe *minutiae.Template) (match.Result, error) {
 	res, err := r.cli.Verify(ctx, id, probe)

@@ -1,0 +1,92 @@
+package shard
+
+import (
+	"context"
+	"io"
+
+	"fpinterop/internal/gallery"
+	"fpinterop/internal/match"
+	"fpinterop/internal/minutiae"
+	"fpinterop/internal/wal"
+)
+
+// DurableLocal adapts a WAL-backed store to the Backend interface: the
+// Local shape with every mutation routed through the write-ahead log,
+// so an acknowledged enrollment on this shard survives a crash. Batches
+// use the WAL's group commit (one fsync per batch) and are atomic,
+// unlike Local's. Reads are the embedded gallery's own.
+//
+// DurableLocal implements Saver (snapshotting the live gallery is just
+// a read) but deliberately not Loader: replacing a durable shard's
+// contents behind its log would diverge memory from disk. Recovery
+// happens in wal.Open, nowhere else.
+type DurableLocal struct {
+	name  string
+	store *wal.Store
+}
+
+// NewDurableLocal wraps a WAL-backed store as a shard named name.
+func NewDurableLocal(name string, store *wal.Store) *DurableLocal {
+	return &DurableLocal{name: name, store: store}
+}
+
+// Store exposes the wrapped durable store (e.g. to compact or close it).
+func (l *DurableLocal) Store() *wal.Store { return l.store }
+
+func (l *DurableLocal) Name() string { return l.name }
+
+func (l *DurableLocal) Enroll(ctx context.Context, id, deviceID string, tpl *minutiae.Template) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return l.store.Enroll(id, deviceID, tpl)
+}
+
+func (l *DurableLocal) EnrollBatch(ctx context.Context, items []Enrollment) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	exports := make([]gallery.Export, len(items))
+	for i, it := range items {
+		exports[i] = gallery.Export{ID: it.ID, DeviceID: it.DeviceID, Template: it.Template}
+	}
+	return l.store.EnrollBatch(exports)
+}
+
+func (l *DurableLocal) Remove(ctx context.Context, id string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return l.store.Remove(id)
+}
+
+func (l *DurableLocal) Has(ctx context.Context, id string) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	return l.store.Has(id), nil
+}
+
+func (l *DurableLocal) Scan(ctx context.Context, afterID string, max int) ([]gallery.Export, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return l.store.Scan(afterID, max), nil
+}
+
+func (l *DurableLocal) Verify(ctx context.Context, id string, probe *minutiae.Template) (match.Result, error) {
+	return l.store.VerifyContext(ctx, id, probe)
+}
+
+func (l *DurableLocal) IdentifyDetailed(ctx context.Context, probe *minutiae.Template, k int) ([]gallery.Candidate, gallery.IdentifyStats, error) {
+	return l.store.IdentifyDetailedContext(ctx, probe, k)
+}
+
+func (l *DurableLocal) Len(ctx context.Context) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return l.store.Len(), nil
+}
+
+func (l *DurableLocal) SaveTo(w io.Writer) error { return l.store.SaveTo(w) }

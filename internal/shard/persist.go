@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"fpinterop/internal/atomicio"
 )
 
 // Router persistence container:
@@ -41,7 +43,13 @@ const routerVersion = 1
 // SaveTo serializes every shard's gallery in backend order. All
 // backends must implement Saver.
 func (r *Router) SaveTo(w io.Writer) error {
-	for _, b := range r.backends {
+	t := r.topo()
+	if t.mig != nil {
+		// A migration-time snapshot would freeze subjects mid-move on
+		// two shards and a ring that matches neither; wait for cutover.
+		return ErrMigrationInProgress
+	}
+	for _, b := range t.backends {
 		if _, ok := b.(Saver); !ok {
 			return fmt.Errorf("%w: %q", ErrNotPersistent, b.Name())
 		}
@@ -56,11 +64,11 @@ func (r *Router) SaveTo(w io.Writer) error {
 	if _, err := w.Write(u16[:]); err != nil {
 		return fmt.Errorf("shard: write version: %w", err)
 	}
-	binary.BigEndian.PutUint32(u32[:], uint32(len(r.backends)))
+	binary.BigEndian.PutUint32(u32[:], uint32(len(t.backends)))
 	if _, err := w.Write(u32[:]); err != nil {
 		return fmt.Errorf("shard: write count: %w", err)
 	}
-	for _, b := range r.backends {
+	for _, b := range t.backends {
 		name := b.Name()
 		if len(name) > 1<<16-1 {
 			return fmt.Errorf("shard: name %q too long", name)
@@ -87,6 +95,14 @@ func (r *Router) SaveTo(w io.Writer) error {
 	return nil
 }
 
+// SaveFile serializes the router to path crash-safely: the stream is
+// staged in a temporary file in the same directory and atomically
+// renamed into place, so a crash mid-snapshot can never leave a
+// truncated container on disk.
+func (r *Router) SaveFile(path string) error {
+	return atomicio.WriteFile(path, 0o644, r.SaveTo)
+}
+
 // LoadFrom restores every shard from a stream written by SaveTo. The
 // saved shard count and names must match the router's backends exactly
 // (same names, same order): routing depends on names, so loading a
@@ -94,7 +110,11 @@ func (r *Router) SaveTo(w io.Writer) error {
 // backends must implement Loader; each shard's store rebuilds its own
 // retrieval index as part of its LoadFrom.
 func (r *Router) LoadFrom(src io.Reader) error {
-	for _, b := range r.backends {
+	t := r.topo()
+	if t.mig != nil {
+		return ErrMigrationInProgress
+	}
+	for _, b := range t.backends {
 		if _, ok := b.(Loader); !ok {
 			return fmt.Errorf("%w: %q", ErrNotPersistent, b.Name())
 		}
@@ -118,11 +138,11 @@ func (r *Router) LoadFrom(src io.Reader) error {
 	if _, err := io.ReadFull(src, u32[:]); err != nil {
 		return fmt.Errorf("shard: read count: %w", err)
 	}
-	if count := binary.BigEndian.Uint32(u32[:]); int(count) != len(r.backends) {
+	if count := binary.BigEndian.Uint32(u32[:]); int(count) != len(t.backends) {
 		return fmt.Errorf("%w: file has %d shards, router has %d",
-			ErrShardMismatch, count, len(r.backends))
+			ErrShardMismatch, count, len(t.backends))
 	}
-	for i, b := range r.backends {
+	for i, b := range t.backends {
 		if _, err := io.ReadFull(src, u16[:]); err != nil {
 			return fmt.Errorf("shard: read name length: %w", err)
 		}

@@ -93,17 +93,67 @@ type health struct {
 
 // Router partitions enrollments across backends by consistent hashing
 // on enrollment ID and scatter-gathers identification across them. It
-// is safe for concurrent use.
+// is safe for concurrent use, and its topology can grow online:
+// AddShard registers a joining backend and a Rebalancer streams the
+// ring-moved subjects over while the router keeps serving (see
+// rebalance.go).
 type Router struct {
+	opt Options
+
+	// mu guards the topology below. All four fields are
+	// replaced-on-write (never mutated in place), so request paths take
+	// one brief read-lock to snapshot them and then work lock-free; no
+	// backend call ever runs under mu.
+	mu       sync.RWMutex
 	backends []Backend
 	ring     *ring
-	opt      Options
 	health   []*health
+	mig      *migration
 
 	// scratch recycles per-identification fan-out state (answer slots
 	// and target lists) across searches; the per-worker matcher scratch
 	// itself lives in each local shard's gallery sessions.
 	scratch sync.Pool
+}
+
+// migration is the state of one in-progress resharding. While it is
+// non-nil, writes route by the NEW ring (so they land directly on their
+// final owner and the backlog only drains), single-key reads consult
+// both the old and new owner of mid-flight keys, and identification
+// scatters over every backend including the joining one, deduplicating
+// subjects the move has briefly doubled. Cutover installs newRing as
+// the router's ring and clears the migration.
+type migration struct {
+	// joining is the index of the backend being filled.
+	joining int
+	// newRing spans the old shard names plus the joining one.
+	newRing *ring
+}
+
+// topo is one consistent snapshot of the router's topology, taken at
+// the top of each request so a concurrent AddShard or cutover cannot
+// shift routing mid-operation.
+type topo struct {
+	backends []Backend
+	ring     *ring
+	health   []*health
+	mig      *migration
+}
+
+func (r *Router) topo() topo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return topo{backends: r.backends, ring: r.ring, health: r.health, mig: r.mig}
+}
+
+// writeOwner is the shard index a mutation of id targets: the new
+// ring's owner during a migration (so moves only ever drain), the
+// current ring's otherwise.
+func (t topo) writeOwner(id string) int {
+	if t.mig != nil {
+		return t.mig.newRing.owner(id)
+	}
+	return t.ring.owner(id)
 }
 
 // identifyScratch is the reusable fan-out state of one identification.
@@ -142,19 +192,28 @@ func New(backends []Backend, opt Options) (*Router, error) {
 	}, nil
 }
 
-// Backends returns the shard list in ring-construction order.
-func (r *Router) Backends() []Backend { return r.backends }
+// Backends returns the shard list in ring-construction order (a
+// joining shard appears at the tail while its migration runs).
+func (r *Router) Backends() []Backend { return r.topo().backends }
 
-// Owner returns the position of the shard owning id.
-func (r *Router) Owner(id string) int { return r.ring.owner(id) }
+// Owner returns the position of the shard owning id. During a
+// migration this is the position writes target — the joining shard for
+// keys the new ring moves to it.
+func (r *Router) Owner(id string) int { return r.topo().writeOwner(id) }
+
+// Migrating reports whether an online resharding is in progress.
+func (r *Router) Migrating() bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.mig != nil
+}
 
 // record updates a shard's health after one backend call. A failure
 // caused by the caller's own context — cancellation or an expired
 // caller deadline — says nothing about the shard, so it neither counts
 // toward degradation nor resets the failure streak (recordCtx filters
 // those out before delegating here).
-func (r *Router) record(i int, err error) {
-	h := r.health[i]
+func (r *Router) record(h *health, err error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if err == nil {
@@ -170,15 +229,14 @@ func (r *Router) record(i int, err error) {
 
 // recordCtx is record unless the failure is the caller's context
 // error.
-func (r *Router) recordCtx(ctx context.Context, i int, err error) {
+func (r *Router) recordCtx(ctx context.Context, h *health, err error) {
 	if err != nil && ctx.Err() != nil && errors.Is(err, ctx.Err()) {
 		return
 	}
-	r.record(i, err)
+	r.record(h, err)
 }
 
-func (r *Router) isDegraded(i int) bool {
-	h := r.health[i]
+func isDegraded(h *health) bool {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.degraded
@@ -186,9 +244,10 @@ func (r *Router) isDegraded(i int) bool {
 
 // Degraded returns the positions of currently degraded shards.
 func (r *Router) Degraded() []int {
+	t := r.topo()
 	var out []int
-	for i := range r.backends {
-		if r.isDegraded(i) {
+	for i := range t.backends {
+		if isDegraded(t.health[i]) {
 			out = append(out, i)
 		}
 	}
@@ -202,14 +261,15 @@ func (r *Router) Degraded() []int {
 // context aborts the sweep; unprobed shards report ctx.Err() without a
 // health penalty.
 func (r *Router) CheckHealth(ctx context.Context) (errs []error) {
-	errs = make([]error, len(r.backends))
-	for i, b := range r.backends {
+	t := r.topo()
+	errs = make([]error, len(t.backends))
+	for i, b := range t.backends {
 		if err := ctx.Err(); err != nil {
 			errs[i] = err
 			continue
 		}
 		_, err := b.Len(ctx)
-		r.recordCtx(ctx, i, err)
+		r.recordCtx(ctx, t.health[i], err)
 		errs[i] = err
 	}
 	return errs
@@ -225,12 +285,28 @@ func routingErr(b Backend, err error) error {
 
 // Enroll routes the template to the shard owning id. Enrollment always
 // targets the owner — there is no failover, because a mis-placed
-// enrollment would be invisible to Remove/Verify routing.
+// enrollment would be invisible to Remove/Verify routing. During a
+// migration the target is the NEW ring's owner (the subject's final
+// home), with a duplicate guard against the outgoing owner for keys
+// whose authoritative copy has not moved yet.
 func (r *Router) Enroll(ctx context.Context, id, deviceID string, tpl *minutiae.Template) error {
-	i := r.ring.owner(id)
-	err := r.backends[i].Enroll(ctx, id, deviceID, tpl)
-	r.recordCtx(ctx, i, err)
-	return routingErr(r.backends[i], err)
+	t := r.topo()
+	wi := t.writeOwner(id)
+	if t.mig != nil {
+		if oi := t.ring.owner(id); oi != wi {
+			ok, err := t.backends[oi].Has(ctx, id)
+			r.recordCtx(ctx, t.health[oi], err)
+			if err != nil {
+				return routingErr(t.backends[oi], err)
+			}
+			if ok {
+				return routingErr(t.backends[oi], fmt.Errorf("enroll %q: %w", id, gallery.ErrDuplicate))
+			}
+		}
+	}
+	err := t.backends[wi].Enroll(ctx, id, deviceID, tpl)
+	r.recordCtx(ctx, t.health[wi], err)
+	return routingErr(t.backends[wi], err)
 }
 
 // EnrollBatch groups the items by owning shard and ships each group in
@@ -245,12 +321,13 @@ func (r *Router) EnrollBatch(ctx context.Context, items []Enrollment) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	groups := make([][]Enrollment, len(r.backends))
+	t := r.topo()
+	groups := make([][]Enrollment, len(t.backends))
 	for _, it := range items {
-		i := r.ring.owner(it.ID)
+		i := t.writeOwner(it.ID)
 		groups[i] = append(groups[i], it)
 	}
-	workers := r.fanout(len(r.backends))
+	workers := r.fanout(len(t.backends))
 	var (
 		wg   sync.WaitGroup
 		mu   sync.Mutex
@@ -275,11 +352,11 @@ func (r *Router) EnrollBatch(ctx context.Context, items []Enrollment) error {
 				if len(groups[i]) == 0 {
 					continue
 				}
-				err := r.backends[i].EnrollBatch(ctx, groups[i])
-				r.recordCtx(ctx, i, err)
+				err := t.backends[i].EnrollBatch(ctx, groups[i])
+				r.recordCtx(ctx, t.health[i], err)
 				if err != nil {
 					mu.Lock()
-					errs = append(errs, routingErr(r.backends[i], err))
+					errs = append(errs, routingErr(t.backends[i], err))
 					mu.Unlock()
 				}
 			}
@@ -292,29 +369,105 @@ func (r *Router) EnrollBatch(ctx context.Context, items []Enrollment) error {
 	return errors.Join(errs...)
 }
 
-// Remove routes the deletion to the shard owning id.
+// Remove routes the deletion to the shard owning id. During a
+// migration a subject may live on its old owner, its new owner, or —
+// while the rebalancer is mid-move — briefly both, so the removal hits
+// every copy it can find; leaving one behind would resurrect the
+// subject when the move completes.
 func (r *Router) Remove(ctx context.Context, id string) error {
-	i := r.ring.owner(id)
-	err := r.backends[i].Remove(ctx, id)
-	r.recordCtx(ctx, i, err)
-	return routingErr(r.backends[i], err)
+	t := r.topo()
+	ni := t.writeOwner(id)
+	oi := ni
+	if t.mig != nil {
+		oi = t.ring.owner(id)
+	}
+	if ni == oi {
+		err := t.backends[ni].Remove(ctx, id)
+		r.recordCtx(ctx, t.health[ni], err)
+		return routingErr(t.backends[ni], err)
+	}
+	removed := false
+	var firstErr error
+	for _, i := range [2]int{ni, oi} {
+		ok, err := t.backends[i].Has(ctx, id)
+		r.recordCtx(ctx, t.health[i], err)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = routingErr(t.backends[i], err)
+			}
+			continue
+		}
+		if !ok {
+			continue
+		}
+		err = t.backends[i].Remove(ctx, id)
+		r.recordCtx(ctx, t.health[i], err)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = routingErr(t.backends[i], err)
+			}
+			continue
+		}
+		removed = true
+	}
+	if removed {
+		return nil
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	// Neither owner holds it: surface the canonical not-found error
+	// from the shard a non-migrating router would have asked.
+	err := t.backends[ni].Remove(ctx, id)
+	r.recordCtx(ctx, t.health[ni], err)
+	return routingErr(t.backends[ni], err)
 }
 
-// Verify routes the 1:1 comparison to the shard owning id.
+// Verify routes the 1:1 comparison to the shard owning id. During a
+// migration the read is directed at whichever owner holds the subject
+// (new owner preferred); if the chosen shard fails — including the
+// race where the rebalancer moves the subject between the Has probe
+// and the comparison — the other owner is tried before giving up.
 func (r *Router) Verify(ctx context.Context, id string, probe *minutiae.Template) (match.Result, error) {
-	i := r.ring.owner(id)
-	res, err := r.backends[i].Verify(ctx, id, probe)
-	r.recordCtx(ctx, i, err)
-	return res, routingErr(r.backends[i], err)
+	t := r.topo()
+	ni := t.writeOwner(id)
+	oi := ni
+	if t.mig != nil {
+		oi = t.ring.owner(id)
+	}
+	target := ni
+	if ni != oi {
+		ok, err := t.backends[ni].Has(ctx, id)
+		r.recordCtx(ctx, t.health[ni], err)
+		if err != nil || !ok {
+			target = oi
+		}
+	}
+	res, err := t.backends[target].Verify(ctx, id, probe)
+	r.recordCtx(ctx, t.health[target], err)
+	if err != nil && ni != oi && ctx.Err() == nil {
+		other := ni
+		if target == ni {
+			other = oi
+		}
+		res2, err2 := t.backends[other].Verify(ctx, id, probe)
+		r.recordCtx(ctx, t.health[other], err2)
+		if err2 == nil {
+			return res2, nil
+		}
+	}
+	return res, routingErr(t.backends[target], err)
 }
 
 // Len sums the enrollment counts of the reachable shards (unreachable
-// shards contribute zero).
+// shards contribute zero). During a migration, subjects the rebalancer
+// is mid-move can be counted on both owners.
 func (r *Router) Len(ctx context.Context) int {
+	t := r.topo()
 	total := 0
-	for i, b := range r.backends {
+	for i, b := range t.backends {
 		n, err := b.Len(ctx)
-		r.recordCtx(ctx, i, err)
+		r.recordCtx(ctx, t.health[i], err)
 		if err == nil {
 			total += n
 		}
@@ -444,7 +597,8 @@ func (r *Router) IdentifyDetailed(ctx context.Context, probe *minutiae.Template,
 		// reaches the wire, where k travels unsigned).
 		k = 0
 	}
-	n := len(r.backends)
+	t := r.topo()
+	n := len(t.backends)
 	stats := IdentifyStats{PerShard: make([]ShardIdentifyStats, n)}
 	sc, _ := r.scratch.Get().(*identifyScratch)
 	if sc == nil {
@@ -461,11 +615,11 @@ func (r *Router) IdentifyDetailed(ctx context.Context, probe *minutiae.Template,
 		r.scratch.Put(sc)
 	}()
 	targets := sc.targets[:0]
-	for i := range r.backends {
-		stats.PerShard[i].Shard = r.backends[i].Name()
-		if r.isDegraded(i) {
+	for i := range t.backends {
+		stats.PerShard[i].Shard = t.backends[i].Name()
+		if isDegraded(t.health[i]) {
 			if r.opt.Policy == FailClosed {
-				return nil, stats, fmt.Errorf("shard %q: %w", r.backends[i].Name(), ErrDegraded)
+				return nil, stats, fmt.Errorf("shard %q: %w", t.backends[i].Name(), ErrDegraded)
 			}
 			stats.PerShard[i].Skipped = true
 			stats.ShardsSkipped++
@@ -492,15 +646,15 @@ func (r *Router) IdentifyDetailed(ctx context.Context, probe *minutiae.Template,
 					return
 				}
 				mu.Lock()
-				t := next
+				ti := next
 				next++
 				mu.Unlock()
-				if t >= len(targets) {
+				if ti >= len(targets) {
 					return
 				}
-				i := targets[t]
-				answers[i] = r.callIdentify(ctx, r.backends[i], probe, k)
-				r.recordCtx(ctx, i, answers[i].err)
+				i := targets[ti]
+				answers[i] = r.callIdentify(ctx, t.backends[i], probe, k)
+				r.recordCtx(ctx, t.health[i], answers[i].err)
 			}
 		}()
 	}
@@ -518,7 +672,7 @@ func (r *Router) IdentifyDetailed(ctx context.Context, probe *minutiae.Template,
 			stats.ShardsFailed++
 			stats.Partial = true
 			if r.opt.Policy == FailClosed {
-				return nil, stats, fmt.Errorf("shard %q: %w", r.backends[i].Name(), ans.err)
+				return nil, stats, fmt.Errorf("shard %q: %w", t.backends[i].Name(), ans.err)
 			}
 			continue
 		}
@@ -545,6 +699,23 @@ func (r *Router) IdentifyDetailed(ctx context.Context, probe *minutiae.Template,
 		}
 		return merged[a].ID < merged[b].ID
 	})
+	if t.mig != nil && len(merged) > 1 {
+		// A subject mid-move exists on both its old and new owner with
+		// an identical template, so two shards can report it with the
+		// same score. Keep the best-ranked copy of each ID; the result
+		// then matches what a single store over the same subjects would
+		// return.
+		seen := make(map[string]bool, len(merged))
+		dedup := merged[:0]
+		for _, c := range merged {
+			if seen[c.ID] {
+				continue
+			}
+			seen[c.ID] = true
+			dedup = append(dedup, c)
+		}
+		merged = dedup
+	}
 	if k > 0 && k < len(merged) {
 		merged = merged[:k]
 	}

@@ -1,0 +1,67 @@
+package wal
+
+import (
+	"fmt"
+	"testing"
+
+	"fpinterop/internal/gallery"
+)
+
+// The enroll benchmarks measure what durability costs: the same
+// enrollment stream into a plain in-memory gallery, a WAL with the OS
+// page cache absorbing writes, and a WAL fsyncing every acknowledgement.
+func benchEnroll(b *testing.B, enroll func(i int, e gallery.Export) error) {
+	fx := fixtures(b, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := fx[i%len(fx)]
+		e.ID = fmt.Sprintf("bench-%08d", i)
+		if err := enroll(i, e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEnrollNoWAL(b *testing.B) {
+	s := gallery.New(nil)
+	benchEnroll(b, func(_ int, e gallery.Export) error {
+		return s.Enroll(e.ID, e.DeviceID, e.Template)
+	})
+}
+
+func BenchmarkEnrollWALSyncNone(b *testing.B) {
+	s := openStore(b, b.TempDir(), Options{Sync: SyncNone})
+	defer s.Close()
+	benchEnroll(b, func(_ int, e gallery.Export) error {
+		return s.Enroll(e.ID, e.DeviceID, e.Template)
+	})
+}
+
+func BenchmarkEnrollWALSyncAlways(b *testing.B) {
+	s := openStore(b, b.TempDir(), Options{Sync: SyncAlways})
+	defer s.Close()
+	benchEnroll(b, func(_ int, e gallery.Export) error {
+		return s.Enroll(e.ID, e.DeviceID, e.Template)
+	})
+}
+
+func BenchmarkEnrollBatch64WALSyncAlways(b *testing.B) {
+	s := openStore(b, b.TempDir(), Options{Sync: SyncAlways})
+	defer s.Close()
+	fx := fixtures(b, 32)
+	const batch = 64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		items := make([]gallery.Export, batch)
+		for j := range items {
+			e := fx[(i*batch+j)%len(fx)]
+			e.ID = fmt.Sprintf("bench-%08d-%02d", i, j)
+			items[j] = e
+		}
+		if err := s.EnrollBatch(items); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

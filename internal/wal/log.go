@@ -1,0 +1,348 @@
+// Package wal makes a gallery durable with a per-shard write-ahead
+// log. Every enrollment and removal is appended to a checksummed,
+// length-prefixed log before the caller is acknowledged; on startup the
+// log is replayed on top of the last compaction snapshot, so a crash —
+// including kill -9 mid-write — loses at most the single operation that
+// was never acknowledged. Periodic compaction folds the log into a
+// snapshot (the existing gallery stream format plus a log sequence
+// number) and resets the log, bounding both replay time and disk use.
+//
+// Log file layout:
+//
+//	0  4  magic "FPWL"
+//	4  2  version (1)
+//	then per record:
+//	    4  body length
+//	    4  CRC32 (IEEE) of body
+//	    body:
+//	        8  LSN (monotonic, starts at 1)
+//	        1  op (1 = enroll, 2 = remove)
+//	        2  id length, id bytes
+//	        enroll only:
+//	            2  device-id length, device-id bytes
+//	            4  template length, template bytes (minutiae codec)
+//
+// Replay verifies each record's length and checksum. The first record
+// that fails — a torn tail from a crash mid-append, or corruption —
+// ends replay, and the file is truncated back to the last good record
+// so the next append continues from a clean boundary. Nothing after a
+// bad record can be trusted: a missing middle record would silently
+// reorder history, so the log never tries to resynchronise past one.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+var logMagic = [4]byte{'F', 'P', 'W', 'L'}
+
+const (
+	logVersion = 1
+	headerSize = 6
+
+	// OpEnroll and OpRemove are the two mutations a gallery supports.
+	OpEnroll byte = 1
+	OpRemove byte = 2
+
+	// maxBody caps a record body: a template is capped at 1 MiB by the
+	// gallery codec, so anything larger is corruption, not data.
+	maxBody = 2 << 20
+)
+
+// ErrBadLogFormat reports a file that is not a write-ahead log.
+var ErrBadLogFormat = errors.New("wal: bad log format")
+
+// Record is one logged mutation. Template holds the minutiae-codec
+// bytes and is only set for OpEnroll.
+type Record struct {
+	LSN      uint64
+	Op       byte
+	ID       string
+	DeviceID string
+	Template []byte
+}
+
+// ReplayInfo summarises what opening a log found.
+type ReplayInfo struct {
+	// Records is the number of intact records replayed.
+	Records int
+	// LastLSN is the highest LSN seen (0 if the log was empty).
+	LastLSN uint64
+	// TruncatedBytes is how many trailing bytes were cut off because
+	// they failed length or checksum validation.
+	TruncatedBytes int64
+	// TornTail is true when the log ended in a partial or corrupt
+	// record — the signature of a crash mid-append.
+	TornTail bool
+}
+
+// Log is an append-only record log. It is not safe for concurrent use;
+// Store serialises access.
+type Log struct {
+	f   *os.File
+	buf []byte
+}
+
+// OpenLog opens (or creates) the log at path and replays every intact
+// record through apply in order. A torn or corrupt tail is truncated
+// away so appends resume from the last good record. If apply returns an
+// error, replay stops and the log is closed.
+func OpenLog(path string, apply func(Record) error) (*Log, ReplayInfo, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, ReplayInfo{}, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	l := &Log{f: f}
+	info, err := l.replay(apply)
+	if err != nil {
+		f.Close()
+		return nil, ReplayInfo{}, err
+	}
+	return l, info, nil
+}
+
+func (l *Log) replay(apply func(Record) error) (ReplayInfo, error) {
+	var info ReplayInfo
+	size, err := l.f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return info, fmt.Errorf("wal: seek: %w", err)
+	}
+	if size < headerSize {
+		// New log, or a crash before even the header landed: start
+		// fresh. There can be no records to lose in under 6 bytes.
+		if size > 0 {
+			info.TornTail = true
+			info.TruncatedBytes = size
+		}
+		if err := l.f.Truncate(0); err != nil {
+			return info, fmt.Errorf("wal: truncate: %w", err)
+		}
+		var hdr [headerSize]byte
+		copy(hdr[:4], logMagic[:])
+		binary.BigEndian.PutUint16(hdr[4:], logVersion)
+		if _, err := l.f.WriteAt(hdr[:], 0); err != nil {
+			return info, fmt.Errorf("wal: write header: %w", err)
+		}
+		if err := l.f.Sync(); err != nil {
+			return info, fmt.Errorf("wal: sync header: %w", err)
+		}
+		if _, err := l.f.Seek(0, io.SeekEnd); err != nil {
+			return info, fmt.Errorf("wal: seek: %w", err)
+		}
+		return info, nil
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return info, fmt.Errorf("wal: seek: %w", err)
+	}
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(l.f, hdr[:]); err != nil {
+		return info, fmt.Errorf("wal: read header: %w", err)
+	}
+	if [4]byte(hdr[:4]) != logMagic {
+		return info, ErrBadLogFormat
+	}
+	if v := binary.BigEndian.Uint16(hdr[4:]); v != logVersion {
+		return info, fmt.Errorf("wal: unsupported log version %d", v)
+	}
+	good := int64(headerSize)
+	var prefix [8]byte
+	for good < size {
+		if size-good < 8 {
+			break // partial length/crc prefix
+		}
+		if _, err := io.ReadFull(l.f, prefix[:]); err != nil {
+			return info, fmt.Errorf("wal: read record prefix: %w", err)
+		}
+		bodyLen := int64(binary.BigEndian.Uint32(prefix[:4]))
+		sum := binary.BigEndian.Uint32(prefix[4:])
+		if bodyLen > maxBody || size-good-8 < bodyLen {
+			break // implausible length or partial body
+		}
+		body := make([]byte, bodyLen)
+		if _, err := io.ReadFull(l.f, body); err != nil {
+			return info, fmt.Errorf("wal: read record body: %w", err)
+		}
+		if crc32.ChecksumIEEE(body) != sum {
+			break // bit rot or torn write
+		}
+		rec, err := decodeRecord(body)
+		if err != nil {
+			break // checksummed but malformed: treat as corruption
+		}
+		if err := apply(rec); err != nil {
+			return info, err
+		}
+		good += 8 + bodyLen
+		info.Records++
+		info.LastLSN = rec.LSN
+	}
+	if good < size {
+		info.TornTail = true
+		info.TruncatedBytes = size - good
+		if err := l.f.Truncate(good); err != nil {
+			return info, fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+		if err := l.f.Sync(); err != nil {
+			return info, fmt.Errorf("wal: sync after truncate: %w", err)
+		}
+	}
+	if _, err := l.f.Seek(0, io.SeekEnd); err != nil {
+		return info, fmt.Errorf("wal: seek: %w", err)
+	}
+	return info, nil
+}
+
+func decodeRecord(body []byte) (Record, error) {
+	var rec Record
+	if len(body) < 11 {
+		return rec, fmt.Errorf("wal: record body of %d bytes too short", len(body))
+	}
+	rec.LSN = binary.BigEndian.Uint64(body)
+	rec.Op = body[8]
+	rest := body[9:]
+	readStr := func() (string, error) {
+		if len(rest) < 2 {
+			return "", errors.New("wal: truncated string length")
+		}
+		n := int(binary.BigEndian.Uint16(rest))
+		rest = rest[2:]
+		if len(rest) < n {
+			return "", errors.New("wal: truncated string")
+		}
+		s := string(rest[:n])
+		rest = rest[n:]
+		return s, nil
+	}
+	id, err := readStr()
+	if err != nil {
+		return rec, err
+	}
+	rec.ID = id
+	switch rec.Op {
+	case OpRemove:
+		if len(rest) != 0 {
+			return rec, errors.New("wal: trailing bytes in remove record")
+		}
+	case OpEnroll:
+		dev, err := readStr()
+		if err != nil {
+			return rec, err
+		}
+		rec.DeviceID = dev
+		if len(rest) < 4 {
+			return rec, errors.New("wal: truncated template length")
+		}
+		n := int(binary.BigEndian.Uint32(rest))
+		rest = rest[4:]
+		if len(rest) != n {
+			return rec, errors.New("wal: template length mismatch")
+		}
+		rec.Template = append([]byte(nil), rest...)
+	default:
+		return rec, fmt.Errorf("wal: unknown op %d", rec.Op)
+	}
+	return rec, nil
+}
+
+func appendRecord(buf []byte, rec Record) ([]byte, error) {
+	if len(rec.ID) > 1<<16-1 || len(rec.DeviceID) > 1<<16-1 {
+		return buf, fmt.Errorf("wal: id too long for %q", rec.ID)
+	}
+	bodyLen := 8 + 1 + 2 + len(rec.ID)
+	if rec.Op == OpEnroll {
+		bodyLen += 2 + len(rec.DeviceID) + 4 + len(rec.Template)
+	}
+	if bodyLen > maxBody {
+		return buf, fmt.Errorf("wal: record for %q exceeds %d bytes", rec.ID, maxBody)
+	}
+	start := len(buf)
+	var u16 [2]byte
+	var u32 [4]byte
+	var u64 [8]byte
+	binary.BigEndian.PutUint32(u32[:], uint32(bodyLen))
+	buf = append(buf, u32[:]...)
+	buf = append(buf, 0, 0, 0, 0) // crc placeholder
+	binary.BigEndian.PutUint64(u64[:], rec.LSN)
+	buf = append(buf, u64[:]...)
+	buf = append(buf, rec.Op)
+	binary.BigEndian.PutUint16(u16[:], uint16(len(rec.ID)))
+	buf = append(buf, u16[:]...)
+	buf = append(buf, rec.ID...)
+	if rec.Op == OpEnroll {
+		binary.BigEndian.PutUint16(u16[:], uint16(len(rec.DeviceID)))
+		buf = append(buf, u16[:]...)
+		buf = append(buf, rec.DeviceID...)
+		binary.BigEndian.PutUint32(u32[:], uint32(len(rec.Template)))
+		buf = append(buf, u32[:]...)
+		buf = append(buf, rec.Template...)
+	}
+	body := buf[start+8:]
+	binary.BigEndian.PutUint32(buf[start+4:start+8], crc32.ChecksumIEEE(body))
+	return buf, nil
+}
+
+// Append writes the records to the log in one write call, then fsyncs
+// when sync is true. A multi-record batch therefore pays for a single
+// disk flush. The write is all-or-nothing from replay's point of view:
+// if it tears partway through, recovery truncates back to the record
+// boundary before the batch's first torn record.
+func (l *Log) Append(sync bool, recs ...Record) error {
+	buf := l.buf[:0]
+	var err error
+	for _, rec := range recs {
+		if buf, err = appendRecord(buf, rec); err != nil {
+			return err
+		}
+	}
+	l.buf = buf[:0]
+	if _, err := l.f.Write(buf); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if sync {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Reset discards every record, leaving only the header. Called after a
+// compaction snapshot has durably captured the log's effects.
+func (l *Log) Reset() error {
+	if err := l.f.Truncate(headerSize); err != nil {
+		return fmt.Errorf("wal: reset: %w", err)
+	}
+	if _, err := l.f.Seek(0, io.SeekEnd); err != nil {
+		return fmt.Errorf("wal: seek: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync after reset: %w", err)
+	}
+	return nil
+}
+
+// Size returns the log's current size in bytes.
+func (l *Log) Size() (int64, error) {
+	st, err := l.f.Stat()
+	if err != nil {
+		return 0, fmt.Errorf("wal: stat: %w", err)
+	}
+	return st.Size(), nil
+}
+
+// Close fsyncs and closes the log file.
+func (l *Log) Close() error {
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return fmt.Errorf("wal: sync on close: %w", err)
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: close: %w", err)
+	}
+	return nil
+}

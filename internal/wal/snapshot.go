@@ -1,0 +1,86 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"fpinterop/internal/atomicio"
+	"fpinterop/internal/gallery"
+)
+
+// Snapshot container format — a gallery stream stamped with the log
+// sequence number it covers:
+//
+//	0  4  magic "FPWS"
+//	4  2  version (1)
+//	6  8  LSN of the last record folded into this snapshot
+//	then the gallery store stream (FPGD, written by Store.SaveTo)
+//
+// Replay on the next open skips every log record with LSN <= the
+// snapshot's: a crash between writing the snapshot and resetting the
+// log re-reads those records but applies none of them twice.
+var snapMagic = [4]byte{'F', 'P', 'W', 'S'}
+
+const snapVersion = 1
+
+// ErrBadSnapshotFormat reports a file that is not a WAL snapshot.
+var ErrBadSnapshotFormat = errors.New("wal: bad snapshot format")
+
+// writeSnapshot atomically replaces path with a snapshot at lsn whose
+// gallery stream is produced by save (typically gallery.Store.SaveTo).
+func writeSnapshot(path string, lsn uint64, save func(io.Writer) error) error {
+	return atomicio.WriteFile(path, 0o644, func(w io.Writer) error {
+		bw := bufio.NewWriter(w)
+		if _, err := bw.Write(snapMagic[:]); err != nil {
+			return fmt.Errorf("wal: write snapshot magic: %w", err)
+		}
+		var u16 [2]byte
+		binary.BigEndian.PutUint16(u16[:], snapVersion)
+		if _, err := bw.Write(u16[:]); err != nil {
+			return fmt.Errorf("wal: write snapshot version: %w", err)
+		}
+		var u64 [8]byte
+		binary.BigEndian.PutUint64(u64[:], lsn)
+		if _, err := bw.Write(u64[:]); err != nil {
+			return fmt.Errorf("wal: write snapshot lsn: %w", err)
+		}
+		if err := bw.Flush(); err != nil {
+			return fmt.Errorf("wal: flush snapshot header: %w", err)
+		}
+		return save(w)
+	})
+}
+
+// readSnapshot loads the snapshot at path. A missing file is not an
+// error — it is simply an empty gallery at LSN 0, the state before the
+// first compaction.
+func readSnapshot(path string) (lsn uint64, entries []gallery.Export, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 0, nil, nil
+		}
+		return 0, nil, fmt.Errorf("wal: open snapshot %s: %w", path, err)
+	}
+	defer f.Close()
+	var hdr [14]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return 0, nil, fmt.Errorf("wal: read snapshot header: %w", err)
+	}
+	if [4]byte(hdr[:4]) != snapMagic {
+		return 0, nil, ErrBadSnapshotFormat
+	}
+	if v := binary.BigEndian.Uint16(hdr[4:6]); v != snapVersion {
+		return 0, nil, fmt.Errorf("wal: unsupported snapshot version %d", v)
+	}
+	lsn = binary.BigEndian.Uint64(hdr[6:])
+	entries, err = gallery.ReadEntries(f)
+	if err != nil {
+		return 0, nil, fmt.Errorf("wal: snapshot gallery: %w", err)
+	}
+	return lsn, entries, nil
+}

@@ -1,0 +1,352 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"fpinterop/internal/gallery"
+	"fpinterop/internal/minutiae"
+)
+
+// SyncPolicy controls when appends reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs the log before acknowledging every mutation:
+	// an acknowledged enrollment survives kill -9 and power loss. This
+	// is the default.
+	SyncAlways SyncPolicy = iota
+	// SyncNone leaves flushing to the OS page cache. An order of
+	// magnitude faster, but a crash can lose the last few acknowledged
+	// operations. The log is still fsynced on compaction and Close.
+	SyncNone
+)
+
+// Options configures a durable store.
+type Options struct {
+	// Sync is the fsync policy for acknowledged mutations.
+	Sync SyncPolicy
+	// CompactEvery folds the log into a snapshot after this many
+	// logged mutations. 0 disables automatic compaction (Compact can
+	// still be called explicitly).
+	CompactEvery int
+}
+
+// RecoveryStats describes what Open reconstructed.
+type RecoveryStats struct {
+	// SnapshotLSN is the LSN the compaction snapshot covered (0 when
+	// no snapshot existed).
+	SnapshotLSN uint64
+	// SnapshotEntries is the number of enrollments in the snapshot.
+	SnapshotEntries int
+	// Replayed is the number of log records applied on top of the
+	// snapshot (records at or below SnapshotLSN are skipped).
+	Replayed int
+	// TruncatedBytes counts trailing log bytes discarded because they
+	// failed length or checksum validation; TornTail is set when any
+	// were (the signature of a crash mid-append).
+	TruncatedBytes int64
+	TornTail       bool
+}
+
+// ErrDirectLoad is returned by the load methods a durable store
+// inherits from the gallery: swapping the in-memory state underneath
+// the log would silently diverge memory from disk. Recovery happens in
+// Open, nowhere else.
+var ErrDirectLoad = errors.New("wal: direct load would bypass the write-ahead log")
+
+const (
+	logName  = "wal.log"
+	snapName = "snapshot.fpws"
+)
+
+// Store is a gallery made durable: every mutation is applied to the
+// in-memory gallery and appended to the write-ahead log before the
+// caller is acknowledged, and Open rebuilds the gallery from the last
+// snapshot plus the log. Reads (Verify, Identify, Scan, ...) are the
+// embedded gallery's own and stay lock-free with respect to the WAL.
+type Store struct {
+	*gallery.Store
+
+	dir string
+	opt Options
+
+	// mu serialises mutations so log order matches apply order —
+	// without it two racing enrollments could append in the opposite
+	// order they were applied, and replay would reconstruct a state
+	// nobody ever observed.
+	mu           sync.Mutex
+	log          *Log
+	lsn          uint64
+	sinceCompact int
+	recovery     RecoveryStats
+	compactErr   error
+	closed       bool
+}
+
+// Open makes store durable under dir, first rebuilding its contents
+// from the snapshot and log found there (an empty dir yields an empty
+// store). The store must not be mutated through any other path while
+// the returned Store owns it.
+func Open(dir string, store *gallery.Store, opt Options) (*Store, error) {
+	if opt.CompactEvery < 0 {
+		return nil, fmt.Errorf("wal: negative CompactEvery %d", opt.CompactEvery)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: create dir %s: %w", dir, err)
+	}
+	snapLSN, entries, err := readSnapshot(filepath.Join(dir, snapName))
+	if err != nil {
+		return nil, err
+	}
+	snapCount := len(entries)
+	// Replay onto the snapshot state. Replay is idempotent: records at
+	// or below the snapshot LSN are skipped, an enrollment that
+	// already exists overwrites in place, and a removal of a missing
+	// id is a no-op — so a crash between writing a snapshot and
+	// resetting the log, which leaves both covering the same records,
+	// still reconstructs exactly one copy of each enrollment.
+	byID := make(map[string]int, len(entries))
+	for i, e := range entries {
+		byID[e.ID] = i
+	}
+	applied := 0
+	apply := func(rec Record) error {
+		if rec.LSN <= snapLSN {
+			return nil
+		}
+		applied++
+		switch rec.Op {
+		case OpEnroll:
+			tpl, err := minutiae.Unmarshal(rec.Template)
+			if err != nil {
+				return fmt.Errorf("wal: replay lsn %d (%q): %w", rec.LSN, rec.ID, err)
+			}
+			e := gallery.Export{ID: rec.ID, DeviceID: rec.DeviceID, Template: tpl}
+			if i, ok := byID[rec.ID]; ok {
+				entries[i] = e
+			} else {
+				byID[rec.ID] = len(entries)
+				entries = append(entries, e)
+			}
+		case OpRemove:
+			if i, ok := byID[rec.ID]; ok {
+				entries = append(entries[:i], entries[i+1:]...)
+				delete(byID, rec.ID)
+				for j := i; j < len(entries); j++ {
+					byID[entries[j].ID] = j
+				}
+			}
+		}
+		return nil
+	}
+	log, info, err := OpenLog(filepath.Join(dir, logName), apply)
+	if err != nil {
+		return nil, err
+	}
+	if err := store.ReplaceAll(entries); err != nil {
+		log.Close()
+		return nil, err
+	}
+	lsn := snapLSN
+	if info.LastLSN > lsn {
+		lsn = info.LastLSN
+	}
+	return &Store{
+		Store: store,
+		dir:   dir,
+		opt:   opt,
+		log:   log,
+		lsn:   lsn,
+		recovery: RecoveryStats{
+			SnapshotLSN:     snapLSN,
+			SnapshotEntries: snapCount,
+			Replayed:        applied,
+			TruncatedBytes:  info.TruncatedBytes,
+			TornTail:        info.TornTail,
+		},
+	}, nil
+}
+
+// Recovery reports what Open reconstructed.
+func (s *Store) Recovery() RecoveryStats {
+	return s.recovery
+}
+
+// LSN returns the sequence number of the last logged mutation.
+func (s *Store) LSN() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lsn
+}
+
+// Enroll applies the enrollment and appends it to the log; the call
+// returns only after the record is durable under the configured sync
+// policy. If the append fails the enrollment is rolled back, so memory
+// and log never diverge.
+func (s *Store) Enroll(id, deviceID string, tpl *minutiae.Template) error {
+	data, err := minutiae.Marshal(tpl)
+	if err != nil {
+		return fmt.Errorf("wal: enroll %q: %w", id, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("wal: enroll %q: store closed", id)
+	}
+	if err := s.Store.Enroll(id, deviceID, tpl); err != nil {
+		return err
+	}
+	rec := Record{LSN: s.lsn + 1, Op: OpEnroll, ID: id, DeviceID: deviceID, Template: data}
+	if err := s.log.Append(s.opt.Sync == SyncAlways, rec); err != nil {
+		s.Store.Remove(id)
+		return err
+	}
+	s.lsn++
+	s.noteMutations(1)
+	return nil
+}
+
+// EnrollBatch applies every enrollment, then logs the whole batch with
+// a single flush — the bulk path the shard rebalancer and preload use.
+// On any failure every applied enrollment is rolled back and the log
+// gains nothing.
+func (s *Store) EnrollBatch(items []gallery.Export) error {
+	recs := make([]Record, len(items))
+	for i, it := range items {
+		data, err := minutiae.Marshal(it.Template)
+		if err != nil {
+			return fmt.Errorf("wal: enroll %q: %w", it.ID, err)
+		}
+		recs[i] = Record{Op: OpEnroll, ID: it.ID, DeviceID: it.DeviceID, Template: data}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("wal: enroll batch: store closed")
+	}
+	rollback := func(n int) {
+		for i := 0; i < n; i++ {
+			s.Store.Remove(items[i].ID)
+		}
+	}
+	for i, it := range items {
+		if err := s.Store.Enroll(it.ID, it.DeviceID, it.Template); err != nil {
+			rollback(i)
+			return err
+		}
+		recs[i].LSN = s.lsn + uint64(i) + 1
+	}
+	if err := s.log.Append(s.opt.Sync == SyncAlways, recs...); err != nil {
+		rollback(len(items))
+		return err
+	}
+	s.lsn += uint64(len(items))
+	s.noteMutations(len(items))
+	return nil
+}
+
+// Remove applies the removal and appends it to the log, with the same
+// durability and rollback guarantees as Enroll.
+func (s *Store) Remove(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("wal: remove %q: store closed", id)
+	}
+	prev, had := s.Store.Get(id)
+	if err := s.Store.Remove(id); err != nil {
+		return err
+	}
+	rec := Record{LSN: s.lsn + 1, Op: OpRemove, ID: id}
+	if err := s.log.Append(s.opt.Sync == SyncAlways, rec); err != nil {
+		if had {
+			s.Store.Enroll(prev.ID, prev.DeviceID, prev.Template)
+		}
+		return err
+	}
+	s.lsn++
+	s.noteMutations(1)
+	return nil
+}
+
+// noteMutations advances the compaction counter and compacts when the
+// threshold is crossed. An automatic compaction failure is deliberately
+// not surfaced to the mutation that tripped it — that mutation IS
+// durable in the log; failing it would invite a retry and a duplicate.
+// The error resurfaces from the next explicit Compact or Close.
+func (s *Store) noteMutations(n int) {
+	s.sinceCompact += n
+	if s.opt.CompactEvery > 0 && s.sinceCompact >= s.opt.CompactEvery {
+		if err := s.compactLocked(); err != nil {
+			s.compactErr = err
+		}
+	}
+}
+
+// Compact folds the log into a snapshot and resets the log. Crash-safe
+// in both directions: the snapshot is written atomically next to the
+// old one, and if the crash lands between snapshot and reset, replay
+// skips the records the snapshot already covers.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("wal: compact: store closed")
+	}
+	if err := s.compactLocked(); err != nil {
+		s.compactErr = err
+		return err
+	}
+	err := s.compactErr
+	s.compactErr = nil
+	return err
+}
+
+func (s *Store) compactLocked() error {
+	if err := writeSnapshot(filepath.Join(s.dir, snapName), s.lsn, s.Store.SaveTo); err != nil {
+		return err
+	}
+	if err := s.log.Reset(); err != nil {
+		return err
+	}
+	s.sinceCompact = 0
+	return nil
+}
+
+// LogSize returns the log's current size in bytes.
+func (s *Store) LogSize() (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.log.Size()
+}
+
+// Close fsyncs and closes the log. It also surfaces the last automatic
+// compaction failure, if any — the data behind it is still safe in the
+// log. The store must not be mutated after Close.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.log.Close()
+	if err == nil {
+		err = s.compactErr
+	}
+	return err
+}
+
+// LoadFrom always fails: see ErrDirectLoad.
+func (s *Store) LoadFrom(io.Reader) error { return ErrDirectLoad }
+
+// LoadFile always fails: see ErrDirectLoad.
+func (s *Store) LoadFile(string) error { return ErrDirectLoad }
+
+// ReplaceAll always fails: see ErrDirectLoad.
+func (s *Store) ReplaceAll([]gallery.Export) error { return ErrDirectLoad }
