@@ -8,7 +8,7 @@
 //	matchd [-addr 127.0.0.1:7070] [-preload N] [-seed N] [-device D0]
 //	       [-index] [-index-fanout N] [-idle-timeout 2m]
 //	       [-local-shards N | -shards addr1,addr2,...] [-shard-timeout D]
-//	       [-wal-dir DIR] [-compact-every N]
+//	       [-wal-dir DIR] [-compact-every N] [-metrics-addr HOST:PORT]
 //
 // -preload enrolls N synthetic subjects at startup so the service is
 // immediately searchable (useful for demos and load tests). -index
@@ -35,6 +35,14 @@
 // mutually exclusive; a remote front leaves indexing (-index) and
 // persistence (-store) to the shard processes that own the data.
 //
+// Observability: -metrics-addr binds a second, operational listener
+// serving /metrics (Prometheus text), /metrics.json, /healthz,
+// /admin/stats (service summary + shard topology), and /debug/pprof/*.
+// With it set, every layer records into one metrics registry: per-op
+// request latency, per-shard health and scatter coverage, WAL append
+// and fsync latency, and wire-level connection and frame detail. All
+// logging is structured key=value lines on stderr either way.
+//
 // matchd is the serving side of the public identity-service API:
 // consumers reach everything it hosts through fpis.Dial (one matchd)
 // or fpis.New with fpis.WithShards (a fleet of them), with per-request
@@ -46,7 +54,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -57,6 +64,7 @@ import (
 	"fpinterop/internal/gallery"
 	"fpinterop/internal/index"
 	"fpinterop/internal/matchsvc"
+	"fpinterop/internal/obs"
 	"fpinterop/internal/population"
 	"fpinterop/internal/rng"
 	"fpinterop/internal/sensor"
@@ -86,6 +94,7 @@ func run(args []string) error {
 	shardTimeout := fs.Duration("shard-timeout", 0, "per-shard identification deadline (0 = none)")
 	walDir := fs.String("wal-dir", "", "write-ahead-log directory: mutations are durable and replayed at startup")
 	compactEvery := fs.Int("compact-every", 0, "compact the WAL into a snapshot after every N mutations (0 = only on shutdown)")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /healthz, /admin/stats and /debug/pprof on this address")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -123,8 +132,15 @@ func run(args []string) error {
 		return fmt.Errorf("-wal-dir belongs on the shard processes, not the -shards front")
 	}
 
-	logger := log.New(os.Stderr, "matchd: ", log.LstdFlags)
+	logger := obs.NewLogger(os.Stderr)
 	indexOpt := gallery.IndexOptions{Index: index.Options{Fanout: *indexFanout}}
+
+	// One registry feeds every layer; nil (no -metrics-addr) keeps all
+	// instrumentation as no-ops.
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+	}
 
 	// The served backend is either a single store or a shard router,
 	// either one optionally fronted by a write-ahead log.
@@ -134,16 +150,20 @@ func run(args []string) error {
 		router    *shard.Router
 		walStores []*wal.Store
 	)
-	walOpt := wal.Options{CompactEvery: *compactEvery}
-	openWAL := func(dir string, st *gallery.Store) (*wal.Store, error) {
-		ws, err := wal.Open(dir, st, walOpt)
+	openWAL := func(dir, name string, st *gallery.Store) (*wal.Store, error) {
+		ws, err := wal.Open(dir, st, wal.Options{
+			CompactEvery: *compactEvery,
+			Metrics:      reg,
+			Shard:        name,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("open WAL %s: %w", dir, err)
 		}
 		walStores = append(walStores, ws)
 		rec := ws.Recovery()
-		logger.Printf("wal %s: recovered %d from snapshot, replayed %d records (torn tail: %v, %d bytes truncated)",
-			dir, rec.SnapshotEntries, rec.Replayed, rec.TornTail, rec.TruncatedBytes)
+		logger.Info("wal recovery", "dir", dir,
+			"snapshot_entries", rec.SnapshotEntries, "replayed", rec.Replayed,
+			"torn_tail", rec.TornTail, "truncated_bytes", rec.TruncatedBytes)
 		return ws, nil
 	}
 	switch {
@@ -170,15 +190,16 @@ func run(args []string) error {
 				reqTimeout = 2 * time.Minute
 			}
 			cli.SetRequestTimeout(reqTimeout)
+			cli.SetMetrics(reg)
 			backends = append(backends, shard.NewRemote(a, cli))
 		}
 		var err error
-		router, err = shard.New(backends, shard.Options{ShardTimeout: *shardTimeout})
+		router, err = shard.New(backends, shard.Options{ShardTimeout: *shardTimeout, Registry: reg})
 		if err != nil {
 			return err
 		}
 		backend = shard.Front{Router: router}
-		logger.Printf("scatter-gather front over %d remote shards", len(backends))
+		logger.Info("scatter-gather front", "remote_shards", len(backends))
 
 	case *localShards > 0:
 		backends := make([]shard.Backend, *localShards)
@@ -190,8 +211,11 @@ func run(args []string) error {
 					return fmt.Errorf("enable index on shard %d: %w", i, err)
 				}
 			}
+			if reg != nil {
+				st.SetMetrics(reg, name)
+			}
 			if *walDir != "" {
-				ws, err := openWAL(filepath.Join(*walDir, name), st)
+				ws, err := openWAL(filepath.Join(*walDir, name), name, st)
 				if err != nil {
 					return err
 				}
@@ -201,12 +225,12 @@ func run(args []string) error {
 			backends[i] = shard.NewLocal(name, st)
 		}
 		var err error
-		router, err = shard.New(backends, shard.Options{ShardTimeout: *shardTimeout})
+		router, err = shard.New(backends, shard.Options{ShardTimeout: *shardTimeout, Registry: reg})
 		if err != nil {
 			return err
 		}
 		backend = shard.Front{Router: router}
-		logger.Printf("gallery partitioned across %d local shards", *localShards)
+		logger.Info("local shards", "count", *localShards)
 
 	default:
 		store = gallery.New(nil)
@@ -215,9 +239,12 @@ func run(args []string) error {
 				return fmt.Errorf("enable index: %w", err)
 			}
 		}
+		if reg != nil {
+			store.SetMetrics(reg, "local")
+		}
 		backend = store
 		if *walDir != "" {
-			ws, err := openWAL(*walDir, store)
+			ws, err := openWAL(*walDir, "local", store)
 			if err != nil {
 				return err
 			}
@@ -239,7 +266,7 @@ func run(args []string) error {
 			if loadErr != nil {
 				return fmt.Errorf("load gallery %s: %w", *storePath, loadErr)
 			}
-			logger.Printf("loaded %d enrollments from %s", backend.Len(), *storePath)
+			logger.Info("loaded gallery", "path", *storePath, "enrollments", backend.Len())
 		} else if !os.IsNotExist(err) {
 			return fmt.Errorf("open gallery %s: %w", *storePath, err)
 		}
@@ -281,8 +308,8 @@ func run(args []string) error {
 				}
 				fresh++
 			}
-			logger.Printf("preloaded %d enrollments from %s (%d already recovered)",
-				fresh, dev.Model, len(items)-fresh)
+			logger.Info("preloaded", "enrollments", fresh, "device", dev.Model,
+				"already_recovered", len(items)-fresh)
 		} else {
 			if router != nil {
 				if err := router.EnrollBatch(context.Background(), items); err != nil {
@@ -295,37 +322,101 @@ func run(args []string) error {
 					}
 				}
 			}
-			logger.Printf("preloaded %d enrollments from %s", *preload, dev.Model)
+			logger.Info("preloaded", "enrollments", *preload, "device", dev.Model)
 		}
 	}
 
 	if store != nil {
 		if st, ok := store.IndexStats(); ok {
-			logger.Printf("index enabled: %d templates, %d keys, %d postings",
-				st.Templates, st.DistinctKeys, st.Postings)
+			logger.Info("index enabled", "templates", st.Templates,
+				"keys", st.DistinctKeys, "postings", st.Postings)
 		}
 	}
 	if router != nil {
 		for i, b := range router.Backends() {
 			n, err := b.Len(context.Background())
 			if err != nil {
-				logger.Printf("shard %d (%s): unreachable: %v", i, b.Name(), err)
+				logger.Error("shard unreachable", "shard", b.Name(), "index", i, "err", err)
 				continue
 			}
-			logger.Printf("shard %d (%s): %d enrollments", i, b.Name(), n)
+			logger.Info("shard ready", "shard", b.Name(), "index", i, "enrollments", n)
 		}
 	}
 
-	srv := matchsvc.NewServer(backend, logger)
+	// statsFn assembles the service summary OpStats and /admin/stats
+	// serve — the process knows its topology, index state, and WAL in a
+	// way the wire server cannot infer from the Gallery interface.
+	statsFn := func() matchsvc.ServiceStats {
+		st := matchsvc.ServiceStats{Shards: 1}
+		if router != nil {
+			st.Shards = len(router.Backends())
+			st.Enrollments = router.Len(context.Background())
+			for _, i := range router.Degraded() {
+				st.DegradedShards = append(st.DegradedShards, router.Backends()[i].Name())
+			}
+			st.Indexed = *useIndex
+		} else {
+			st.Enrollments = backend.Len()
+			_, st.Indexed = store.IndexStats()
+		}
+		if len(walStores) > 0 {
+			w := &matchsvc.WALServiceStats{}
+			for _, ws := range walStores {
+				rec := ws.Recovery()
+				w.SnapshotEntries += rec.SnapshotEntries
+				w.Replayed += rec.Replayed
+				w.TruncatedBytes += rec.TruncatedBytes
+				if rec.TornTail {
+					w.TornTails++
+				}
+				if size, err := ws.LogSize(); err == nil {
+					w.LogBytes += size
+				}
+			}
+			st.WAL = w
+		}
+		return st
+	}
+
+	srv := matchsvc.NewServer(backend, logger.StdLogger("matchsvc"))
 	srv.SetIdleTimeout(*idleTimeout)
+	srv.SetStatsFunc(statsFn)
+	srv.SetMetrics(reg)
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		return err
 	}
-	logger.Printf("listening on %s (%d enrollments)", bound, backend.Len())
+	logger.Info("listening", "addr", bound, "enrollments", backend.Len())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *metricsAddr != "" {
+		view := func() adminView {
+			v := adminView{Stats: statsFn()}
+			if router != nil {
+				degraded := make(map[int]bool)
+				for _, i := range router.Degraded() {
+					degraded[i] = true
+				}
+				for i, b := range router.Backends() {
+					row := adminShard{Name: b.Name(), Degraded: degraded[i]}
+					n, err := b.Len(context.Background())
+					if err != nil {
+						row.Err = err.Error()
+					} else {
+						row.Enrollments = n
+					}
+					v.Shards = append(v.Shards, row)
+				}
+			}
+			return v
+		}
+		mbound, err := startAdmin(ctx, *metricsAddr, reg, view)
+		if err != nil {
+			return err
+		}
+		logger.Info("metrics listening", "addr", mbound)
+	}
 	if router != nil {
 		// Degraded shards only rejoin the scatter set when something
 		// probes them; do it periodically so a repaired shard does not
@@ -340,8 +431,8 @@ func run(args []string) error {
 				case <-ticker.C:
 					for i, err := range router.CheckHealth(ctx) {
 						if err != nil {
-							logger.Printf("health probe: shard %d (%s): %v",
-								i, router.Backends()[i].Name(), err)
+							logger.Error("health probe failed",
+								"shard", router.Backends()[i].Name(), "index", i, "err", err)
 						}
 					}
 				}
@@ -363,7 +454,7 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("save gallery %s: %w", *storePath, err)
 		}
-		logger.Printf("saved %d enrollments to %s", backend.Len(), *storePath)
+		logger.Info("saved gallery", "path", *storePath, "enrollments", backend.Len())
 	}
 	for _, ws := range walStores {
 		// A clean shutdown leaves only a snapshot behind, so the next
@@ -376,8 +467,8 @@ func run(args []string) error {
 		}
 	}
 	if len(walStores) > 0 {
-		logger.Printf("compacted %d WAL store(s); %d enrollments durable", len(walStores), backend.Len())
+		logger.Info("wal compacted", "stores", len(walStores), "enrollments", backend.Len())
 	}
-	logger.Printf("shut down")
+	logger.Info("shut down")
 	return nil
 }

@@ -46,7 +46,7 @@ func TestMain(m *testing.M) {
 	os.Exit(m.Run())
 }
 
-var listenRe = regexp.MustCompile(`listening on (\S+) \(`)
+var listenRe = regexp.MustCompile(`msg=listening addr=(\S+)`)
 
 // startMatchd launches a helper-mode matchd and returns its bound
 // address (parsed from the startup log) and the running command.

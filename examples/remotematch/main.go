@@ -7,8 +7,10 @@
 // deadline, and a deliberately tight deadline shows an in-flight 1:N
 // search being cancelled mid-scan. It then preloads a larger gallery
 // into two services — one exhaustive, one with the minutia-triplet
-// retrieval index — and contrasts their identification latency
-// (p50/p99 over the wire).
+// retrieval index — and contrasts their identification latency: each
+// wire round trip is recorded into an obs histogram and the p50/p99
+// read back with the same quantile estimator the /metrics.json
+// endpoint uses in production.
 package main
 
 import (
@@ -16,13 +18,13 @@ import (
 	"errors"
 	"fmt"
 	"log"
-	"sort"
 	"time"
 
 	"fpinterop/fpis"
 	"fpinterop/internal/gallery"
 	"fpinterop/internal/matchsvc"
 	"fpinterop/internal/minutiae"
+	"fpinterop/internal/obs"
 	"fpinterop/internal/population"
 	"fpinterop/internal/rng"
 	"fpinterop/internal/sensor"
@@ -45,14 +47,6 @@ func startServer(store *gallery.Store) (string, func()) {
 		srv.Close()
 		<-done
 	}
-}
-
-func percentile(sorted []time.Duration, p float64) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(p * float64(len(sorted)-1))
-	return sorted[i]
 }
 
 // indexedIdentifyDemo preloads an exhaustive and an indexed service
@@ -93,6 +87,12 @@ func indexedIdentifyDemo(gallerySize, probeCount int) {
 			st.Templates, st.DistinctKeys, st.Postings)
 	}
 
+	// One latency histogram per search path, from the same obs package
+	// matchd exposes on /metrics — Quantile replaces hand-sorted
+	// percentile math.
+	latency := obs.NewRegistry().HistogramVec("identify_latency_ns",
+		"1:N search latency over the wire.", obs.LatencyBuckets(), "path")
+
 	fmt.Printf("%-12s %10s %10s %8s %10s\n", "path", "p50", "p99", "rank-1", "shortlist")
 	for _, cfg := range []struct {
 		name  string
@@ -103,7 +103,7 @@ func indexedIdentifyDemo(gallerySize, probeCount int) {
 		if err != nil {
 			log.Fatal(err)
 		}
-		lats := make([]time.Duration, 0, len(probes))
+		lat := latency.With(cfg.name)
 		hits := 0
 		shortlistSum := 0
 		for i, probe := range probes {
@@ -116,7 +116,7 @@ func indexedIdentifyDemo(gallerySize, probeCount int) {
 			if err != nil {
 				log.Fatal(err)
 			}
-			lats = append(lats, time.Since(start))
+			lat.ObserveSince(start)
 			if len(cands) > 0 && cands[0].ID == fmt.Sprintf("subject-%05d", i) {
 				hits++
 			}
@@ -124,11 +124,10 @@ func indexedIdentifyDemo(gallerySize, probeCount int) {
 		}
 		svc.Close()
 		shutdown()
-		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 		fmt.Printf("%-12s %10v %10v %5d/%-2d %10.1f\n",
 			cfg.name,
-			percentile(lats, 0.50).Round(100*time.Microsecond),
-			percentile(lats, 0.99).Round(100*time.Microsecond),
+			time.Duration(lat.Quantile(0.50)).Round(100*time.Microsecond),
+			time.Duration(lat.Quantile(0.99)).Round(100*time.Microsecond),
 			hits, len(probes),
 			float64(shortlistSum)/float64(len(probes)))
 	}

@@ -180,12 +180,23 @@ func New(ctx context.Context, opts ...Option) (Service, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	var (
+		svc     Service
+		backend string
+	)
 	switch {
 	case len(cfg.remoteShards) > 0:
-		return newRemoteSharded(ctx, cfg)
+		svc, err = newRemoteSharded(ctx, cfg)
+		backend = "sharded"
 	case cfg.localShards > 0:
-		return newLocalSharded(cfg)
+		svc, err = newLocalSharded(cfg)
+		backend = "sharded"
 	default:
-		return newLocal(cfg)
+		svc, err = newLocal(cfg)
+		backend = "local"
 	}
+	if err != nil {
+		return nil, err
+	}
+	return instrument(svc, backend, cfg), nil
 }

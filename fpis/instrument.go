@@ -1,0 +1,168 @@
+package fpis
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"fpinterop/internal/matchsvc"
+	"fpinterop/internal/obs"
+	"fpinterop/internal/shard"
+)
+
+// Facade operation indices: one latency histogram handle per op,
+// resolved once at construction so the request path never touches the
+// registry.
+const (
+	opEnroll = iota
+	opEnrollBatch
+	opRemove
+	opVerify
+	opIdentify
+	opIdentifyDetailed
+	opStats
+	opClose
+	opCount
+)
+
+var opNames = [opCount]string{
+	"enroll", "enroll_batch", "remove", "verify",
+	"identify", "identify_detailed", "stats", "close",
+}
+
+// instrumented decorates a Service with per-op latency histograms,
+// error-class counters, and lifecycle-hook dispatch. It is only
+// constructed when WithMetrics or WithHooks was given; a plain
+// service carries no wrapper at all.
+type instrumented struct {
+	inner   Service
+	backend string
+	hooks   *obs.Hooks
+	lat     [opCount]*obs.Histogram
+	errs    *obs.CounterVec
+}
+
+// instrument wraps svc when cfg asks for observability. backend is
+// the deployment-shape label ("local", "sharded", "remote").
+func instrument(svc Service, backend string, cfg config) Service {
+	if cfg.metrics == nil && cfg.hooks == nil {
+		return svc
+	}
+	w := &instrumented{inner: svc, backend: backend, hooks: cfg.hooks}
+	if cfg.metrics != nil {
+		latVec := cfg.metrics.HistogramVec("fpis_op_latency_ns",
+			"Facade operation latency in nanoseconds.",
+			obs.LatencyBuckets(), "op", "backend")
+		for i := range w.lat {
+			w.lat[i] = latVec.With(opNames[i], backend)
+		}
+		w.errs = cfg.metrics.CounterVec("fpis_op_errors_total",
+			"Facade operation failures by error class.",
+			"op", "backend", "class")
+	}
+	return w
+}
+
+// errClass maps an operation error onto a low-cardinality label
+// value. Sentinels are matched with errors.Is, so wrapped and
+// remote-mapped failures classify identically to local ones.
+func errClass(err error) string {
+	switch {
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, ErrNotFound):
+		return "not_found"
+	case errors.Is(err, ErrDuplicate):
+		return "duplicate"
+	case errors.Is(err, shard.ErrDegraded) || errors.Is(err, shard.ErrShardTimeout):
+		return "degraded"
+	case errors.Is(err, matchsvc.ErrRemote):
+		return "remote"
+	default:
+		return "other"
+	}
+}
+
+// finish records one completed operation: latency always, the error
+// counter on failure, and the hook events. The success path is
+// alloc-free — time.Since, atomic observes, and a by-value Event.
+//
+//fpvet:hotpath rides every facade operation, including zero-alloc identify
+func (s *instrumented) finish(op int, t0 time.Time, err error) {
+	d := time.Since(t0)
+	s.lat[op].Observe(int64(d))
+	var class string
+	if err != nil {
+		class = errClass(err)
+		if s.errs != nil {
+			s.errs.With(opNames[op], s.backend, class).Inc()
+		}
+	}
+	s.hooks.After(obs.Event{Op: opNames[op], Backend: s.backend, Duration: d, Err: err, Class: class})
+}
+
+func (s *instrumented) Enroll(ctx context.Context, id, deviceID string, tpl *Template) error {
+	s.hooks.Before(opNames[opEnroll], s.backend)
+	t0 := time.Now()
+	err := s.inner.Enroll(ctx, id, deviceID, tpl)
+	s.finish(opEnroll, t0, err)
+	return err
+}
+
+func (s *instrumented) EnrollBatch(ctx context.Context, items []Enrollment) error {
+	s.hooks.Before(opNames[opEnrollBatch], s.backend)
+	t0 := time.Now()
+	err := s.inner.EnrollBatch(ctx, items)
+	s.finish(opEnrollBatch, t0, err)
+	return err
+}
+
+func (s *instrumented) Remove(ctx context.Context, id string) error {
+	s.hooks.Before(opNames[opRemove], s.backend)
+	t0 := time.Now()
+	err := s.inner.Remove(ctx, id)
+	s.finish(opRemove, t0, err)
+	return err
+}
+
+func (s *instrumented) Verify(ctx context.Context, id string, probe *Template) (MatchResult, error) {
+	s.hooks.Before(opNames[opVerify], s.backend)
+	t0 := time.Now()
+	res, err := s.inner.Verify(ctx, id, probe)
+	s.finish(opVerify, t0, err)
+	return res, err
+}
+
+func (s *instrumented) Identify(ctx context.Context, probe *Template, k int) ([]Candidate, error) {
+	s.hooks.Before(opNames[opIdentify], s.backend)
+	t0 := time.Now()
+	out, err := s.inner.Identify(ctx, probe, k)
+	s.finish(opIdentify, t0, err)
+	return out, err
+}
+
+func (s *instrumented) IdentifyDetailed(ctx context.Context, probe *Template, k int) ([]Candidate, IdentifyStats, error) {
+	s.hooks.Before(opNames[opIdentifyDetailed], s.backend)
+	t0 := time.Now()
+	out, st, err := s.inner.IdentifyDetailed(ctx, probe, k)
+	s.finish(opIdentifyDetailed, t0, err)
+	return out, st, err
+}
+
+func (s *instrumented) Stats(ctx context.Context) (Stats, error) {
+	s.hooks.Before(opNames[opStats], s.backend)
+	t0 := time.Now()
+	st, err := s.inner.Stats(ctx)
+	s.finish(opStats, t0, err)
+	return st, err
+}
+
+func (s *instrumented) Close() error {
+	s.hooks.Before(opNames[opClose], s.backend)
+	t0 := time.Now()
+	err := s.inner.Close()
+	s.finish(opClose, t0, err)
+	return err
+}

@@ -35,9 +35,16 @@ func newLocal(cfg config) (Service, error) {
 			return nil, err
 		}
 	}
+	if cfg.metrics != nil {
+		store.SetMetrics(cfg.metrics, "local")
+	}
 	svc := &localService{store: store}
 	if cfg.walDir != "" {
-		ws, err := wal.Open(cfg.walDir, store, wal.Options{CompactEvery: cfg.compactEvery})
+		ws, err := wal.Open(cfg.walDir, store, wal.Options{
+			CompactEvery: cfg.compactEvery,
+			Metrics:      cfg.metrics,
+			Shard:        "local",
+		})
 		if err != nil {
 			return nil, err
 		}

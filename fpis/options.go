@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"fpinterop/internal/obs"
 )
 
 // Option configures Service construction (New and Dial). Options that
@@ -37,6 +39,9 @@ type config struct {
 	setDialTimeout bool
 
 	failClosed bool
+
+	metrics *obs.Registry
+	hooks   *obs.Hooks
 }
 
 // WithIndex enables the minutia-triplet retrieval index, so 1:N
@@ -172,6 +177,41 @@ func WithDialTimeout(d time.Duration) Option {
 		}
 		c.dialTimeout = d
 		c.setDialTimeout = true
+		return nil
+	}
+}
+
+// WithMetrics attaches an observability registry: the service records
+// per-operation latency histograms and error-class counters into it
+// (fpis_op_latency_ns and fpis_op_errors_total, labeled by op and
+// backend kind), and the layers underneath — shard router, gallery
+// stores, write-ahead logs, wire clients — register their own families
+// there. Applies to every deployment shape, New and Dial alike. The
+// same registry may back several services; families are shared.
+// Metric recording is lock-free atomics on resolved handles, so the
+// zero-allocation hot paths stay zero-allocation.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(c *config) error {
+		if reg == nil {
+			return errors.New("fpis: WithMetrics needs a non-nil registry")
+		}
+		c.metrics = reg
+		return nil
+	}
+}
+
+// WithHooks attaches a lifecycle-hook bus: registered callbacks run
+// before and after every facade operation (and on errors) with the op
+// name, backend kind, duration, and error class — the seam for custom
+// logging, tracing, or caching without the service knowing. Applies
+// to every deployment shape. Hooks run synchronously on the calling
+// goroutine and must not block.
+func WithHooks(h *obs.Hooks) Option {
+	return func(c *config) error {
+		if h == nil {
+			return errors.New("fpis: WithHooks needs a non-nil bus")
+		}
+		c.hooks = h
 		return nil
 	}
 }

@@ -27,7 +27,7 @@ func Dial(ctx context.Context, addr string, opts ...Option) (Service, error) {
 		return nil, err
 	}
 	configureClient(cli, cfg)
-	return &remoteService{cli: cli}, nil
+	return instrument(&remoteService{cli: cli}, "remote", cfg), nil
 }
 
 // configureClient applies the remote-connection options shared by Dial
@@ -38,6 +38,9 @@ func configureClient(cli *matchsvc.Client, cfg config) {
 	}
 	if cfg.setDialTimeout {
 		cli.SetRedialTimeout(cfg.dialTimeout)
+	}
+	if cfg.metrics != nil {
+		cli.SetMetrics(cfg.metrics)
 	}
 }
 
@@ -107,11 +110,35 @@ func (s *remoteService) IdentifyDetailed(ctx context.Context, probe *Template, k
 }
 
 func (s *remoteService) Stats(ctx context.Context) (Stats, error) {
-	n, err := s.cli.Count(ctx)
+	st, err := s.cli.ServiceStats(ctx)
 	if err != nil {
+		if errors.Is(err, matchsvc.ErrRemote) {
+			// A server predating OpStats rejects the opcode; fall back to
+			// the enrollment count it does understand.
+			n, cerr := s.cli.Count(ctx)
+			if cerr != nil {
+				return Stats{}, mapRemoteErr(cerr)
+			}
+			return Stats{Enrollments: n, Shards: 1}, nil
+		}
 		return Stats{}, mapRemoteErr(err)
 	}
-	return Stats{Enrollments: n, Shards: 1}, nil
+	out := Stats{
+		Enrollments:    st.Enrollments,
+		Shards:         st.Shards,
+		DegradedShards: st.DegradedShards,
+		Indexed:        st.Indexed,
+	}
+	if st.WAL != nil {
+		out.WAL = &WALStats{
+			SnapshotEntries: st.WAL.SnapshotEntries,
+			Replayed:        st.WAL.Replayed,
+			TruncatedBytes:  st.WAL.TruncatedBytes,
+			TornTails:       st.WAL.TornTails,
+			LogBytes:        st.WAL.LogBytes,
+		}
+	}
+	return out, nil
 }
 
 func (s *remoteService) Close() error { return s.cli.Close() }

@@ -31,7 +31,7 @@ type shardedService struct {
 }
 
 func routerOptions(cfg config) shard.Options {
-	opt := shard.Options{ShardTimeout: cfg.shardTimeout}
+	opt := shard.Options{ShardTimeout: cfg.shardTimeout, Registry: cfg.metrics}
 	if cfg.setParallelism && cfg.parallelism > 0 {
 		opt.Workers = cfg.parallelism
 	}
@@ -63,9 +63,12 @@ func newLocalSharded(cfg config) (Service, error) {
 				return nil, fmt.Errorf("fpis: enable index on shard %d: %w", i, err)
 			}
 		}
+		if cfg.metrics != nil {
+			store.SetMetrics(cfg.metrics, name)
+		}
 		if cfg.walDir != "" {
 			ws, err := wal.Open(filepath.Join(cfg.walDir, name), store,
-				wal.Options{CompactEvery: cfg.compactEvery})
+				wal.Options{CompactEvery: cfg.compactEvery, Metrics: cfg.metrics, Shard: name})
 			if err != nil {
 				closeWALs()
 				return nil, fmt.Errorf("fpis: open WAL for shard %d: %w", i, err)

@@ -63,6 +63,10 @@ type Store struct {
 	// parallelism bounds the workers fanning matcher calls during
 	// identification (0 = GOMAXPROCS).
 	parallelism int
+
+	// met is non-nil after SetMetrics; record methods are nil-safe, so
+	// unmetered stores pay one branch per touch point.
+	met *storeMetrics
 }
 
 // New returns an empty store that searches with the given matcher.
@@ -113,6 +117,7 @@ func (s *Store) Enroll(id, deviceID string, tpl *minutiae.Template) error {
 	}
 	s.entries[id] = &Entry{ID: id, DeviceID: deviceID, Template: clone, prep: prep}
 	s.order = append(s.order, id)
+	s.met.setEnrollments(len(s.entries))
 	return nil
 }
 
@@ -201,6 +206,7 @@ func (s *Store) Remove(id string) error {
 			break
 		}
 	}
+	s.met.setEnrollments(len(s.entries))
 	return nil
 }
 
@@ -368,6 +374,7 @@ func (s *Store) IdentifyDetailedContext(ctx context.Context, probe *minutiae.Tem
 	idx := s.idx
 	minCand := s.minCandidates
 	size := len(s.order)
+	met := s.met
 	s.mu.RUnlock()
 
 	if k > size {
@@ -405,6 +412,7 @@ func (s *Store) IdentifyDetailedContext(ctx context.Context, probe *minutiae.Tem
 			if k < len(out) {
 				out = out[:k]
 			}
+			met.recordIdentify(stats, true, false)
 			return out, stats, nil
 		}
 		// Recall guard tripped: too few candidates retrieved to trust
@@ -426,6 +434,7 @@ func (s *Store) IdentifyDetailedContext(ctx context.Context, probe *minutiae.Tem
 	if k > 0 && k < len(out) {
 		out = out[:k]
 	}
+	met.recordIdentify(stats, idx != nil && k > 0, idx != nil && k > 0)
 	return out, stats, nil
 }
 

@@ -1,0 +1,70 @@
+package gallery
+
+import "fpinterop/internal/obs"
+
+// storeMetrics holds the store's metric handles, resolved once in
+// SetMetrics so the identify hot path records through plain atomics.
+// All record methods are nil-receiver safe: a store without metrics
+// pays one branch.
+type storeMetrics struct {
+	identifies  *obs.Counter   // gallery_identify_total
+	scanned     *obs.Counter   // gallery_scanned_total
+	shortlist   *obs.Histogram // gallery_shortlist_size
+	fallbacks   *obs.Counter   // gallery_index_fallback_total
+	enrollments *obs.Gauge     // gallery_enrollments
+}
+
+// SetMetrics registers this store's metric families in reg, labeled
+// by shard (use the shard name, or a fixed value like "gallery" for
+// single-store deployments), and starts recording. Call it at setup
+// time, before traffic; a nil registry leaves the store unmetered.
+func (s *Store) SetMetrics(reg *obs.Registry, shard string) {
+	if reg == nil {
+		return
+	}
+	m := &storeMetrics{
+		identifies: reg.CounterVec("gallery_identify_total",
+			"Identification searches served.", "shard").With(shard),
+		scanned: reg.CounterVec("gallery_scanned_total",
+			"Full matcher comparisons run by identification searches.", "shard").With(shard),
+		shortlist: reg.HistogramVec("gallery_shortlist_size",
+			"Index shortlist size per identification that attempted retrieval.",
+			obs.SizeBuckets(), "shard").With(shard),
+		fallbacks: reg.CounterVec("gallery_index_fallback_total",
+			"Identifications that fell back to the exhaustive scan after the recall guard rejected the shortlist.",
+			"shard").With(shard),
+		enrollments: reg.GaugeVec("gallery_enrollments",
+			"Currently enrolled subjects.", "shard").With(shard),
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.met = m
+	m.enrollments.Set(int64(len(s.entries)))
+}
+
+// setEnrollments refreshes the enrollment gauge; callers hold s.mu.
+func (m *storeMetrics) setEnrollments(n int) {
+	if m == nil {
+		return
+	}
+	m.enrollments.Set(int64(n))
+}
+
+// recordIdentify accounts one successful identification. attempted
+// reports whether the index shortlist path was tried; fellBack that
+// the recall guard rejected it.
+//
+//fpvet:hotpath rides the zero-alloc identify path; atomics only
+func (m *storeMetrics) recordIdentify(st IdentifyStats, attempted, fellBack bool) {
+	if m == nil {
+		return
+	}
+	m.identifies.Inc()
+	m.scanned.Add(int64(st.Scanned))
+	if attempted {
+		m.shortlist.Observe(int64(st.Shortlist))
+	}
+	if fellBack {
+		m.fallbacks.Inc()
+	}
+}

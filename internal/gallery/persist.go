@@ -246,6 +246,7 @@ func (s *Store) ReplaceAll(entries []Export) error {
 	}
 	s.entries = byID
 	s.order = order
+	s.met.setEnrollments(len(s.entries))
 	return nil
 }
 

@@ -38,6 +38,8 @@ type Client struct {
 	// hdr is the frame-header scratch for writeFrameHdr/readFrameIntoHdr,
 	// reused under mu for the same reason.
 	hdr [5]byte
+	// met is non-nil after SetMetrics.
+	met *clientMetrics
 }
 
 // SetRequestTimeout sets the fallback round-trip bound used when a
@@ -136,6 +138,11 @@ func (c *Client) roundTrip(ctx context.Context, op byte, payload []byte, decode 
 	if c.closed {
 		return fmt.Errorf("matchsvc: client closed")
 	}
+	if m := c.met; m != nil {
+		m.inflight.Inc()
+		m.reqBytes.Observe(int64(len(payload)))
+		defer m.inflight.Dec()
+	}
 	if c.broken {
 		d := net.Dialer{Timeout: c.dialTimeout}
 		if d.Timeout == 0 && c.timeout > 0 {
@@ -154,6 +161,9 @@ func (c *Client) roundTrip(ctx context.Context, op byte, payload []byte, decode 
 		c.conn.Close()
 		c.conn = conn
 		c.broken = false
+		if c.met != nil {
+			c.met.redials.Inc()
+		}
 	}
 	var deadline time.Time // zero clears any previous call's deadline
 	if d, ok := ctx.Deadline(); ok {
@@ -197,6 +207,9 @@ func (c *Client) roundTrip(ctx context.Context, op byte, payload []byte, decode 
 	status, resp, err := readFrameIntoHdr(c.conn, c.recv, &c.hdr)
 	if err != nil {
 		return fail(fmt.Errorf("matchsvc: read response: %w", err))
+	}
+	if c.met != nil {
+		c.met.respBytes.Observe(int64(len(resp)))
 	}
 	if cap(resp) > cap(c.recv) {
 		c.recv = resp[:0]
@@ -525,6 +538,20 @@ func (c *Client) Remove(ctx context.Context, id string) error {
 		return err
 	}
 	return c.roundTrip(ctx, OpRemove, fs.w.buf, nil)
+}
+
+// ServiceStats returns the server's service-level summary: topology,
+// index state, and — when the serving process is durable — its WAL
+// recovery and log-size detail. Servers predating the op report it as
+// unknown through ErrRemote; callers wanting to support them can fall
+// back to Count.
+func (c *Client) ServiceStats(ctx context.Context) (ServiceStats, error) {
+	var st ServiceStats
+	err := c.roundTrip(ctx, OpStats, nil, func(r *payloadReader) (derr error) {
+		st, derr = decodeServiceStats(r)
+		return derr
+	})
+	return st, err
 }
 
 // Count returns the number of enrollments.

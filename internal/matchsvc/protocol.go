@@ -63,6 +63,13 @@ const (
 	// out. Routers use it as the duplicate guard on keys whose
 	// ownership is mid-migration.
 	OpHas = 0x0B
+	// OpStats returns a service-level summary (see ServiceStats): uint32
+	// enrollments, uint32 shards, uint32 degraded-shard count then that
+	// many strings, uint32 indexed 0/1, uint32 has-WAL 0/1 and, when
+	// set, uint32 snapshot entries, uint32 replayed, uint64 truncated
+	// bytes, uint32 torn tails, uint64 log bytes. Servers without a
+	// stats source answer from their gallery alone.
+	OpStats = 0x0C
 )
 
 // Response status codes.
@@ -163,6 +170,7 @@ var framePool = sync.Pool{New: func() any { return new(frameScratch) }}
 
 // acquireFrameScratch returns a scratch with an empty writer.
 func acquireFrameScratch() *frameScratch {
+	framesOutstanding.Add(1)
 	fs := framePool.Get().(*frameScratch)
 	fs.w.buf = fs.w.buf[:0]
 	return fs
@@ -175,7 +183,10 @@ func (fs *frameScratch) keep(payload []byte) {
 	}
 }
 
-func releaseFrameScratch(fs *frameScratch) { framePool.Put(fs) }
+func releaseFrameScratch(fs *frameScratch) {
+	framesOutstanding.Add(-1)
+	framePool.Put(fs)
+}
 
 // payloadWriter accumulates a request/response payload. The numeric
 // and raw-bytes appenders are hot-path (//fpvet:hotpath): with a
@@ -218,6 +229,13 @@ func (p *payloadWriter) template(t *minutiae.Template) error {
 func (p *payloadWriter) uint32(v uint32) {
 	var b [4]byte
 	binary.BigEndian.PutUint32(b[:], v)
+	p.buf = append(p.buf, b[:]...)
+}
+
+//fpvet:hotpath
+func (p *payloadWriter) uint64(v uint64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
 	p.buf = append(p.buf, b[:]...)
 }
 
@@ -282,6 +300,15 @@ func (p *payloadReader) uint32() (uint32, error) {
 		return 0, err
 	}
 	return binary.BigEndian.Uint32(b), nil
+}
+
+//fpvet:hotpath
+func (p *payloadReader) uint64() (uint64, error) {
+	b, err := p.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint64(b), nil
 }
 
 //fpvet:hotpath

@@ -53,6 +53,11 @@ type Server struct {
 	store       Gallery
 	logger      *log.Logger
 	idleTimeout time.Duration
+	// statsFn, when set, answers OpStats with the serving process's
+	// full summary; without it the op falls back to the gallery alone.
+	statsFn func() ServiceStats
+	// met is non-nil after SetMetrics.
+	met *serverMetrics
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -91,6 +96,13 @@ func (s *Server) SetIdleTimeout(d time.Duration) {
 
 // Store exposes the underlying gallery (e.g. for pre-enrollment).
 func (s *Server) Store() Gallery { return s.store }
+
+// SetStatsFunc installs the OpStats source: the serving process knows
+// its own topology (shard count, index state, WAL durability) in a way
+// the wire server cannot infer from the Gallery interface. Call before
+// Serve. Without it, OpStats still answers with the gallery's
+// enrollment count and a shard count of one.
+func (s *Server) SetStatsFunc(fn func() ServiceStats) { s.statsFn = fn }
 
 // Listen binds addr (e.g. "127.0.0.1:0") and returns the bound address.
 func (s *Server) Listen(addr string) (string, error) {
@@ -134,6 +146,10 @@ func (s *Server) Serve(ctx context.Context) error {
 		s.mu.Lock()
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
+		if s.met != nil {
+			s.met.connsTotal.Inc()
+			s.met.conns.Inc()
+		}
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -142,6 +158,9 @@ func (s *Server) Serve(ctx context.Context) error {
 				delete(s.conns, conn)
 				s.mu.Unlock()
 				conn.Close()
+				if s.met != nil {
+					s.met.conns.Dec()
+				}
 			}()
 			if err := s.handle(conn); err != nil && !errors.Is(err, io.EOF) {
 				s.logger.Printf("matchsvc: connection %s: %v", conn.RemoteAddr(), err)
@@ -194,7 +213,16 @@ func (s *Server) handle(conn net.Conn) error {
 		}
 		fs.keep(payload)
 		fs.w.buf = fs.w.buf[:0]
+		var t0 time.Time
+		if s.met != nil {
+			t0 = time.Now()
+			s.met.inflight.Inc()
+		}
 		status, resp := s.dispatch(op, payload, &fs.w)
+		if s.met != nil {
+			s.met.observeOp(op, t0)
+			s.met.inflight.Dec()
+		}
 		if s.idleTimeout > 0 {
 			// The response write gets the same bound: a peer that never
 			// drains its receive buffer must not pin the handler either.
@@ -360,6 +388,18 @@ func (s *Server) dispatch(op byte, payload []byte, w *payloadWriter) (byte, []by
 
 	case OpCount:
 		w.uint32(uint32(s.store.Len()))
+		return StatusOK, w.buf
+
+	case OpStats:
+		var st ServiceStats
+		if s.statsFn != nil {
+			st = s.statsFn()
+		} else {
+			st = ServiceStats{Enrollments: s.store.Len(), Shards: 1}
+		}
+		if err := encodeServiceStats(w, st); err != nil {
+			return fail(err)
+		}
 		return StatusOK, w.buf
 
 	case OpHas:

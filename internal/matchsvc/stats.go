@@ -1,0 +1,120 @@
+package matchsvc
+
+// ServiceStats is the OpStats payload: a point-in-time service summary
+// the serving process assembles from whatever it actually runs —
+// shard topology, index state, and write-ahead-log durability — so a
+// remote client can surface the same Stats a local service would.
+type ServiceStats struct {
+	// Enrollments counts enrolled subjects (reachable shards only).
+	Enrollments int
+	// Shards is the number of backends serving the gallery.
+	Shards int
+	// DegradedShards names shards currently excluded from searches.
+	DegradedShards []string
+	// Indexed reports whether a retrieval index serves identifications.
+	Indexed bool
+	// WAL summarizes write-ahead-log state; nil when the serving
+	// process is not durable.
+	WAL *WALServiceStats
+}
+
+// WALServiceStats mirrors the WAL summary across the wire.
+type WALServiceStats struct {
+	SnapshotEntries int
+	Replayed        int
+	TruncatedBytes  int64
+	TornTails       int
+	LogBytes        int64
+}
+
+func encodeServiceStats(w *payloadWriter, st ServiceStats) error {
+	w.uint32(uint32(st.Enrollments))
+	w.uint32(uint32(st.Shards))
+	w.uint32(uint32(len(st.DegradedShards)))
+	for _, name := range st.DegradedShards {
+		if err := w.string(name); err != nil {
+			return err
+		}
+	}
+	indexed := uint32(0)
+	if st.Indexed {
+		indexed = 1
+	}
+	w.uint32(indexed)
+	if st.WAL == nil {
+		w.uint32(0)
+		return nil
+	}
+	w.uint32(1)
+	w.uint32(uint32(st.WAL.SnapshotEntries))
+	w.uint32(uint32(st.WAL.Replayed))
+	w.uint64(uint64(st.WAL.TruncatedBytes))
+	w.uint32(uint32(st.WAL.TornTails))
+	w.uint64(uint64(st.WAL.LogBytes))
+	return nil
+}
+
+func decodeServiceStats(r *payloadReader) (ServiceStats, error) {
+	var st ServiceStats
+	enrollments, err := r.uint32()
+	if err != nil {
+		return st, err
+	}
+	shards, err := r.uint32()
+	if err != nil {
+		return st, err
+	}
+	st.Enrollments = int(enrollments)
+	st.Shards = int(shards)
+	n, err := r.uint32()
+	if err != nil {
+		return st, err
+	}
+	for i := uint32(0); i < n; i++ {
+		name, err := r.string()
+		if err != nil {
+			return st, err
+		}
+		st.DegradedShards = append(st.DegradedShards, name)
+	}
+	indexed, err := r.uint32()
+	if err != nil {
+		return st, err
+	}
+	st.Indexed = indexed != 0
+	hasWAL, err := r.uint32()
+	if err != nil {
+		return st, err
+	}
+	if hasWAL == 0 {
+		return st, nil
+	}
+	var w WALServiceStats
+	snap, err := r.uint32()
+	if err != nil {
+		return st, err
+	}
+	replayed, err := r.uint32()
+	if err != nil {
+		return st, err
+	}
+	trunc, err := r.uint64()
+	if err != nil {
+		return st, err
+	}
+	torn, err := r.uint32()
+	if err != nil {
+		return st, err
+	}
+	logBytes, err := r.uint64()
+	if err != nil {
+		return st, err
+	}
+	w.SnapshotEntries = int(snap)
+	w.Replayed = int(replayed)
+	w.TruncatedBytes = int64(trunc)
+	w.TornTails = int(torn)
+	w.LogBytes = int64(logBytes)
+	st.WAL = &w
+	return st, nil
+}

@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// famSnapshot is a point-in-time copy of one family, taken under the
+// family lock so encoding can run without holding any lock (the
+// repo's lock discipline bans blocking I/O under mutexes).
+type famSnapshot struct {
+	name   string
+	help   string
+	kind   metricKind
+	keys   []string
+	bounds []int64
+	series []seriesSnapshot
+}
+
+type seriesSnapshot struct {
+	labels  []string
+	value   int64  // counter (as int64) or gauge
+	count   uint64 // histogram observation count
+	sum     int64
+	buckets []uint64 // raw per-bucket counts, len(bounds)+1
+}
+
+// snapshot copies every family's current values.
+func (r *Registry) snapshot() []famSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := append([]*family(nil), r.fams...)
+	r.mu.Unlock()
+	out := make([]famSnapshot, 0, len(fams))
+	for _, f := range fams {
+		fs := famSnapshot{name: f.name, help: f.help, kind: f.kind, keys: f.keys, bounds: f.bounds}
+		f.mu.Lock()
+		for _, s := range f.order {
+			ss := seriesSnapshot{labels: s.labels}
+			switch f.kind {
+			case kindCounter:
+				ss.value = int64(s.c.Value())
+			case kindGauge:
+				ss.value = s.g.Value()
+			case kindHistogram:
+				ss.buckets = make([]uint64, len(s.h.counts))
+				ss.count, ss.sum = s.h.snapshotInto(ss.buckets)
+			}
+			fs.series = append(fs.series, ss)
+		}
+		for key, fn := range f.gaugeF {
+			var labels []string
+			if key != "" {
+				labels = strings.Split(key, labelSep)
+			}
+			fs.series = append(fs.series, seriesSnapshot{labels: labels, value: fn()})
+		}
+		f.mu.Unlock()
+		out = append(out, fs)
+	}
+	return out
+}
+
+// WritePrometheus writes the registry in the Prometheus text
+// exposition format (version 0.0.4): # HELP / # TYPE headers, one
+// line per series, histograms expanded into cumulative _bucket lines
+// plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	for _, f := range r.snapshot() {
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.series {
+			switch f.kind {
+			case kindCounter, kindGauge:
+				b.WriteString(f.name)
+				writeLabelsLe(&b, f.keys, s.labels, "", "")
+				fmt.Fprintf(&b, " %d\n", s.value)
+			case kindHistogram:
+				var cum uint64
+				for i := range s.buckets {
+					cum += s.buckets[i]
+					le := "+Inf"
+					if i < len(f.bounds) {
+						le = strconv.FormatInt(f.bounds[i], 10)
+					}
+					b.WriteString(f.name)
+					b.WriteString("_bucket")
+					writeLabelsLe(&b, f.keys, s.labels, "le", le)
+					fmt.Fprintf(&b, " %d\n", cum)
+				}
+				b.WriteString(f.name)
+				b.WriteString("_sum")
+				writeLabelsLe(&b, f.keys, s.labels, "", "")
+				fmt.Fprintf(&b, " %d\n", s.sum)
+				b.WriteString(f.name)
+				b.WriteString("_count")
+				writeLabelsLe(&b, f.keys, s.labels, "", "")
+				fmt.Fprintf(&b, " %d\n", s.count)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeLabelsLe renders {k1="v1",...}, appending an optional extra
+// label (Prometheus histogram "le").
+func writeLabelsLe(b *strings.Builder, keys, values []string, extraKey, extraVal string) {
+	if len(keys) == 0 && extraKey == "" {
+		return
+	}
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(extraVal)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, `"\`+"\n") {
+		return v
+	}
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// WriteJSON writes the registry as a single flat JSON object in the
+// spirit of expvar's /debug/vars: one key per series — the family
+// name, plus {k=v,...} when labeled — mapping to the value for
+// counters and gauges, or to {count, sum, p50, p90, p99, buckets}
+// for histograms. Keys sort lexicographically (encoding/json map
+// order), so output is deterministic.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	flat := make(map[string]any)
+	for _, f := range r.snapshot() {
+		for _, s := range f.series {
+			key := f.name
+			if len(f.keys) > 0 {
+				var b strings.Builder
+				b.WriteString(f.name)
+				b.WriteByte('{')
+				for i, k := range f.keys {
+					if i > 0 {
+						b.WriteByte(',')
+					}
+					b.WriteString(k)
+					b.WriteByte('=')
+					b.WriteString(s.labels[i])
+				}
+				b.WriteByte('}')
+				key = b.String()
+			}
+			switch f.kind {
+			case kindCounter, kindGauge:
+				flat[key] = s.value
+			case kindHistogram:
+				flat[key] = histJSON(f.bounds, s)
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(flat)
+}
+
+func histJSON(bounds []int64, s seriesSnapshot) map[string]any {
+	// Rebuild a throwaway histogram so quantile estimation shares the
+	// exact interpolation logic the live handles use.
+	h := &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(s.buckets))}
+	for i, n := range s.buckets {
+		h.counts[i].Store(n)
+	}
+	h.count.Store(s.count)
+	h.sum.Store(s.sum)
+	buckets := make([]map[string]any, 0, len(s.buckets))
+	var cum uint64
+	for i, n := range s.buckets {
+		cum += n
+		le := "+Inf"
+		if i < len(bounds) {
+			le = strconv.FormatInt(bounds[i], 10)
+		}
+		buckets = append(buckets, map[string]any{"le": le, "count": cum})
+	}
+	return map[string]any{
+		"count":   s.count,
+		"sum":     s.sum,
+		"p50":     h.Quantile(0.50),
+		"p90":     h.Quantile(0.90),
+		"p99":     h.Quantile(0.99),
+		"buckets": buckets,
+	}
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func exampleRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("requests_total", "Total requests.").Add(7)
+	r.GaugeVec("shard_degraded", "1 while degraded.", "shard").With("shard-0").Set(1)
+	h := r.Histogram("op_latency_ns", "Latency.", []int64{1000, 10000})
+	h.Observe(500)
+	h.Observe(5000)
+	h.Observe(50000)
+	r.GaugeFunc("pool_in_use", "Scratch frames out.", func() int64 { return 3 })
+	return r
+}
+
+func TestWritePrometheus(t *testing.T) {
+	var b strings.Builder
+	if err := exampleRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP requests_total Total requests.",
+		"# TYPE requests_total counter",
+		"requests_total 7",
+		`shard_degraded{shard="shard-0"} 1`,
+		"# TYPE op_latency_ns histogram",
+		`op_latency_ns_bucket{le="1000"} 1`,
+		`op_latency_ns_bucket{le="10000"} 2`,
+		`op_latency_ns_bucket{le="+Inf"} 3`,
+		"op_latency_ns_sum 55500",
+		"op_latency_ns_count 3",
+		"# TYPE pool_in_use gauge",
+		"pool_in_use 3",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusEscapesLabels(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("c_total", "", "path").With(`a"b\c`).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `c_total{path="a\"b\\c"} 1`) {
+		t.Fatalf("label not escaped:\n%s", b.String())
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var b strings.Builder
+	if err := exampleRegistry().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var flat map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &flat); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if got := flat["requests_total"]; got != float64(7) {
+		t.Fatalf("requests_total = %v, want 7", got)
+	}
+	if got := flat["shard_degraded{shard=shard-0}"]; got != float64(1) {
+		t.Fatalf("labeled gauge = %v, want 1", got)
+	}
+	hist, ok := flat["op_latency_ns"].(map[string]any)
+	if !ok {
+		t.Fatalf("op_latency_ns not an object: %v", flat["op_latency_ns"])
+	}
+	if hist["count"] != float64(3) || hist["sum"] != float64(55500) {
+		t.Fatalf("histogram summary wrong: %v", hist)
+	}
+	for _, k := range []string{"p50", "p90", "p99", "buckets"} {
+		if _, ok := hist[k]; !ok {
+			t.Fatalf("histogram JSON missing %q: %v", k, hist)
+		}
+	}
+	if got := flat["pool_in_use"]; got != float64(3) {
+		t.Fatalf("pool_in_use = %v, want 3", got)
+	}
+}
+
+func TestExpositionIsDeterministic(t *testing.T) {
+	r := exampleRegistry()
+	var a, b strings.Builder
+	if err := r.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("two scrapes of an idle registry differ")
+	}
+}

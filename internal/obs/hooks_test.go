@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestHooksDispatchOrder(t *testing.T) {
+	h := NewHooks()
+	var trace []string
+	h.OnBefore(func(op, backend string) { trace = append(trace, "before:"+op+":"+backend) })
+	h.OnAfter(func(e Event) { trace = append(trace, "after:"+e.Op) })
+	h.OnError(func(e Event) { trace = append(trace, "error:"+e.Class) })
+
+	h.Before("identify", "local")
+	h.After(Event{Op: "identify", Backend: "local", Duration: time.Millisecond})
+	h.After(Event{Op: "enroll", Err: errors.New("boom"), Class: "other"})
+
+	want := []string{"before:identify:local", "after:identify", "after:enroll", "error:other"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace %v, want %v", trace, want)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace[%d] = %q, want %q (all %v)", i, trace[i], want[i], trace)
+		}
+	}
+}
+
+func TestHooksMultipleListeners(t *testing.T) {
+	h := NewHooks()
+	calls := 0
+	h.OnAfter(func(Event) { calls++ })
+	h.OnAfter(func(Event) { calls++ })
+	h.After(Event{Op: "x"})
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2", calls)
+	}
+}
+
+func TestNilHooksSafe(t *testing.T) {
+	var h *Hooks
+	h.OnBefore(func(string, string) {})
+	h.OnAfter(func(Event) {})
+	h.OnError(func(Event) {})
+	h.Before("op", "local")
+	h.After(Event{Err: errors.New("x")})
+}
+
+func TestEmptyHooksSafe(t *testing.T) {
+	h := NewHooks()
+	h.Before("op", "local")
+	h.After(Event{})
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Logger is a minimal structured logger emitting one key=value line
+// per call:
+//
+//	ts=2026-08-08T10:11:12.123Z level=info msg=listening addr=127.0.0.1:7400 enrollments=1000
+//
+// Values print bare when they contain no spaces, quotes, or '='; they
+// are strconv-quoted otherwise, so lines stay machine-parseable
+// (split on spaces outside quotes). A nil *Logger discards
+// everything. Logging is not a hot-path facility: calls allocate
+// freely.
+type Logger struct {
+	mu  sync.Mutex
+	w   io.Writer
+	now func() time.Time // test seam; nil means time.Now
+}
+
+// NewLogger returns a logger writing to w.
+func NewLogger(w io.Writer) *Logger {
+	return &Logger{w: w}
+}
+
+// Info emits a level=info line. kv alternates keys and values; a
+// trailing key without a value prints as key=MISSING.
+func (l *Logger) Info(msg string, kv ...any) { l.log("info", msg, kv) }
+
+// Error emits a level=error line.
+func (l *Logger) Error(msg string, kv ...any) { l.log("error", msg, kv) }
+
+func (l *Logger) log(level, msg string, kv []any) {
+	if l == nil || l.w == nil {
+		return
+	}
+	now := time.Now
+	if l.now != nil {
+		now = l.now
+	}
+	var b strings.Builder
+	b.WriteString("ts=")
+	b.WriteString(now().UTC().Format("2006-01-02T15:04:05.000Z"))
+	b.WriteString(" level=")
+	b.WriteString(level)
+	b.WriteString(" msg=")
+	b.WriteString(formatValue(msg))
+	for i := 0; i < len(kv); i += 2 {
+		key, ok := kv[i].(string)
+		if !ok {
+			key = fmt.Sprint(kv[i])
+		}
+		b.WriteByte(' ')
+		b.WriteString(key)
+		b.WriteByte('=')
+		if i+1 < len(kv) {
+			b.WriteString(formatValue(kv[i+1]))
+		} else {
+			b.WriteString("MISSING")
+		}
+	}
+	b.WriteByte('\n')
+	line := b.String()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	io.WriteString(l.w, line)
+}
+
+func formatValue(v any) string {
+	var s string
+	switch x := v.(type) {
+	case string:
+		s = x
+	case error:
+		s = x.Error()
+	case time.Duration:
+		s = x.String()
+	case fmt.Stringer:
+		s = x.String()
+	default:
+		s = fmt.Sprint(x)
+	}
+	if s == "" {
+		return `""`
+	}
+	if strings.ContainsAny(s, " \t\n\"=") {
+		return strconv.Quote(s)
+	}
+	return s
+}
+
+// stdAdapter lets code that wants a *log.Logger (matchsvc.NewServer)
+// feed its lines through the structured logger.
+type stdAdapter struct {
+	l         *Logger
+	component string
+}
+
+func (a stdAdapter) Write(p []byte) (int, error) {
+	a.l.Info(strings.TrimRight(string(p), "\n"), "component", a.component)
+	return len(p), nil
+}
+
+// StdLogger returns a *log.Logger whose every line becomes a
+// structured Info entry tagged component=name.
+func (l *Logger) StdLogger(name string) *log.Logger {
+	return log.New(stdAdapter{l: l, component: name}, "", 0)
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"errors"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+func fixedClock() time.Time {
+	return time.Date(2026, 8, 8, 10, 11, 12, 123_000_000, time.UTC)
+}
+
+func TestLoggerFormat(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b)
+	l.now = fixedClock
+	l.Info("listening", "addr", "127.0.0.1:7400", "enrollments", 1000)
+	want := "ts=2026-08-08T10:11:12.123Z level=info msg=listening addr=127.0.0.1:7400 enrollments=1000\n"
+	if b.String() != want {
+		t.Fatalf("line = %q, want %q", b.String(), want)
+	}
+}
+
+func TestLoggerQuotesAndTypes(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b)
+	l.now = fixedClock
+	l.Error("wal recovery", "err", errors.New("torn tail"), "dur", 1500*time.Millisecond, "ok", true, "empty", "")
+	line := b.String()
+	for _, want := range []string{
+		"level=error",
+		`msg="wal recovery"`,
+		`err="torn tail"`,
+		"dur=1.5s",
+		"ok=true",
+		`empty=""`,
+	} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("line missing %q: %q", want, line)
+		}
+	}
+}
+
+func TestLoggerOddKeyValues(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b)
+	l.Info("x", "dangling")
+	if !strings.Contains(b.String(), "dangling=MISSING") {
+		t.Fatalf("odd kv not marked: %q", b.String())
+	}
+}
+
+func TestLoggerNilSafe(t *testing.T) {
+	var l *Logger
+	l.Info("dropped")
+	l.Error("dropped")
+}
+
+func TestLoggerLinesParseable(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b)
+	l.Info("listening", "addr", "127.0.0.1:9")
+	re := regexp.MustCompile(`^ts=\S+ level=info msg=listening addr=127\.0\.0\.1:9\n$`)
+	if !re.MatchString(b.String()) {
+		t.Fatalf("line unparseable: %q", b.String())
+	}
+}
+
+func TestStdLoggerAdapter(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b)
+	l.now = fixedClock
+	std := l.StdLogger("matchsvc")
+	std.Printf("identify: shortlist %d of %d", 32, 1000)
+	line := b.String()
+	if !strings.Contains(line, `msg="identify: shortlist 32 of 1000"`) || !strings.Contains(line, "component=matchsvc") {
+		t.Fatalf("adapter line = %q", line)
+	}
+}

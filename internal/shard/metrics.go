@@ -1,0 +1,56 @@
+package shard
+
+import "fpinterop/internal/obs"
+
+// routerMetrics holds the router-wide scatter-gather handles. Nil when
+// Options.Registry was not set; every record site branches on that.
+type routerMetrics struct {
+	searches *obs.Counter   // shard_searches_total
+	partial  *obs.Counter   // shard_partial_searches_total
+	fanout   *obs.Histogram // shard_scatter_fanout
+}
+
+// shardMetrics holds one backend's handles. It rides on the health
+// struct because health is already the per-shard state the request
+// paths snapshot — metric handles follow the same replaced-on-write
+// lifecycle for free.
+type shardMetrics struct {
+	lat      *obs.Histogram // shard_identify_latency_ns
+	degraded *obs.Gauge     // shard_degraded (0/1)
+	degrades *obs.Counter   // shard_degraded_total
+	readmits *obs.Counter   // shard_readmissions_total
+}
+
+func newRouterMetrics(reg *obs.Registry) *routerMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &routerMetrics{
+		searches: reg.Counter("shard_searches_total",
+			"Scatter-gather identifications served by the router."),
+		partial: reg.Counter("shard_partial_searches_total",
+			"Identifications with incomplete coverage (a shard skipped or failed)."),
+		fanout: reg.Histogram("shard_scatter_fanout",
+			"Shards queried per identification.", obs.SizeBuckets()),
+	}
+}
+
+func newShardMetrics(reg *obs.Registry, name string) *shardMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &shardMetrics{
+		lat: reg.HistogramVec("shard_identify_latency_ns",
+			"Per-shard identification latency within the scatter, in nanoseconds.",
+			obs.LatencyBuckets(), "shard").With(name),
+		degraded: reg.GaugeVec("shard_degraded",
+			"1 while the shard is marked degraded and excluded from the scatter.",
+			"shard").With(name),
+		degrades: reg.CounterVec("shard_degraded_total",
+			"Healthy-to-degraded transitions.", "shard").With(name),
+		readmits: reg.CounterVec("shard_readmissions_total",
+			"Degraded-to-healthy readmissions.", "shard").With(name),
+	}
+	m.degraded.Set(0)
+	return m
+}

@@ -22,6 +22,7 @@ import (
 	"fpinterop/internal/gallery"
 	"fpinterop/internal/match"
 	"fpinterop/internal/minutiae"
+	"fpinterop/internal/obs"
 )
 
 var (
@@ -72,6 +73,11 @@ type Options struct {
 	FailureThreshold int
 	// Policy selects the degraded-shard behavior (default SkipDegraded).
 	Policy Policy
+	// Registry, when non-nil, receives the router's metric families:
+	// per-shard identify latency and health gauges plus scatter fanout
+	// and partial-coverage counters. A nil registry costs one branch per
+	// operation.
+	Registry *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -84,11 +90,15 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// health tracks one backend's consecutive-failure state.
+// health tracks one backend's consecutive-failure state. It also
+// anchors the shard's metric handles (nil on an unmetered router):
+// request paths already snapshot the health slice, so the handles
+// inherit its replaced-on-write lifecycle.
 type health struct {
 	mu          sync.Mutex
 	consecFails int
 	degraded    bool
+	met         *shardMetrics
 }
 
 // Router partitions enrollments across backends by consistent hashing
@@ -109,6 +119,9 @@ type Router struct {
 	ring     *ring
 	health   []*health
 	mig      *migration
+
+	// met is non-nil when Options.Registry was set.
+	met *routerMetrics
 
 	// scratch recycles per-identification fan-out state (answer slots
 	// and target lists) across searches; the per-worker matcher scratch
@@ -182,13 +195,14 @@ func New(backends []Backend, opt Options) (*Router, error) {
 	}
 	hs := make([]*health, len(backends))
 	for i := range hs {
-		hs[i] = &health{}
+		hs[i] = &health{met: newShardMetrics(opt.Registry, names[i])}
 	}
 	return &Router{
 		backends: backends,
 		ring:     newRing(names, opt.VirtualNodes),
 		opt:      opt,
 		health:   hs,
+		met:      newRouterMetrics(opt.Registry),
 	}, nil
 }
 
@@ -218,12 +232,22 @@ func (r *Router) record(h *health, err error) {
 	defer h.mu.Unlock()
 	if err == nil {
 		h.consecFails = 0
-		h.degraded = false
+		if h.degraded {
+			h.degraded = false
+			if h.met != nil {
+				h.met.readmits.Inc()
+				h.met.degraded.Set(0)
+			}
+		}
 		return
 	}
 	h.consecFails++
-	if h.consecFails >= r.opt.FailureThreshold {
+	if h.consecFails >= r.opt.FailureThreshold && !h.degraded {
 		h.degraded = true
+		if h.met != nil {
+			h.met.degrades.Inc()
+			h.met.degraded.Set(1)
+		}
 	}
 }
 
@@ -653,7 +677,14 @@ func (r *Router) IdentifyDetailed(ctx context.Context, probe *minutiae.Template,
 					return
 				}
 				i := targets[ti]
+				var t0 time.Time
+				if t.health[i].met != nil {
+					t0 = time.Now()
+				}
 				answers[i] = r.callIdentify(ctx, t.backends[i], probe, k)
+				if m := t.health[i].met; m != nil {
+					m.lat.ObserveSince(t0)
+				}
 				r.recordCtx(ctx, t.health[i], answers[i].err)
 			}
 		}()
@@ -686,6 +717,13 @@ func (r *Router) IdentifyDetailed(ctx context.Context, probe *minutiae.Template,
 			stats.FallbackShards++
 		}
 		merged = append(merged, ans.cands...)
+	}
+	if r.met != nil {
+		r.met.searches.Inc()
+		r.met.fanout.Observe(int64(len(targets)))
+		if stats.Partial {
+			r.met.partial.Inc()
+		}
 	}
 	if stats.ShardsQueried == stats.ShardsFailed && stats.ShardsFailed > 0 {
 		// Every queried shard failed: that is an outage, not an empty

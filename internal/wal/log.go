@@ -37,6 +37,9 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"time"
+
+	"fpinterop/internal/obs"
 )
 
 var logMagic = [4]byte{'F', 'P', 'W', 'L'}
@@ -86,6 +89,12 @@ type ReplayInfo struct {
 type Log struct {
 	f   *os.File
 	buf []byte
+	// size mirrors the file size so callers can gauge log growth
+	// without a stat syscall per append.
+	size int64
+	// fsyncLat, when non-nil, observes each fsync's duration (set by
+	// Store from its metrics).
+	fsyncLat *obs.Histogram
 }
 
 // OpenLog opens (or creates) the log at path and replays every intact
@@ -102,6 +111,9 @@ func OpenLog(path string, apply func(Record) error) (*Log, ReplayInfo, error) {
 	if err != nil {
 		f.Close()
 		return nil, ReplayInfo{}, err
+	}
+	if pos, err := l.f.Seek(0, io.SeekEnd); err == nil {
+		l.size = pos
 	}
 	return l, info, nil
 }
@@ -303,9 +315,17 @@ func (l *Log) Append(sync bool, recs ...Record) error {
 	if _, err := l.f.Write(buf); err != nil {
 		return fmt.Errorf("wal: append: %w", err)
 	}
+	l.size += int64(len(buf))
 	if sync {
+		var t0 time.Time
+		if l.fsyncLat != nil {
+			t0 = time.Now()
+		}
 		if err := l.f.Sync(); err != nil {
 			return fmt.Errorf("wal: sync: %w", err)
+		}
+		if l.fsyncLat != nil {
+			l.fsyncLat.ObserveSince(t0)
 		}
 	}
 	return nil
@@ -317,6 +337,7 @@ func (l *Log) Reset() error {
 	if err := l.f.Truncate(headerSize); err != nil {
 		return fmt.Errorf("wal: reset: %w", err)
 	}
+	l.size = headerSize
 	if _, err := l.f.Seek(0, io.SeekEnd); err != nil {
 		return fmt.Errorf("wal: seek: %w", err)
 	}

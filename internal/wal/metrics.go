@@ -1,0 +1,60 @@
+package wal
+
+import "fpinterop/internal/obs"
+
+// walMetrics holds the per-store metric handles, resolved once in
+// Open from Options.Metrics. Nil-receiver safe throughout: an
+// unmetered store pays one branch per mutation.
+type walMetrics struct {
+	appendLat  *obs.Histogram // wal_append_latency_ns: whole append incl. fsync
+	fsyncLat   *obs.Histogram // wal_fsync_latency_ns
+	compacts   *obs.Counter   // wal_compactions_total
+	compactLat *obs.Histogram // wal_compaction_latency_ns
+	logBytes   *obs.Gauge     // wal_log_bytes
+}
+
+// newWALMetrics registers the per-shard WAL families and sets the
+// recovery gauges — recovery happens exactly once, in Open, so the
+// outcome is exposed as point-in-time values rather than counters.
+func newWALMetrics(reg *obs.Registry, shard string, rec RecoveryStats, logSize int64) *walMetrics {
+	if reg == nil {
+		return nil
+	}
+	if shard == "" {
+		shard = "wal"
+	}
+	m := &walMetrics{
+		appendLat: reg.HistogramVec("wal_append_latency_ns",
+			"Write-ahead-log append latency (encode + write + fsync) in nanoseconds.",
+			obs.LatencyBuckets(), "shard").With(shard),
+		fsyncLat: reg.HistogramVec("wal_fsync_latency_ns",
+			"Write-ahead-log fsync latency in nanoseconds.",
+			obs.LatencyBuckets(), "shard").With(shard),
+		compacts: reg.CounterVec("wal_compactions_total",
+			"Log compactions into a snapshot.", "shard").With(shard),
+		compactLat: reg.HistogramVec("wal_compaction_latency_ns",
+			"Log compaction duration in nanoseconds.",
+			obs.LatencyBuckets(), "shard").With(shard),
+		logBytes: reg.GaugeVec("wal_log_bytes",
+			"Current write-ahead-log size in bytes; compaction resets it.",
+			"shard").With(shard),
+	}
+	m.logBytes.Set(logSize)
+	reg.GaugeVec("wal_recovered_snapshot_entries",
+		"Enrollments restored from the compaction snapshot at startup.", "shard").
+		With(shard).Set(int64(rec.SnapshotEntries))
+	reg.GaugeVec("wal_replayed_records",
+		"Log records re-applied past the snapshot during crash recovery.", "shard").
+		With(shard).Set(int64(rec.Replayed))
+	reg.GaugeVec("wal_truncated_bytes",
+		"Torn-tail bytes discarded during crash recovery.", "shard").
+		With(shard).Set(rec.TruncatedBytes)
+	tornTail := int64(0)
+	if rec.TornTail {
+		tornTail = 1
+	}
+	reg.GaugeVec("wal_torn_tail",
+		"1 when the log ended mid-record at startup (crash mid-append).", "shard").
+		With(shard).Set(tornTail)
+	return m
+}

@@ -7,9 +7,11 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"fpinterop/internal/gallery"
 	"fpinterop/internal/minutiae"
+	"fpinterop/internal/obs"
 )
 
 // SyncPolicy controls when appends reach stable storage.
@@ -34,6 +36,13 @@ type Options struct {
 	// logged mutations. 0 disables automatic compaction (Compact can
 	// still be called explicitly).
 	CompactEvery int
+	// Metrics, when non-nil, registers this store's WAL families
+	// (append/fsync/compaction latency, log size, recovery gauges)
+	// there, labeled by Shard.
+	Metrics *obs.Registry
+	// Shard is the metric label identifying this store; empty means
+	// "wal".
+	Shard string
 }
 
 // RecoveryStats describes what Open reconstructed.
@@ -86,6 +95,10 @@ type Store struct {
 	recovery     RecoveryStats
 	compactErr   error
 	closed       bool
+
+	// met is non-nil when Options.Metrics was set; record calls are
+	// nil-safe.
+	met *walMetrics
 }
 
 // Open makes store durable under dir, first rebuilding its contents
@@ -156,7 +169,7 @@ func Open(dir string, store *gallery.Store, opt Options) (*Store, error) {
 	if info.LastLSN > lsn {
 		lsn = info.LastLSN
 	}
-	return &Store{
+	s := &Store{
 		Store: store,
 		dir:   dir,
 		opt:   opt,
@@ -169,7 +182,12 @@ func Open(dir string, store *gallery.Store, opt Options) (*Store, error) {
 			TruncatedBytes:  info.TruncatedBytes,
 			TornTail:        info.TornTail,
 		},
-	}, nil
+	}
+	s.met = newWALMetrics(opt.Metrics, opt.Shard, s.recovery, log.size)
+	if s.met != nil {
+		log.fsyncLat = s.met.fsyncLat
+	}
+	return s, nil
 }
 
 // Recovery reports what Open reconstructed.
@@ -202,10 +220,15 @@ func (s *Store) Enroll(id, deviceID string, tpl *minutiae.Template) error {
 		return err
 	}
 	rec := Record{LSN: s.lsn + 1, Op: OpEnroll, ID: id, DeviceID: deviceID, Template: data}
+	var t0 time.Time
+	if s.met != nil {
+		t0 = time.Now()
+	}
 	if err := s.log.Append(s.opt.Sync == SyncAlways, rec); err != nil {
 		s.Store.Remove(id)
 		return err
 	}
+	s.observeAppend(t0)
 	s.lsn++
 	s.noteMutations(1)
 	return nil
@@ -241,10 +264,15 @@ func (s *Store) EnrollBatch(items []gallery.Export) error {
 		}
 		recs[i].LSN = s.lsn + uint64(i) + 1
 	}
+	var t0 time.Time
+	if s.met != nil {
+		t0 = time.Now()
+	}
 	if err := s.log.Append(s.opt.Sync == SyncAlways, recs...); err != nil {
 		rollback(len(items))
 		return err
 	}
+	s.observeAppend(t0)
 	s.lsn += uint64(len(items))
 	s.noteMutations(len(items))
 	return nil
@@ -263,15 +291,32 @@ func (s *Store) Remove(id string) error {
 		return err
 	}
 	rec := Record{LSN: s.lsn + 1, Op: OpRemove, ID: id}
+	var t0 time.Time
+	if s.met != nil {
+		t0 = time.Now()
+	}
 	if err := s.log.Append(s.opt.Sync == SyncAlways, rec); err != nil {
 		if had {
 			s.Store.Enroll(prev.ID, prev.DeviceID, prev.Template)
 		}
 		return err
 	}
+	s.observeAppend(t0)
 	s.lsn++
 	s.noteMutations(1)
 	return nil
+}
+
+// observeAppend records a successful append's latency and the log's new
+// size; t0 is the zero time when the store is unmetered.
+//
+//fpvet:hotpath
+func (s *Store) observeAppend(t0 time.Time) {
+	if s.met == nil {
+		return
+	}
+	s.met.appendLat.ObserveSince(t0)
+	s.met.logBytes.Set(s.log.size)
 }
 
 // noteMutations advances the compaction counter and compacts when the
@@ -308,6 +353,10 @@ func (s *Store) Compact() error {
 }
 
 func (s *Store) compactLocked() error {
+	var t0 time.Time
+	if s.met != nil {
+		t0 = time.Now()
+	}
 	if err := writeSnapshot(filepath.Join(s.dir, snapName), s.lsn, s.Store.SaveTo); err != nil {
 		return err
 	}
@@ -315,6 +364,11 @@ func (s *Store) compactLocked() error {
 		return err
 	}
 	s.sinceCompact = 0
+	if s.met != nil {
+		s.met.compacts.Inc()
+		s.met.compactLat.ObserveSince(t0)
+		s.met.logBytes.Set(s.log.size)
+	}
 	return nil
 }
 
