@@ -11,6 +11,14 @@
 //
 // Lines that are not benchmark results are ignored, so raw `go test`
 // output can be piped straight in.
+//
+// Regression gating: -baseline FILE compares each benchmark's ns/op
+// against an earlier benchjson file and, with -max-regress PCT, exits
+// nonzero when any shared benchmark slowed down by more than PCT
+// percent. -ratio NAME_A,NAME_B,MAX asserts a scaling relationship
+// inside the current run — exit nonzero when ns/op(A)/ns/op(B) exceeds
+// MAX (e.g. a depth-8 pipelined benchmark must spend well under 8x a
+// depth-1 stream per operation).
 package main
 
 import (
@@ -69,8 +77,60 @@ func parse(r io.Reader) (map[string]Metrics, error) {
 	return out, sc.Err()
 }
 
+// checkBaseline compares ns/op per benchmark against an earlier
+// benchjson file, returning the names that regressed beyond maxRegress
+// percent (none when maxRegress <= 0 — report-only mode). Benchmarks
+// present on only one side are skipped: the corpus grows PR over PR.
+func checkBaseline(cur map[string]Metrics, baseline []byte, maxRegress float64, warn io.Writer) ([]string, error) {
+	var prev struct {
+		Benchmarks map[string]Metrics `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(baseline, &prev); err != nil {
+		return nil, fmt.Errorf("benchjson: bad baseline: %w", err)
+	}
+	var regressed []string
+	for name, metrics := range cur {
+		base, ok := prev.Benchmarks[name]
+		if !ok || base["ns/op"] <= 0 || metrics["ns/op"] <= 0 {
+			continue
+		}
+		pct := (metrics["ns/op"] - base["ns/op"]) / base["ns/op"] * 100
+		fmt.Fprintf(warn, "benchjson: %s ns/op %+.1f%% vs baseline\n", name, pct)
+		if maxRegress > 0 && pct > maxRegress {
+			regressed = append(regressed, name)
+		}
+	}
+	return regressed, nil
+}
+
+// checkRatio evaluates a NAME_A,NAME_B,MAX assertion against the
+// current results.
+func checkRatio(cur map[string]Metrics, spec string, warn io.Writer) error {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 3 {
+		return fmt.Errorf("benchjson: -ratio wants NAME_A,NAME_B,MAX, got %q", spec)
+	}
+	max, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil || max <= 0 {
+		return fmt.Errorf("benchjson: bad -ratio bound %q", parts[2])
+	}
+	a, b := cur[parts[0]], cur[parts[1]]
+	if a["ns/op"] <= 0 || b["ns/op"] <= 0 {
+		return fmt.Errorf("benchjson: -ratio needs ns/op for both %q and %q", parts[0], parts[1])
+	}
+	r := a["ns/op"] / b["ns/op"]
+	fmt.Fprintf(warn, "benchjson: ratio %s/%s = %.3f (max %.3f)\n", parts[0], parts[1], r, max)
+	if r > max {
+		return fmt.Errorf("benchjson: ratio %s/%s = %.3f exceeds %.3f", parts[0], parts[1], r, max)
+	}
+	return nil
+}
+
 func main() {
 	outPath := flag.String("o", "", "write JSON here instead of stdout")
+	baseline := flag.String("baseline", "", "earlier benchjson file to diff ns/op against")
+	maxRegress := flag.Float64("max-regress", 0, "with -baseline: fail when any shared benchmark's ns/op regresses more than this percent (0 = report only)")
+	ratio := flag.String("ratio", "", "NAME_A,NAME_B,MAX: fail when ns/op(A)/ns/op(B) exceeds MAX")
 	flag.Parse()
 
 	results, err := parse(os.Stdin)
@@ -82,6 +142,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
 		os.Exit(1)
 	}
+	failed := false
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		regressed, err := checkBaseline(results, data, *maxRegress, os.Stderr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, name := range regressed {
+			fmt.Fprintf(os.Stderr, "benchjson: FAIL %s regressed more than %.1f%%\n", name, *maxRegress)
+			failed = true
+		}
+	}
+	if *ratio != "" {
+		if err := checkRatio(results, *ratio, os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			failed = true
+		}
+	}
 	// Go maps marshal with sorted keys, so the output is already stable.
 	data, err := json.MarshalIndent(map[string]any{"benchmarks": results}, "", "  ")
 	if err != nil {
@@ -91,11 +174,16 @@ func main() {
 	data = append(data, '\n')
 	if *outPath == "" {
 		os.Stdout.Write(data)
-		return
+	} else {
+		if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(results), *outPath)
 	}
-	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, err)
+	if failed {
+		// The JSON is still written above: a failing gate should leave
+		// the artifact behind for the investigation.
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(results), *outPath)
 }

@@ -52,3 +52,51 @@ func TestParseIgnoresGarbage(t *testing.T) {
 		t.Fatalf("parsed garbage: %v", got)
 	}
 }
+
+func TestCheckBaseline(t *testing.T) {
+	cur := map[string]Metrics{
+		"BenchmarkA":   {"ns/op": 110},
+		"BenchmarkB":   {"ns/op": 100},
+		"BenchmarkNew": {"ns/op": 50}, // absent from the baseline: skipped
+	}
+	baseline := []byte(`{"benchmarks":{"BenchmarkA":{"ns/op":100},"BenchmarkB":{"ns/op":100},"BenchmarkGone":{"ns/op":1}}}`)
+	var buf strings.Builder
+	regressed, err := checkBaseline(cur, baseline, 5, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressed) != 1 || regressed[0] != "BenchmarkA" {
+		t.Fatalf("regressed = %v, want [BenchmarkA]", regressed)
+	}
+	// Report-only mode never fails.
+	regressed, err = checkBaseline(cur, baseline, 0, &buf)
+	if err != nil || len(regressed) != 0 {
+		t.Fatalf("report-only: %v %v", regressed, err)
+	}
+	if _, err := checkBaseline(cur, []byte("not json"), 5, &buf); err == nil {
+		t.Fatal("bad baseline accepted")
+	}
+}
+
+func TestCheckRatio(t *testing.T) {
+	cur := map[string]Metrics{
+		"BenchmarkDepth8": {"ns/op": 300},
+		"BenchmarkDepth1": {"ns/op": 1000},
+	}
+	var buf strings.Builder
+	if err := checkRatio(cur, "BenchmarkDepth8,BenchmarkDepth1,0.5", &buf); err != nil {
+		t.Fatalf("0.3 ratio under 0.5 bound failed: %v", err)
+	}
+	if err := checkRatio(cur, "BenchmarkDepth8,BenchmarkDepth1,0.2", &buf); err == nil {
+		t.Fatal("0.3 ratio over 0.2 bound accepted")
+	}
+	if err := checkRatio(cur, "BenchmarkDepth8,BenchmarkMissing,0.5", &buf); err == nil {
+		t.Fatal("missing benchmark accepted")
+	}
+	if err := checkRatio(cur, "malformed", &buf); err == nil {
+		t.Fatal("malformed spec accepted")
+	}
+	if err := checkRatio(cur, "BenchmarkDepth8,BenchmarkDepth1,zero", &buf); err == nil {
+		t.Fatal("bad bound accepted")
+	}
+}

@@ -1,0 +1,150 @@
+package main
+
+// Chaos smoke test: a real matchd process (the test binary re-executed
+// in helper mode) served through a deterministic fault-injecting proxy.
+// The client runs with the resilience knobs this PR adds — pooled
+// connections, retries with backoff, keepalives — and the contract is
+// that every operation either succeeds or fails with a typed error,
+// and that once the faults stop the service answers cleanly with
+// nothing lost. This is the process-level counterpart of
+// internal/matchsvc's in-process chaos suite.
+
+import (
+	"context"
+	"errors"
+	"os"
+	"testing"
+	"time"
+
+	"fpinterop/internal/faultnet"
+	"fpinterop/internal/gallery"
+	"fpinterop/internal/matchsvc"
+	"fpinterop/internal/population"
+	"fpinterop/internal/rng"
+	"fpinterop/internal/sensor"
+)
+
+// smokeErrOK reports whether err is one of the typed failures a caller
+// is documented to see under transport faults.
+func smokeErrOK(err error) bool {
+	for _, want := range []error{
+		matchsvc.ErrTransport,
+		matchsvc.ErrRemote,
+		matchsvc.ErrCorruptFrame,
+		matchsvc.ErrFrameTooLarge,
+		matchsvc.ErrClosed,
+		context.Canceled,
+		context.DeadlineExceeded,
+		os.ErrDeadlineExceeded,
+	} {
+		if errors.Is(err, want) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestChaosProxySmokeAgainstRealMatchd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process-level smoke test")
+	}
+	const preload = 40
+	_, addr := startMatchd(t, "-addr", "127.0.0.1:0", "-preload", "40")
+
+	proxy, err := faultnet.NewProxy(addr, faultnet.Faults{
+		Seed:             0xC0FFEE,
+		LatencyProb:      0.05,
+		LatencyMin:       time.Millisecond,
+		LatencyMax:       5 * time.Millisecond,
+		ResetProb:        0.01,
+		PartialWriteProb: 0.01,
+		CorruptProb:      0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	cli, err := matchsvc.DialContext(ctx, proxy.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	cli.SetPoolSize(2)
+	cli.SetRequestTimeout(2 * time.Second)
+	cli.SetRetry(matchsvc.Retry{Attempts: 5, BaseDelay: 2 * time.Millisecond, MaxDelay: 20 * time.Millisecond})
+
+	// A probe for the preloaded population: same cohort seed and device
+	// the -preload path uses, different capture sample.
+	dev, _ := sensor.ProfileByID("D0")
+	cohort := population.NewCohort(rng.New(2013).Child("cohort"), population.CohortOptions{Size: preload})
+	imp, err := dev.CaptureSubject(cohort.Subjects[0], 1, sensor.CaptureOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := imp.Template
+
+	ok := 0
+	for i := 0; i < 80; i++ {
+		var err error
+		switch i % 4 {
+		case 0:
+			err = cli.Ping(ctx)
+		case 1:
+			var n int
+			if n, err = cli.Count(ctx); err == nil && n != preload {
+				t.Fatalf("op %d: count = %d, want %d", i, n, preload)
+			}
+		case 2:
+			var has bool
+			if has, err = cli.Has(ctx, "subject-0000"); err == nil && !has {
+				t.Fatalf("op %d: preloaded subject missing", i)
+			}
+		case 3:
+			var cands []gallery.Candidate
+			if cands, err = cli.Identify(ctx, probe, 3); err == nil && len(cands) == 0 {
+				t.Fatalf("op %d: identify over a %d-subject gallery found nothing", i, preload)
+			}
+		}
+		if err == nil {
+			ok++
+		} else if !smokeErrOK(err) {
+			t.Fatalf("op %d: untyped error under faults: %v", i, err)
+		}
+	}
+	if ok == 0 {
+		t.Fatal("no operation succeeded through the faulty proxy; retries should have carried some")
+	}
+	t.Logf("chaos smoke: %d/80 ops succeeded through the faulty proxy", ok)
+
+	// Faults off: the same client (same pool) must serve cleanly.
+	proxy.SetEnabled(false)
+	if err := cli.Ping(ctx); err != nil {
+		t.Fatalf("ping after faults disabled: %v", err)
+	}
+	n, err := cli.Count(ctx)
+	if err != nil || n != preload {
+		t.Fatalf("count after faults disabled: n=%d err=%v", n, err)
+	}
+}
+
+// TestChaosFlagValidation pins the resilience flags' applicability
+// rules without starting a server.
+func TestChaosFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-pool-size", "0", "-shards", "127.0.0.1:1"},
+		{"-pool-size", "2"},
+		{"-retry", "-1", "-shards", "127.0.0.1:1"},
+		{"-retry", "3"},
+		{"-keepalive", "5s"},
+		{"-hedge-delay", "-1s", "-local-shards", "2"},
+		{"-hedge-delay", "10ms"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}

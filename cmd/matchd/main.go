@@ -8,6 +8,7 @@
 //	matchd [-addr 127.0.0.1:7070] [-preload N] [-seed N] [-device D0]
 //	       [-index] [-index-fanout N] [-idle-timeout 2m]
 //	       [-local-shards N | -shards addr1,addr2,...] [-shard-timeout D]
+//	       [-pool-size N] [-retry N] [-keepalive D] [-hedge-delay D]
 //	       [-wal-dir DIR] [-compact-every N] [-metrics-addr HOST:PORT]
 //
 // -preload enrolls N synthetic subjects at startup so the service is
@@ -34,6 +35,15 @@
 // fanning every identification out to all healthy shards. The two are
 // mutually exclusive; a remote front leaves indexing (-index) and
 // persistence (-store) to the shard processes that own the data.
+//
+// Resilience: on a -shards front, -pool-size pools N connections per
+// remote shard, -retry re-sends idempotent shard calls up to N total
+// attempts after transport failures (with capped jittered backoff), and
+// -keepalive pings idle pooled connections so a shard's idle deadline
+// never silently drops them. -hedge-delay enables hedged identification
+// on any sharded deployment: a shard leg still unanswered after D is
+// re-sent and the first answer wins, trimming slow-replica tail latency
+// without changing results.
 //
 // Observability: -metrics-addr binds a second, operational listener
 // serving /metrics (Prometheus text), /metrics.json, /healthz,
@@ -92,6 +102,10 @@ func run(args []string) error {
 	localShards := fs.Int("local-shards", 0, "partition the gallery across N in-process shards")
 	shardAddrs := fs.String("shards", "", "comma-separated remote matchd addresses to scatter-gather over")
 	shardTimeout := fs.Duration("shard-timeout", 0, "per-shard identification deadline (0 = none)")
+	poolSize := fs.Int("pool-size", 1, "connections pooled per remote shard (requires -shards)")
+	retryAttempts := fs.Int("retry", 0, "total attempts for idempotent shard calls after transport failures, 0/1 = no retries (requires -shards)")
+	keepalive := fs.Duration("keepalive", 0, "idle-connection keepalive interval toward remote shards; 0 = client default, negative disables (requires -shards)")
+	hedgeDelay := fs.Duration("hedge-delay", 0, "re-send a shard identify leg still unanswered after this long, 0 = off (requires -local-shards or -shards)")
 	walDir := fs.String("wal-dir", "", "write-ahead-log directory: mutations are durable and replayed at startup")
 	compactEvery := fs.Int("compact-every", 0, "compact the WAL into a snapshot after every N mutations (0 = only on shutdown)")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /healthz, /admin/stats and /debug/pprof on this address")
@@ -118,6 +132,21 @@ func run(args []string) error {
 	}
 	if *shardTimeout != 0 && *localShards == 0 && *shardAddrs == "" {
 		return fmt.Errorf("-shard-timeout requires -local-shards or -shards")
+	}
+	if *poolSize < 1 {
+		return fmt.Errorf("-pool-size must be >= 1, got %d", *poolSize)
+	}
+	if *retryAttempts < 0 {
+		return fmt.Errorf("-retry must be >= 0, got %d", *retryAttempts)
+	}
+	if *shardAddrs == "" && (*poolSize != 1 || *retryAttempts != 0 || *keepalive != 0) {
+		return fmt.Errorf("-pool-size/-retry/-keepalive configure the remote-shard clients; they require -shards")
+	}
+	if *hedgeDelay < 0 {
+		return fmt.Errorf("-hedge-delay must be >= 0, got %v", *hedgeDelay)
+	}
+	if *hedgeDelay > 0 && *localShards == 0 && *shardAddrs == "" {
+		return fmt.Errorf("-hedge-delay requires -local-shards or -shards")
 	}
 	if *compactEvery < 0 {
 		return fmt.Errorf("-compact-every must be >= 0, got %d", *compactEvery)
@@ -191,10 +220,17 @@ func run(args []string) error {
 			}
 			cli.SetRequestTimeout(reqTimeout)
 			cli.SetMetrics(reg)
+			cli.SetPoolSize(*poolSize)
+			if *retryAttempts > 1 {
+				cli.SetRetry(matchsvc.Retry{Attempts: *retryAttempts})
+			}
+			if *keepalive != 0 {
+				cli.SetKeepalive(*keepalive)
+			}
 			backends = append(backends, shard.NewRemote(a, cli))
 		}
 		var err error
-		router, err = shard.New(backends, shard.Options{ShardTimeout: *shardTimeout, Registry: reg})
+		router, err = shard.New(backends, shard.Options{ShardTimeout: *shardTimeout, Registry: reg, HedgeDelay: *hedgeDelay})
 		if err != nil {
 			return err
 		}
@@ -225,7 +261,7 @@ func run(args []string) error {
 			backends[i] = shard.NewLocal(name, st)
 		}
 		var err error
-		router, err = shard.New(backends, shard.Options{ShardTimeout: *shardTimeout, Registry: reg})
+		router, err = shard.New(backends, shard.Options{ShardTimeout: *shardTimeout, Registry: reg, HedgeDelay: *hedgeDelay})
 		if err != nil {
 			return err
 		}

@@ -38,6 +38,18 @@ type config struct {
 	dialTimeout    time.Duration
 	setDialTimeout bool
 
+	poolSize    int
+	setPoolSize bool
+
+	retry    RetryPolicy
+	setRetry bool
+
+	keepalive    time.Duration
+	setKeepalive bool
+
+	hedgeDelay time.Duration
+	setHedge   bool
+
 	failClosed bool
 
 	metrics *obs.Registry
@@ -181,6 +193,84 @@ func WithDialTimeout(d time.Duration) Option {
 	}
 }
 
+// RetryPolicy configures transparent retries of idempotent remote
+// operations (Verify, Identify, Stats — never Enroll or Remove, which
+// could double-apply) after transport failures: connection resets, torn
+// frames, corrupt envelopes, a server restarting. Server-reported
+// errors and context cancellation are never retried.
+type RetryPolicy struct {
+	// Attempts is the total number of tries including the first; values
+	// below 2 disable retries.
+	Attempts int
+	// BaseDelay seeds the capped exponential backoff before the second
+	// attempt (default 5ms); each further attempt doubles it, jittered,
+	// up to MaxDelay (default 500ms).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+}
+
+// WithPoolSize sets how many connections each remote endpoint may pool
+// (default 1). Connections are dialed on demand; against a multiplexed
+// server one connection already carries concurrent requests, so the
+// pool is for spreading load and surviving per-connection stalls, not a
+// per-request requirement. Applies to remote connections (Dial and
+// WithShards).
+func WithPoolSize(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("fpis: WithPoolSize needs n >= 1, got %d", n)
+		}
+		c.poolSize = n
+		c.setPoolSize = true
+		return nil
+	}
+}
+
+// WithRetry enables transparent retries of idempotent remote operations
+// after transport failures, with capped jittered exponential backoff.
+// Applies to remote connections (Dial and WithShards); retries are off
+// by default.
+func WithRetry(p RetryPolicy) Option {
+	return func(c *config) error {
+		if p.Attempts < 0 || p.BaseDelay < 0 || p.MaxDelay < 0 {
+			return fmt.Errorf("fpis: WithRetry fields must be >= 0, got %+v", p)
+		}
+		c.retry = p
+		c.setRetry = true
+		return nil
+	}
+}
+
+// WithKeepalive sets the interval at which idle pooled connections are
+// pinged so a server's idle deadline never silently drops them (default
+// 50s, under matchd's 2-minute default); d <= 0 disables keepalives.
+// Applies to remote connections (Dial and WithShards).
+func WithKeepalive(d time.Duration) Option {
+	return func(c *config) error {
+		c.keepalive = d
+		c.setKeepalive = true
+		return nil
+	}
+}
+
+// WithHedging enables hedged identification: a shard's scatter leg
+// still unanswered after d is re-sent to the same shard and the first
+// answer wins, cutting the tail latency a single slow replica inflicts
+// on every search. The delay adapts per shard to the observed p95
+// identify latency once enough history accumulates (WithMetrics enables
+// that); exactly one attempt's answer is used, so results are identical
+// to the unhedged path. Requires a sharded deployment.
+func WithHedging(d time.Duration) Option {
+	return func(c *config) error {
+		if d <= 0 {
+			return fmt.Errorf("fpis: WithHedging needs a positive delay, got %v", d)
+		}
+		c.hedgeDelay = d
+		c.setHedge = true
+		return nil
+	}
+}
+
 // WithMetrics attaches an observability registry: the service records
 // per-operation latency histograms and error-class counters into it
 // (fpis_op_latency_ns and fpis_op_errors_total, labeled by op and
@@ -263,6 +353,12 @@ func checkNewConfig(c config) error {
 	if len(c.remoteShards) == 0 && (c.setRequestTimeout || c.setDialTimeout) {
 		return errors.New("fpis: WithRequestTimeout/WithDialTimeout apply to remote connections only")
 	}
+	if len(c.remoteShards) == 0 && (c.setPoolSize || c.setRetry || c.setKeepalive) {
+		return errors.New("fpis: WithPoolSize/WithRetry/WithKeepalive apply to remote connections only")
+	}
+	if c.setHedge && c.localShards == 0 && len(c.remoteShards) == 0 {
+		return errors.New("fpis: WithHedging requires WithLocalShards or WithShards")
+	}
 	return nil
 }
 
@@ -286,6 +382,9 @@ func checkDialConfig(c config) error {
 	}
 	if c.setParallelism {
 		return errors.New("fpis: WithParallelism is a serving-side knob; it does not apply to Dial")
+	}
+	if c.setHedge {
+		return errors.New("fpis: WithHedging requires a sharded deployment; a Dial client has no scatter to hedge")
 	}
 	return nil
 }

@@ -63,6 +63,38 @@ func TestOptionValidation(t *testing.T) {
 			_, err := Dial(ctx, "127.0.0.1:1", WithParallelism(2))
 			return err
 		}},
+		{"pool size on local service", func() error {
+			_, err := New(ctx, WithPoolSize(2))
+			return err
+		}},
+		{"retry on local service", func() error {
+			_, err := New(ctx, WithRetry(RetryPolicy{Attempts: 3}))
+			return err
+		}},
+		{"keepalive on local service", func() error {
+			_, err := New(ctx, WithKeepalive(time.Second))
+			return err
+		}},
+		{"hedging without shards", func() error {
+			_, err := New(ctx, WithHedging(time.Millisecond))
+			return err
+		}},
+		{"dial with hedging", func() error {
+			_, err := Dial(ctx, "127.0.0.1:1", WithHedging(time.Millisecond))
+			return err
+		}},
+		{"zero pool size", func() error {
+			_, err := Dial(ctx, "127.0.0.1:1", WithPoolSize(0))
+			return err
+		}},
+		{"negative retry attempts", func() error {
+			_, err := Dial(ctx, "127.0.0.1:1", WithRetry(RetryPolicy{Attempts: -1}))
+			return err
+		}},
+		{"non-positive hedge delay", func() error {
+			_, err := New(ctx, WithLocalShards(2), WithHedging(0))
+			return err
+		}},
 	}
 	for _, tc := range rejected {
 		if err := tc.do(); err == nil {
@@ -112,5 +144,69 @@ func TestRemoteShardedService(t *testing.T) {
 	sameCandidates(t, "remote-sharded full ranking", got, want)
 	if _, err := svc.Verify(ctx, "nobody", probes[0]); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("verify unknown through remote shards: %v", err)
+	}
+}
+
+// TestResilienceOptionsEndToEnd exercises the PR 9 knobs against a real
+// in-process matchd: pooled connections, retries, keepalive, and hedged
+// sharded identification all construct, serve traffic, and return the
+// same answers as the plain paths.
+func TestResilienceOptionsEndToEnd(t *testing.T) {
+	ctx := context.Background()
+	addr := bootMatchd(t, false)
+
+	// Dial path: pool, retry, keepalive are remote-connection options.
+	svc, err := Dial(ctx, addr,
+		WithPoolSize(2),
+		WithRetry(RetryPolicy{Attempts: 3, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond}),
+		WithKeepalive(10*time.Second),
+		WithRequestTimeout(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	gal, probes := confFixtures(t)
+	items := make([]Enrollment, len(gal))
+	for i, tpl := range gal {
+		items[i] = Enrollment{ID: confID(i), DeviceID: "D0", Template: tpl}
+	}
+	if err := svc.EnrollBatch(ctx, items); err != nil {
+		t.Fatal(err)
+	}
+	want := golden(t, gal, probes[0], nil)
+	got, err := svc.Identify(ctx, probes[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameCandidates(t, "pooled+retrying dial client", got, want)
+
+	// Sharded path: hedging composes with local shards and stays
+	// bit-identical to the unhedged ranking.
+	hedged, err := New(ctx, WithLocalShards(3), WithHedging(50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hedged.Close()
+	if err := hedged.EnrollBatch(ctx, items); err != nil {
+		t.Fatal(err)
+	}
+	hgot, err := hedged.Identify(ctx, probes[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameCandidates(t, "hedged sharded identify", hgot, want)
+
+	// Remote shards accept the full knob set at once.
+	rs, err := New(ctx, WithShards(addr),
+		WithPoolSize(2),
+		WithRetry(RetryPolicy{Attempts: 2}),
+		WithKeepalive(10*time.Second),
+		WithHedging(50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	if _, err := rs.Identify(ctx, probes[0], 3); err != nil {
+		t.Fatal(err)
 	}
 }

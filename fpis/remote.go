@@ -39,6 +39,19 @@ func configureClient(cli *matchsvc.Client, cfg config) {
 	if cfg.setDialTimeout {
 		cli.SetRedialTimeout(cfg.dialTimeout)
 	}
+	if cfg.setPoolSize {
+		cli.SetPoolSize(cfg.poolSize)
+	}
+	if cfg.setRetry {
+		cli.SetRetry(matchsvc.Retry{
+			Attempts:  cfg.retry.Attempts,
+			BaseDelay: cfg.retry.BaseDelay,
+			MaxDelay:  cfg.retry.MaxDelay,
+		})
+	}
+	if cfg.setKeepalive {
+		cli.SetKeepalive(cfg.keepalive)
+	}
 	if cfg.metrics != nil {
 		cli.SetMetrics(cfg.metrics)
 	}

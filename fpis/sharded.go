@@ -31,7 +31,7 @@ type shardedService struct {
 }
 
 func routerOptions(cfg config) shard.Options {
-	opt := shard.Options{ShardTimeout: cfg.shardTimeout, Registry: cfg.metrics}
+	opt := shard.Options{ShardTimeout: cfg.shardTimeout, Registry: cfg.metrics, HedgeDelay: cfg.hedgeDelay}
 	if cfg.setParallelism && cfg.parallelism > 0 {
 		opt.Workers = cfg.parallelism
 	}

@@ -3,6 +3,7 @@ package fpis
 import (
 	"context"
 	"encoding/binary"
+	"fmt"
 	"io"
 	"net"
 	"os"
@@ -223,9 +224,12 @@ func TestStatsRemoteLegacyFallback(t *testing.T) {
 				resp = binary.BigEndian.AppendUint32(nil, 42)
 			default:
 				// The pre-OpStats server's answer to an opcode it does
-				// not know: a remote error string.
+				// not know: a remote error string naming the opcode
+				// (this exact shape is also what tells a muxed client
+				// its hello was not understood, triggering the legacy
+				// downgrade this test exercises).
 				status = matchsvc.StatusError
-				msg := "matchsvc: unknown opcode"
+				msg := fmt.Sprintf("matchsvc: unknown opcode 0x%02x", hdr[4])
 				resp = binary.BigEndian.AppendUint16(nil, uint16(len(msg)))
 				resp = append(resp, msg...)
 			}

@@ -12,6 +12,12 @@
 //  2. Exported functions, methods, and interface methods that take a
 //     context.Context must take it as the first parameter, matching
 //     the fpis.Service convention.
+//  3. No call to time.Sleep inside a function that takes a
+//     context.Context — a bare sleep (a retry backoff, a poll
+//     interval) ignores cancellation for its whole duration; the wait
+//     must select on ctx.Done() against a timer. The rule stops at
+//     function-literal boundaries, since a spawned goroutine owns its
+//     own lifecycle.
 package ctxflow
 
 import (
@@ -73,6 +79,7 @@ func (a *Analyzer) Check(p *analysis.Pkg) []analysis.Finding {
 				if node.Name.IsExported() {
 					out = append(out, a.checkSignature(p, node.Name.Name, node.Type)...)
 				}
+				out = append(out, a.checkSleep(p, node)...)
 			case *ast.InterfaceType:
 				for _, m := range node.Methods.List {
 					ft, ok := m.Type.(*ast.FuncType)
@@ -109,6 +116,44 @@ func (a *Analyzer) checkSignature(p *analysis.Pkg, name string, ft *ast.FuncType
 		pos += n
 	}
 	return out
+}
+
+// checkSleep flags time.Sleep inside a context-taking function: the
+// wait blocks cancellation for its full duration, which is exactly the
+// window retries and polls exist to bound.
+func (a *Analyzer) checkSleep(p *analysis.Pkg, fn *ast.FuncDecl) []analysis.Finding {
+	if fn.Body == nil || !takesContext(p.Info, fn.Type) {
+		return nil
+	}
+	var out []analysis.Finding
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			// A nested literal (usually a goroutine body) owns its own
+			// lifecycle and may legitimately pace itself with sleeps.
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := analysis.CalleeObject(p.Info, call)
+		if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "time" && obj.Name() == "Sleep" {
+			out = append(out, analysis.Findingf(p, a, call.Pos(),
+				"time.Sleep in context-taking %s ignores cancellation; select on ctx.Done() against a timer (annotate deliberate waits with //fpvet:allow ctxflow <reason>)", fn.Name.Name))
+		}
+		return true
+	})
+	return out
+}
+
+// takesContext reports whether any parameter is a context.Context.
+func takesContext(info *types.Info, ft *ast.FuncType) bool {
+	for _, field := range ft.Params.List {
+		if t := info.TypeOf(field.Type); t != nil && analysis.IsContextType(t) {
+			return true
+		}
+	}
+	return false
 }
 
 // rootContextCall reports a call to context.Background or context.TODO.

@@ -2,7 +2,10 @@
 // analyzer must flag, next to the shapes it must leave alone.
 package a
 
-import "context"
+import (
+	"context"
+	"time"
+)
 
 // Bad fabricates a root context in library code.
 func Bad() error {
@@ -68,4 +71,54 @@ func errJoin(errs ...error) error {
 		}
 	}
 	return nil
+}
+
+// BadSleep blocks a context-carrying call chain with an uncancellable
+// wait — the retry-backoff bug class.
+func BadSleep(ctx context.Context) error {
+	time.Sleep(time.Millisecond) // want ctxflow "time.Sleep"
+	return ctx.Err()
+}
+
+// BadSleepMethodShape flags regardless of where ctx sits in the body.
+func BadSleepLoop(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		time.Sleep(time.Millisecond) // want ctxflow "time.Sleep"
+	}
+	return nil
+}
+
+// GoodTimerSelect waits cancellably; the required replacement shape.
+func GoodTimerSelect(ctx context.Context) error {
+	t := time.NewTimer(time.Millisecond)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// SleepWithoutCtx has no context to honor; sleeping is its business.
+func SleepWithoutCtx() {
+	time.Sleep(time.Millisecond)
+}
+
+// AllowedSleep documents a deliberate uncancellable wait.
+func AllowedSleep(ctx context.Context) error {
+	time.Sleep(time.Millisecond) //fpvet:allow ctxflow deliberate settle window in a shutdown path
+	return ctx.Err()
+}
+
+// SleepInGoroutineLiteral is exempt: the spawned literal owns its own
+// lifecycle, the enclosing function does not block on it.
+func SleepInGoroutineLiteral(ctx context.Context) error {
+	go func() {
+		time.Sleep(time.Millisecond)
+	}()
+	return ctx.Err()
 }

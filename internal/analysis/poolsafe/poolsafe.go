@@ -6,13 +6,17 @@
 // protocol, so the checker recognizes acquisition shapes generically:
 //
 //   - a call to a function named Acquire*/acquire* whose result is
-//     bound to a variable, or
+//     bound to a variable,
+//   - a call to a function named Checkout*/checkout* (the matchsvc
+//     connection-pool protocol; its (value, error) form exempts
+//     returns inside the error guard, where nothing was acquired), or
 //   - a sync.Pool Get (with or without the usual type assertion).
 //
-// A matching release is a v.Release() call, a Release*/release*(v)
-// helper, or a pool .Put(v) — directly, deferred, or inside a deferred
-// function literal. Functions that return the acquired value are
-// acquire-wrappers (ownership transfers to the caller) and are exempt.
+// A matching release is a v.Release() call, a Release*/release*(v) or
+// Checkin*/checkin*(v) helper, or a pool .Put(v) — directly, deferred,
+// or inside a deferred function literal. Functions that return the
+// acquired value are acquire-wrappers (ownership transfers to the
+// caller) and are exempt.
 //
 // Return-path coverage is checked lexically: a return statement after
 // the acquisition must have a release before it (or a deferred release
@@ -41,9 +45,10 @@ func (a *Analyzer) Name() string { return "poolsafe" }
 
 // acquisition is one pooled value bound to a variable.
 type acquisition struct {
-	obj  types.Object // the variable holding the pooled value
-	pos  token.Pos    // acquisition site
-	what string       // human label of the acquire call
+	obj    types.Object // the variable holding the pooled value
+	errObj types.Object // error bound alongside it, if any (v, err := ...)
+	pos    token.Pos    // acquisition site
+	what   string       // human label of the acquire call
 }
 
 // Check implements analysis.Analyzer.
@@ -87,7 +92,17 @@ func (a *Analyzer) checkScope(p *analysis.Pkg, scope analysis.FuncScope) []analy
 		if obj == nil {
 			return true
 		}
-		acquisitions = append(acquisitions, acquisition{obj: obj, pos: assign.Pos(), what: label})
+		acq := acquisition{obj: obj, pos: assign.Pos(), what: label}
+		if len(assign.Lhs) == 2 {
+			if errIdent, ok := assign.Lhs[1].(*ast.Ident); ok && errIdent.Name != "_" {
+				if eo := p.Info.Defs[errIdent]; eo != nil {
+					acq.errObj = eo
+				} else {
+					acq.errObj = p.Info.Uses[errIdent]
+				}
+			}
+		}
+		acquisitions = append(acquisitions, acq)
 		return true
 	})
 	if len(acquisitions) == 0 {
@@ -107,10 +122,18 @@ func (a *Analyzer) checkAcquisition(p *analysis.Pkg, scope analysis.FuncScope, a
 		releases    []token.Pos // non-deferred release sites (End positions)
 		returns     []*ast.ReturnStmt
 		escapes     bool
-		lastRelease token.Pos = token.NoPos
+		lastRelease token.Pos      = token.NoPos
+		errGuards   [][2]token.Pos // if-bodies guarded on the acquisition's error
 	)
 	scope.InspectShallow(func(n ast.Node) bool {
 		switch node := n.(type) {
+		case *ast.IfStmt:
+			// A return inside `if err != nil { ... }` on the acquire's
+			// own error object is the acquisition-failed path: nothing
+			// was checked out, so nothing needs checking in.
+			if acq.errObj != nil && usesObj(p.Info, node.Cond, acq.errObj) {
+				errGuards = append(errGuards, [2]token.Pos{node.Body.Pos(), node.Body.End()})
+			}
 		case *ast.DeferStmt:
 			if releasesVar(p.Info, node.Call, acq.obj) {
 				deferred = true
@@ -167,6 +190,12 @@ func (a *Analyzer) checkAcquisition(p *analysis.Pkg, scope analysis.FuncScope, a
 				break
 			}
 		}
+		for _, g := range errGuards {
+			if ret.Pos() >= g[0] && ret.Pos() < g[1] {
+				covered = true
+				break
+			}
+		}
 		if !covered {
 			out = append(out, analysis.Findingf(p, a, ret.Pos(),
 				"return without releasing %s acquired in %s", acq.what, scope.Name()))
@@ -193,13 +222,26 @@ func (a *Analyzer) checkAcquisition(p *analysis.Pkg, scope analysis.FuncScope, a
 // labels it.
 func classifyAcquire(info *types.Info, call *ast.CallExpr) (string, bool) {
 	name := analysis.CalleeName(call)
-	if strings.HasPrefix(name, "Acquire") || strings.HasPrefix(name, "acquire") {
+	if strings.HasPrefix(name, "Acquire") || strings.HasPrefix(name, "acquire") ||
+		strings.HasPrefix(name, "Checkout") || strings.HasPrefix(name, "checkout") {
 		return name, true
 	}
 	if name == "Get" && len(call.Args) == 0 && isPoolMethod(info, call) {
 		return "sync.Pool value", true
 	}
 	return "", false
+}
+
+// usesObj reports whether any identifier under n refers to obj.
+func usesObj(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
 }
 
 // isPoolMethod reports whether the call's receiver is a sync.Pool.
@@ -229,7 +271,8 @@ func isPoolMethod(info *types.Info, call *ast.CallExpr) bool {
 func releasesVar(info *types.Info, call *ast.CallExpr, obj types.Object) bool {
 	name := analysis.CalleeName(call)
 	switch {
-	case name == "Release" || strings.HasPrefix(name, "Release") || strings.HasPrefix(name, "release"):
+	case strings.HasPrefix(name, "Release") || strings.HasPrefix(name, "release") ||
+		strings.HasPrefix(name, "Checkin") || strings.HasPrefix(name, "checkin"):
 		// Method form: receiver is the variable.
 		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
 			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && info.Uses[id] == obj {

@@ -98,3 +98,57 @@ func Allowed() {
 	sc := pool.Get().(*scratch) //fpvet:allow poolsafe retained in a package cache by design
 	retained = sc
 }
+
+// conn and connPool model the matchsvc connection-pool protocol:
+// Checkout hands out a connection (or an error), Checkin returns it.
+type conn struct{ open bool }
+
+type connPool struct{}
+
+func (p *connPool) Checkout() (*conn, error) { return &conn{open: true}, nil }
+func (p *connPool) Checkin(c *conn)          {}
+
+var cpool connPool
+
+// CheckoutBalanced pairs the checkout with a checkin; the return inside
+// the error guard is exempt because nothing was acquired on that path.
+func CheckoutBalanced(use func(*conn)) error {
+	c, err := cpool.Checkout()
+	if err != nil {
+		return err
+	}
+	use(c)
+	cpool.Checkin(c)
+	return nil
+}
+
+// CheckoutLeaks never returns the connection to the pool.
+func CheckoutLeaks() bool {
+	c, _ := cpool.Checkout() // want poolsafe "never released"
+	return c.open
+}
+
+// CheckoutEarlyReturn checks in on the fall-through path but not the
+// early one — and the early return is not the error guard.
+func CheckoutEarlyReturn(fail bool) error {
+	c, err := cpool.Checkout()
+	if err != nil {
+		return err
+	}
+	if fail {
+		return nil // want poolsafe "return without releasing"
+	}
+	cpool.Checkin(c)
+	return nil
+}
+
+// CheckoutDeferred is the canonical clean shape for pooled conns.
+func CheckoutDeferred(use func(*conn)) error {
+	c, err := cpool.Checkout()
+	if err != nil {
+		return err
+	}
+	defer cpool.Checkin(c)
+	use(c)
+	return nil
+}

@@ -1,0 +1,298 @@
+// Package faultnet wraps net.Listener and net.Conn with deterministic,
+// seed-driven fault injection so resilience tests can replay the exact
+// failure schedule that broke (or must not break) the RPC layer. Every
+// probability draw comes from a per-connection child of one seeded
+// internal/rng source, keyed by accept order — the same seed always
+// yields the same faults against the same traffic shape, independent of
+// scheduler interleaving across connections.
+//
+// Injectable faults: latency spikes before I/O, connection resets mid
+// stream, partial writes that tear a frame, single-byte corruption on
+// reads or writes, transient accept failures, and blackholes (reads
+// that never return data until the deadline or a close). Faults can be
+// toggled at runtime with SetEnabled so a chaos phase can be followed
+// by a clean recovery phase on the same listener.
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fpinterop/internal/rng"
+)
+
+// Faults configures the injection probabilities; the zero value injects
+// nothing. Probabilities are per I/O call (per Accept for AcceptFail),
+// in [0, 1].
+type Faults struct {
+	// Seed drives every draw; the same seed replays the same schedule.
+	Seed uint64
+
+	// LatencyProb delays an I/O call by a uniform duration in
+	// [LatencyMin, LatencyMax] before it proceeds.
+	LatencyProb float64
+	LatencyMin  time.Duration
+	LatencyMax  time.Duration
+
+	// ResetProb closes the connection mid-call, tearing whatever frame
+	// was in flight.
+	ResetProb float64
+
+	// PartialWriteProb writes only a prefix of the buffer, then resets
+	// the connection — the canonical torn frame.
+	PartialWriteProb float64
+
+	// CorruptProb flips one byte of the data read or written, leaving
+	// length and timing intact — only checksums can catch it.
+	CorruptProb float64
+
+	// AcceptFailProb fails an Accept with a transient (Temporary)
+	// error instead of a connection.
+	AcceptFailProb float64
+
+	// BlackholeProb turns a read into a black hole: it blocks until the
+	// read deadline expires or the connection closes, never returning
+	// data.
+	BlackholeProb float64
+}
+
+// errInjected tags every fault the wrapper injects.
+var errInjected = errors.New("faultnet: injected fault")
+
+// acceptError is a transient accept failure; Temporary lets servers
+// with back-off-and-retry accept loops survive it.
+type acceptError struct{}
+
+func (acceptError) Error() string   { return "faultnet: injected accept failure" }
+func (acceptError) Timeout() bool   { return false }
+func (acceptError) Temporary() bool { return true }
+
+// Listener wraps an inner listener, dressing every accepted connection
+// in a fault-injecting wrapper.
+type Listener struct {
+	inner   net.Listener
+	faults  Faults
+	root    *rng.Source
+	mu      sync.Mutex // guards root
+	n       atomic.Int64
+	enabled atomic.Bool
+}
+
+// Wrap dresses ln in fault injection driven by f. Injection starts
+// enabled.
+func Wrap(ln net.Listener, f Faults) *Listener {
+	l := &Listener{inner: ln, faults: f, root: rng.New(f.Seed)}
+	l.enabled.Store(true)
+	return l
+}
+
+// SetEnabled toggles injection at runtime; connections already accepted
+// honor the new setting on their next I/O call.
+func (l *Listener) SetEnabled(on bool) { l.enabled.Store(on) }
+
+// Accept accepts the next connection, possibly injecting a transient
+// failure first.
+func (l *Listener) Accept() (net.Conn, error) {
+	seq := l.n.Add(1)
+	l.mu.Lock()
+	src := l.root.Child(fmt.Sprintf("conn/%d", seq))
+	l.mu.Unlock()
+	if l.enabled.Load() && l.faults.AcceptFailProb > 0 && src.Bool(l.faults.AcceptFailProb) {
+		return nil, acceptError{}
+	}
+	c, err := l.inner.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &Conn{Conn: c, l: l, src: src}, nil
+}
+
+// Close closes the inner listener.
+func (l *Listener) Close() error { return l.inner.Close() }
+
+// Addr returns the inner listener's address.
+func (l *Listener) Addr() net.Addr { return l.inner.Addr() }
+
+// Conn is one fault-injected connection. Draws come from its own rng
+// child, so one connection's faults are independent of how the
+// scheduler interleaves another's.
+type Conn struct {
+	net.Conn
+	l   *Listener
+	src *rng.Source
+
+	mu       sync.Mutex // guards src and deadline shadow
+	readDL   time.Time
+	closed   atomic.Bool
+	closeCh  chan struct{}
+	closeOne sync.Once
+}
+
+func (c *Conn) active() bool { return c.l.enabled.Load() && !c.closed.Load() }
+
+// draw runs fn under the rng mutex.
+func (c *Conn) draw(fn func(s *rng.Source)) {
+	c.mu.Lock()
+	fn(c.src)
+	c.mu.Unlock()
+}
+
+func (c *Conn) maybeLatency() {
+	f := c.l.faults
+	if f.LatencyProb <= 0 {
+		return
+	}
+	var d time.Duration
+	c.draw(func(s *rng.Source) {
+		if !s.Bool(f.LatencyProb) {
+			return
+		}
+		span := f.LatencyMax - f.LatencyMin
+		d = f.LatencyMin
+		if span > 0 {
+			d += time.Duration(s.Float64() * float64(span))
+		}
+	})
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// reset closes the connection and reports the injected error.
+func (c *Conn) reset() error {
+	c.Close()
+	return fmt.Errorf("%w: connection reset", errInjected)
+}
+
+func (c *Conn) closeChan() chan struct{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closeCh == nil {
+		c.closeCh = make(chan struct{})
+	}
+	return c.closeCh
+}
+
+// Close closes the underlying connection and releases any blackholed
+// reads.
+func (c *Conn) Close() error {
+	c.closed.Store(true)
+	ch := c.closeChan()
+	c.closeOne.Do(func() { close(ch) })
+	return c.Conn.Close()
+}
+
+// SetReadDeadline shadows the deadline so a blackholed read can honor
+// it.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDL = t
+	c.mu.Unlock()
+	return c.Conn.SetReadDeadline(t)
+}
+
+// SetDeadline shadows the read half like SetReadDeadline.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDL = t
+	c.mu.Unlock()
+	return c.Conn.SetDeadline(t)
+}
+
+// blackhole blocks like a network that swallowed the packet: until the
+// shadowed read deadline (reported as a timeout, as the kernel would)
+// or the connection closes.
+func (c *Conn) blackhole() (int, error) {
+	c.mu.Lock()
+	dl := c.readDL
+	c.mu.Unlock()
+	// With no deadline set, cap the hole at 10s so a proxy pipe that
+	// never sets deadlines cannot strand its peer past any plausible
+	// test timeout.
+	wait := 10 * time.Second
+	if !dl.IsZero() {
+		wait = time.Until(dl)
+	}
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	timer := t.C
+	select {
+	case <-timer:
+		return 0, &net.OpError{Op: "read", Net: "faultnet", Err: timeoutError{}}
+	case <-c.closeChan():
+		return 0, fmt.Errorf("%w: connection reset", errInjected)
+	}
+}
+
+// timeoutError reports true from Timeout, matching os.ErrDeadlineExceeded
+// semantics for deadline-aware callers.
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "faultnet: blackholed read timed out" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
+func (c *Conn) Read(b []byte) (int, error) {
+	if !c.active() {
+		return c.Conn.Read(b)
+	}
+	f := c.l.faults
+	var doReset, doBlackhole, doCorrupt bool
+	c.draw(func(s *rng.Source) {
+		doReset = f.ResetProb > 0 && s.Bool(f.ResetProb)
+		doBlackhole = f.BlackholeProb > 0 && s.Bool(f.BlackholeProb)
+		doCorrupt = f.CorruptProb > 0 && s.Bool(f.CorruptProb)
+	})
+	if doReset {
+		return 0, c.reset()
+	}
+	if doBlackhole {
+		return c.blackhole()
+	}
+	c.maybeLatency()
+	n, err := c.Conn.Read(b)
+	if n > 0 && doCorrupt {
+		var i int
+		c.draw(func(s *rng.Source) { i = s.Intn(n) })
+		b[i] ^= 0xA5
+	}
+	return n, err
+}
+
+func (c *Conn) Write(b []byte) (int, error) {
+	if !c.active() {
+		return c.Conn.Write(b)
+	}
+	f := c.l.faults
+	var doReset, doPartial, doCorrupt bool
+	c.draw(func(s *rng.Source) {
+		doReset = f.ResetProb > 0 && s.Bool(f.ResetProb)
+		doPartial = f.PartialWriteProb > 0 && s.Bool(f.PartialWriteProb)
+		doCorrupt = f.CorruptProb > 0 && s.Bool(f.CorruptProb)
+	})
+	if doReset {
+		return 0, c.reset()
+	}
+	c.maybeLatency()
+	if doPartial && len(b) > 1 {
+		var cut int
+		c.draw(func(s *rng.Source) { cut = 1 + s.Intn(len(b)-1) })
+		n, _ := c.Conn.Write(b[:cut])
+		c.Close()
+		return n, fmt.Errorf("%w: partial write (%d of %d bytes)", errInjected, n, len(b))
+	}
+	if doCorrupt && len(b) > 0 {
+		// Corrupt a copy: the caller's buffer is not ours to mutate.
+		cp := make([]byte, len(b))
+		copy(cp, b)
+		var i int
+		c.draw(func(s *rng.Source) { i = s.Intn(len(cp)) })
+		cp[i] ^= 0xA5
+		return c.Conn.Write(cp)
+	}
+	return c.Conn.Write(b)
+}

@@ -1,0 +1,97 @@
+package faultnet
+
+import (
+	"io"
+	"net"
+	"sync"
+)
+
+// Proxy forwards TCP traffic to a target address through fault-injected
+// connections, so chaos tests can interpose on a real server process
+// they did not build the listener for (e.g. a matchd started as a
+// subprocess). Faults apply on the client-facing leg in both
+// directions.
+type Proxy struct {
+	ln     *Listener
+	target string
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewProxy starts a proxy on a fresh loopback port forwarding to
+// target, injecting f on the accepted side. Close releases it.
+func NewProxy(target string, f Faults) (*Proxy, error) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{ln: Wrap(inner, f), target: target, conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.serve()
+	return p, nil
+}
+
+// Addr is the address clients should dial.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// SetEnabled toggles fault injection on the client-facing leg.
+func (p *Proxy) SetEnabled(on bool) { p.ln.SetEnabled(on) }
+
+func (p *Proxy) serve() {
+	defer p.wg.Done()
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			if _, ok := err.(acceptError); ok {
+				continue
+			}
+			return
+		}
+		upstream, err := net.Dial("tcp", p.target)
+		if err != nil {
+			client.Close()
+			continue
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			client.Close()
+			upstream.Close()
+			return
+		}
+		p.conns[client] = struct{}{}
+		p.conns[upstream] = struct{}{}
+		p.mu.Unlock()
+		p.wg.Add(2)
+		pipe := func(dst, src net.Conn) {
+			defer p.wg.Done()
+			_, _ = io.Copy(dst, src)
+			// Either side ending tears both down: half-open pairs would
+			// otherwise strand the peer forever.
+			dst.Close()
+			src.Close()
+			p.mu.Lock()
+			delete(p.conns, dst)
+			delete(p.conns, src)
+			p.mu.Unlock()
+		}
+		go pipe(upstream, client)
+		go pipe(client, upstream)
+	}
+}
+
+// Close stops the proxy and severs every forwarded connection.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.wg.Wait()
+	return err
+}

@@ -8,7 +8,11 @@ package matchsvc
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -91,3 +95,70 @@ func BenchmarkPingRPC(b *testing.B) {
 		}
 	}
 }
+
+// benchDepth drives op from `depth` concurrent workers over one client
+// until b.N operations complete, reporting p50/p99 per-op latency next
+// to the usual throughput numbers. With the multiplexed transport all
+// depths share pooled connections: depth 1 measures a request's full
+// round trip, deeper runs measure how well the wire pipelines.
+func benchDepth(b *testing.B, depth int, op func() error) {
+	b.ReportAllocs()
+	var next atomic.Int64
+	lats := make([][]time.Duration, depth)
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < depth; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for next.Add(1) <= int64(b.N) {
+				t0 := time.Now()
+				if err := op(); err != nil {
+					b.Error(err)
+					return
+				}
+				lats[w] = append(lats[w], time.Since(t0))
+			}
+		}(w)
+	}
+	wg.Wait()
+	b.StopTimer()
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	if len(all) == 0 {
+		return
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	b.ReportMetric(float64(all[len(all)/2]), "p50-ns")
+	b.ReportMetric(float64(all[len(all)*99/100]), "p99-ns")
+}
+
+func benchIdentifyDepth(b *testing.B, depth int) {
+	cli := benchService(b, 32)
+	cli.SetPoolSize(2)
+	probe := testImpressions(b, 1, "D0", 1)[0]
+	benchDepth(b, depth, func() error {
+		cands, err := cli.Identify(context.Background(), probe, 5)
+		if err == nil && len(cands) == 0 {
+			return errors.New("no candidates")
+		}
+		return err
+	})
+}
+
+func BenchmarkIdentifyRPCDepth1(b *testing.B)  { benchIdentifyDepth(b, 1) }
+func BenchmarkIdentifyRPCDepth8(b *testing.B)  { benchIdentifyDepth(b, 8) }
+func BenchmarkIdentifyRPCDepth64(b *testing.B) { benchIdentifyDepth(b, 64) }
+
+func benchPingDepth(b *testing.B, depth int) {
+	cli := benchService(b, 1)
+	cli.SetPoolSize(2)
+	benchDepth(b, depth, func() error {
+		return cli.Ping(context.Background())
+	})
+}
+
+func BenchmarkPingRPCDepth1(b *testing.B)  { benchPingDepth(b, 1) }
+func BenchmarkPingRPCDepth64(b *testing.B) { benchPingDepth(b, 64) }

@@ -10,36 +10,53 @@ import (
 
 	"fpinterop/internal/gallery"
 	"fpinterop/internal/minutiae"
+	"fpinterop/internal/rng"
 )
 
-// Client is a connection to the matching service. It is safe for
-// concurrent use; requests are serialized over one connection. After a
-// transport failure — including the server dropping an idle connection
-// at its read deadline — the next request transparently redials, so a
-// long-lived client (e.g. a shard router front) survives quiet periods
-// and server restarts.
+// defaultKeepalive spaces the idle-connection pings; it must sit well
+// under the server's 2-minute default idle deadline so a quiet pooled
+// connection is never silently dropped between requests.
+const defaultKeepalive = 50 * time.Second
+
+// keepalivePingTimeout bounds one background keepalive ping.
+const keepalivePingTimeout = 5 * time.Second
+
+// Client is a connection pool to the matching service. It is safe for
+// concurrent use. Against a server that understands the multiplexed
+// protocol (negotiated per connection via OpHello) many requests share
+// each connection concurrently, routed back by request ID; against an
+// older server the client transparently falls back to the serialized
+// one-request-at-a-time protocol and the pool's other connections
+// provide the parallelism. After a transport failure — including the
+// server dropping an idle connection at its read deadline — the pool
+// evicts the dead connection and the next request dials a fresh one,
+// so a long-lived client (e.g. a shard router front) survives quiet
+// periods and server restarts. A background keepalive additionally
+// pings idle pooled connections (SetKeepalive) so they are not idle
+// from the server's point of view in the first place.
 //
 // Every request takes a context.Context: its deadline bounds the whole
-// wire round trip (connection deadlines are derived from it), and
-// cancellation interrupts in-flight I/O. When the context carries no
-// deadline, the SetRequestTimeout fallback applies.
+// wire round trip, and cancellation interrupts or abandons in-flight
+// I/O. When the context carries no deadline, the SetRequestTimeout
+// fallback applies. With SetRetry, idempotent requests that fail on a
+// transport error are transparently retried with capped jittered
+// exponential backoff; retries are off by default.
 type Client struct {
+	addr string
+
 	mu          sync.Mutex
-	addr        string
 	dialTimeout time.Duration
-	conn        net.Conn
-	broken      bool
-	closed      bool
 	timeout     time.Duration
-	// recv is the response frame buffer, reused across requests. Safe
-	// because responses are decoded under mu, before the next request
-	// can overwrite it.
-	recv []byte
-	// hdr is the frame-header scratch for writeFrameHdr/readFrameIntoHdr,
-	// reused under mu for the same reason.
-	hdr [5]byte
-	// met is non-nil after SetMetrics.
-	met *clientMetrics
+	retry       Retry
+	met         *clientMetrics
+	closed      bool
+	keepalive   time.Duration
+	// jitter drives retry backoff spreading; guarded by mu.
+	jitter *rng.Source
+
+	pool *pool
+	stop chan struct{}
+	kaWG sync.WaitGroup
 }
 
 // SetRequestTimeout sets the fallback round-trip bound used when a
@@ -52,7 +69,7 @@ func (c *Client) SetRequestTimeout(d time.Duration) {
 	c.timeout = d
 }
 
-// SetRedialTimeout bounds the transparent reconnect attempted after a
+// SetRedialTimeout bounds the reconnects the pool performs after a
 // transport failure, independently of the triggering request's
 // context; zero leaves reconnects bounded by that context alone.
 // Dial seeds it with its own timeout; DialContext leaves it zero.
@@ -60,6 +77,40 @@ func (c *Client) SetRedialTimeout(d time.Duration) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.dialTimeout = d
+}
+
+// SetPoolSize sets how many connections the pool may hold (minimum 1,
+// the default). Connections are dialed on demand, so a larger pool
+// costs nothing until concurrency needs it.
+func (c *Client) SetPoolSize(n int) {
+	c.pool.resize(n)
+}
+
+// SetKeepalive sets the idle-connection ping interval; d <= 0 disables
+// keepalives. The default (50s) sits under the server's default
+// 2-minute idle deadline.
+func (c *Client) SetKeepalive(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.keepalive = d
+}
+
+func (c *Client) metrics() *clientMetrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.met
+}
+
+func (c *Client) requestTimeout() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.timeout
+}
+
+func (c *Client) retryPolicy() Retry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.retry
 }
 
 // DialContext connects to a server address under the given context: a
@@ -79,7 +130,17 @@ func DialContext(ctx context.Context, addr string) (*Client, error) {
 		}
 		return nil, fmt.Errorf("matchsvc: dial %s: %w", addr, err)
 	}
-	return &Client{addr: addr, conn: conn}, nil
+	c := &Client{
+		addr:      addr,
+		keepalive: defaultKeepalive,
+		jitter:    rng.New(0x9e3779b97f4a7c15).Child(addr),
+		stop:      make(chan struct{}),
+	}
+	c.pool = newPool(c, 1)
+	c.pool.seed(newWireConn(c, conn))
+	c.kaWG.Add(1)
+	go c.keepaliveLoop()
+	return c, nil
 }
 
 // Dial connects to a server address with the given timeout (also used
@@ -104,136 +165,168 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 	return c, nil
 }
 
-// Close shuts the connection down; subsequent requests fail instead of
+// dialRaw opens one pool connection, bounded by the redial timeout
+// when set (else the request-timeout fallback) and by ctx.
+func (c *Client) dialRaw(ctx context.Context) (net.Conn, error) {
+	c.mu.Lock()
+	d := net.Dialer{Timeout: c.dialTimeout}
+	if d.Timeout == 0 && c.timeout > 0 {
+		// A DialContext-created client has no redial timeout of its own;
+		// without this, a deadline-free request context would leave the
+		// reconnect bounded only by the OS connect timeout.
+		d.Timeout = c.timeout
+	}
+	c.mu.Unlock()
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		return nil, transportErr(fmt.Errorf("matchsvc: redial %s: %w", c.addr, err))
+	}
+	return conn, nil
+}
+
+// Close shuts the pool down; subsequent requests fail instead of
 // redialling.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
 	c.closed = true
-	return c.conn.Close()
+	c.mu.Unlock()
+	close(c.stop)
+	c.pool.close()
+	c.kaWG.Wait()
+	return nil
 }
 
-// roundTrip sends one request and decodes the response payload with
-// decode (nil when the caller only needs the status). The decode runs
-// under the client mutex because the response buffer is pooled: it must
-// not retain the reader or its bytes. A request over a connection
-// broken by an earlier failure redials first; the failure that broke
-// the connection was already reported to its caller, and a response
-// frame can never be mistaken for a request's because requests are
-// serialized under the mutex.
-//
-// The per-call I/O deadline comes from ctx when it has one, else from
-// the SetRequestTimeout fallback; with neither, the deadline is
-// cleared, so a stale bound from an earlier call cannot leak into this
-// one. A context that can be cancelled is additionally watched for the
-// duration of the call, and cancellation yanks the connection deadline
-// to interrupt blocked I/O; the context's error then outranks the I/O
-// error it provoked.
+// keepaliveLoop pings idle pooled connections so the server's idle
+// deadline never fires on a healthy conn the pool intends to reuse.
+// Only connections whose protocol mode is already negotiated are
+// pinged — the first real request drives negotiation under its own
+// context.
+func (c *Client) keepaliveLoop() {
+	defer c.kaWG.Done()
+	for {
+		c.mu.Lock()
+		interval := c.keepalive
+		c.mu.Unlock()
+		tick := interval / 2
+		if interval <= 0 {
+			tick = time.Second // disabled: just poll the setting
+		} else if tick < 10*time.Millisecond {
+			tick = 10 * time.Millisecond
+		}
+		t := time.NewTimer(tick)
+		select {
+		case <-c.stop:
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		if interval <= 0 {
+			continue
+		}
+		for _, w := range c.pool.snapshot() {
+			if w.refs.Load() != 0 {
+				// Checked out: live traffic is its keepalive.
+				continue
+			}
+			if time.Since(time.Unix(0, w.lastUsed.Load())) < tick {
+				continue
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), keepalivePingTimeout) //fpvet:allow ctxflow background maintenance loop with no caller context; the timeout above bounds it
+			w.keepalivePing(ctx)
+			cancel()
+		}
+	}
+}
+
+// roundTrip sends one non-idempotent request; roundTripIdem sends one
+// the Retry policy may transparently replay after a transport failure.
 func (c *Client) roundTrip(ctx context.Context, op byte, payload []byte, decode func(*payloadReader) error) error {
+	return c.do(ctx, op, payload, decode, false)
+}
+
+func (c *Client) roundTripIdem(ctx context.Context, op byte, payload []byte, decode func(*payloadReader) error) error {
+	return c.do(ctx, op, payload, decode, true)
+}
+
+// do runs one request under the retry policy. Only transport-class
+// failures of idempotent operations are retried; ctx is re-checked
+// between attempts and its error always outranks the transport error
+// that a cancellation provoked.
+func (c *Client) do(ctx context.Context, op byte, payload []byte, decode func(*payloadReader) error, idempotent bool) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return fmt.Errorf("matchsvc: client closed")
-	}
-	if m := c.met; m != nil {
+	m := c.metrics()
+	if m != nil {
 		m.inflight.Inc()
-		m.reqBytes.Observe(int64(len(payload)))
 		defer m.inflight.Dec()
 	}
-	if c.broken {
-		d := net.Dialer{Timeout: c.dialTimeout}
-		if d.Timeout == 0 && c.timeout > 0 {
-			// A DialContext-created client has no redial timeout of its
-			// own; without this, a deadline-free request context would
-			// leave the reconnect bounded only by the OS connect timeout.
-			d.Timeout = c.timeout
+	pol := c.retryPolicy()
+	attempts := 1
+	if idempotent && pol.enabled() {
+		attempts = pol.Attempts
+	}
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = c.callOnce(ctx, op, payload, decode)
+		if err == nil || attempt >= attempts || !errors.Is(err, ErrTransport) {
+			return err
 		}
-		conn, err := d.DialContext(ctx, "tcp", c.addr) //fpvet:allow locksafe requests are serialized under c.mu by design; the redial is part of the serialized request
+		if m != nil {
+			m.retries.Inc()
+		}
+		if werr := c.backoff(ctx, pol, attempt); werr != nil {
+			return werr
+		}
+	}
+}
+
+// callOnce checks a connection out for one attempt. A connection that
+// turns out to have been retired before the request was written
+// (errConnStale — e.g. the server idle-dropped it between checkouts)
+// is replaced and the request replayed on a fresh conn: nothing
+// reached the wire, so this is safe even for non-idempotent ops, and
+// it preserves the serialized client's transparent-redial behavior.
+func (c *Client) callOnce(ctx context.Context, op byte, payload []byte, decode func(*payloadReader) error) error {
+	for stale := 0; ; stale++ {
+		w, err := c.pool.checkout(ctx)
 		if err != nil {
-			if cerr := ctx.Err(); cerr != nil {
-				return cerr
-			}
-			return fmt.Errorf("matchsvc: redial %s: %w", c.addr, err)
+			return err
 		}
-		c.conn.Close()
-		c.conn = conn
-		c.broken = false
-		if c.met != nil {
-			c.met.redials.Inc()
-		}
-	}
-	var deadline time.Time // zero clears any previous call's deadline
-	if d, ok := ctx.Deadline(); ok {
-		// Padded past the context deadline: the watcher below interrupts
-		// I/O the instant ctx.Done() fires, so by the time the connection
-		// deadline could trip on its own the context is definitely
-		// expired and the caller sees ctx.Err(), not a raw I/O timeout.
-		deadline = d.Add(10 * time.Millisecond)
-	} else if c.timeout > 0 {
-		deadline = time.Now().Add(c.timeout)
-	}
-	if err := c.conn.SetDeadline(deadline); err != nil {
-		return fmt.Errorf("matchsvc: set deadline: %w", err)
-	}
-	if ctx.Done() != nil {
-		conn := c.conn
-		stop := context.AfterFunc(ctx, func() { conn.SetDeadline(time.Now()) })
-		// Runs before the mutex is released. A false return means the
-		// interrupt already started and may yank the deadline after this
-		// call returns — retire the connection rather than let a later
-		// request race it.
-		defer func() {
-			if !stop() {
-				c.broken = true
-			}
-		}()
-	}
-	fail := func(err error) error {
-		// Includes deadline expiry: a late response arriving after the
-		// caller gave up must not be read as the answer to the next
-		// request, so the connection is replaced, not reused.
-		c.broken = true
-		if cerr := ctx.Err(); cerr != nil {
-			return cerr
+		err = c.callOn(ctx, w, op, payload, decode)
+		c.pool.checkin(w)
+		if errors.Is(err, errConnStale) && stale < 2 && ctx.Err() == nil {
+			continue
 		}
 		return err
 	}
-	if err := writeFrameHdr(c.conn, op, payload, &c.hdr); err != nil {
-		return fail(err)
-	}
-	status, resp, err := readFrameIntoHdr(c.conn, c.recv, &c.hdr)
-	if err != nil {
-		return fail(fmt.Errorf("matchsvc: read response: %w", err))
-	}
-	if c.met != nil {
-		c.met.respBytes.Observe(int64(len(resp)))
-	}
-	if cap(resp) > cap(c.recv) {
-		c.recv = resp[:0]
-	}
-	r := payloadReader{buf: resp}
-	if status == StatusError {
-		msg, err := r.string()
-		if err != nil {
-			msg = "(malformed error payload)"
+}
+
+func (c *Client) callOn(ctx context.Context, w *wireConn, op byte, payload []byte, decode func(*payloadReader) error) error {
+	if err := w.negotiate(ctx); err != nil {
+		if ctx.Err() == nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			// Another caller's context drove the shared handshake and gave
+			// up; that cancellation is not ours. Replay on a fresh conn.
+			return errConnStale
 		}
-		return fmt.Errorf("%w: %s", ErrRemote, msg)
+		return err
 	}
-	if status != StatusOK {
-		return fmt.Errorf("matchsvc: unknown status 0x%02x", status)
+	if w.muxed {
+		return w.muxCall(ctx, op, payload, decode)
 	}
-	if decode == nil {
-		return nil
-	}
-	return decode(&r)
+	return w.legacyCall(ctx, op, payload, decode)
 }
 
 // Ping checks liveness.
 func (c *Client) Ping(ctx context.Context) error {
-	return c.roundTrip(ctx, OpPing, nil, nil)
+	return c.roundTripIdem(ctx, OpPing, nil, nil)
 }
 
 // MatchResult is the service-side comparison outcome.
@@ -376,7 +469,7 @@ func (c *Client) Verify(ctx context.Context, id string, probe *minutiae.Template
 		return MatchResult{}, err
 	}
 	var res MatchResult
-	err := c.roundTrip(ctx, OpVerify, fs.w.buf, func(r *payloadReader) (derr error) {
+	err := c.roundTripIdem(ctx, OpVerify, fs.w.buf, func(r *payloadReader) (derr error) {
 		res, derr = decodeMatch(r)
 		return derr
 	})
@@ -393,7 +486,7 @@ func (c *Client) Identify(ctx context.Context, probe *minutiae.Template, k int) 
 		return nil, err
 	}
 	var cands []gallery.Candidate
-	err := c.roundTrip(ctx, OpIdentify, fs.w.buf, func(r *payloadReader) (derr error) {
+	err := c.roundTripIdem(ctx, OpIdentify, fs.w.buf, func(r *payloadReader) (derr error) {
 		cands, derr = decodeCandidates(r)
 		return derr
 	})
@@ -415,7 +508,7 @@ func (c *Client) IdentifyEx(ctx context.Context, probe *minutiae.Template, k int
 	}
 	var stats gallery.IdentifyStats
 	var cands []gallery.Candidate
-	err := c.roundTrip(ctx, OpIdentifyEx, fs.w.buf, func(r *payloadReader) error {
+	err := c.roundTripIdem(ctx, OpIdentifyEx, fs.w.buf, func(r *payloadReader) error {
 		var vals [4]uint32
 		for i := range vals {
 			var derr error
@@ -476,7 +569,7 @@ func (c *Client) Has(ctx context.Context, id string) (bool, error) {
 		return false, err
 	}
 	var v uint32
-	err := c.roundTrip(ctx, OpHas, fs.w.buf, func(r *payloadReader) (derr error) {
+	err := c.roundTripIdem(ctx, OpHas, fs.w.buf, func(r *payloadReader) (derr error) {
 		v, derr = r.uint32()
 		return derr
 	})
@@ -495,7 +588,7 @@ func (c *Client) Scan(ctx context.Context, afterID string, max int) ([]gallery.E
 	}
 	fs.w.uint32(uint32(max))
 	var out []gallery.Export
-	err := c.roundTrip(ctx, OpScan, fs.w.buf, func(r *payloadReader) error {
+	err := c.roundTripIdem(ctx, OpScan, fs.w.buf, func(r *payloadReader) error {
 		n, derr := r.uint32()
 		if derr != nil {
 			return derr
@@ -547,7 +640,7 @@ func (c *Client) Remove(ctx context.Context, id string) error {
 // back to Count.
 func (c *Client) ServiceStats(ctx context.Context) (ServiceStats, error) {
 	var st ServiceStats
-	err := c.roundTrip(ctx, OpStats, nil, func(r *payloadReader) (derr error) {
+	err := c.roundTripIdem(ctx, OpStats, nil, func(r *payloadReader) (derr error) {
 		st, derr = decodeServiceStats(r)
 		return derr
 	})
@@ -557,7 +650,7 @@ func (c *Client) ServiceStats(ctx context.Context) (ServiceStats, error) {
 // Count returns the number of enrollments.
 func (c *Client) Count(ctx context.Context) (int, error) {
 	var n uint32
-	err := c.roundTrip(ctx, OpCount, nil, func(r *payloadReader) (derr error) {
+	err := c.roundTripIdem(ctx, OpCount, nil, func(r *payloadReader) (derr error) {
 		n, derr = r.uint32()
 		return derr
 	})

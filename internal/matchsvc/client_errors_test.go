@@ -19,7 +19,11 @@ import (
 )
 
 // fakeServer accepts one connection, reads one request frame, and hands
-// the connection to respond for a scripted reply.
+// the connection to respond for a scripted reply. It models a server
+// predating the mux: the client's OpHello is refused with a
+// status-error frame on a connection that stays open (exactly what the
+// old unknown-opcode path did), so the client falls back to the
+// serialized legacy protocol and the script answers the real request.
 func fakeServer(t *testing.T, respond func(conn net.Conn)) string {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -33,8 +37,19 @@ func fakeServer(t *testing.T, respond func(conn net.Conn)) string {
 			return
 		}
 		defer conn.Close()
-		if _, _, err := readFrame(conn); err != nil {
+		op, _, err := readFrame(conn)
+		if err != nil {
 			return
+		}
+		if op == OpHello {
+			var w payloadWriter
+			_ = w.string("matchsvc: unknown opcode 0x0d")
+			if err := writeFrame(conn, StatusError, w.buf); err != nil {
+				return
+			}
+			if _, _, err := readFrame(conn); err != nil {
+				return
+			}
 		}
 		respond(conn)
 	}()

@@ -13,7 +13,7 @@ import (
 var framesOutstanding atomic.Int64
 
 // opLabels maps opcodes to their metric label, indexed by opcode.
-var opLabels = [OpStats + 1]string{
+var opLabels = [OpHello + 1]string{
 	OpPing:        "ping",
 	OpMatch:       "match",
 	OpEnroll:      "enroll",
@@ -26,12 +26,15 @@ var opLabels = [OpStats + 1]string{
 	OpScan:        "scan",
 	OpHas:         "has",
 	OpStats:       "stats",
+	OpHello:       "hello",
 }
 
 // clientMetrics holds a client's handles, resolved once in SetMetrics.
 type clientMetrics struct {
 	inflight  *obs.Gauge     // matchsvc_client_inflight
 	redials   *obs.Counter   // matchsvc_client_redials_total
+	retries   *obs.Counter   // matchsvc_client_retries_total
+	late      *obs.Counter   // matchsvc_client_late_responses_total
 	reqBytes  *obs.Histogram // matchsvc_client_request_bytes
 	respBytes *obs.Histogram // matchsvc_client_response_bytes
 }
@@ -49,6 +52,10 @@ func (c *Client) SetMetrics(reg *obs.Registry) {
 			"Requests currently holding the client connection."),
 		redials: reg.Counter("matchsvc_client_redials_total",
 			"Transparent reconnects after a transport failure."),
+		retries: reg.Counter("matchsvc_client_retries_total",
+			"Idempotent requests transparently retried after a transport failure."),
+		late: reg.Counter("matchsvc_client_late_responses_total",
+			"Multiplexed responses discarded because their caller had already given up."),
 		reqBytes: reg.Histogram("matchsvc_client_request_bytes",
 			"Request frame payload sizes in bytes.", obs.SizeBuckets()),
 		respBytes: reg.Histogram("matchsvc_client_response_bytes",

@@ -1,0 +1,494 @@
+package matchsvc
+
+// The multiplexed connection. One wireConn carries many concurrent
+// requests: callers seal their request under a fresh request ID, a
+// single demux reader goroutine routes each response frame to the
+// waiter that owns its ID, and a group-flushed buffered writer
+// coalesces frames queued by concurrent callers into fewer syscalls.
+// The mode is negotiated per connection (see OpHello): against a server
+// predating the mux the same wireConn falls back to the serialized v1
+// protocol under a per-call mutex, and the pool's other connections
+// provide the parallelism instead.
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// muxWriteTimeout bounds a single frame write on a multiplexed
+// connection when the caller's context carries no tighter deadline: the
+// write mutex is shared by every in-flight call, so one peer that stops
+// draining must fail the connection rather than wedge the pool slot.
+const muxWriteTimeout = 30 * time.Second
+
+// errConnStale classifies a request that never reached the wire because
+// its connection had already been retired (server idle drop, another
+// caller's failure). The pool checks out a fresh connection and
+// replays the request once — the transparent-redial behavior the
+// serialized client had.
+var errConnStale = fmt.Errorf("%w: connection retired before send", ErrTransport)
+
+// errConnRetired retires a connection without a more specific cause
+// (pool shutdown, a deadline yanked by another caller's cancellation).
+// Unlike errConnStale it may reach calls whose request was already on
+// the wire, so it is never replayed outside the Retry policy.
+var errConnRetired = fmt.Errorf("%w: connection retired", ErrTransport)
+
+// muxResult is one response frame routed to its waiter, or the
+// connection-level failure that retired all waiters.
+type muxResult struct {
+	status byte
+	body   []byte
+	err    error
+}
+
+// wireConn is one pooled connection in either protocol mode.
+type wireConn struct {
+	nc net.Conn
+	c  *Client
+
+	// Negotiation runs once, driven by the first caller; nego flips
+	// after the mode is known.
+	negoOnce sync.Once
+	negoErr  error
+	nego     atomic.Bool
+	muxed    bool
+
+	// Legacy mode: one request at a time under lmu; recv and lhdr are
+	// the per-connection scratch the serialized protocol reuses.
+	lmu  sync.Mutex
+	recv []byte
+	lhdr [5]byte
+
+	// Muxed mode: wmu serializes frame writes into bw; queued counts
+	// writers waiting on wmu so the last one in a burst flushes for the
+	// whole group.
+	wmu    sync.Mutex
+	bw     *bufio.Writer
+	whdr   [muxFrameHdrSize]byte
+	queued atomic.Int32
+
+	// pmu guards the waiter table and death state.
+	pmu     sync.Mutex
+	pending map[uint64]chan muxResult
+	dead    bool
+	deadErr error
+	nextID  atomic.Uint64
+
+	// refs counts pool checkouts; lastUsed is the unixnano of the last
+	// checkin, consulted by the keepalive loop.
+	refs     atomic.Int32
+	lastUsed atomic.Int64
+}
+
+func newWireConn(c *Client, nc net.Conn) *wireConn {
+	w := &wireConn{nc: nc, c: c}
+	w.touch()
+	return w
+}
+
+func (w *wireConn) touch() { w.lastUsed.Store(time.Now().UnixNano()) }
+
+func (w *wireConn) isDead() bool {
+	w.pmu.Lock()
+	defer w.pmu.Unlock()
+	return w.dead
+}
+
+// deadError is what a call that had not yet sent anything reports when
+// it finds its connection already retired: always errConnStale, so the
+// caller replays on a fresh connection regardless of idempotence.
+func (w *wireConn) deadError() error {
+	return errConnStale
+}
+
+// kill retires the connection with err: the socket closes (unblocking
+// the demux reader and any in-flight I/O) and every pending waiter
+// receives the error promptly. First failure wins.
+func (w *wireConn) kill(err error) {
+	w.pmu.Lock()
+	if w.dead {
+		w.pmu.Unlock()
+		return
+	}
+	w.dead = true
+	w.deadErr = err
+	pend := w.pending
+	w.pending = nil
+	w.pmu.Unlock()
+	w.nc.Close()
+	for _, ch := range pend {
+		ch <- muxResult{err: err}
+	}
+}
+
+// close retires the connection without an error to report (pool
+// shutdown or eviction of an already-dead conn).
+func (w *wireConn) close() { w.kill(errConnRetired) }
+
+// armDeadline applies the per-call connection deadline the serialized
+// protocol uses: the context's deadline (padded so the watcher below
+// always outruns it), else the client's fallback request timeout, else
+// a cleared deadline. A cancellable context is watched for the duration
+// of the call; cancellation yanks the deadline to interrupt blocked
+// I/O. The returned disarm must run before the call returns — a watcher
+// that already started may yank the deadline late, so the connection is
+// retired rather than let a later request race it.
+func (w *wireConn) armDeadline(ctx context.Context) (disarm func(), err error) {
+	var deadline time.Time // zero clears any previous call's deadline
+	if d, ok := ctx.Deadline(); ok {
+		deadline = d.Add(10 * time.Millisecond)
+	} else if t := w.c.requestTimeout(); t > 0 {
+		deadline = time.Now().Add(t)
+	}
+	if err := w.nc.SetDeadline(deadline); err != nil {
+		return nil, fmt.Errorf("matchsvc: set deadline: %w", err)
+	}
+	if ctx.Done() == nil {
+		return func() {}, nil
+	}
+	nc := w.nc
+	stop := context.AfterFunc(ctx, func() { nc.SetDeadline(time.Now()) })
+	return func() {
+		if !stop() {
+			w.kill(errConnRetired)
+		}
+	}, nil
+}
+
+// negotiate establishes the connection's protocol mode, driven by the
+// first caller under its context; concurrent callers wait on the same
+// handshake and share its outcome.
+func (w *wireConn) negotiate(ctx context.Context) error {
+	w.negoOnce.Do(func() {
+		w.negoErr = w.doHello(ctx)
+		w.nego.Store(true)
+	})
+	return w.negoErr
+}
+
+// negotiated reports whether the handshake has completed (the keepalive
+// loop only pings connections whose mode is known).
+func (w *wireConn) negotiated() bool { return w.nego.Load() }
+
+// doHello performs the version handshake. StatusOK upgrades the
+// connection to the mux and starts the demux reader; StatusError is an
+// old server rejecting the opcode while keeping the connection open, so
+// the wireConn speaks the serialized v1 protocol instead.
+func (w *wireConn) doHello(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		w.kill(errConnRetired)
+		return err
+	}
+	disarm, err := w.armDeadline(ctx)
+	if err != nil {
+		err = transportErr(err)
+		w.kill(err)
+		return err
+	}
+	defer disarm()
+	fail := func(err error) error {
+		err = transportErr(err)
+		w.kill(err)
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		return err
+	}
+	var version [4]byte
+	version[3] = protoMuxed
+	if err := writeFrameHdr(w.nc, OpHello, version[:], &w.lhdr); err != nil {
+		return fail(err)
+	}
+	status, resp, err := readFrameIntoHdr(w.nc, w.recv, &w.lhdr)
+	if err != nil {
+		return fail(fmt.Errorf("matchsvc: read hello response: %w", err))
+	}
+	if cap(resp) > cap(w.recv) {
+		w.recv = resp[:0]
+	}
+	switch status {
+	case StatusError:
+		// Only two refusals legitimately carry StatusError: a server
+		// predating OpHello rejecting the opcode (it keeps the
+		// connection open), and a current server refusing the proposed
+		// version. Anything else — e.g. a corrupted frame that happens
+		// to parse as an error — must not steer this connection into
+		// the checksum-free legacy mode; retire it and redial.
+		r := payloadReader{buf: resp}
+		msg, derr := r.string()
+		if derr != nil || !(strings.Contains(msg, "unknown opcode 0x0d") ||
+			strings.Contains(msg, "unsupported protocol version")) {
+			return fail(fmt.Errorf("matchsvc: hello rejected unrecognizably: %q", msg))
+		}
+		// Speak the serialized v1 protocol on this connection.
+		return nil
+	case StatusOK:
+		r := payloadReader{buf: resp}
+		v, derr := r.uint32()
+		if derr != nil || v != protoMuxed {
+			return fail(fmt.Errorf("matchsvc: hello negotiated unusable version %d (%v)", v, derr))
+		}
+		// The demux reader owns the read side from here and blocks
+		// freely between responses; per-call bounds move to each
+		// waiter's context, so the handshake deadline must not linger.
+		if err := w.nc.SetDeadline(time.Time{}); err != nil {
+			return fail(fmt.Errorf("matchsvc: clear deadline: %w", err))
+		}
+		w.bw = bufio.NewWriterSize(w.nc, 32*1024)
+		w.pmu.Lock()
+		if w.dead {
+			w.pmu.Unlock()
+			return fail(errors.New("matchsvc: connection retired during handshake"))
+		}
+		w.muxed = true
+		w.pending = make(map[uint64]chan muxResult)
+		w.pmu.Unlock()
+		go w.readLoop()
+		return nil
+	default:
+		return fail(fmt.Errorf("matchsvc: unknown hello status 0x%02x", status))
+	}
+}
+
+// readLoop is the demux reader: it routes each response frame to the
+// waiter owning its request ID. Any framing, checksum, or unknown-ID
+// violation retires the connection — every in-flight call then gets a
+// prompt typed error and the pool replaces the conn on next checkout.
+func (w *wireConn) readLoop() {
+	var hdr [5]byte
+	for {
+		status, payload, err := readFrameIntoHdr(w.nc, nil, &hdr)
+		if err != nil {
+			w.kill(transportErr(fmt.Errorf("matchsvc: read response: %w", err)))
+			return
+		}
+		id, body, err := openMuxEnvelope(status, payload)
+		if err != nil {
+			w.kill(transportErr(err))
+			return
+		}
+		if id == 0 || id > w.nextID.Load() {
+			// An ID this client never issued: the server (or something
+			// between) is off the rails; nothing on this stream can be
+			// trusted to be the answer to the right question.
+			w.kill(transportErr(fmt.Errorf("matchsvc: response carries unknown request id %d", id)))
+			return
+		}
+		w.pmu.Lock()
+		ch := w.pending[id]
+		delete(w.pending, id)
+		w.pmu.Unlock()
+		if ch == nil {
+			// A late answer to an abandoned call. Routing by ID makes it
+			// safely discardable — unlike the serialized protocol, the
+			// connection survives.
+			if m := w.c.metrics(); m != nil {
+				m.late.Inc()
+			}
+			continue
+		}
+		if m := w.c.metrics(); m != nil {
+			m.respBytes.Observe(int64(len(body)))
+		}
+		ch <- muxResult{status: status, body: body}
+	}
+}
+
+// forget abandons a waiter (its caller gave up before the response).
+func (w *wireConn) forget(id uint64) {
+	w.pmu.Lock()
+	delete(w.pending, id)
+	w.pmu.Unlock()
+}
+
+// writeMux queues one sealed frame. Writes from concurrent callers
+// serialize under wmu into the buffered writer; a writer with nobody
+// queued behind it flushes for the whole burst, so depth-N traffic
+// coalesces into far fewer syscalls than N. A write failure retires the
+// connection — a partial frame may already be on the wire, after which
+// nothing framed can follow it.
+func (w *wireConn) writeMux(ctx context.Context, op byte, id uint64, body []byte) error {
+	w.queued.Add(1)
+	w.wmu.Lock()
+	w.queued.Add(-1)
+	defer w.wmu.Unlock()
+	if w.isDead() {
+		return w.deadError()
+	}
+	deadline := time.Now().Add(muxWriteTimeout)
+	if d, ok := ctx.Deadline(); ok {
+		if padded := d.Add(10 * time.Millisecond); padded.Before(deadline) {
+			deadline = padded
+		}
+	}
+	// SetWriteDeadline cannot disturb the demux reader, whose read side
+	// is deadline-free.
+	if err := w.nc.SetWriteDeadline(deadline); err != nil {
+		err = transportErr(err)
+		w.kill(err)
+		return err
+	}
+	err := writeMuxFrame(w.bw, op, id, body, &w.whdr)
+	if err == nil && w.queued.Load() == 0 {
+		err = w.bw.Flush()
+	}
+	if err != nil {
+		err = transportErr(err)
+		w.kill(err)
+		return err
+	}
+	return nil
+}
+
+// muxCall runs one request over the multiplexed connection: register a
+// waiter, seal and send, then wait for the demux reader (or the
+// caller's context, or the fallback request timeout). A caller that
+// gives up deregisters its waiter and leaves the connection healthy —
+// its late response is discarded by ID, which is precisely what the
+// serialized protocol could not do.
+func (w *wireConn) muxCall(ctx context.Context, op byte, payload []byte, decode func(*payloadReader) error) error {
+	id := w.nextID.Add(1)
+	ch := make(chan muxResult, 1)
+	w.pmu.Lock()
+	if w.dead || w.pending == nil {
+		w.pmu.Unlock()
+		return w.deadError()
+	}
+	w.pending[id] = ch
+	w.pmu.Unlock()
+	if m := w.c.metrics(); m != nil {
+		m.reqBytes.Observe(int64(len(payload)))
+	}
+	if err := w.writeMux(ctx, op, id, payload); err != nil {
+		w.forget(id)
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		return err
+	}
+	var timerC <-chan time.Time
+	if _, hasDeadline := ctx.Deadline(); !hasDeadline {
+		if t := w.c.requestTimeout(); t > 0 {
+			timer := time.NewTimer(t)
+			defer timer.Stop()
+			timerC = timer.C
+		}
+	}
+	select {
+	case res := <-ch:
+		if res.err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+			return res.err
+		}
+		return decodeResponse(res.status, res.body, decode)
+	case <-ctx.Done():
+		w.forget(id)
+		return ctx.Err()
+	case <-timerC:
+		w.forget(id)
+		return fmt.Errorf("matchsvc: request timed out after %v: %w", w.c.requestTimeout(), os.ErrDeadlineExceeded)
+	}
+}
+
+// legacyCall runs one serialized v1 round trip under the per-connection
+// mutex — the original client's protocol, kept for servers that predate
+// the mux. Any transport failure (including a deadline expiry, whose
+// late response must not be read as the answer to a later request)
+// retires the connection; the pool replaces it on next checkout.
+func (w *wireConn) legacyCall(ctx context.Context, op byte, payload []byte, decode func(*payloadReader) error) error {
+	w.lmu.Lock()
+	defer w.lmu.Unlock()
+	//fpvet:allow locksafe the v1 protocol is serialized per connection by design; the armed socket deadline bounds the hold
+	return w.legacyCallLocked(ctx, op, payload, decode)
+}
+
+func (w *wireConn) legacyCallLocked(ctx context.Context, op byte, payload []byte, decode func(*payloadReader) error) error {
+	if w.isDead() {
+		return w.deadError()
+	}
+	m := w.c.metrics()
+	if m != nil {
+		m.reqBytes.Observe(int64(len(payload)))
+	}
+	disarm, err := w.armDeadline(ctx)
+	if err != nil {
+		err = transportErr(err)
+		w.kill(err)
+		return err
+	}
+	defer disarm()
+	fail := func(err error) error {
+		err = transportErr(err)
+		w.kill(err)
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		return err
+	}
+	if err := writeFrameHdr(w.nc, op, payload, &w.lhdr); err != nil {
+		return fail(err)
+	}
+	status, resp, err := readFrameIntoHdr(w.nc, w.recv, &w.lhdr)
+	if err != nil {
+		return fail(fmt.Errorf("matchsvc: read response: %w", err))
+	}
+	if m != nil {
+		m.respBytes.Observe(int64(len(resp)))
+	}
+	if cap(resp) > cap(w.recv) {
+		w.recv = resp[:0]
+	}
+	return decodeResponse(status, resp, decode)
+}
+
+// decodeResponse interprets a response's status and payload — shared by
+// both protocol modes, so error shapes are identical across them.
+func decodeResponse(status byte, resp []byte, decode func(*payloadReader) error) error {
+	r := payloadReader{buf: resp}
+	if status == StatusError {
+		msg, err := r.string()
+		if err != nil {
+			msg = "(malformed error payload)"
+		}
+		return fmt.Errorf("%w: %s", ErrRemote, msg)
+	}
+	if status != StatusOK {
+		return fmt.Errorf("matchsvc: unknown status 0x%02x", status)
+	}
+	if decode == nil {
+		return nil
+	}
+	return decode(&r)
+}
+
+// keepalivePing best-effort pings the connection so a server's idle
+// deadline does not silently kill a healthy pooled conn. A legacy
+// connection that is mid-request is by definition not idle, so a
+// contended mutex just skips the round.
+func (w *wireConn) keepalivePing(ctx context.Context) {
+	if !w.negotiated() || w.isDead() {
+		return
+	}
+	if w.muxed {
+		_ = w.muxCall(ctx, OpPing, nil, nil)
+		w.touch()
+		return
+	}
+	if !w.lmu.TryLock() {
+		return
+	}
+	defer w.lmu.Unlock()
+	_ = w.legacyCallLocked(ctx, OpPing, nil, nil)
+	w.touch()
+}

@@ -1,6 +1,7 @@
 package matchsvc
 
 import (
+	"bufio"
 	"context"
 	"encoding/binary"
 	"errors"
@@ -8,7 +9,9 @@ import (
 	"io"
 	"log"
 	"net"
+	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fpinterop/internal/gallery"
@@ -121,6 +124,21 @@ func (s *Server) Listen(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
+// ListenOn serves on an externally-created listener instead of binding
+// one — the hook fault-injection harnesses use to interpose on the
+// accept path (e.g. faultnet.Wrap around a TCP listener). The server
+// takes ownership: Close closes it.
+func (s *Server) ListenOn(ln net.Listener) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		ln.Close()
+		return errors.New("matchsvc: server already closed")
+	}
+	s.listener = ln
+	return nil
+}
+
 // Serve accepts connections until the context is cancelled or Close is
 // called. Listen must have been called first.
 func (s *Server) Serve(ctx context.Context) error {
@@ -140,6 +158,15 @@ func (s *Server) Serve(ctx context.Context) error {
 			if ctx.Err() != nil || s.isClosed() {
 				s.wg.Wait()
 				return nil
+			}
+			if te, ok := err.(interface{ Temporary() bool }); ok && te.Temporary() {
+				// Transient accept failure (fd pressure, injected fault):
+				// back off briefly instead of tearing the server down.
+				select {
+				case <-ctx.Done():
+				case <-time.After(5 * time.Millisecond):
+				}
+				continue
 			}
 			return fmt.Errorf("matchsvc: accept: %w", err)
 		}
@@ -213,6 +240,51 @@ func (s *Server) handle(conn net.Conn) error {
 		}
 		fs.keep(payload)
 		fs.w.buf = fs.w.buf[:0]
+		if op == OpHello {
+			// Version negotiation: a client proposing the multiplexed
+			// protocol (or newer) gets StatusOK plus the version the
+			// server will speak, and the connection switches to the mux
+			// dispatcher. Anything else is refused with a status error —
+			// the connection stays open in legacy mode.
+			var t0 time.Time
+			if s.met != nil {
+				t0 = time.Now()
+			}
+			r := payloadReader{buf: payload}
+			ver, verr := r.uint32()
+			if verr != nil {
+				// An unparseable hello is indistinguishable from a frame
+				// corrupted in transit; a StatusError answer would steer
+				// the client into the checksum-free legacy mode, so drop
+				// the connection and let it redial cleanly instead.
+				return fmt.Errorf("matchsvc: malformed hello payload: %w", verr)
+			}
+			upgrade := ver >= protoMuxed
+			status := byte(StatusOK)
+			if upgrade {
+				fs.w.uint32(protoMuxed)
+			} else {
+				status = StatusError
+				if err := fs.w.string("matchsvc: unsupported protocol version"); err != nil {
+					return err
+				}
+			}
+			if s.met != nil {
+				s.met.observeOp(OpHello, t0)
+			}
+			if s.idleTimeout > 0 {
+				if err := conn.SetWriteDeadline(time.Now().Add(s.idleTimeout)); err != nil {
+					return fmt.Errorf("matchsvc: set write deadline: %w", err)
+				}
+			}
+			if err := writeFrameHdr(conn, status, fs.w.buf, &fs.hdr); err != nil {
+				return err
+			}
+			if upgrade {
+				return s.handleMux(conn)
+			}
+			continue
+		}
 		var t0 time.Time
 		if s.met != nil {
 			t0 = time.Now()
@@ -464,5 +536,113 @@ func (s *Server) dispatch(op byte, payload []byte, w *payloadWriter) (byte, []by
 
 	default:
 		return fail(fmt.Errorf("matchsvc: unknown opcode 0x%02x", op))
+	}
+}
+
+// muxServerConcurrency bounds how many requests one multiplexed
+// connection may have executing at once; excess frames queue at the
+// read loop, applying natural backpressure through TCP.
+const muxServerConcurrency = 128
+
+// posReader counts bytes so the mux read loop can tell an idle
+// connection (zero bytes of the next frame arrived — fine while
+// responses are still owed) from a stalled one (a frame cut off
+// mid-header, which desyncs the stream and must drop the conn).
+type posReader struct {
+	r io.Reader
+	n int64
+}
+
+func (p *posReader) Read(b []byte) (int, error) {
+	n, err := p.r.Read(b)
+	p.n += int64(n)
+	return n, err
+}
+
+// handleMux serves one negotiated multiplexed connection: each request
+// frame dispatches on its own goroutine (bounded by
+// muxServerConcurrency) and responses return in completion order,
+// carrying the request ID they answer. One slow 1:N no longer blocks
+// the pings queued behind it — the whole point of the mux. Response
+// writes group-flush through a buffered writer, so bursts of small
+// responses coalesce into few syscalls.
+func (s *Server) handleMux(conn net.Conn) error {
+	pr := &posReader{r: conn}
+	bw := bufio.NewWriterSize(conn, 32*1024)
+	var (
+		wmu      sync.Mutex
+		queued   atomic.Int32
+		whdr     [muxFrameHdrSize]byte
+		inflight atomic.Int64
+		wg       sync.WaitGroup
+		hdr      [5]byte
+	)
+	defer wg.Wait()
+	writeRes := func(id uint64, status byte, resp []byte) {
+		queued.Add(1)
+		wmu.Lock()
+		queued.Add(-1)
+		defer wmu.Unlock()
+		if s.idleTimeout > 0 {
+			if err := conn.SetWriteDeadline(time.Now().Add(s.idleTimeout)); err != nil {
+				conn.Close()
+				return
+			}
+		}
+		err := writeMuxFrame(bw, status, id, resp, &whdr)
+		if err == nil && queued.Load() == 0 {
+			err = bw.Flush()
+		}
+		if err != nil {
+			// A torn response frame desyncs the stream; closing the socket
+			// fails the read loop too, which is the only safe recovery.
+			conn.Close()
+		}
+	}
+	sem := make(chan struct{}, muxServerConcurrency)
+	for {
+		if s.idleTimeout > 0 {
+			if err := conn.SetReadDeadline(time.Now().Add(s.idleTimeout)); err != nil {
+				return fmt.Errorf("matchsvc: set read deadline: %w", err)
+			}
+		}
+		start := pr.n
+		op, payload, err := readFrameIntoHdr(pr, nil, &hdr)
+		if err != nil {
+			if errors.Is(err, os.ErrDeadlineExceeded) && pr.n == start && inflight.Load() > 0 {
+				// Quiet between frames while requests still execute: their
+				// responses are the connection's liveness. Keep waiting.
+				continue
+			}
+			return err
+		}
+		id, body, err := openMuxEnvelope(op, payload)
+		if err != nil {
+			// The envelope (or its checksum) is unreadable, so no error
+			// reply can name the request it answers; drop the conn.
+			return err
+		}
+		sem <- struct{}{}
+		inflight.Add(1)
+		wg.Add(1)
+		go func(op byte, id uint64, body []byte) {
+			defer wg.Done()
+			defer inflight.Add(-1)
+			defer func() { <-sem }()
+			fs := acquireFrameScratch()
+			defer releaseFrameScratch(fs)
+			fs.w.buf = fs.w.buf[:0]
+			var t0 time.Time
+			if s.met != nil {
+				t0 = time.Now()
+				s.met.inflight.Inc()
+			}
+			status, resp := s.dispatch(op, body, &fs.w)
+			if s.met != nil {
+				s.met.observeOp(op, t0)
+				s.met.inflight.Dec()
+			}
+			writeRes(id, status, resp)
+		}(op, id, body)
 	}
 }

@@ -1,0 +1,192 @@
+package shard
+
+// Hedged-identify tests: a shard whose first answer never comes forces
+// the router to re-send the leg after the hedge delay, and the contract
+// is (a) the search still succeeds, (b) exactly one attempt's answer is
+// used so results are bit-identical to the unhedged path, and (c) the
+// fired/won/wasted counters tell the story.
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fpinterop/internal/gallery"
+	"fpinterop/internal/minutiae"
+	"fpinterop/internal/obs"
+)
+
+// laggyBackend stalls its first `slow` IdentifyDetailed calls until the
+// context is cancelled — a replica with an infinitely long tail.
+type laggyBackend struct {
+	Backend
+	calls atomic.Int64
+	slow  int64
+}
+
+func (b *laggyBackend) IdentifyDetailed(ctx context.Context, probe *minutiae.Template, k int) ([]gallery.Candidate, gallery.IdentifyStats, error) {
+	if b.calls.Add(1) <= b.slow {
+		<-ctx.Done()
+		return nil, gallery.IdentifyStats{}, ctx.Err()
+	}
+	return b.Backend.IdentifyDetailed(ctx, probe, k)
+}
+
+// failFastBackend fails IdentifyDetailed immediately.
+type failFastBackend struct {
+	Backend
+}
+
+func (b *failFastBackend) IdentifyDetailed(ctx context.Context, probe *minutiae.Template, k int) ([]gallery.Candidate, gallery.IdentifyStats, error) {
+	return nil, gallery.IdentifyStats{}, errors.New("shard down")
+}
+
+// hedgeFixtureStores enrolls the shared fixtures through an unhedged
+// router so both routers under comparison see identical shard contents.
+func hedgeFixtureStores(t *testing.T) (locals []Backend, want func(probe *minutiae.Template) []gallery.Candidate) {
+	t.Helper()
+	gal, _ := fixtures(t)
+	locals = []Backend{
+		NewLocal("shard-0", gallery.New(nil)),
+		NewLocal("shard-1", gallery.New(nil)),
+	}
+	plain, err := New(locals, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := make([]Enrollment, len(gal))
+	for i, tpl := range gal {
+		items[i] = Enrollment{ID: subjectID(i), DeviceID: "D0", Template: tpl}
+	}
+	if err := plain.EnrollBatch(ctx, items); err != nil {
+		t.Fatal(err)
+	}
+	want = func(probe *minutiae.Template) []gallery.Candidate {
+		cands, err := plain.Identify(ctx, probe, 5)
+		if err != nil {
+			t.Fatalf("unhedged identify: %v", err)
+		}
+		return cands
+	}
+	return locals, want
+}
+
+func TestHedgedIdentifyRescuesSlowShardBitIdentical(t *testing.T) {
+	locals, want := hedgeFixtureStores(t)
+	_, probes := fixtures(t)
+	laggy := &laggyBackend{Backend: locals[0], slow: 1}
+	reg := obs.NewRegistry()
+	hedged, err := New([]Backend{laggy, locals[1]}, Options{
+		HedgeDelay:   25 * time.Millisecond,
+		ShardTimeout: 10 * time.Second,
+		Registry:     reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		got, err := hedged.Identify(ctx, probes[i], 5)
+		if err != nil {
+			t.Fatalf("hedged identify %d: %v", i, err)
+		}
+		if w := want(probes[i]); !reflect.DeepEqual(got, w) {
+			t.Errorf("hedged identify %d diverges from unhedged:\n got %+v\nwant %+v", i, got, w)
+		}
+	}
+	if fired := hedged.met.hedgesFired.Value(); fired < 1 {
+		t.Fatalf("hedgesFired = %d, want >= 1", fired)
+	}
+	if won := hedged.met.hedgesWon.Value(); won < 1 {
+		t.Fatalf("hedgesWon = %d, want >= 1", won)
+	}
+	if stalled := laggy.calls.Load(); stalled < 2 {
+		t.Fatalf("laggy backend saw %d calls, want the hedge's second attempt", stalled)
+	}
+}
+
+func TestHedgeWastedWhenPrimaryStillWins(t *testing.T) {
+	locals, want := hedgeFixtureStores(t)
+	_, probes := fixtures(t)
+	reg := obs.NewRegistry()
+	// A hedge delay of zero nanoseconds is "off"; use 1ns so the hedge
+	// fires on effectively every search while the primary still answers —
+	// every fired hedge should be wasted, never change the result.
+	hedged, err := New(locals, Options{
+		HedgeDelay: time.Nanosecond,
+		Registry:   reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		got, err := hedged.Identify(ctx, probes[i], 5)
+		if err != nil {
+			t.Fatalf("hedged identify %d: %v", i, err)
+		}
+		if w := want(probes[i]); !reflect.DeepEqual(got, w) {
+			t.Errorf("identify %d with racing hedges diverges:\n got %+v\nwant %+v", i, got, w)
+		}
+	}
+	fired := hedged.met.hedgesFired.Value()
+	won := hedged.met.hedgesWon.Value()
+	wasted := hedged.met.hedgesWasted.Value()
+	if fired != won+wasted {
+		t.Fatalf("hedge accounting leaks: fired=%d won=%d wasted=%d", fired, won, wasted)
+	}
+}
+
+func TestHedgeDoesNotFireOnFastFailure(t *testing.T) {
+	locals, _ := hedgeFixtureStores(t)
+	_, probes := fixtures(t)
+	reg := obs.NewRegistry()
+	hedged, err := New([]Backend{&failFastBackend{Backend: locals[0]}, locals[1]}, Options{
+		HedgeDelay: 2 * time.Second,
+		Registry:   reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now()
+	// SkipDegraded: the healthy shard still answers.
+	if _, err := hedged.Identify(ctx, probes[0], 5); err != nil {
+		t.Fatalf("identify with one failing shard: %v", err)
+	}
+	if elapsed := time.Since(t0); elapsed > time.Second {
+		t.Fatalf("fast failure waited %v; must not sit out the hedge delay", elapsed)
+	}
+	if fired := hedged.met.hedgesFired.Value(); fired != 0 {
+		t.Fatalf("hedgesFired = %d on an immediately-failing shard, want 0", fired)
+	}
+}
+
+func TestHedgeDelayAdaptsToObservedP95(t *testing.T) {
+	reg := obs.NewRegistry()
+	backends := []Backend{
+		NewLocal("shard-0", gallery.New(nil)),
+		NewLocal("shard-1", gallery.New(nil)),
+	}
+	r, err := New(backends, Options{HedgeDelay: 500 * time.Millisecond, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := r.topo().health[0]
+	if h.met == nil {
+		t.Fatal("metered router should anchor shard metrics on health")
+	}
+	// Below the sample floor the static option rules.
+	if d := r.hedgeDelay(h); d != 500*time.Millisecond {
+		t.Fatalf("pre-history hedge delay = %v, want the static 500ms", d)
+	}
+	// Feed fast-latency history; the delay must adapt to the observed
+	// p95 instead of the (much larger) static option.
+	for i := 0; i < 2*hedgeMinSamples; i++ {
+		h.met.lat.Observe(int64(2 * time.Millisecond))
+	}
+	d := r.hedgeDelay(h)
+	if d <= 0 || d >= 500*time.Millisecond {
+		t.Fatalf("adapted hedge delay = %v, want an observed-p95-scale value", d)
+	}
+}

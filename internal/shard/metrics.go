@@ -5,9 +5,12 @@ import "fpinterop/internal/obs"
 // routerMetrics holds the router-wide scatter-gather handles. Nil when
 // Options.Registry was not set; every record site branches on that.
 type routerMetrics struct {
-	searches *obs.Counter   // shard_searches_total
-	partial  *obs.Counter   // shard_partial_searches_total
-	fanout   *obs.Histogram // shard_scatter_fanout
+	searches     *obs.Counter   // shard_searches_total
+	partial      *obs.Counter   // shard_partial_searches_total
+	fanout       *obs.Histogram // shard_scatter_fanout
+	hedgesFired  *obs.Counter   // shard_hedges_fired_total
+	hedgesWon    *obs.Counter   // shard_hedges_won_total
+	hedgesWasted *obs.Counter   // shard_hedges_wasted_total
 }
 
 // shardMetrics holds one backend's handles. It rides on the health
@@ -32,6 +35,12 @@ func newRouterMetrics(reg *obs.Registry) *routerMetrics {
 			"Identifications with incomplete coverage (a shard skipped or failed)."),
 		fanout: reg.Histogram("shard_scatter_fanout",
 			"Shards queried per identification.", obs.SizeBuckets()),
+		hedgesFired: reg.Counter("shard_hedges_fired_total",
+			"Scatter legs re-sent after the hedge delay."),
+		hedgesWon: reg.Counter("shard_hedges_won_total",
+			"Hedged legs where the re-sent attempt answered first."),
+		hedgesWasted: reg.Counter("shard_hedges_wasted_total",
+			"Hedged legs where the primary answered first anyway."),
 	}
 }
 

@@ -73,6 +73,17 @@ type Options struct {
 	FailureThreshold int
 	// Policy selects the degraded-shard behavior (default SkipDegraded).
 	Policy Policy
+	// HedgeDelay enables hedged identification: a scatter leg still
+	// unanswered after the delay is re-sent to the same shard (over a
+	// different pooled connection when the backend is remote) and the
+	// first answer wins, taming the tail a single slow replica inflicts
+	// on every search. The delay adapts per shard to the observed p95
+	// identify latency once enough history accumulates (Registry must be
+	// set for that); until then — or without a Registry — HedgeDelay
+	// itself is the static delay. 0 (the default) disables hedging.
+	// Exactly one attempt's answer is used, so results are bit-identical
+	// to the unhedged path.
+	HedgeDelay time.Duration
 	// Registry, when non-nil, receives the router's metric families:
 	// per-shard identify latency and health gauges plus scatter fanout
 	// and partial-coverage counters. A nil registry costs one branch per
@@ -589,6 +600,92 @@ func (r *Router) callIdentify(ctx context.Context, b Backend, probe *minutiae.Te
 	}
 }
 
+// hedgeMinSamples is how much latency history a shard needs before its
+// hedge delay adapts to the observed p95 instead of the static option.
+const hedgeMinSamples = 32
+
+// hedgeDelay returns the delay before re-sending a scatter leg to this
+// shard; 0 means hedging is off.
+func (r *Router) hedgeDelay(h *health) time.Duration {
+	if r.opt.HedgeDelay <= 0 {
+		return 0
+	}
+	if h != nil && h.met != nil && h.met.lat.Count() >= hedgeMinSamples {
+		if p95 := h.met.lat.Quantile(0.95); p95 > 0 {
+			return time.Duration(p95)
+		}
+	}
+	return r.opt.HedgeDelay
+}
+
+// callIdentifyHedged is callIdentify with tail hedging: if the primary
+// attempt is still unanswered after the shard's hedge delay, a second
+// identical attempt races it and the first success wins. The loser is
+// cancelled and its answer discarded — exactly one attempt's result is
+// used, so the output is bit-identical to the unhedged path. A failure
+// before the hedge fires returns immediately (retrying errors is the
+// client retry policy's job, not the hedger's); once both attempts are
+// in flight, one failure waits for the other attempt, and only two
+// failures fail the leg (preferring the primary's error).
+func (r *Router) callIdentifyHedged(ctx context.Context, b Backend, h *health, probe *minutiae.Template, k int) shardAnswer {
+	delay := r.hedgeDelay(h)
+	if delay <= 0 {
+		return r.callIdentify(ctx, b, probe, k)
+	}
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type attempt struct {
+		ans    shardAnswer
+		hedged bool
+	}
+	ch := make(chan attempt, 2)
+	launch := func(hedged bool) {
+		go func() {
+			ch <- attempt{ans: r.callIdentify(actx, b, probe, k), hedged: hedged}
+		}()
+	}
+	launch(false)
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	hedgeFired := false
+	var primErr, hedgeErr *shardAnswer
+	for {
+		select {
+		case <-timer.C:
+			if !hedgeFired {
+				hedgeFired = true
+				if r.met != nil {
+					r.met.hedgesFired.Inc()
+				}
+				launch(true)
+			}
+		case a := <-ch:
+			if a.ans.err == nil {
+				if r.met != nil && hedgeFired {
+					if a.hedged {
+						r.met.hedgesWon.Inc()
+					} else {
+						r.met.hedgesWasted.Inc()
+					}
+				}
+				return a.ans
+			}
+			ans := a.ans
+			if a.hedged {
+				hedgeErr = &ans
+			} else {
+				primErr = &ans
+			}
+			if !hedgeFired {
+				return *primErr
+			}
+			if primErr != nil && hedgeErr != nil {
+				return *primErr
+			}
+		}
+	}
+}
+
 // Identify scatter-gathers the probe across the shards and returns the
 // global top-k candidates (all of them when k <= 0), ordered by
 // descending score with deterministic ID tie-breaks.
@@ -681,7 +778,7 @@ func (r *Router) IdentifyDetailed(ctx context.Context, probe *minutiae.Template,
 				if t.health[i].met != nil {
 					t0 = time.Now()
 				}
-				answers[i] = r.callIdentify(ctx, t.backends[i], probe, k)
+				answers[i] = r.callIdentifyHedged(ctx, t.backends[i], t.health[i], probe, k)
 				if m := t.health[i].met; m != nil {
 					m.lat.ObserveSince(t0)
 				}
