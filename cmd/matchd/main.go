@@ -8,6 +8,7 @@
 //	matchd [-addr 127.0.0.1:7070] [-preload N] [-seed N] [-device D0]
 //	       [-index] [-index-fanout N] [-idle-timeout 2m]
 //	       [-local-shards N | -shards addr1,addr2,...] [-shard-timeout D]
+//	       [-replicas "r0a,r0b;r1a"] [-replica-of ADDR] [-replica-sync-interval D]
 //	       [-pool-size N] [-retry N] [-keepalive D] [-hedge-delay D]
 //	       [-wal-dir DIR] [-compact-every N] [-metrics-addr HOST:PORT]
 //
@@ -35,6 +36,19 @@
 // fanning every identification out to all healthy shards. The two are
 // mutually exclusive; a remote front leaves indexing (-index) and
 // persistence (-store) to the shard processes that own the data.
+//
+// Replication: -replica-of ADDR runs this instance as a read replica of
+// a WAL-backed primary matchd at ADDR: it bootstraps from a snapshot
+// transfer, then continuously streams the primary's log tail (every
+// -replica-sync-interval, default 75ms), serving Verify/Identify/Has/
+// Scan from local state and refusing writes. Replica staleness is the
+// replica_lsn_lag gauge on /metrics. On a -shards front, -replicas
+// attaches those replicas to their primaries: semicolon-separated
+// groups in -shards order, each group a comma-separated address list
+// ("r0a,r0b;;r2a" gives shard 0 two replicas, shard 1 none, shard 2
+// one). Reads then balance across each slot's healthy members with
+// in-slot failover, and hedged identifies go to a different member
+// than the attempt they race.
 //
 // Resilience: on a -shards front, -pool-size pools N connections per
 // remote shard, -retry re-sends idempotent shard calls up to N total
@@ -76,6 +90,7 @@ import (
 	"fpinterop/internal/matchsvc"
 	"fpinterop/internal/obs"
 	"fpinterop/internal/population"
+	"fpinterop/internal/replica"
 	"fpinterop/internal/rng"
 	"fpinterop/internal/sensor"
 	"fpinterop/internal/shard"
@@ -101,6 +116,9 @@ func run(args []string) error {
 	idleTimeout := fs.Duration("idle-timeout", 2*time.Minute, "drop connections idle (or mid-frame) longer than this; 0 disables")
 	localShards := fs.Int("local-shards", 0, "partition the gallery across N in-process shards")
 	shardAddrs := fs.String("shards", "", "comma-separated remote matchd addresses to scatter-gather over")
+	replicaAddrs := fs.String("replicas", "", "read replicas per -shards slot: semicolon-separated groups in -shards order, each a comma-separated address list")
+	replicaOf := fs.String("replica-of", "", "run as a read replica of the WAL-backed primary matchd at this address")
+	replicaSyncInterval := fs.Duration("replica-sync-interval", 0, "how often a -replica-of instance polls the primary's log tail (0 = 75ms default)")
 	shardTimeout := fs.Duration("shard-timeout", 0, "per-shard identification deadline (0 = none)")
 	poolSize := fs.Int("pool-size", 1, "connections pooled per remote shard (requires -shards)")
 	retryAttempts := fs.Int("retry", 0, "total attempts for idempotent shard calls after transport failures, 0/1 = no retries (requires -shards)")
@@ -160,6 +178,25 @@ func run(args []string) error {
 	if *walDir != "" && *shardAddrs != "" {
 		return fmt.Errorf("-wal-dir belongs on the shard processes, not the -shards front")
 	}
+	if *replicaOf != "" {
+		switch {
+		case *localShards > 0 || *shardAddrs != "":
+			return fmt.Errorf("-replica-of runs a single-store replica; it excludes -local-shards and -shards")
+		case *walDir != "" || *storePath != "":
+			return fmt.Errorf("-replica-of replicates the primary's state; it excludes -wal-dir and -store")
+		case *preload > 0:
+			return fmt.Errorf("-replica-of refuses writes; it excludes -preload")
+		}
+	}
+	if *replicaSyncInterval < 0 {
+		return fmt.Errorf("-replica-sync-interval must be >= 0, got %v", *replicaSyncInterval)
+	}
+	if *replicaSyncInterval != 0 && *replicaOf == "" {
+		return fmt.Errorf("-replica-sync-interval requires -replica-of")
+	}
+	if *replicaAddrs != "" && *shardAddrs == "" {
+		return fmt.Errorf("-replicas attaches replicas to -shards slots; it requires -shards")
+	}
 
 	logger := obs.NewLogger(os.Stderr)
 	indexOpt := gallery.IndexOptions{Index: index.Options{Fanout: *indexFanout}}
@@ -178,6 +215,7 @@ func run(args []string) error {
 		store     *gallery.Store
 		router    *shard.Router
 		walStores []*wal.Store
+		follower  *replica.Follower
 	)
 	openWAL := func(dir, name string, st *gallery.Store) (*wal.Store, error) {
 		ws, err := wal.Open(dir, st, wal.Options{
@@ -195,39 +233,112 @@ func run(args []string) error {
 			"torn_tail", rec.TornTail, "truncated_bytes", rec.TruncatedBytes)
 		return ws, nil
 	}
+	dialRemote := func(a string) (*matchsvc.Client, error) {
+		dialCtx, dialCancel := context.WithTimeout(context.Background(), 5*time.Second)
+		cli, err := matchsvc.DialContext(dialCtx, a)
+		dialCancel()
+		if err != nil {
+			return nil, fmt.Errorf("dial shard %s: %w", a, err)
+		}
+		cli.SetRedialTimeout(5 * time.Second)
+		// A hung shard must not wedge the front: bound every round
+		// trip so abandoned scatter calls unwind instead of piling
+		// up, giving the router's own deadline generous headroom.
+		reqTimeout := 2 * *shardTimeout
+		if reqTimeout <= 0 {
+			reqTimeout = 2 * time.Minute
+		}
+		cli.SetRequestTimeout(reqTimeout)
+		cli.SetMetrics(reg)
+		cli.SetPoolSize(*poolSize)
+		if *retryAttempts > 1 {
+			cli.SetRetry(matchsvc.Retry{Attempts: *retryAttempts})
+		}
+		if *keepalive != 0 {
+			cli.SetKeepalive(*keepalive)
+		}
+		return cli, nil
+	}
 	switch {
+	case *replicaOf != "":
+		store = gallery.New(nil)
+		if *useIndex {
+			if err := store.EnableIndex(indexOpt); err != nil {
+				return fmt.Errorf("enable index: %w", err)
+			}
+		}
+		if reg != nil {
+			store.SetMetrics(reg, "replica")
+		}
+		cli, err := dialRemote(*replicaOf)
+		if err != nil {
+			return fmt.Errorf("replica: %w", err)
+		}
+		defer cli.Close()
+		follower = replica.NewFollower(store, cli, replica.FollowerOptions{
+			Interval: *replicaSyncInterval,
+			Metrics:  reg,
+			Shard:    "local",
+		})
+		// Catch up before accepting the first read, so a freshly started
+		// replica never serves an empty gallery against a full primary.
+		syncCtx, syncCancel := context.WithTimeout(context.Background(), 5*time.Minute)
+		err = follower.Sync(syncCtx)
+		syncCancel()
+		if err != nil {
+			return fmt.Errorf("replica: initial sync from %s: %w", *replicaOf, err)
+		}
+		logger.Info("replica synced", "primary", *replicaOf,
+			"lsn", follower.LSN(), "enrollments", store.Len())
+		backend = replica.ReadOnlyGallery{Store: store}
+
 	case *shardAddrs != "":
-		var backends []shard.Backend
+		var primaries []string
 		for _, a := range strings.Split(*shardAddrs, ",") {
-			a = strings.TrimSpace(a)
-			if a == "" {
-				continue
+			if a = strings.TrimSpace(a); a != "" {
+				primaries = append(primaries, a)
 			}
-			dialCtx, dialCancel := context.WithTimeout(context.Background(), 5*time.Second)
-			cli, err := matchsvc.DialContext(dialCtx, a)
-			dialCancel()
+		}
+		var groups [][]string
+		if *replicaAddrs != "" {
+			raw := strings.Split(*replicaAddrs, ";")
+			if len(raw) != len(primaries) {
+				return fmt.Errorf("-replicas lists %d slot groups, -shards has %d addresses", len(raw), len(primaries))
+			}
+			groups = make([][]string, len(raw))
+			for i, g := range raw {
+				for _, a := range strings.Split(g, ",") {
+					if a = strings.TrimSpace(a); a != "" {
+						groups[i] = append(groups[i], a)
+					}
+				}
+			}
+		}
+		var backends []shard.Backend
+		replicaCount := 0
+		for i, a := range primaries {
+			cli, err := dialRemote(a)
 			if err != nil {
-				return fmt.Errorf("dial shard %s: %w", a, err)
+				return err
 			}
-			cli.SetRedialTimeout(5 * time.Second)
 			defer cli.Close()
-			// A hung shard must not wedge the front: bound every round
-			// trip so abandoned scatter calls unwind instead of piling
-			// up, giving the router's own deadline generous headroom.
-			reqTimeout := 2 * *shardTimeout
-			if reqTimeout <= 0 {
-				reqTimeout = 2 * time.Minute
+			var b shard.Backend = shard.NewRemote(a, cli)
+			if groups != nil && len(groups[i]) > 0 {
+				members := make([]shard.Backend, 0, len(groups[i]))
+				for _, ra := range groups[i] {
+					rcli, err := dialRemote(ra)
+					if err != nil {
+						return fmt.Errorf("replica of %s: %w", a, err)
+					}
+					defer rcli.Close()
+					members = append(members, shard.NewRemote(ra, rcli))
+				}
+				replicaCount += len(members)
+				// The set keeps the primary's address as its ring name, so
+				// attaching replicas to a live deployment moves no keys.
+				b = replica.NewSet(a, b, members, replica.SetOptions{Metrics: reg})
 			}
-			cli.SetRequestTimeout(reqTimeout)
-			cli.SetMetrics(reg)
-			cli.SetPoolSize(*poolSize)
-			if *retryAttempts > 1 {
-				cli.SetRetry(matchsvc.Retry{Attempts: *retryAttempts})
-			}
-			if *keepalive != 0 {
-				cli.SetKeepalive(*keepalive)
-			}
-			backends = append(backends, shard.NewRemote(a, cli))
+			backends = append(backends, b)
 		}
 		var err error
 		router, err = shard.New(backends, shard.Options{ShardTimeout: *shardTimeout, Registry: reg, HedgeDelay: *hedgeDelay})
@@ -235,7 +346,7 @@ func run(args []string) error {
 			return err
 		}
 		backend = shard.Front{Router: router}
-		logger.Info("scatter-gather front", "remote_shards", len(backends))
+		logger.Info("scatter-gather front", "remote_shards", len(backends), "replicas", replicaCount)
 
 	case *localShards > 0:
 		backends := make([]shard.Backend, *localShards)
@@ -426,6 +537,11 @@ func run(args []string) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if follower != nil {
+		// Continuous catch-up for the life of the process; stops with
+		// the serve context on shutdown.
+		go follower.Run(ctx)
+	}
 	if *metricsAddr != "" {
 		view := func() adminView {
 			v := adminView{Stats: statsFn()}

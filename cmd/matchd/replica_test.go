@@ -1,0 +1,243 @@
+package main
+
+// Replica smoke test at the process level: a WAL-backed primary matchd
+// and two matchd read replicas (-replica-of) over real TCP. Replicas
+// bootstrap before serving, stream the primary's tail continuously,
+// refuse writes, expose their LSN lag on /metrics, and keep answering
+// identifies bit-identically to the primary — even after the primary
+// itself goes away.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"fpinterop/internal/matchsvc"
+	"fpinterop/internal/minutiae"
+	"fpinterop/internal/population"
+	"fpinterop/internal/rng"
+	"fpinterop/internal/sensor"
+)
+
+// startReplicaMatchd starts a helper-mode matchd replica with a metrics
+// listener, returning the serve and metrics addresses.
+func startReplicaMatchd(t *testing.T, primary string) (addr, metricsAddr string) {
+	t.Helper()
+	cmd, addr, maddr := startMatchdWithMetrics(t,
+		"-addr", "127.0.0.1:0",
+		"-replica-of", primary,
+		"-replica-sync-interval", "5ms",
+		"-metrics-addr", "127.0.0.1:0")
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	return addr, maddr
+}
+
+func TestReplicaSmokeProcessLevel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process-level smoke test")
+	}
+	const n = 40
+	dev, _ := sensor.ProfileByID("D0")
+	cohort := population.NewCohort(rng.New(20130808), population.CohortOptions{Size: n})
+	normalize := func(tpl *minutiae.Template) *minutiae.Template {
+		data, err := minutiae.Marshal(tpl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := minutiae.Unmarshal(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	ids := make([]string, n)
+	tpls := make([]*minutiae.Template, n)
+	probes := make([]*minutiae.Template, 0, 8)
+	for i, subj := range cohort.Subjects {
+		imp, err := dev.CaptureSubject(subj, 0, sensor.CaptureOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = fmt.Sprintf("subject-%04d", i)
+		tpls[i] = normalize(imp.Template)
+		if len(probes) < 8 {
+			p, err := dev.CaptureSubject(subj, 1, sensor.CaptureOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			probes = append(probes, normalize(p.Template))
+		}
+	}
+
+	walDir := filepath.Join(t.TempDir(), "wal")
+	pcmd, paddr := startMatchd(t, "-addr", "127.0.0.1:0", "-wal-dir", walDir)
+	primaryUp := true
+	defer func() {
+		if primaryUp {
+			pcmd.Process.Kill()
+			pcmd.Wait()
+		}
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	pcli, err := matchsvc.DialContext(ctx, paddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pcli.Close()
+
+	// Half the population enrolled before the replicas exist: the
+	// bootstrap transfer, not the tail, must deliver these.
+	for i := 0; i < n/2; i++ {
+		if err := pcli.Enroll(ctx, ids[i], dev.ID, tpls[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r1addr, r1metrics := startReplicaMatchd(t, paddr)
+	r2addr, _ := startReplicaMatchd(t, paddr)
+	r1, err := matchsvc.DialContext(ctx, r1addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r1.Close()
+	r2, err := matchsvc.DialContext(ctx, r2addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+
+	// A replica serves the bootstrapped population the moment it
+	// listens — the initial sync gates serving.
+	for _, cli := range []*matchsvc.Client{r1, r2} {
+		ok, err := cli.Has(ctx, ids[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatal("replica listening before its bootstrap sync delivered the gallery")
+		}
+	}
+
+	// The second half arrives while the replicas are live: the tail
+	// stream must carry it over within the sync cadence.
+	for i := n / 2; i < n; i++ {
+		if err := pcli.Enroll(ctx, ids[i], dev.ID, tpls[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitHas := func(cli *matchsvc.Client, id string) {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			ok, err := cli.Has(ctx, id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("replica never caught up to %q", id)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	waitHas(r1, ids[n-1])
+	waitHas(r2, ids[n-1])
+
+	// Writes are refused with a remote error; state is untouched.
+	if err := r1.Enroll(ctx, "intruder", dev.ID, tpls[0]); err == nil ||
+		!strings.Contains(err.Error(), "read-only replica") {
+		t.Fatalf("replica accepted a write: %v", err)
+	}
+	if ok, _ := r1.Has(ctx, "intruder"); ok {
+		t.Fatal("refused write still mutated the replica")
+	}
+
+	// Identify on each replica is bit-identical to the primary's answer
+	// over the same recovered population.
+	for pi, probe := range probes {
+		want, err := pcli.Identify(ctx, probe, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ri, cli := range []*matchsvc.Client{r1, r2} {
+			got, err := cli.Identify(ctx, probe, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("replica %d probe %d: %d candidates vs %d", ri, pi, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].ID != want[i].ID || got[i].Score != want[i].Score {
+					t.Fatalf("replica %d probe %d rank %d: (%q, %v) vs primary (%q, %v)",
+						ri, pi, i, got[i].ID, got[i].Score, want[i].ID, want[i].Score)
+				}
+			}
+		}
+	}
+
+	// The staleness bound is observable: the lag gauge is published on
+	// the replica's /metrics and reads 0 once caught up.
+	resp, err := http.Get("http://" + r1metrics + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	if !strings.Contains(text, "replica_lsn_lag") {
+		t.Fatalf("/metrics missing replica_lsn_lag:\n%s", text)
+	}
+	if !strings.Contains(text, `replica_lsn_lag{shard="local"} 0`) {
+		t.Fatalf("caught-up replica reports nonzero lag:\n%s", text)
+	}
+	if !strings.Contains(text, "replica_records_applied_total") {
+		t.Fatalf("/metrics missing replica_records_applied_total:\n%s", text)
+	}
+
+	// Reads outlive the primary: kill it and the replicas keep
+	// answering from local state.
+	pcmd.Process.Kill()
+	pcmd.Wait()
+	primaryUp = false
+	got, err := r2.Identify(ctx, probes[0], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("replica lost its gallery with the primary")
+	}
+}
+
+// TestReplicaFlagValidation pins the replica flag applicability rules.
+func TestReplicaFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-replica-of", "127.0.0.1:1", "-local-shards", "2"},
+		{"-replica-of", "127.0.0.1:1", "-shards", "127.0.0.1:2"},
+		{"-replica-of", "127.0.0.1:1", "-wal-dir", "x"},
+		{"-replica-of", "127.0.0.1:1", "-store", "y"},
+		{"-replica-of", "127.0.0.1:1", "-preload", "5"},
+		{"-replica-sync-interval", "50ms"},
+		{"-replica-sync-interval", "-1s", "-replica-of", "127.0.0.1:1"},
+		{"-replicas", "127.0.0.1:2"},
+		{"-shards", "127.0.0.1:1,127.0.0.1:2", "-replicas", "127.0.0.1:3"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}

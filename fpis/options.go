@@ -19,8 +19,9 @@ type config struct {
 	index       bool
 	indexFanout int
 
-	localShards  int
-	remoteShards []string
+	localShards    int
+	remoteShards   []string
+	remoteReplicas [][]string
 
 	walDir          string
 	compactEvery    int
@@ -129,6 +130,28 @@ func WithShards(addrs ...string) Option {
 			return errors.New("fpis: WithShards needs at least one address")
 		}
 		c.remoteShards = append([]string(nil), addrs...)
+		return nil
+	}
+}
+
+// WithReplicas attaches read replicas to each WithShards slot: the
+// i-th argument lists the replica addresses for the i-th shard address
+// (run each replica as matchd -replica-of <primary>). Writes still go
+// only to the primary; Verify and Identify balance across the slot's
+// healthy members and fail over inside the slot, and hedged identifies
+// are steered to a different member than the attempt they race. The
+// argument count must match WithShards exactly — an empty (or nil)
+// list is valid for a slot with no replicas. Requires WithShards.
+func WithReplicas(replicas ...[]string) Option {
+	return func(c *config) error {
+		if len(replicas) == 0 {
+			return errors.New("fpis: WithReplicas needs one replica list per shard slot")
+		}
+		out := make([][]string, len(replicas))
+		for i, rs := range replicas {
+			out[i] = append([]string(nil), rs...)
+		}
+		c.remoteReplicas = out
 		return nil
 	}
 }
@@ -359,6 +382,15 @@ func checkNewConfig(c config) error {
 	if c.setHedge && c.localShards == 0 && len(c.remoteShards) == 0 {
 		return errors.New("fpis: WithHedging requires WithLocalShards or WithShards")
 	}
+	if c.remoteReplicas != nil {
+		if len(c.remoteShards) == 0 {
+			return errors.New("fpis: WithReplicas requires WithShards")
+		}
+		if len(c.remoteReplicas) != len(c.remoteShards) {
+			return fmt.Errorf("fpis: WithReplicas lists replicas for %d slots, WithShards has %d",
+				len(c.remoteReplicas), len(c.remoteShards))
+		}
+	}
 	return nil
 }
 
@@ -385,6 +417,9 @@ func checkDialConfig(c config) error {
 	}
 	if c.setHedge {
 		return errors.New("fpis: WithHedging requires a sharded deployment; a Dial client has no scatter to hedge")
+	}
+	if c.remoteReplicas != nil {
+		return errors.New("fpis: WithReplicas requires WithShards; Dial connects to a single endpoint")
 	}
 	return nil
 }

@@ -9,6 +9,7 @@ import (
 
 	"fpinterop/internal/gallery"
 	"fpinterop/internal/matchsvc"
+	"fpinterop/internal/replica"
 	"fpinterop/internal/shard"
 	"fpinterop/internal/wal"
 )
@@ -94,16 +95,40 @@ func newRemoteSharded(ctx context.Context, cfg config) (Service, error) {
 			c.Close()
 		}
 	}
-	backends := make([]shard.Backend, 0, len(cfg.remoteShards))
-	for _, addr := range cfg.remoteShards {
+	dialBackend := func(addr string) (shard.Backend, error) {
 		cli, err := matchsvc.DialContext(ctx, addr)
 		if err != nil {
-			closeAll()
 			return nil, fmt.Errorf("fpis: dial shard %s: %w", addr, err)
 		}
 		configureClient(cli, cfg)
 		closers = append(closers, cli)
-		backends = append(backends, shard.NewRemote(addr, cli))
+		return shard.NewRemote(addr, cli), nil
+	}
+	backends := make([]shard.Backend, 0, len(cfg.remoteShards))
+	for i, addr := range cfg.remoteShards {
+		primary, err := dialBackend(addr)
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		// With replicas configured, the ring slot becomes a replica set:
+		// still named by the primary's address so attaching replicas to
+		// a running deployment moves no keys.
+		if cfg.remoteReplicas != nil && len(cfg.remoteReplicas[i]) > 0 {
+			members := make([]shard.Backend, 0, len(cfg.remoteReplicas[i]))
+			for _, raddr := range cfg.remoteReplicas[i] {
+				rep, err := dialBackend(raddr)
+				if err != nil {
+					closeAll()
+					return nil, err
+				}
+				members = append(members, rep)
+			}
+			backends = append(backends, replica.NewSet(addr, primary, members,
+				replica.SetOptions{Metrics: cfg.metrics}))
+			continue
+		}
+		backends = append(backends, primary)
 	}
 	router, err := shard.New(backends, routerOptions(cfg))
 	if err != nil {

@@ -11,7 +11,10 @@
 //   - blocking net-package calls (Dial, DialContext, Accept, Read,
 //     Write, ReadFrom, WriteTo, Listen — Close is non-blocking and
 //     stays legal);
-//   - time.Sleep and sync.WaitGroup.Wait.
+//   - time.Sleep and sync.WaitGroup.Wait;
+//   - os.File.Sync — an fsync is disk I/O on the caller's thread, and
+//     a replica topology or routing lock held across it turns every
+//     durable append into a stall for every reader.
 //
 // It also rejects lock copies: methods or parameters that take a
 // lock-bearing type by value.
@@ -213,6 +216,8 @@ func blockingCall(info *types.Info, call *ast.CallExpr) (string, bool) {
 		return "time.Sleep", true
 	case pkg == "sync" && name == "Wait":
 		return "WaitGroup.Wait", true
+	case pkg == "os" && name == "Sync":
+		return "a file fsync (Sync)", true
 	case pkg == "net" && blockingNetCalls[name]:
 		return fmt.Sprintf("network I/O (%s)", name), true
 	case pkg != "context":

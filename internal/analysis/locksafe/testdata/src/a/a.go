@@ -4,6 +4,7 @@ package a
 import (
 	"context"
 	"net"
+	"os"
 	"sync"
 	"time"
 )
@@ -14,6 +15,7 @@ type store struct {
 	wg    sync.WaitGroup
 	ch    chan int
 	conn  net.Conn
+	f     *os.File
 	n     int
 }
 
@@ -63,6 +65,30 @@ func (s *store) NetUnderLock(buf []byte) {
 	s.mu.Lock()
 	s.conn.Read(buf) // want locksafe "network I/O"
 	s.mu.Unlock()
+}
+
+// FsyncUnderLock holds the topology lock across a disk flush — the
+// replica-WAL shape locksafe exists to keep out of the tree.
+func (s *store) FsyncUnderLock() {
+	s.state.Lock()
+	s.f.Sync() // want locksafe "file fsync"
+	s.state.Unlock()
+}
+
+// FsyncUnderDeferredLock is the same stall via a deferred unlock.
+func (s *store) FsyncUnderDeferredLock() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Sync() // want locksafe "file fsync"
+}
+
+// FsyncAfterUnlock is the legal shape: stage under the lock, flush
+// outside it.
+func (s *store) FsyncAfterUnlock() error {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	return s.f.Sync()
 }
 
 // CtxCallUnderLock hands a cancellable context to a callee that may

@@ -99,6 +99,63 @@ func Allowed() {
 	retained = sc
 }
 
+// encodePage stands in for a sync-stream page encoder that can fail
+// mid-frame.
+func encodePage(sc *scratch, lsn uint64) error {
+	if lsn == 0 {
+		return errFailed
+	}
+	sc.buf = append(sc.buf, byte(lsn))
+	return nil
+}
+
+var errFailed = err{}
+
+type err struct{}
+
+func (err) Error() string { return "encode failed" }
+
+// SyncStreamLeaksOnError is the replica sync-stream bug shape: the
+// frame scratch is released on the happy path, but the mid-encode error
+// return strands it.
+func SyncStreamLeaksOnError(lsns []uint64) error {
+	sc := acquireScratch()
+	for _, lsn := range lsns {
+		if e := encodePage(sc, lsn); e != nil {
+			return e // want poolsafe "return without releasing"
+		}
+	}
+	releaseScratch(sc)
+	return nil
+}
+
+// SyncStreamDeferred is the clean sync-stream shape: one deferred
+// release covers every encode-error exit.
+func SyncStreamDeferred(lsns []uint64) error {
+	sc := acquireScratch()
+	defer releaseScratch(sc)
+	for _, lsn := range lsns {
+		if e := encodePage(sc, lsn); e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// SyncStreamReleaseBeforeError releases explicitly on both exits —
+// legal, if easy to get wrong when the next error path is added.
+func SyncStreamReleaseBeforeError(lsns []uint64) error {
+	sc := acquireScratch()
+	for _, lsn := range lsns {
+		if e := encodePage(sc, lsn); e != nil {
+			releaseScratch(sc)
+			return e
+		}
+	}
+	releaseScratch(sc)
+	return nil
+}
+
 // conn and connPool model the matchsvc connection-pool protocol:
 // Checkout hands out a connection (or an error), Checkin returns it.
 type conn struct{ open bool }

@@ -9,10 +9,11 @@
 //   - error text is not matched: no strings.Contains/HasPrefix/
 //     HasSuffix/EqualFold/Index over .Error() output, and no
 //     err.Error() == "..." comparisons;
-//   - the one legitimate text-matching site — the remote
-//     suffix→sentinel translation — stays centralized in
-//     fpis/remote.go (the AllowIn list), so every other layer sees
-//     real sentinel identity.
+//   - the legitimate text-matching sites — the remote suffix→sentinel
+//     translations — stay centralized at the wire boundaries on the
+//     AllowIn list (fpis/remote.go for the facade, matchsvc/sync.go
+//     for the replica sync ops), so every other layer sees real
+//     sentinel identity.
 package sentinelerr
 
 import (
@@ -26,7 +27,7 @@ import (
 
 // DefaultAllowIn are the file suffixes where error-text matching is
 // the designed translation mechanism.
-var DefaultAllowIn = []string{"fpis/remote.go"}
+var DefaultAllowIn = []string{"fpis/remote.go", "internal/matchsvc/sync.go"}
 
 // textMatchers are the strings functions that constitute text matching
 // when fed .Error() output.

@@ -58,6 +58,14 @@ type Faults struct {
 	// read deadline expires or the connection closes, never returning
 	// data.
 	BlackholeProb float64
+
+	// ResponseDropProb silently swallows a write: the caller sees full
+	// success (len(b) bytes, nil error) but nothing reaches the peer.
+	// Because reads stay untouched, this is a one-directional blackhole
+	// — requests keep arriving, responses vanish — the half-dead-node
+	// shape that retries-on-error alone cannot survive; only deadlines
+	// and hedging do.
+	ResponseDropProb float64
 }
 
 // errInjected tags every fault the wrapper injects.
@@ -268,14 +276,20 @@ func (c *Conn) Write(b []byte) (int, error) {
 		return c.Conn.Write(b)
 	}
 	f := c.l.faults
-	var doReset, doPartial, doCorrupt bool
+	var doReset, doPartial, doCorrupt, doDrop bool
 	c.draw(func(s *rng.Source) {
 		doReset = f.ResetProb > 0 && s.Bool(f.ResetProb)
 		doPartial = f.PartialWriteProb > 0 && s.Bool(f.PartialWriteProb)
 		doCorrupt = f.CorruptProb > 0 && s.Bool(f.CorruptProb)
+		doDrop = f.ResponseDropProb > 0 && s.Bool(f.ResponseDropProb)
 	})
 	if doReset {
 		return 0, c.reset()
+	}
+	if doDrop {
+		// Swallow the bytes with a clean success: the writer believes
+		// the response left, the peer waits on a frame that never comes.
+		return len(b), nil
 	}
 	c.maybeLatency()
 	if doPartial && len(b) > 1 {

@@ -1,0 +1,167 @@
+package faultnet
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pair returns a fault-injected server-side conn (accepted through a
+// wrapped listener) and the raw client side talking to it.
+func pair(t *testing.T, f Faults) (server net.Conn, client net.Conn) {
+	t.Helper()
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := Wrap(inner, f)
+	t.Cleanup(func() { ln.Close() })
+	accepted := make(chan net.Conn, 1)
+	errc := make(chan error, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			errc <- err
+			return
+		}
+		accepted <- c
+	}()
+	client, err = net.DialTimeout("tcp", ln.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	select {
+	case server = <-accepted:
+	case err := <-errc:
+		t.Fatal(err)
+	case <-time.After(2 * time.Second):
+		t.Fatal("accept timed out")
+	}
+	t.Cleanup(func() { server.Close() })
+	return server, client
+}
+
+// TestResponseDropIsOneDirectional proves the half-dead-node mode:
+// requests (reads on the faulted side) arrive intact while some
+// responses (writes) silently vanish — the writer sees success, the
+// peer sees nothing.
+func TestResponseDropIsOneDirectional(t *testing.T) {
+	server, client := pair(t, Faults{Seed: 42, ResponseDropProb: 0.5})
+
+	// Requests always deliver: the drop mode must not touch reads.
+	for i := 0; i < 16; i++ {
+		if _, err := client.Write([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 1)
+		server.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, err := server.Read(buf); err != nil {
+			t.Fatalf("request %d did not arrive: %v", i, err)
+		}
+		if buf[0] != byte(i) {
+			t.Fatalf("request %d corrupted: got %d", i, buf[0])
+		}
+	}
+
+	// Responses: every write reports clean success, but only some bytes
+	// reach the client.
+	const writes = 64
+	for i := 0; i < writes; i++ {
+		n, err := server.Write([]byte{byte(i)})
+		if err != nil || n != 1 {
+			t.Fatalf("write %d: n=%d err=%v; drops must look like success", i, n, err)
+		}
+	}
+	server.Close() // flush: client read ends at EOF
+	var got []byte
+	buf := make([]byte, 256)
+	client.SetReadDeadline(time.Now().Add(2 * time.Second))
+	for {
+		n, err := client.Read(buf)
+		got = append(got, buf[:n]...)
+		if err != nil {
+			break
+		}
+	}
+	if len(got) == 0 || len(got) >= writes {
+		t.Fatalf("client received %d of %d response bytes; want some dropped, some delivered", len(got), writes)
+	}
+	// Delivered bytes are intact and in order — dropping is not tearing.
+	last := -1
+	for _, b := range got {
+		if int(b) <= last {
+			t.Fatalf("delivered responses out of order: %v", got)
+		}
+		last = int(b)
+	}
+}
+
+// TestResponseDropDeterministic replays the same seed against the same
+// traffic and demands the identical drop schedule.
+func TestResponseDropDeterministic(t *testing.T) {
+	run := func() []byte {
+		server, client := pair(t, Faults{Seed: 7, ResponseDropProb: 0.5})
+		for i := 0; i < 64; i++ {
+			if n, err := server.Write([]byte{byte(i)}); err != nil || n != 1 {
+				t.Fatalf("write %d: n=%d err=%v", i, n, err)
+			}
+		}
+		server.Close()
+		var got []byte
+		buf := make([]byte, 256)
+		client.SetReadDeadline(time.Now().Add(2 * time.Second))
+		for {
+			n, err := client.Read(buf)
+			got = append(got, buf[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		return got
+	}
+	a, b := run(), run()
+	if string(a) != string(b) {
+		t.Fatalf("same seed, different drop schedule:\n a=%v\n b=%v", a, b)
+	}
+}
+
+// TestResponseDropDisabled leaves writes untouched when the probability
+// is zero or injection is toggled off.
+func TestResponseDropDisabled(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := Wrap(inner, Faults{Seed: 9, ResponseDropProb: 1})
+	defer ln.Close()
+	ln.SetEnabled(false)
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, _ := ln.Accept()
+		accepted <- c
+	}()
+	client, err := net.DialTimeout("tcp", ln.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	server := <-accepted
+	if server == nil {
+		t.Fatal("accept failed")
+	}
+	defer server.Close()
+	msg := []byte("response")
+	if _, err := server.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(msg))
+	client.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(client, buf); err != nil {
+		t.Fatalf("disabled injection still dropped the response: %v", err)
+	}
+	if string(buf) != string(msg) {
+		t.Fatalf("got %q, want %q", buf, msg)
+	}
+}

@@ -1,0 +1,149 @@
+package gallery
+
+// Scan cursor pagination under mutation. The cursor is an ID, not an
+// offset, so entries removed mid-scan must never shift, repeat, or
+// skip the survivors — the properties the shard rebalancer and the
+// replica bootstrap both lean on.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"fpinterop/internal/minutiae"
+)
+
+func scanFixtureStore(t *testing.T, n int) (*Store, []string) {
+	t.Helper()
+	s := New(nil)
+	tpl := &minutiae.Template{Width: 100, Height: 100, DPI: 500}
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("scan-%03d", i)
+		if err := s.Enroll(ids[i], "D0", tpl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s, ids
+}
+
+func TestScanCursorPastDeletedSubject(t *testing.T) {
+	s, ids := scanFixtureStore(t, 10)
+	page := s.Scan("", 3)
+	if len(page) != 3 || page[2].ID != ids[2] {
+		t.Fatalf("first page %v", page)
+	}
+	// Delete the exact entry the cursor points at. The next page must
+	// resume right after where it *was*: no skip to ids[4], no repeat of
+	// ids[0..1].
+	cursor := page[2].ID
+	if err := s.Remove(cursor); err != nil {
+		t.Fatal(err)
+	}
+	next := s.Scan(cursor, 3)
+	if len(next) != 3 {
+		t.Fatalf("page after deleted cursor: %v", next)
+	}
+	for i, want := range ids[3:6] {
+		if next[i].ID != want {
+			t.Fatalf("page after deleted cursor: entry %d is %q, want %q", i, next[i].ID, want)
+		}
+	}
+	// Deleting an entry *behind* the cursor must not make survivors
+	// reappear either.
+	if err := s.Remove(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	again := s.Scan(next[2].ID, 100)
+	for _, e := range again {
+		if e.ID <= next[2].ID {
+			t.Fatalf("entry %q repeated after a behind-cursor delete", e.ID)
+		}
+	}
+}
+
+func TestScanEmptyFinalPage(t *testing.T) {
+	s, ids := scanFixtureStore(t, 4)
+	// A cursor at the last ID yields the canonical empty terminator.
+	if page := s.Scan(ids[3], 10); len(page) != 0 {
+		t.Fatalf("page past the end: %v", page)
+	}
+	// A full page that consumes the remainder exactly still terminates
+	// with an empty page, not an error or a repeat.
+	page := s.Scan(ids[1], 2)
+	if len(page) != 2 || page[1].ID != ids[3] {
+		t.Fatalf("exact-fit page: %v", page)
+	}
+	if tail := s.Scan(page[1].ID, 2); len(tail) != 0 {
+		t.Fatalf("terminator after exact fit: %v", tail)
+	}
+	// Everything after the cursor removed mid-scan: the final page is
+	// empty instead of erroring on the vanished range.
+	if err := s.Remove(ids[2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove(ids[3]); err != nil {
+		t.Fatal(err)
+	}
+	if tail := s.Scan(ids[1], 5); len(tail) != 0 {
+		t.Fatalf("final page over a removed range: %v", tail)
+	}
+}
+
+func TestScanUnderConcurrentRemove(t *testing.T) {
+	const n = 200
+	s, ids := scanFixtureStore(t, n)
+
+	// Remover: deletes every third entry while the scanner pages.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	removed := make(map[string]bool, n/3)
+	for i := 0; i < n; i += 3 {
+		removed[ids[i]] = true
+	}
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i += 3 {
+			if err := s.Remove(ids[i]); err != nil {
+				t.Errorf("remove %s: %v", ids[i], err)
+			}
+		}
+	}()
+
+	seen := make(map[string]int)
+	var order []string
+	cursor := ""
+	for {
+		page := s.Scan(cursor, 7)
+		if len(page) == 0 {
+			break
+		}
+		for _, e := range page {
+			seen[e.ID]++
+			order = append(order, e.ID)
+		}
+		cursor = page[len(page)-1].ID
+	}
+	wg.Wait()
+
+	for id, count := range seen {
+		if count > 1 {
+			t.Errorf("entry %q returned %d times", id, count)
+		}
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i] <= order[i-1] {
+			t.Fatalf("scan went backwards: %q after %q", order[i], order[i-1])
+		}
+	}
+	// Entries never removed must all be seen exactly once; removed ones
+	// may appear at most once depending on timing.
+	for _, id := range ids {
+		if removed[id] {
+			continue
+		}
+		if seen[id] != 1 {
+			t.Errorf("surviving entry %q seen %d times, want exactly 1", id, seen[id])
+		}
+	}
+}

@@ -81,6 +81,26 @@ const (
 	// as "speak the serialized v1 protocol" — so new clients work
 	// against old servers without configuration.
 	OpHello = 0x0D
+	// OpSyncSnapshot ships one chunk of a consistent WAL snapshot to a
+	// catching-up replica: the request carries uint64 resumeLSN (0 asks
+	// the server to capture fresh state), uint64 offset, uint32 max
+	// bytes; the response carries uint64 snapshot LSN, uint64 total
+	// stream size, then the chunk bytes. A non-zero resumeLSN pins the
+	// transfer to one capture so every chunk comes from the same
+	// immutable byte stream; when that capture is gone the server
+	// answers an error and the replica restarts at resumeLSN 0. Only
+	// WAL-backed servers implement it.
+	OpSyncSnapshot = 0x0E
+	// OpSyncTail streams WAL records above an LSN: the request carries
+	// uint64 afterLSN and uint32 max body bytes; the response carries
+	// uint64 primary LSN, uint32 flags (bit 0 = tail truncated by
+	// compaction — restart from a snapshot), uint32 count, then per
+	// record uint64 LSN, uint8 op, string id and, for enrolls, string
+	// device id plus template bytes. The server may return fewer
+	// records than the budget allows to respect the frame cap; an empty
+	// un-truncated page means the replica has caught up to the primary
+	// LSN. Only WAL-backed servers implement it.
+	OpSyncTail = 0x0F
 )
 
 // Protocol versions negotiated by OpHello.

@@ -1,0 +1,189 @@
+package matchsvc
+
+// Wire-level tests for the replica sync ops: chunked snapshot
+// transfer, tail paging, and the capability refusal on servers with no
+// WAL behind them.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"fpinterop/internal/gallery"
+	"fpinterop/internal/wal"
+)
+
+// startServerOn is startServer over a caller-provided backend.
+func startServerOn(t *testing.T, store Gallery) (*Client, *Server) {
+	t.Helper()
+	srv := NewServer(store, nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx) }()
+	t.Cleanup(func() {
+		cancel()
+		srv.Close()
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	cli, err := Dial(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	return cli, srv
+}
+
+func TestSyncSnapshotChunkedTransfer(t *testing.T) {
+	ws, err := wal.Open(t.TempDir(), gallery.New(nil), wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ws.Close()
+	cli, _ := startServerOn(t, ws)
+	ctx := context.Background()
+	tpls := testImpressions(t, 6, "D0", 0)
+	for i, tpl := range tpls {
+		if err := cli.Enroll(ctx, fmt6(i), "D0", tpl); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Pull the stream in deliberately tiny chunks so the resume path
+	// (same LSN on every chunk, same bytes as one straight read) is
+	// exercised over the wire.
+	first, err := cli.SyncSnapshot(ctx, 0, 0, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.LSN != ws.LSN() {
+		t.Fatalf("capture lsn %d, primary at %d", first.LSN, ws.LSN())
+	}
+	var stream []byte
+	stream = append(stream, first.Data...)
+	for int64(len(stream)) < first.Total {
+		chunk, err := cli.SyncSnapshot(ctx, first.LSN, int64(len(stream)), 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if chunk.LSN != first.LSN || chunk.Total != first.Total {
+			t.Fatalf("chunk identity drifted: lsn %d/%d total %d/%d",
+				chunk.LSN, first.LSN, chunk.Total, first.Total)
+		}
+		if len(chunk.Data) == 0 {
+			t.Fatal("empty chunk before the stream completed")
+		}
+		stream = append(stream, chunk.Data...)
+	}
+	lsn, entries, err := wal.DecodeSnapshot(bytes.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != first.LSN {
+		t.Fatalf("decoded lsn %d, want %d", lsn, first.LSN)
+	}
+	if len(entries) != len(tpls) {
+		t.Fatalf("snapshot carries %d entries, want %d", len(entries), len(tpls))
+	}
+
+	// A resume for an unknown capture surfaces the expiry as a remote
+	// error the follower can recognize by restarting at LSN 0.
+	if _, err := cli.SyncSnapshot(ctx, first.LSN+99, 0, 512); !errors.Is(err, ErrRemote) {
+		t.Fatalf("stale resume: err = %v, want ErrRemote", err)
+	}
+}
+
+func TestSyncTailOverWire(t *testing.T) {
+	ws, err := wal.Open(t.TempDir(), gallery.New(nil), wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ws.Close()
+	cli, _ := startServerOn(t, ws)
+	ctx := context.Background()
+	tpls := testImpressions(t, 5, "D0", 0)
+	for i, tpl := range tpls {
+		if err := cli.Enroll(ctx, fmt6(i), "D0", tpl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cli.Remove(ctx, fmt6(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Page the whole history through a replica gallery with a 1-byte
+	// budget: one record per page, every boundary crossed on the wire.
+	replica := gallery.New(nil)
+	var after uint64
+	for {
+		page, err := cli.SyncTail(ctx, after, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if page.Truncated {
+			t.Fatal("truncated tail on an uncompacted log")
+		}
+		if len(page.Records) == 0 {
+			if page.PrimaryLSN != ws.LSN() {
+				t.Fatalf("primary lsn %d, want %d", page.PrimaryLSN, ws.LSN())
+			}
+			break
+		}
+		for _, rec := range page.Records {
+			if rec.LSN <= after {
+				t.Fatalf("record lsn %d not above cursor %d", rec.LSN, after)
+			}
+			after = rec.LSN
+			if err := wal.ApplyRecord(replica, rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	got, want := replica.Scan("", 1<<20), ws.Scan("", 1<<20)
+	if len(got) != len(want) {
+		t.Fatalf("replica holds %d entries, primary %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].ID != want[i].ID {
+			t.Fatalf("entry %d: %q vs %q", i, got[i].ID, want[i].ID)
+		}
+	}
+
+	// After compaction, a cursor below the compaction LSN is told to
+	// restart instead of being fed a gap.
+	if err := ws.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	page, err := cli.SyncTail(ctx, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !page.Truncated {
+		t.Fatal("pre-compaction cursor not flagged truncated")
+	}
+}
+
+func TestSyncRefusedWithoutWAL(t *testing.T) {
+	cli, _ := startServerOn(t, gallery.New(nil))
+	ctx := context.Background()
+	if _, err := cli.SyncSnapshot(ctx, 0, 0, 0); !errors.Is(err, ErrRemote) ||
+		!strings.Contains(err.Error(), "replica sync") {
+		t.Fatalf("snapshot on plain store: %v", err)
+	}
+	if _, err := cli.SyncTail(ctx, 0, 0); !errors.Is(err, ErrRemote) ||
+		!strings.Contains(err.Error(), "replica sync") {
+		t.Fatalf("tail on plain store: %v", err)
+	}
+}
+
+func fmt6(i int) string {
+	return "subject-" + string(rune('a'+i))
+}

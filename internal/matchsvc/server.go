@@ -17,6 +17,7 @@ import (
 	"fpinterop/internal/gallery"
 	"fpinterop/internal/match"
 	"fpinterop/internal/minutiae"
+	"fpinterop/internal/wal"
 )
 
 // Gallery is the enrollment backend a Server fronts. *gallery.Store is
@@ -42,6 +43,15 @@ type Scanner interface {
 // Haser is the optional capability behind OpHas.
 type Haser interface {
 	Has(id string) bool
+}
+
+// SyncSource is the optional capability behind OpSyncSnapshot and
+// OpSyncTail: a WAL-backed store (wal.Store) can ship a consistent
+// snapshot capture plus its log tail to a catching-up read replica.
+// Backends without a log refuse the ops — there is no history to ship.
+type SyncSource interface {
+	SyncSnapshot(resumeLSN uint64) (lsn uint64, data []byte, err error)
+	SyncTail(afterLSN uint64, maxBytes int) (wal.TailPage, error)
 }
 
 // defaultIdleTimeout bounds how long a connection may sit between (or
@@ -532,6 +542,100 @@ func (s *Server) dispatch(op byte, payload []byte, w *payloadWriter) (byte, []by
 			count++
 		}
 		binary.BigEndian.PutUint32(w.buf[:4], count)
+		return StatusOK, w.buf
+
+	case OpSyncSnapshot:
+		src, ok := s.store.(SyncSource)
+		if !ok {
+			return fail(errors.New("matchsvc: backend does not support replica sync"))
+		}
+		resumeLSN, err := r.uint64()
+		if err != nil {
+			return fail(err)
+		}
+		offset, err := r.uint64()
+		if err != nil {
+			return fail(err)
+		}
+		maxBytes, err := r.uint32()
+		if err != nil {
+			return fail(err)
+		}
+		lsn, data, err := src.SyncSnapshot(resumeLSN)
+		if err != nil {
+			return fail(err)
+		}
+		if offset > uint64(len(data)) {
+			return fail(fmt.Errorf("matchsvc: snapshot offset %d beyond %d-byte stream", offset, len(data)))
+		}
+		max := int(maxBytes)
+		if max <= 0 || max > scanBudget {
+			max = scanBudget
+		}
+		chunk := data[offset:]
+		if len(chunk) > max {
+			chunk = chunk[:max]
+		}
+		w.uint64(lsn)
+		w.uint64(uint64(len(data)))
+		w.bytes(chunk)
+		return StatusOK, w.buf
+
+	case OpSyncTail:
+		src, ok := s.store.(SyncSource)
+		if !ok {
+			return fail(errors.New("matchsvc: backend does not support replica sync"))
+		}
+		afterLSN, err := r.uint64()
+		if err != nil {
+			return fail(err)
+		}
+		maxBytes, err := r.uint32()
+		if err != nil {
+			return fail(err)
+		}
+		max := int(maxBytes)
+		if max <= 0 || max > scanBudget {
+			max = scanBudget
+		}
+		page, err := src.SyncTail(afterLSN, max)
+		if err != nil {
+			return fail(err)
+		}
+		w.uint64(page.PrimaryLSN)
+		flags := uint32(0)
+		if page.Truncated {
+			flags |= 1
+		}
+		w.uint32(flags)
+		// Count prefix patched once the cut is known, like OpScan: the
+		// byte budget handed to SyncTail is record bodies only, so the
+		// wire framing on top can still overflow the frame cap.
+		w.uint32(0)
+		count := uint32(0)
+		for _, rec := range page.Records {
+			mark := len(w.buf)
+			w.uint64(rec.LSN)
+			w.buf = append(w.buf, rec.Op)
+			if err := w.string(rec.ID); err != nil {
+				return fail(err)
+			}
+			if rec.Op == wal.OpEnroll {
+				if err := w.string(rec.DeviceID); err != nil {
+					return fail(err)
+				}
+				w.bytes(rec.Template)
+			}
+			if len(w.buf) > scanBudget {
+				if count == 0 {
+					return fail(fmt.Errorf("matchsvc: sync record for %q exceeds frame budget", rec.ID))
+				}
+				w.buf = w.buf[:mark]
+				break
+			}
+			count++
+		}
+		binary.BigEndian.PutUint32(w.buf[12:16], count)
 		return StatusOK, w.buf
 
 	default:

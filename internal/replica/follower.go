@@ -1,0 +1,220 @@
+package replica
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"fpinterop/internal/gallery"
+	"fpinterop/internal/matchsvc"
+	"fpinterop/internal/minutiae"
+	"fpinterop/internal/obs"
+	"fpinterop/internal/wal"
+)
+
+// DefaultSyncInterval is how often a Follower polls the primary's tail
+// when the caller does not choose a cadence. Short enough that replica
+// staleness stays in the tens of milliseconds under steady write load.
+const DefaultSyncInterval = 75 * time.Millisecond
+
+// ErrReadOnlyReplica is returned when a write lands on a replica-mode
+// server: replicas only accept state from their primary's log.
+var ErrReadOnlyReplica = errors.New("replica: store is a read-only replica; write to the primary")
+
+// FollowerOptions configures the catch-up loop.
+type FollowerOptions struct {
+	// Interval between tail polls in Run. 0 means DefaultSyncInterval.
+	Interval time.Duration
+	// MaxBytes bounds one tail page or snapshot chunk (0 lets the wire
+	// layer choose its budget).
+	MaxBytes int
+	// Metrics, when non-nil, registers the follower's families there.
+	Metrics *obs.Registry
+	// Shard labels the metrics; defaults to "0".
+	Shard string
+}
+
+// Follower keeps a local gallery caught up with a WAL-backed primary
+// over the matchsvc sync ops: it bootstraps from a chunked snapshot
+// transfer, then polls the log tail above its applied LSN, restarting
+// from a fresh snapshot when compaction truncates the history it needs.
+// Reads of the local gallery are safe at any time — applied records are
+// whole and in order, the replica is just ≤ Lag records behind.
+type Follower struct {
+	store *gallery.Store
+	cli   *matchsvc.Client
+	opt   FollowerOptions
+
+	lsn        atomic.Uint64
+	primaryLSN atomic.Uint64
+
+	lag       *obs.Gauge
+	applied   *obs.Counter
+	restores  *obs.Counter
+	syncFails *obs.Counter
+}
+
+// NewFollower wires a local gallery to a primary reachable through cli.
+// The caller keeps ownership of both; the follower only mutates the
+// gallery through snapshot restores and record application.
+func NewFollower(store *gallery.Store, cli *matchsvc.Client, opt FollowerOptions) *Follower {
+	if opt.Interval <= 0 {
+		opt.Interval = DefaultSyncInterval
+	}
+	if opt.Shard == "" {
+		opt.Shard = "0"
+	}
+	reg := opt.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	f := &Follower{store: store, cli: cli, opt: opt}
+	f.lag = reg.GaugeVec("replica_lsn_lag",
+		"Primary LSN minus this replica's applied LSN; 0 when caught up.", "shard").With(opt.Shard)
+	f.applied = reg.CounterVec("replica_records_applied_total",
+		"WAL records applied from the primary.", "shard").With(opt.Shard)
+	f.restores = reg.CounterVec("replica_snapshot_restores_total",
+		"Full snapshot restores (bootstrap or post-compaction restart).", "shard").With(opt.Shard)
+	f.syncFails = reg.CounterVec("replica_sync_errors_total",
+		"Failed sync rounds in the Run loop.", "shard").With(opt.Shard)
+	return f
+}
+
+// LSN is the highest log record applied locally.
+func (f *Follower) LSN() uint64 { return f.lsn.Load() }
+
+// PrimaryLSN is the primary's LSN as of the last completed sync round.
+func (f *Follower) PrimaryLSN() uint64 { return f.primaryLSN.Load() }
+
+// Lag is PrimaryLSN minus LSN — how many acked primary mutations this
+// replica has not applied yet, as of the last sync round. This is the
+// replica's staleness bound: a read served here can miss at most Lag
+// acknowledged writes.
+func (f *Follower) Lag() uint64 {
+	p, l := f.primaryLSN.Load(), f.lsn.Load()
+	if p <= l {
+		return 0
+	}
+	return p - l
+}
+
+func (f *Follower) publishLag() { f.lag.Set(int64(f.Lag())) }
+
+// Sync runs catch-up rounds until the replica has applied every record
+// the primary had when the last round started. The first call (LSN 0
+// against a compacted primary) bootstraps via snapshot restore.
+func (f *Follower) Sync(ctx context.Context) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		page, err := f.cli.SyncTail(ctx, f.lsn.Load(), f.opt.MaxBytes)
+		if err != nil {
+			return err
+		}
+		f.primaryLSN.Store(page.PrimaryLSN)
+		if page.Truncated {
+			if err := f.restore(ctx); err != nil {
+				return err
+			}
+			continue
+		}
+		if len(page.Records) == 0 {
+			f.publishLag()
+			return nil
+		}
+		for _, rec := range page.Records {
+			if rec.LSN <= f.lsn.Load() {
+				return fmt.Errorf("replica: tail went backwards: record lsn %d at cursor %d",
+					rec.LSN, f.lsn.Load())
+			}
+			if err := wal.ApplyRecord(f.store, rec); err != nil {
+				return err
+			}
+			f.lsn.Store(rec.LSN)
+			f.applied.Inc()
+		}
+		f.publishLag()
+	}
+}
+
+// restore replaces the local gallery with a fresh snapshot from the
+// primary, pulled in chunks under the wire frame cap.
+func (f *Follower) restore(ctx context.Context) error {
+	first, err := f.cli.SyncSnapshot(ctx, 0, 0, f.opt.MaxBytes)
+	if err != nil {
+		return err
+	}
+	stream := append([]byte(nil), first.Data...)
+	for int64(len(stream)) < first.Total {
+		chunk, err := f.cli.SyncSnapshot(ctx, first.LSN, int64(len(stream)), f.opt.MaxBytes)
+		if err != nil {
+			if isSnapshotExpired(err) {
+				// The primary re-captured mid-transfer; start over.
+				return f.restore(ctx)
+			}
+			return err
+		}
+		if chunk.LSN != first.LSN || chunk.Total != first.Total || len(chunk.Data) == 0 {
+			return fmt.Errorf("replica: snapshot transfer drifted (lsn %d→%d, total %d→%d, %d-byte chunk)",
+				first.LSN, chunk.LSN, first.Total, chunk.Total, len(chunk.Data))
+		}
+		stream = append(stream, chunk.Data...)
+	}
+	_, entries, err := wal.DecodeSnapshot(bytes.NewReader(stream))
+	if err != nil {
+		return err
+	}
+	if err := f.store.ReplaceAll(entries); err != nil {
+		return err
+	}
+	f.lsn.Store(first.LSN)
+	f.restores.Inc()
+	f.publishLag()
+	return nil
+}
+
+// isSnapshotExpired recognizes the primary's capture-expired refusal,
+// translated to the wal sentinel at the wire boundary.
+func isSnapshotExpired(err error) bool {
+	return errors.Is(err, wal.ErrSnapshotExpired)
+}
+
+// Run polls Sync on the configured interval until ctx is done. Errors
+// are counted and retried — a replica must survive primary restarts and
+// network trouble, catching up when the far side returns.
+func (f *Follower) Run(ctx context.Context) {
+	ticker := time.NewTicker(f.opt.Interval)
+	defer ticker.Stop()
+	for {
+		if err := f.Sync(ctx); err != nil && ctx.Err() == nil {
+			f.syncFails.Inc()
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// ReadOnlyGallery adapts a replica's local gallery to the matchsvc
+// Gallery contract with writes refused: a replica-mode server answers
+// Verify/Identify/Has/Scan/Len from local state and tells writers to go
+// to the primary.
+type ReadOnlyGallery struct {
+	*gallery.Store
+}
+
+// Enroll refuses: replicas apply primary log records only.
+func (ReadOnlyGallery) Enroll(id, deviceID string, tpl *minutiae.Template) error {
+	return ErrReadOnlyReplica
+}
+
+// Remove refuses: replicas apply primary log records only.
+func (ReadOnlyGallery) Remove(id string) error {
+	return ErrReadOnlyReplica
+}

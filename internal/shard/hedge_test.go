@@ -10,6 +10,7 @@ import (
 	"context"
 	"errors"
 	"reflect"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -159,6 +160,91 @@ func TestHedgeDoesNotFireOnFastFailure(t *testing.T) {
 	}
 	if fired := hedged.met.hedgesFired.Value(); fired != 0 {
 		t.Fatalf("hedgesFired = %d on an immediately-failing shard, want 0", fired)
+	}
+}
+
+// replicaSetBackend fakes a two-member replica set: member 0 stalls
+// identifies until cancelled, member 1 answers from the embedded
+// backend. It records the avoid constraint of every attempt so a test
+// can prove the hedge was steered away from the first attempt's member.
+type replicaSetBackend struct {
+	Backend
+	mu     sync.Mutex
+	avoids []int
+	served []int
+}
+
+func (b *replicaSetBackend) Replicas() int { return 2 }
+
+func (b *replicaSetBackend) IdentifyDetailed(ctx context.Context, probe *minutiae.Template, k int) ([]gallery.Candidate, gallery.IdentifyStats, error) {
+	return b.IdentifyDetailedAvoiding(ctx, probe, k, -1, nil)
+}
+
+func (b *replicaSetBackend) IdentifyDetailedAvoiding(ctx context.Context, probe *minutiae.Template, k int, avoid int, picked chan<- int) ([]gallery.Candidate, gallery.IdentifyStats, error) {
+	member := 0
+	if avoid == 0 {
+		member = 1
+	}
+	b.mu.Lock()
+	b.avoids = append(b.avoids, avoid)
+	b.served = append(b.served, member)
+	b.mu.Unlock()
+	if picked != nil {
+		select {
+		case picked <- member:
+		default:
+		}
+	}
+	if member == 0 {
+		// The stalled member: pins the first attempt until the caller
+		// gives up, like a replica wedged mid-GC.
+		<-ctx.Done()
+		return nil, gallery.IdentifyStats{}, ctx.Err()
+	}
+	return b.Backend.IdentifyDetailed(ctx, probe, k)
+}
+
+// TestHedgeAvoidsOriginatingReplica is the regression test for hedges
+// that re-ask the machine the stalled first attempt is already waiting
+// on: with a replica-capable backend, the hedge leg must carry the
+// first attempt's member as avoid and be served by a different member.
+func TestHedgeAvoidsOriginatingReplica(t *testing.T) {
+	locals, want := hedgeFixtureStores(t)
+	_, probes := fixtures(t)
+	rsb := &replicaSetBackend{Backend: locals[0]}
+	reg := obs.NewRegistry()
+	hedged, err := New([]Backend{rsb, locals[1]}, Options{
+		HedgeDelay:   25 * time.Millisecond,
+		ShardTimeout: 10 * time.Second,
+		Registry:     reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := hedged.Identify(ctx, probes[0], 5)
+	if err != nil {
+		t.Fatalf("hedged identify over a replica set: %v", err)
+	}
+	if w := want(probes[0]); !reflect.DeepEqual(got, w) {
+		t.Errorf("replica-hedged identify diverges:\n got %+v\nwant %+v", got, w)
+	}
+	rsb.mu.Lock()
+	avoids, served := append([]int(nil), rsb.avoids...), append([]int(nil), rsb.served...)
+	rsb.mu.Unlock()
+	if len(avoids) < 2 {
+		t.Fatalf("replica backend saw %d attempts, want the primary and the hedge", len(avoids))
+	}
+	if avoids[0] != -1 {
+		t.Fatalf("first attempt carried avoid=%d, want unconstrained (-1)", avoids[0])
+	}
+	if avoids[1] != 0 {
+		t.Fatalf("hedge attempt carried avoid=%d, want the first attempt's member 0", avoids[1])
+	}
+	if served[1] != 1 {
+		t.Fatalf("hedge served by member %d, want the other member 1", served[1])
+	}
+	if won := hedged.met.hedgesWon.Value(); won < 1 {
+		t.Fatalf("hedgesWon = %d, want the steered hedge to win", won)
 	}
 }
 

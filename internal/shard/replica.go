@@ -1,0 +1,29 @@
+package shard
+
+import (
+	"context"
+
+	"fpinterop/internal/gallery"
+	"fpinterop/internal/minutiae"
+)
+
+// ReplicaReader is the optional Backend capability a replica set
+// implements: one ring slot holds several copies of the same shard,
+// and an identify attempt can be steered away from the member another
+// attempt of the same search landed on. The router's hedged identify
+// uses it so the hedge asks a *different* replica than the first
+// attempt — a hedge that re-asks the same machine papers over a slow
+// request, not a slow or dead machine.
+type ReplicaReader interface {
+	Backend
+	// Replicas reports the member count, primary included.
+	Replicas() int
+	// IdentifyDetailedAvoiding is IdentifyDetailed with placement
+	// control: the set serves the attempt from a healthy member other
+	// than avoid whenever it has one (avoid < 0 means unconstrained).
+	// When picked is non-nil, the member index chosen for the first
+	// try is sent on it before the identify runs — the channel must be
+	// buffered, the send never blocks — so a hedge racing this attempt
+	// can exclude the member it landed on.
+	IdentifyDetailedAvoiding(ctx context.Context, probe *minutiae.Template, k int, avoid int, picked chan<- int) ([]gallery.Candidate, gallery.IdentifyStats, error)
+}

@@ -574,20 +574,35 @@ func (r *Router) fanout(n int) int {
 // context is cancelled, so a context-honoring backend unwinds promptly
 // (the abandoning goroutine drains into a buffered channel regardless).
 func (r *Router) callIdentify(ctx context.Context, b Backend, probe *minutiae.Template, k int) shardAnswer {
+	return r.callIdentifyOn(ctx, b, probe, k, -1, nil)
+}
+
+// callIdentifyOn is callIdentify with replica placement: when the
+// backend is a ReplicaReader the attempt avoids the given member
+// (avoid < 0 means unconstrained) and reports its landing member on
+// picked. Plain backends have one machine behind them — avoid and
+// picked are meaningless and ignored.
+func (r *Router) callIdentifyOn(ctx context.Context, b Backend, probe *minutiae.Template, k int, avoid int, picked chan<- int) shardAnswer {
 	sctx := ctx
 	if r.opt.ShardTimeout > 0 {
 		var cancel context.CancelFunc
 		sctx, cancel = context.WithTimeout(ctx, r.opt.ShardTimeout)
 		defer cancel()
 	}
-	if sctx.Done() == nil {
-		cands, stats, err := b.IdentifyDetailed(sctx, probe, k)
+	call := func(cctx context.Context) shardAnswer {
+		if rr, ok := b.(ReplicaReader); ok {
+			cands, stats, err := rr.IdentifyDetailedAvoiding(cctx, probe, k, avoid, picked)
+			return shardAnswer{cands: cands, stats: stats, err: err}
+		}
+		cands, stats, err := b.IdentifyDetailed(cctx, probe, k)
 		return shardAnswer{cands: cands, stats: stats, err: err}
+	}
+	if sctx.Done() == nil {
+		return call(sctx)
 	}
 	ch := make(chan shardAnswer, 1)
 	go func() {
-		cands, stats, err := b.IdentifyDetailed(sctx, probe, k)
-		ch <- shardAnswer{cands: cands, stats: stats, err: err}
+		ch <- call(sctx)
 	}()
 	select {
 	case ans := <-ch:
@@ -627,6 +642,12 @@ func (r *Router) hedgeDelay(h *health) time.Duration {
 // client retry policy's job, not the hedger's); once both attempts are
 // in flight, one failure waits for the other attempt, and only two
 // failures fail the leg (preferring the primary's error).
+//
+// When the slot is a replica set, the hedge is steered away from the
+// member the primary attempt landed on: the set reports its pick on a
+// buffered channel at dispatch time — before the (potentially slow)
+// identify runs — so by the time the hedge delay has elapsed the
+// member to avoid is known without waiting for the stuck attempt.
 func (r *Router) callIdentifyHedged(ctx context.Context, b Backend, h *health, probe *minutiae.Template, k int) shardAnswer {
 	delay := r.hedgeDelay(h)
 	if delay <= 0 {
@@ -639,12 +660,13 @@ func (r *Router) callIdentifyHedged(ctx context.Context, b Backend, h *health, p
 		hedged bool
 	}
 	ch := make(chan attempt, 2)
-	launch := func(hedged bool) {
+	picked := make(chan int, 1)
+	launch := func(hedged bool, avoid int, report chan<- int) {
 		go func() {
-			ch <- attempt{ans: r.callIdentify(actx, b, probe, k), hedged: hedged}
+			ch <- attempt{ans: r.callIdentifyOn(actx, b, probe, k, avoid, report), hedged: hedged}
 		}()
 	}
-	launch(false)
+	launch(false, -1, picked)
 	timer := time.NewTimer(delay)
 	defer timer.Stop()
 	hedgeFired := false
@@ -657,7 +679,14 @@ func (r *Router) callIdentifyHedged(ctx context.Context, b Backend, h *health, p
 				if r.met != nil {
 					r.met.hedgesFired.Inc()
 				}
-				launch(true)
+				avoid := -1
+				select {
+				case avoid = <-picked:
+				default:
+					// The primary attempt has not even dispatched (or the
+					// backend has no replicas); hedge unconstrained.
+				}
+				launch(true, avoid, nil)
 			}
 		case a := <-ch:
 			if a.ans.err == nil {

@@ -1,7 +1,6 @@
 package wal
 
 import (
-	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -30,29 +29,51 @@ const snapVersion = 1
 // ErrBadSnapshotFormat reports a file that is not a WAL snapshot.
 var ErrBadSnapshotFormat = errors.New("wal: bad snapshot format")
 
+// writeSnapshotStream writes the snapshot container (header + gallery
+// stream) to w. It is the shared encoder behind the on-disk compaction
+// snapshot and the in-memory capture the replica sync path ships over
+// the wire — both sides of a transfer parse the same bytes.
+func writeSnapshotStream(w io.Writer, lsn uint64, save func(io.Writer) error) error {
+	var hdr [snapHeaderSize]byte
+	copy(hdr[:4], snapMagic[:])
+	binary.BigEndian.PutUint16(hdr[4:6], snapVersion)
+	binary.BigEndian.PutUint64(hdr[6:], lsn)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wal: write snapshot header: %w", err)
+	}
+	return save(w)
+}
+
+const snapHeaderSize = 14
+
 // writeSnapshot atomically replaces path with a snapshot at lsn whose
 // gallery stream is produced by save (typically gallery.Store.SaveTo).
 func writeSnapshot(path string, lsn uint64, save func(io.Writer) error) error {
 	return atomicio.WriteFile(path, 0o644, func(w io.Writer) error {
-		bw := bufio.NewWriter(w)
-		if _, err := bw.Write(snapMagic[:]); err != nil {
-			return fmt.Errorf("wal: write snapshot magic: %w", err)
-		}
-		var u16 [2]byte
-		binary.BigEndian.PutUint16(u16[:], snapVersion)
-		if _, err := bw.Write(u16[:]); err != nil {
-			return fmt.Errorf("wal: write snapshot version: %w", err)
-		}
-		var u64 [8]byte
-		binary.BigEndian.PutUint64(u64[:], lsn)
-		if _, err := bw.Write(u64[:]); err != nil {
-			return fmt.Errorf("wal: write snapshot lsn: %w", err)
-		}
-		if err := bw.Flush(); err != nil {
-			return fmt.Errorf("wal: flush snapshot header: %w", err)
-		}
-		return save(w)
+		return writeSnapshotStream(w, lsn, save)
 	})
+}
+
+// DecodeSnapshot parses a snapshot stream — the on-disk compaction
+// snapshot or the byte-identical capture SyncSnapshot ships to a
+// replica — into the LSN it covers and the gallery entries it holds.
+func DecodeSnapshot(r io.Reader) (lsn uint64, entries []gallery.Export, err error) {
+	var hdr [snapHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, fmt.Errorf("wal: read snapshot header: %w", err)
+	}
+	if [4]byte(hdr[:4]) != snapMagic {
+		return 0, nil, ErrBadSnapshotFormat
+	}
+	if v := binary.BigEndian.Uint16(hdr[4:6]); v != snapVersion {
+		return 0, nil, fmt.Errorf("wal: unsupported snapshot version %d", v)
+	}
+	lsn = binary.BigEndian.Uint64(hdr[6:])
+	entries, err = gallery.ReadEntries(r)
+	if err != nil {
+		return 0, nil, fmt.Errorf("wal: snapshot gallery: %w", err)
+	}
+	return lsn, entries, nil
 }
 
 // readSnapshot loads the snapshot at path. A missing file is not an
@@ -67,20 +88,5 @@ func readSnapshot(path string) (lsn uint64, entries []gallery.Export, err error)
 		return 0, nil, fmt.Errorf("wal: open snapshot %s: %w", path, err)
 	}
 	defer f.Close()
-	var hdr [14]byte
-	if _, err := io.ReadFull(f, hdr[:]); err != nil {
-		return 0, nil, fmt.Errorf("wal: read snapshot header: %w", err)
-	}
-	if [4]byte(hdr[:4]) != snapMagic {
-		return 0, nil, ErrBadSnapshotFormat
-	}
-	if v := binary.BigEndian.Uint16(hdr[4:6]); v != snapVersion {
-		return 0, nil, fmt.Errorf("wal: unsupported snapshot version %d", v)
-	}
-	lsn = binary.BigEndian.Uint64(hdr[6:])
-	entries, err = gallery.ReadEntries(f)
-	if err != nil {
-		return 0, nil, fmt.Errorf("wal: snapshot gallery: %w", err)
-	}
-	return lsn, entries, nil
+	return DecodeSnapshot(f)
 }

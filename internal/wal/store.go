@@ -96,6 +96,18 @@ type Store struct {
 	compactErr   error
 	closed       bool
 
+	// compactLSN is the LSN the newest compaction snapshot covers: the
+	// log on disk only holds records above it. A replica asking for a
+	// tail below this line gets Truncated and must restart from a
+	// snapshot — the records it wants no longer exist.
+	compactLSN uint64
+
+	// syncSnapLSN/syncSnapData cache the last snapshot capture served
+	// to a replica, so a multi-chunk transfer reads one consistent
+	// byte stream without re-serializing the gallery per chunk.
+	syncSnapLSN  uint64
+	syncSnapData []byte
+
 	// met is non-nil when Options.Metrics was set; record calls are
 	// nil-safe.
 	met *walMetrics
@@ -170,11 +182,12 @@ func Open(dir string, store *gallery.Store, opt Options) (*Store, error) {
 		lsn = info.LastLSN
 	}
 	s := &Store{
-		Store: store,
-		dir:   dir,
-		opt:   opt,
-		log:   log,
-		lsn:   lsn,
+		Store:      store,
+		dir:        dir,
+		opt:        opt,
+		log:        log,
+		lsn:        lsn,
+		compactLSN: snapLSN,
 		recovery: RecoveryStats{
 			SnapshotLSN:     snapLSN,
 			SnapshotEntries: snapCount,
@@ -363,6 +376,7 @@ func (s *Store) compactLocked() error {
 	if err := s.log.Reset(); err != nil {
 		return err
 	}
+	s.compactLSN = s.lsn
 	s.sinceCompact = 0
 	if s.met != nil {
 		s.met.compacts.Inc()

@@ -1,0 +1,168 @@
+package wal
+
+// Replica sync source. A durable store can ship its state to a read
+// replica in two pieces: a consistent snapshot capture (the same FPWS
+// stream compaction writes to disk, serialized into memory) and the
+// log tail above a given LSN. A replica bootstraps from the snapshot,
+// then polls the tail; when compaction has discarded the records it
+// needs, the tail page comes back Truncated and the replica restarts
+// from a fresh snapshot. Both calls run under the store's mutation
+// lock, so every page is a consistent prefix of history — a record is
+// never shipped before every record below it.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"fpinterop/internal/gallery"
+	"fpinterop/internal/minutiae"
+)
+
+// ErrSnapshotExpired reports a resumed snapshot transfer whose capture
+// is gone (the store re-captured for a newer LSN, or restarted). The
+// replica restarts the transfer with resumeLSN 0.
+var ErrSnapshotExpired = errors.New("wal: sync snapshot expired")
+
+// TailPage is one page of log records shipped to a replica.
+type TailPage struct {
+	// Records hold every shipped record, in LSN order, all above the
+	// requested afterLSN.
+	Records []Record
+	// PrimaryLSN is the store's LSN at the time of the read; the
+	// replica's lag is PrimaryLSN minus its own applied LSN.
+	PrimaryLSN uint64
+	// Truncated means compaction discarded records the replica still
+	// needs: the gap (afterLSN, compaction LSN] is not in the log, so
+	// the replica must restart from a snapshot.
+	Truncated bool
+}
+
+// ApplyRecord applies one shipped record to a replica's gallery with
+// replay's idempotent semantics: an enrollment overwrites any existing
+// entry under the same ID, and removing a missing ID is a no-op — so
+// re-applying a record a crash already delivered cannot diverge the
+// replica from the primary.
+func ApplyRecord(g *gallery.Store, rec Record) error {
+	switch rec.Op {
+	case OpEnroll:
+		tpl, err := minutiae.Unmarshal(rec.Template)
+		if err != nil {
+			return fmt.Errorf("wal: apply lsn %d (%q): %w", rec.LSN, rec.ID, err)
+		}
+		g.Remove(rec.ID)
+		return g.Enroll(rec.ID, rec.DeviceID, tpl)
+	case OpRemove:
+		g.Remove(rec.ID)
+		return nil
+	default:
+		return fmt.Errorf("wal: apply lsn %d: unknown op %d", rec.LSN, rec.Op)
+	}
+}
+
+// SyncSnapshot returns a consistent serialized snapshot (FPWS stream)
+// and the LSN it covers. resumeLSN 0 captures fresh state (or reuses
+// the cached capture when nothing mutated since); a non-zero resumeLSN
+// asks for the cached capture at exactly that LSN so a chunked
+// transfer reads one immutable byte stream, and fails with
+// ErrSnapshotExpired when that capture is gone. Callers must treat the
+// returned bytes as read-only — they are shared with later calls.
+func (s *Store) SyncSnapshot(resumeLSN uint64) (lsn uint64, data []byte, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, nil, errors.New("wal: sync snapshot: store closed")
+	}
+	if resumeLSN != 0 {
+		if s.syncSnapData != nil && s.syncSnapLSN == resumeLSN {
+			return resumeLSN, s.syncSnapData, nil
+		}
+		return 0, nil, ErrSnapshotExpired
+	}
+	if s.syncSnapData != nil && s.syncSnapLSN == s.lsn {
+		return s.lsn, s.syncSnapData, nil
+	}
+	var buf bytes.Buffer
+	if err := writeSnapshotStream(&buf, s.lsn, s.Store.SaveTo); err != nil {
+		return 0, nil, err
+	}
+	s.syncSnapLSN, s.syncSnapData = s.lsn, buf.Bytes()
+	return s.syncSnapLSN, s.syncSnapData, nil
+}
+
+// SyncTail returns log records with LSN above afterLSN, stopping once
+// roughly maxBytes of record bodies have been collected (at least one
+// record is returned when any is available, so progress never stalls
+// on a single large record). It reads the log file through a private
+// handle under the mutation lock: the page is a consistent prefix, and
+// the append offset of the live log is untouched.
+func (s *Store) SyncTail(afterLSN uint64, maxBytes int) (TailPage, error) {
+	if maxBytes <= 0 {
+		maxBytes = 256 << 10
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var page TailPage
+	if s.closed {
+		return page, errors.New("wal: sync tail: store closed")
+	}
+	page.PrimaryLSN = s.lsn
+	if afterLSN < s.compactLSN {
+		page.Truncated = true
+		return page, nil
+	}
+	f, err := os.Open(filepath.Join(s.dir, logName))
+	if err != nil {
+		return page, fmt.Errorf("wal: sync tail: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 64<<10)
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return page, fmt.Errorf("wal: sync tail header: %w", err)
+	}
+	if [4]byte(hdr[:4]) != logMagic {
+		return page, ErrBadLogFormat
+	}
+	var (
+		prefix  [8]byte
+		bodyBuf []byte
+		budget  = maxBytes
+	)
+	for budget > 0 {
+		if _, err := io.ReadFull(br, prefix[:]); err != nil {
+			break // end of log (or a partial prefix the lock makes impossible)
+		}
+		bodyLen := int(binary.BigEndian.Uint32(prefix[:4]))
+		sum := binary.BigEndian.Uint32(prefix[4:])
+		if bodyLen > maxBody {
+			return page, fmt.Errorf("wal: sync tail: implausible record of %d bytes", bodyLen)
+		}
+		if cap(bodyBuf) < bodyLen {
+			bodyBuf = make([]byte, bodyLen)
+		}
+		body := bodyBuf[:bodyLen]
+		if _, err := io.ReadFull(br, body); err != nil {
+			return page, fmt.Errorf("wal: sync tail body: %w", err)
+		}
+		if binary.BigEndian.Uint64(body) <= afterLSN {
+			continue // already applied on the replica; skip without decoding
+		}
+		if crc32.ChecksumIEEE(body) != sum {
+			return page, fmt.Errorf("wal: sync tail: record checksum mismatch")
+		}
+		rec, err := decodeRecord(body)
+		if err != nil {
+			return page, fmt.Errorf("wal: sync tail: %w", err)
+		}
+		page.Records = append(page.Records, rec)
+		budget -= 8 + bodyLen
+	}
+	return page, nil
+}
